@@ -1,0 +1,59 @@
+//! Candidate-search ablation: exact k-d tree vs Annoy-style forest.
+//!
+//! Phase III issues one k-NN query per join pair; the paper switches
+//! from an exact index to Annoy beyond a few thousand nodes. This bench
+//! measures build and query cost of both at increasing scales (clustered
+//! point sets like the synthetic topologies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_geom::{AnnoyIndex, AnnoyParams, Coord, KdTree, NnIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn clustered_points(n: usize, seed: u64) -> Vec<Coord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Coord> = (0..16)
+        .map(|_| Coord::xy(rng.gen_range(0.0..100.0), rng.gen_range(-50.0..50.0)))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..centers.len())];
+            Coord::xy(c[0] + rng.gen_range(-4.0..4.0), c[1] + rng.gen_range(-4.0..4.0))
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_build");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let pts = clustered_points(n, 1);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(std::hint::black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("annoy", n), &pts, |b, pts| {
+            b.iter(|| AnnoyIndex::build(std::hint::black_box(pts), AnnoyParams::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_query_k16");
+    for n in [1_000usize, 10_000, 50_000] {
+        let pts = clustered_points(n, 2);
+        let kd = KdTree::build(&pts);
+        let annoy = AnnoyIndex::build(&pts, AnnoyParams::default());
+        let q = Coord::xy(50.0, 0.0);
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &q, |b, q| {
+            b.iter(|| kd.knn(std::hint::black_box(q), 16))
+        });
+        group.bench_with_input(BenchmarkId::new("annoy", n), &q, |b, q| {
+            b.iter(|| annoy.knn(std::hint::black_box(q), 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

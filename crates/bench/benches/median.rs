@@ -1,0 +1,45 @@
+//! Geometric-median solver ablation (DESIGN.md §4).
+//!
+//! Compares the Weiszfeld fixed point against plain gradient descent
+//! (the paper's stated solver) and the min–max (smallest enclosing ball)
+//! alternative the paper rejects in §2.3, over anchor sets of the sizes
+//! Phase II actually sees (3 anchors per join replica) and larger ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_geom::{
+    geometric_median, geometric_median_gd, minmax_center, Coord, GdOptions, MedianOptions,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn anchors(n: usize, seed: u64) -> Vec<Coord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Coord::xy(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+        .collect()
+}
+
+fn bench_median(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometric_median");
+    for n in [3usize, 10, 100] {
+        let a = anchors(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("weiszfeld", n), &a, |b, a| {
+            b.iter(|| geometric_median(std::hint::black_box(a), MedianOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("gradient_descent", n), &a, |b, a| {
+            b.iter(|| {
+                geometric_median_gd(
+                    std::hint::black_box(a),
+                    GdOptions { max_iters: 500, ..GdOptions::default() },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("minmax_ball", n), &a, |b, a| {
+            b.iter(|| minmax_center(std::hint::black_box(a), 500))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_median);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Near-linear scaling of the full Nova pipeline (Fig. 10's criterion
+//! companion): one sample per topology size, embedding included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_core::{Nova, NovaConfig};
+use nova_netcoord::{Vivaldi, VivaldiConfig};
+use nova_topology::{SyntheticParams, SyntheticTopology};
+use nova_workloads::{synthetic_opp, OppParams};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_scaling");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000, 32_000] {
+        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 5, ..Default::default() });
+        let w = synthetic_opp(&syn.topology, &OppParams { seed: 5, ..OppParams::default() });
+        let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 16, ..VivaldiConfig::default() };
+        let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter_batched(
+                || Nova::with_cost_space(w.topology.clone(), space.clone(), NovaConfig::default()),
+                |mut nova| {
+                    nova.optimize(w.query.clone());
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

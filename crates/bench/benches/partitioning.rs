@@ -1,0 +1,45 @@
+//! Partitioning microbenchmarks + the joint-vs-independent weighting and
+//! σ-sweep ablations (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_core::{partition_rates, sigma_for_bandwidth, PartitionedJoin};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    for sigma in [0.1f64, 0.4, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("decompose_200x200", format!("sigma{sigma}")),
+            &sigma,
+            |b, &sigma| b.iter(|| PartitionedJoin::decompose(200.0, 200.0, std::hint::black_box(sigma))),
+        );
+    }
+    group.bench_function("partition_rates_1000_by_7", |b| {
+        b.iter(|| partition_rates(std::hint::black_box(1000.0), 7.0))
+    });
+    group.bench_function("sigma_for_bandwidth", |b| {
+        b.iter(|| sigma_for_bandwidth(std::hint::black_box(120.0), 80.0, 5000.0))
+    });
+    group.finish();
+}
+
+/// Joint weighting (Eq. 7) vs independent per-stream partitioning: the
+/// metric is total transfer, evaluated over a grid of asymmetric rates.
+/// Criterion measures the computation; the printed comparison happens in
+/// the `fig06 --sigma-sweep` experiment binary.
+fn bench_weighting(c: &mut Criterion) {
+    let rates: Vec<(f64, f64)> = (1..=20)
+        .flat_map(|i| (1..=20).map(move |j| (i as f64 * 10.0, j as f64 * 10.0)))
+        .collect();
+    c.bench_function("joint_weighting_grid_400", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(s, t) in std::hint::black_box(&rates) {
+                acc += PartitionedJoin::decompose(s, t, 0.4).total_transfer();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_decompose, bench_weighting);
+criterion_main!(benches);

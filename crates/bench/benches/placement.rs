@@ -1,0 +1,39 @@
+//! Phase II + III cost: virtual placement and physical assignment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_core::{compute_optima, Nova, NovaConfig};
+use nova_netcoord::{Vivaldi, VivaldiConfig};
+use nova_topology::{SyntheticParams, SyntheticTopology};
+use nova_workloads::{synthetic_opp, OppParams};
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_phases");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 9, ..Default::default() });
+        let w = synthetic_opp(&syn.topology, &OppParams { seed: 9, ..OppParams::default() });
+        let vivaldi = Vivaldi::embed(
+            &syn.rtt,
+            VivaldiConfig { neighbors: 20, rounds: 24, ..VivaldiConfig::default() },
+        );
+        let space = vivaldi.into_cost_space();
+        let plan = w.query.resolve();
+
+        group.bench_with_input(BenchmarkId::new("phase2_medians", n), &plan, |b, plan| {
+            b.iter(|| compute_optima(&w.query, plan, &space))
+        });
+        group.bench_with_input(BenchmarkId::new("full_optimize", n), &w, |b, w| {
+            b.iter_batched(
+                || Nova::with_cost_space(w.topology.clone(), space.clone(), NovaConfig::default()),
+                |mut nova| {
+                    nova.optimize(w.query.clone());
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Discrete-event engine throughput: events processed per wall-second
+//! for a scaled-down DEBS run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nova_bench::endtoend::{end_to_end_runs, default_sim};
+use nova_runtime::SimConfig;
+use nova_workloads::{environmental_scenario, EnvironmentalParams};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_engine");
+    group.sample_size(10);
+    let scenario = environmental_scenario(&EnvironmentalParams {
+        rate: 200.0, // scaled down from 1 kHz for bench iteration counts
+        ..EnvironmentalParams::default()
+    });
+    let sim = SimConfig { duration_ms: 5_000.0, ..default_sim(5_000.0, 1) };
+    group.bench_function("debs_5s_all_approaches", |b| {
+        b.iter(|| end_to_end_runs(std::hint::black_box(&scenario), &sim, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

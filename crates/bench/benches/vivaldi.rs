@@ -1,0 +1,51 @@
+//! Phase I cost: Vivaldi embedding and incremental node addition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nova_netcoord::{embed_new_node, Vivaldi, VivaldiConfig};
+use nova_topology::{NodeId, SyntheticParams, SyntheticTopology, Testbed};
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vivaldi_embed");
+    group.sample_size(10);
+    // Testbed-scale: FIT IoT Lab (433 nodes) with the paper's m = 20.
+    let fit = Testbed::FitIotLab.generate(1);
+    group.bench_function("fit_iot_lab_433", |b| {
+        b.iter(|| {
+            Vivaldi::embed(
+                &fit.rtt,
+                VivaldiConfig { neighbors: 20, rounds: 48, ..VivaldiConfig::default() },
+            )
+        })
+    });
+    // Synthetic scaling.
+    for n in [1_000usize, 10_000] {
+        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 2, ..Default::default() });
+        group.bench_with_input(BenchmarkId::new("synthetic", n), &syn, |b, syn| {
+            b.iter(|| {
+                Vivaldi::embed(
+                    &syn.rtt,
+                    VivaldiConfig { neighbors: 20, rounds: 24, ..VivaldiConfig::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    // Adding one node must be constant-time w.r.t. topology size (§3.5).
+    let mut group = c.benchmark_group("vivaldi_add_node");
+    for n in [1_000usize, 10_000, 100_000] {
+        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 3, ..Default::default() });
+        let cfg = VivaldiConfig { neighbors: 20, rounds: 16, ..VivaldiConfig::default() };
+        let vivaldi = Vivaldi::embed(&syn.rtt, VivaldiConfig { rounds: 8, ..cfg });
+        let space = vivaldi.into_cost_space();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, space| {
+            b.iter(|| embed_new_node(space, &syn.rtt, NodeId((n - 1) as u32), &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed, bench_incremental);
+criterion_main!(benches);

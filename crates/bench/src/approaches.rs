@@ -1,0 +1,180 @@
+//! Running Nova and all six baselines uniformly on one workload.
+
+use nova_core::baselines::{
+    cl_sf, cl_tree_sf, sink_based, source_based, top_c, tree_based, ClusterParams,
+};
+use nova_core::{evaluate, EvalOptions, JoinQuery, Nova, NovaConfig, Placement, PlacementEval};
+use nova_netcoord::{CostSpace, Vivaldi, VivaldiConfig};
+use nova_topology::{LatencyProvider, Topology};
+
+/// Harness-level settings shared by the comparison experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Nova configuration (σ, C_min, overflow policy, ...).
+    pub nova: NovaConfig,
+    /// Vivaldi neighbor-set size for the shared cost space.
+    pub vivaldi_neighbors: usize,
+    /// Vivaldi relaxation rounds.
+    pub vivaldi_rounds: usize,
+    /// Include the (expensive) tree-family baselines. They exceed the
+    /// paper's 10-minute timeout beyond ~20 k nodes, so scalability runs
+    /// disable them at scale (Fig. 10).
+    pub include_tree_family: bool,
+    /// Seed for the embedding.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            nova: NovaConfig::default(),
+            vivaldi_neighbors: 20,
+            vivaldi_rounds: 48,
+            include_tree_family: true,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+/// A named placement plus its evaluation.
+#[derive(Debug, Clone)]
+pub struct ApproachResult {
+    /// Approach label matching the paper's legend.
+    pub name: &'static str,
+    /// The operator-to-node mapping.
+    pub placement: Placement,
+    /// Evaluation under the *real* measured latencies.
+    pub real: PlacementEval,
+    /// Evaluation under the *estimated* (cost space) latencies.
+    pub estimated: PlacementEval,
+}
+
+/// All approaches on one workload, evaluated under estimated and real
+/// latencies.
+#[derive(Debug)]
+pub struct ApproachSet {
+    /// The shared cost space all approaches optimized against.
+    pub space: CostSpace,
+    /// Results in the paper's legend order: nova, sink, source, top-c,
+    /// tree, cl-sf, cl-tree-sf.
+    pub results: Vec<ApproachResult>,
+}
+
+impl ApproachSet {
+    /// Look up an approach by name.
+    pub fn get(&self, name: &str) -> Option<&ApproachResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// Embed the topology once, then run Nova and every baseline on the same
+/// cost space and query; evaluate each placement under both the cost
+/// space (estimates) and the provider (real measurements).
+///
+/// All optimizers see only *estimated* latencies — like the paper, where
+/// the NCS is the optimizers' world view and real measurements judge the
+/// outcome (§4.3–4.4).
+pub fn run_all_approaches(
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    query: &JoinQuery,
+    cfg: &BenchConfig,
+) -> ApproachSet {
+    let vivaldi = Vivaldi::embed(
+        provider,
+        VivaldiConfig {
+            neighbors: cfg.vivaldi_neighbors,
+            rounds: cfg.vivaldi_rounds,
+            seed: cfg.seed,
+            ..VivaldiConfig::default()
+        },
+    );
+    let space = vivaldi.into_cost_space();
+    run_with_space(topology, provider, query, space, cfg)
+}
+
+/// Same as [`run_all_approaches`] but with a caller-provided cost space.
+pub fn run_with_space(
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    query: &JoinQuery,
+    space: CostSpace,
+    cfg: &BenchConfig,
+) -> ApproachSet {
+    let plan = query.resolve();
+    let mut placements: Vec<(&'static str, Placement)> = Vec::new();
+
+    let mut nova = Nova::with_cost_space(topology.clone(), space.clone(), cfg.nova);
+    nova.optimize(query.clone());
+    placements.push(("nova", nova.placement().clone()));
+    placements.push(("sink", sink_based(query, &plan)));
+    placements.push(("source", source_based(query, &plan)));
+    placements.push(("top-c", top_c(query, &plan, topology)));
+    if cfg.include_tree_family {
+        let params = ClusterParams::for_size(topology.len());
+        placements.push(("tree", tree_based(query, &plan, topology, &space)));
+        placements.push(("cl-sf", cl_sf(query, &plan, topology, &space, &params)));
+        placements.push((
+            "cl-tree-sf",
+            cl_tree_sf(query, &plan, topology, &space, &space, &params),
+        ));
+    }
+
+    let results = placements
+        .into_iter()
+        .map(|(name, placement)| {
+            let real = evaluate(
+                &placement,
+                topology,
+                |a, b| provider.rtt(a, b),
+                EvalOptions::default(),
+            );
+            let estimated = evaluate(
+                &placement,
+                topology,
+                |a, b| space.distance(a, b).unwrap_or(f64::INFINITY),
+                EvalOptions::default(),
+            );
+            ApproachResult { name, placement, real, estimated }
+        })
+        .collect();
+    ApproachSet { space, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_topology::{SyntheticParams, SyntheticTopology};
+    use nova_workloads::{synthetic_opp, OppParams};
+
+    #[test]
+    fn all_seven_approaches_produce_placements() {
+        let base = SyntheticTopology::generate(&SyntheticParams { n: 120, seed: 3, ..Default::default() });
+        let w = synthetic_opp(&base.topology, &OppParams::default());
+        let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &BenchConfig::default());
+        assert_eq!(set.results.len(), 7);
+        for r in &set.results {
+            assert!(
+                !r.placement.replicas.is_empty(),
+                "{} produced an empty placement",
+                r.name
+            );
+            assert!(r.real.mean_latency() >= 0.0);
+        }
+        // Sink-based is the latency lower bound (it skips the detour).
+        let sink = set.get("sink").unwrap();
+        let tree = set.get("tree").unwrap();
+        assert!(tree.real.latency_percentile(0.9) >= sink.real.latency_percentile(0.9) * 0.9);
+    }
+
+    #[test]
+    fn nova_overloads_least() {
+        let base = SyntheticTopology::generate(&SyntheticParams { n: 150, seed: 4, ..Default::default() });
+        let w = synthetic_opp(&base.topology, &OppParams { seed: 4, ..Default::default() });
+        let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &BenchConfig::default());
+        let nova = set.get("nova").unwrap().real.overload_percent();
+        let sink = set.get("sink").unwrap().real.overload_percent();
+        assert!(nova <= sink, "nova {nova}% vs sink {sink}%");
+        assert_eq!(sink, 100.0, "the sink always drowns");
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 5: network coordinate systems of the four evaluation topologies
+//! plus the neighbor-set-size (m) selection study of §4.1.
+//!
+//! Embeds each testbed stand-in (FIT IoT Lab, PlanetLab, RIPE Atlas,
+//! King) with Vivaldi at the paper's neighbor counts, reports embedding
+//! quality (MAE, relative errors) and the measured TIV rate, sweeps m to
+//! show the MAE convergence the paper used to pick m, and writes the 2-D
+//! coordinates to CSV for plotting.
+
+use nova_bench::{write_csv, Table};
+use nova_netcoord::{classical_mds, EmbeddingError, Vivaldi, VivaldiConfig};
+use nova_topology::Testbed;
+
+fn main() {
+    let seed = 42;
+    println!("== Fig. 5: cost-space embeddings of the evaluation topologies ==\n");
+
+    let mut summary = Table::new(&[
+        "topology", "nodes", "m", "MAE (ms)", "median rel err", "p90 rel err", "TIV rate",
+    ]);
+    for testbed in Testbed::all() {
+        let data = testbed.generate(seed);
+        let m = testbed.vivaldi_neighbors();
+        let vivaldi = Vivaldi::embed(
+            &data.rtt,
+            VivaldiConfig { neighbors: m, rounds: 60, seed, ..VivaldiConfig::default() },
+        );
+        let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 100_000, seed);
+        let tiv = data.rtt.tiv_rate(100_000, seed);
+        summary.row(vec![
+            testbed.name().to_string(),
+            data.rtt.len().to_string(),
+            m.to_string(),
+            format!("{:.2}", err.mae),
+            format!("{:.3}", err.median_relative),
+            format!("{:.3}", err.p90_relative),
+            format!("{:.3}", tiv),
+        ]);
+
+        // Coordinates for the scatter plots of Fig. 5.
+        let rows: Vec<Vec<String>> = vivaldi
+            .coords()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| vec![i.to_string(), format!("{:.4}", c[0]), format!("{:.4}", c[1])])
+            .collect();
+        let path = write_csv(
+            &format!("fig05_{}.csv", testbed.name().replace([' ', '(', ')'], "_")),
+            &["node".into(), "x".into(), "y".into()],
+            &rows,
+        );
+        eprintln!("wrote {}", path.display());
+    }
+    summary.print();
+
+    // The m-selection study: MAE converges quickly in m (§4.1), which is
+    // why the paper settles on m = 20 / 32.
+    println!("\n== neighbor-set size study (MAE in ms vs m) ==\n");
+    let ms = [4usize, 8, 12, 16, 20, 24, 32, 48];
+    let labels: Vec<String> = ms.iter().map(|m| format!("m={m}")).collect();
+    let mut headers: Vec<&str> = vec!["topology"];
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    let mut sweep = Table::new(&headers);
+    for testbed in Testbed::all() {
+        let data = testbed.generate(seed);
+        let mut row = vec![testbed.name().to_string()];
+        for &m in &ms {
+            let vivaldi = Vivaldi::embed(
+                &data.rtt,
+                VivaldiConfig { neighbors: m, rounds: 60, seed, ..VivaldiConfig::default() },
+            );
+            let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 50_000, seed);
+            row.push(format!("{:.1}", err.mae));
+        }
+        sweep.row(row);
+    }
+    sweep.print();
+
+    // Cross-check: classical MDS (the dense Eq. 5 solver) on the smallest
+    // testbed — Vivaldi should be in the same quality range.
+    let fit = Testbed::FitIotLab.generate(seed);
+    let mds_coords = classical_mds(&fit.rtt, 2, seed);
+    let mds_err = EmbeddingError::evaluate(&mds_coords, &fit.rtt, 50_000, seed);
+    println!(
+        "classical MDS on {}: MAE {:.2} ms (dense Eq. 5 reference)\n",
+        Testbed::FitIotLab.name(),
+        mds_err.mae
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 6: percentage of overloaded nodes versus node heterogeneity.
+//!
+//! Runs Nova and all six baselines on a 1000-node synthetic topology
+//! while sweeping the node-capacity distribution from homogeneous to
+//! strongly skewed (rising coefficient of variation) and reports the
+//! share of participating nodes whose load exceeds their capacity.
+//!
+//! Expected shape (paper §4.2): Nova 0 % everywhere; sink-based 100 %;
+//! Cl-Tree-SF 94–99 %; Cl-SF 86–95 %; Tree ≈ 85 %; source-based 46–54 %;
+//! top-c 6–14 %.
+//!
+//! `--sigma-sweep` additionally reproduces the σ trade-off ablation
+//! (partitioning degree vs network traffic vs overload).
+
+use nova_bench::{run_all_approaches, write_csv, BenchConfig, Table};
+use nova_core::NovaConfig;
+use nova_topology::{coefficient_of_variation, CapacityDistribution, SyntheticParams, SyntheticTopology};
+use nova_workloads::{synthetic_opp, OppParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sigma_sweep = args.iter().any(|a| a == "--sigma-sweep");
+    let n: usize = args
+        .iter()
+        .position(|a| a == "--nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let seed = 7;
+
+    println!("== Fig. 6: overloaded nodes vs capacity heterogeneity ({n} nodes) ==\n");
+    let base = SyntheticTopology::generate(&SyntheticParams { n, seed, ..Default::default() });
+
+    let approaches = ["nova", "sink", "source", "top-c", "tree", "cl-sf", "cl-tree-sf"];
+    let mut headers = vec!["capacity dist", "CV"];
+    headers.extend(approaches.iter().map(|a| *a));
+    let mut table = Table::new(&headers);
+
+    for (label, dist) in CapacityDistribution::paper_sweep() {
+        let w = synthetic_opp(
+            &base.topology,
+            &OppParams { capacity: dist, seed, ..OppParams::default() },
+        );
+        let caps: Vec<f64> = w.topology.nodes().iter().map(|nd| nd.capacity).collect();
+        let cv = coefficient_of_variation(&caps);
+        let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &BenchConfig::default());
+        let mut row = vec![label.to_string(), format!("{cv:.2}")];
+        for name in approaches {
+            let r = set.get(name).expect("approach present");
+            row.push(format!("{:.1}%", r.real.overload_percent()));
+        }
+        table.row(row);
+    }
+    table.print();
+    write_csv(
+        "fig06_overload.csv",
+        &table.headers().to_vec(),
+        table.rows(),
+    );
+
+    if sigma_sweep {
+        println!("\n== σ ablation: partitioning degree vs traffic vs overload (uniform capacities) ==\n");
+        let mut ab = Table::new(&[
+            "sigma", "overload %", "instances", "sub-replicas", "traffic (tuple-hops/s)",
+        ]);
+        for sigma in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let w = synthetic_opp(&base.topology, &OppParams { seed, ..OppParams::default() });
+            let cfg = BenchConfig {
+                nova: NovaConfig { sigma, ..NovaConfig::default() },
+                include_tree_family: false,
+                ..BenchConfig::default()
+            };
+            let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &cfg);
+            let nova = set.get("nova").expect("nova present");
+            ab.row(vec![
+                format!("{sigma:.1}"),
+                format!("{:.1}%", nova.real.overload_percent()),
+                nova.placement.instance_count().to_string(),
+                nova.placement.sub_replica_count().to_string(),
+                format!("{:.0}", nova.real.network_traffic),
+            ]);
+        }
+        ab.print();
+        write_csv("fig06_sigma_ablation.csv", &ab.headers().to_vec(), ab.rows());
+    }
+}

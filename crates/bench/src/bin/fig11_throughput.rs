@@ -1,0 +1,81 @@
+//! Figure 11: end-to-end throughput on the DEBS-style workload —
+//! processed tuples versus their latency over a 2-minute run
+//! (non-stressed).
+//!
+//! Deploys every approach's placement of the 4-region pressure ⋈ humidity
+//! query on the simulated 14-node Raspberry-Pi cluster and counts the
+//! join results delivered to the sink. Expected shape (§4.7): the
+//! sink-based approach delivers the least (central overload), the
+//! cluster/top-c group slightly more (one bigger node, still a single
+//! bottleneck), source/tree roughly doubles that (several small nodes),
+//! and Nova delivers several times the best baseline by parallelizing
+//! across the workers — the paper reports 14 159 vs 3 176 vs 1 503 vs
+//! 1 057 tuples and 4.5× over the best baseline.
+//!
+//! Run with `--full` for the paper's 120 s duration (default 30 s).
+
+use nova_bench::{default_sim, end_to_end_runs, write_csv, Table};
+use nova_workloads::{environmental_scenario, EnvironmentalParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let duration_ms = if full { 120_000.0 } else { 30_000.0 };
+    let seed = 11;
+
+    println!(
+        "== Fig. 11: end-to-end throughput, DEBS workload, {}s run (non-stressed) ==\n",
+        duration_ms / 1000.0
+    );
+    let scenario = environmental_scenario(&EnvironmentalParams::default());
+    let sim = default_sim(duration_ms, seed);
+    let runs = end_to_end_runs(&scenario, &sim, 1.0);
+
+    let mut table = Table::new(&[
+        "approach",
+        "delivered",
+        "emitted",
+        "mean lat (ms)",
+        "90P (ms)",
+        "final lat (ms)",
+    ]);
+    let mut series_rows: Vec<Vec<String>> = Vec::new();
+    for run in &runs {
+        let r = &run.result;
+        let final_latency = r.outputs.last().map(|o| o.latency_ms).unwrap_or(0.0);
+        table.row(vec![
+            run.name.to_string(),
+            r.delivered.to_string(),
+            r.emitted.to_string(),
+            format!("{:.1}", r.mean_latency()),
+            format!("{:.1}", r.latency_percentile(0.9)),
+            format!("{final_latency:.1}"),
+        ]);
+        // Latency-vs-processed-count series (downsampled to ≤300 points)
+        // — the x/y of the paper's Fig. 11.
+        let step = (r.outputs.len() / 300).max(1);
+        for (i, o) in r.outputs.iter().enumerate().step_by(step) {
+            series_rows.push(vec![
+                run.name.to_string(),
+                (i + 1).to_string(),
+                format!("{:.2}", o.latency_ms),
+            ]);
+        }
+    }
+    table.print();
+    write_csv(
+        "fig11_series.csv",
+        &["approach".into(), "processed".into(), "latency_ms".into()],
+        &series_rows,
+    );
+    write_csv("fig11_throughput.csv", &table.headers().to_vec(), table.rows());
+
+    let get = |name: &str| runs.iter().find(|r| r.name == name).map(|r| r.result.delivered);
+    if let (Some(nova), Some(sink), Some(st)) = (get("nova"), get("sink"), get("source/tree")) {
+        println!(
+            "nova/sink throughput: {:.1}× (paper: 13.4×); nova/source-tree: {:.1}× (paper: 4.5×)",
+            nova as f64 / sink.max(1) as f64,
+            nova as f64 / st.max(1) as f64
+        );
+    }
+}

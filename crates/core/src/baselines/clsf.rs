@@ -1,0 +1,129 @@
+//! Cl-SF placement: the clustered WSN baseline (§4.1, \[64\]).
+//!
+//! Clusters the topology (fuzzy c-means in the cost space, the LEACH-SF
+//! stand-in), then computes each join "at intersecting cluster heads or
+//! the sink if none exist": when both sources fall into the same cluster
+//! the join runs on that cluster's head; otherwise the streams have no
+//! common head and the join falls back to the sink. Head election is
+//! resource-agnostic, so popular heads overload (Fig. 6), but latency is
+//! competitive because heads sit central to their clusters (Fig. 7).
+
+use nova_netcoord::CostSpace;
+use nova_topology::Topology;
+
+use crate::placement::Placement;
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+use super::clustering::{fuzzy_cmeans, ClusterParams, Clustering};
+use super::whole_pair_replica;
+
+/// Cluster the topology and place joins at common cluster heads.
+pub fn cl_sf(
+    query: &JoinQuery,
+    plan: &ResolvedPlan,
+    topology: &Topology,
+    space: &CostSpace,
+    params: &ClusterParams,
+) -> Placement {
+    let clustering = cluster_topology(topology, space, params);
+    placement_from_clusters(query, plan, &clustering, "cl-sf")
+}
+
+/// Shared clustering step (also used by Cl-Tree-SF).
+pub(crate) fn cluster_topology(
+    topology: &Topology,
+    space: &CostSpace,
+    params: &ClusterParams,
+) -> Clustering {
+    let mut ids = Vec::with_capacity(topology.len());
+    let mut coords = Vec::with_capacity(topology.len());
+    for node in topology.nodes() {
+        if let Some(c) = space.coord(node.id) {
+            ids.push(node.id);
+            coords.push(c);
+        }
+    }
+    fuzzy_cmeans(&ids, &coords, params)
+}
+
+fn placement_from_clusters(
+    query: &JoinQuery,
+    plan: &ResolvedPlan,
+    clustering: &Clustering,
+    label: &str,
+) -> Placement {
+    let mut placement = Placement::new(label);
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        let l = query.left_stream(pair).node;
+        let r = query.right_stream(pair).node;
+        let node = match (clustering.cluster_of(l), clustering.cluster_of(r)) {
+            (Some(cl), Some(cr)) if cl == cr => clustering.heads[cl],
+            _ => query.sink,
+        };
+        placement.replicas.push(whole_pair_replica(query, pair, node));
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_geom::Coord;
+    use nova_topology::{NodeId, NodeRole};
+
+    /// Two geographic regions far apart; sink in the middle.
+    fn world() -> (Topology, CostSpace) {
+        let mut t = Topology::new();
+        let mut coords = Vec::new();
+        t.add_node(NodeRole::Sink, 10.0, "sink");
+        coords.push(Coord::xy(50.0, 0.0));
+        // Region A around x=0: two sources + two workers.
+        for i in 0..4 {
+            let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+            t.add_node(role, 10.0, format!("a{i}"));
+            coords.push(Coord::xy(i as f64, 0.0));
+        }
+        // Region B around x=100.
+        for i in 0..4 {
+            let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+            t.add_node(role, 10.0, format!("b{i}"));
+            coords.push(Coord::xy(100.0 + i as f64, 0.0));
+        }
+        (t, CostSpace::new(coords))
+    }
+
+    #[test]
+    fn same_cluster_joins_at_head() {
+        let (t, s) = world();
+        // Pair within region A: a0 (node 1) × a1 (node 2).
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(1), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(2), 5.0, 1)],
+            NodeId(0),
+        );
+        let plan = q.resolve();
+        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(9) };
+        let p = cl_sf(&q, &plan, &t, &s, &params);
+        let node = p.replicas[0].node;
+        // The head must be a region-A node (x < 10), not the sink.
+        assert_ne!(node, NodeId(0));
+        assert!(t.node(node).label.starts_with('a'), "head {node}");
+    }
+
+    #[test]
+    fn cross_cluster_joins_fall_back_to_sink() {
+        let (t, s) = world();
+        // a0 (node 1) × b0 (node 5): different regions.
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(1), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(5), 5.0, 1)],
+            NodeId(0),
+        );
+        let plan = q.resolve();
+        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(9) };
+        let p = cl_sf(&q, &plan, &t, &s, &params);
+        assert_eq!(p.replicas[0].node, NodeId(0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Cl-Tree-SF placement: the hybrid WSN baseline (§4.1).
+//!
+//! Clusters the topology like Cl-SF, then forms a minimum spanning tree
+//! among the cluster heads (plus the sink) and computes joins at the
+//! intersection of the heads' tree routes towards the sink. Streams
+//! travel source → own cluster head → along the head-MST to the join
+//! head → along the head-MST to the sink. The double indirection
+//! (cluster hop + multi-hop head overlay) makes this the worst
+//! overloader in the paper's Fig. 6 (94–99 %) and among the slowest in
+//! Fig. 7.
+
+use nova_netcoord::CostSpace;
+use nova_topology::{minimum_spanning_tree, LatencyProvider, NodeId, RootedTree, Topology};
+
+use crate::placement::{PlacedReplica, Placement};
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+use super::clsf::cluster_topology;
+use super::clustering::ClusterParams;
+
+/// Cluster, build a head MST, join at head-route intersections.
+pub fn cl_tree_sf(
+    query: &JoinQuery,
+    plan: &ResolvedPlan,
+    topology: &Topology,
+    space: &CostSpace,
+    estimate: &impl LatencyProvider,
+    params: &ClusterParams,
+) -> Placement {
+    let clustering = cluster_topology(topology, space, params);
+    // Head overlay: all distinct heads plus the sink.
+    let mut members: Vec<NodeId> = clustering.heads.clone();
+    members.push(query.sink);
+    members.sort_unstable();
+    members.dedup();
+    let edges = minimum_spanning_tree(&members, estimate);
+    let tree = RootedTree::from_edges(query.sink, &edges);
+
+    let mut placement = Placement::new("cl-tree-sf");
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        let left = query.left_stream(pair);
+        let right = query.right_stream(pair);
+        let lh = clustering.head_of(left.node).unwrap_or(query.sink);
+        let rh = clustering.head_of(right.node).unwrap_or(query.sink);
+        let join_node = tree.lca(lh, rh);
+        placement.replicas.push(PlacedReplica {
+            pair: pair.id,
+            node: join_node,
+            left_rate: left.rate,
+            right_rate: right.rate,
+            left_partitions: vec![0],
+            right_partitions: vec![0],
+            merged_replicas: 1,
+            left_path: prepend(left.node, tree.path_to_ancestor(lh, join_node)),
+            right_path: prepend(right.node, tree.path_to_ancestor(rh, join_node)),
+            out_path: tree.path_to_ancestor(join_node, tree.root()),
+            output_rate: query.output_rate(pair),
+            overflowed: false,
+        });
+    }
+    placement
+}
+
+/// Prepend the source hop onto the head-overlay route, dropping the
+/// duplicate when the source *is* the first head.
+fn prepend(src: NodeId, mut overlay: Vec<NodeId>) -> Vec<NodeId> {
+    if overlay.first() == Some(&src) {
+        return overlay;
+    }
+    let mut path = Vec::with_capacity(overlay.len() + 1);
+    path.push(src);
+    path.append(&mut overlay);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_geom::Coord;
+    use nova_topology::{DenseRtt, NodeRole};
+
+    /// Three regions on a line; sink at the center region.
+    fn world() -> (Topology, CostSpace, DenseRtt) {
+        let mut t = Topology::new();
+        let mut coords = Vec::new();
+        t.add_node(NodeRole::Sink, 10.0, "sink");
+        coords.push(Coord::xy(50.0, 0.0));
+        for (region, base) in [(0, 0.0), (1, 50.0), (2, 100.0)] {
+            for i in 0..4 {
+                let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+                t.add_node(role, 10.0, format!("r{region}n{i}"));
+                coords.push(Coord::xy(base + i as f64, 1.0));
+            }
+        }
+        let rtt = DenseRtt::from_fn(coords.len(), |i, j| coords[i].dist(&coords[j]).max(0.01));
+        (t, CostSpace::new(coords), rtt)
+    }
+
+    #[test]
+    fn routes_go_via_cluster_heads() {
+        let (t, s, rtt) = world();
+        // Join between region 0 (node 1) and region 2 (node 9).
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(1), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(9), 5.0, 1)],
+            NodeId(0),
+        );
+        let plan = q.resolve();
+        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(13) };
+        let p = cl_tree_sf(&q, &plan, &t, &s, &rtt, &params);
+        let rep = &p.replicas[0];
+        // Left path starts at the source and passes through at least one
+        // head before the join node.
+        assert_eq!(rep.left_path.first(), Some(&NodeId(1)));
+        assert_eq!(rep.left_path.last(), Some(&rep.node));
+        // Output ends at the sink.
+        assert_eq!(rep.out_path.last(), Some(&NodeId(0)));
+        // Multi-hop structure: total path longer than a direct leg.
+        assert!(rep.left_path.len() >= 2);
+    }
+
+    #[test]
+    fn same_cluster_pair_joins_at_its_head() {
+        let (t, s, rtt) = world();
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(1), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(2), 5.0, 1)],
+            NodeId(0),
+        );
+        let plan = q.resolve();
+        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(13) };
+        let p = cl_tree_sf(&q, &plan, &t, &s, &rtt, &params);
+        let rep = &p.replicas[0];
+        // Both sources sit in region 0, so the join node is their common
+        // head — a region-0 node.
+        assert!(
+            t.node(rep.node).label.starts_with("r0") || rep.node == NodeId(0),
+            "join at {}",
+            t.node(rep.node).label
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Fuzzy c-means clustering — the LEACH-SF stand-in.
+//!
+//! The paper's Cl-SF baseline clusters the topology with LEACH-SF \[64\],
+//! an optimized Sugeno-fuzzy clustering protocol for WSNs. The exact
+//! fuzzy rule base is not reproducible from the citation, so this module
+//! implements the core of that family: fuzzy c-means over the cost-space
+//! coordinates with cluster heads elected as the member closest to each
+//! centroid. Like the original, head election is *resource-agnostic* —
+//! which is precisely the property the paper's overload experiment
+//! exposes (DESIGN.md §3 documents this substitution).
+
+use nova_geom::Coord;
+use nova_topology::NodeId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters for [`fuzzy_cmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Number of clusters `c`. LEACH-style protocols elect roughly 5 % of
+    /// nodes as heads; callers typically pass `max(2, n/20)`.
+    pub clusters: usize,
+    /// Fuzzifier `m` (> 1); 2.0 is the standard choice.
+    pub fuzzifier: f64,
+    /// Maximum alternating iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on centroid movement.
+    pub tolerance: f64,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl ClusterParams {
+    /// Standard parameters for a topology of `n` nodes.
+    pub fn for_size(n: usize) -> Self {
+        ClusterParams {
+            clusters: (n / 20).max(2),
+            fuzzifier: 2.0,
+            max_iters: 50,
+            tolerance: 1e-6,
+            seed: 0xC1u64,
+        }
+    }
+}
+
+/// Result of clustering a node population.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// The clustered nodes, in input order.
+    pub members: Vec<NodeId>,
+    /// Cluster index per member (argmax membership).
+    pub assignment: Vec<usize>,
+    /// Elected head per cluster (member closest to the centroid).
+    pub heads: Vec<NodeId>,
+    /// Final centroids.
+    pub centroids: Vec<Coord>,
+}
+
+impl Clustering {
+    /// Cluster index of a node, or `None` if it was not clustered.
+    pub fn cluster_of(&self, id: NodeId) -> Option<usize> {
+        self.members.iter().position(|&m| m == id).map(|i| self.assignment[i])
+    }
+
+    /// Head of the cluster containing `id`.
+    pub fn head_of(&self, id: NodeId) -> Option<NodeId> {
+        self.cluster_of(id).map(|c| self.heads[c])
+    }
+}
+
+/// Fuzzy c-means over `coords` (parallel to `ids`).
+///
+/// # Panics
+/// Panics if `ids` and `coords` differ in length or `fuzzifier <= 1`.
+pub fn fuzzy_cmeans(ids: &[NodeId], coords: &[Coord], params: &ClusterParams) -> Clustering {
+    assert_eq!(ids.len(), coords.len(), "ids/coords length mismatch");
+    assert!(params.fuzzifier > 1.0, "fuzzifier must exceed 1");
+    let n = ids.len();
+    let c = params.clusters.min(n.max(1));
+    if n == 0 {
+        return Clustering {
+            members: Vec::new(),
+            assignment: Vec::new(),
+            heads: Vec::new(),
+            centroids: Vec::new(),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    // Initialize centroids on distinct random members.
+    let mut picks: Vec<usize> = (0..n).collect();
+    picks.shuffle(&mut rng);
+    let mut centroids: Vec<Coord> = picks.iter().take(c).map(|&i| coords[i]).collect();
+
+    let exp = 2.0 / (params.fuzzifier - 1.0);
+    let mut memberships = vec![0.0f64; n * c];
+    for _ in 0..params.max_iters {
+        // Update memberships: u_ik = 1 / Σ_j (d_ik / d_jk)^(2/(m-1)).
+        for (i, x) in coords.iter().enumerate() {
+            let dists: Vec<f64> = centroids.iter().map(|ct| ct.dist(x).max(1e-12)).collect();
+            for k in 0..c {
+                let denom: f64 = dists.iter().map(|dj| (dists[k] / dj).powf(exp)).sum();
+                memberships[i * c + k] = 1.0 / denom;
+            }
+        }
+        // Update centroids: weighted mean with weights u^m.
+        let mut moved = 0.0f64;
+        for k in 0..c {
+            let mut num = Coord::zero(coords[0].dim());
+            let mut den = 0.0;
+            for (i, x) in coords.iter().enumerate() {
+                let w = memberships[i * c + k].powf(params.fuzzifier);
+                num += *x * w;
+                den += w;
+            }
+            if den > 0.0 {
+                let next = num * (1.0 / den);
+                moved = moved.max(next.dist(&centroids[k]));
+                centroids[k] = next;
+            }
+        }
+        if moved <= params.tolerance {
+            break;
+        }
+    }
+
+    // Defuzzify: hard assignment by max membership.
+    let assignment: Vec<usize> = (0..n)
+        .map(|i| {
+            (0..c)
+                .max_by(|&a, &b| memberships[i * c + a].total_cmp(&memberships[i * c + b]))
+                .unwrap_or(0)
+        })
+        .collect();
+    // Head election: member nearest to its cluster's centroid
+    // (resource-agnostic, like LEACH-SF).
+    let mut heads = Vec::with_capacity(c);
+    for k in 0..c {
+        let head = (0..n)
+            .filter(|&i| assignment[i] == k)
+            .min_by(|&a, &b| {
+                coords[a].dist(&centroids[k]).total_cmp(&coords[b].dist(&centroids[k]))
+            })
+            // Empty cluster: fall back to the globally nearest member.
+            .unwrap_or_else(|| {
+                (0..n)
+                    .min_by(|&a, &b| {
+                        coords[a].dist(&centroids[k]).total_cmp(&coords[b].dist(&centroids[k]))
+                    })
+                    .expect("n > 0")
+            });
+        heads.push(ids[head]);
+    }
+    Clustering { members: ids.to_vec(), assignment, heads, centroids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<NodeId>, Vec<Coord>) {
+        let mut ids = Vec::new();
+        let mut coords = Vec::new();
+        for i in 0..20 {
+            ids.push(NodeId(i));
+            let (cx, off) = if i < 10 { (0.0, i as f64) } else { (100.0, (i - 10) as f64) };
+            coords.push(Coord::xy(cx + off * 0.1, 0.0));
+        }
+        (ids, coords)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (ids, coords) = two_blobs();
+        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let cl = fuzzy_cmeans(&ids, &coords, &params);
+        // All members of blob 1 share a cluster, all of blob 2 another.
+        let c0 = cl.assignment[0];
+        assert!(cl.assignment[..10].iter().all(|&a| a == c0));
+        let c1 = cl.assignment[10];
+        assert_ne!(c0, c1);
+        assert!(cl.assignment[10..].iter().all(|&a| a == c1));
+    }
+
+    #[test]
+    fn heads_are_members_of_their_cluster() {
+        let (ids, coords) = two_blobs();
+        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let cl = fuzzy_cmeans(&ids, &coords, &params);
+        for (k, head) in cl.heads.iter().enumerate() {
+            let idx = ids.iter().position(|i| i == head).unwrap();
+            assert_eq!(cl.assignment[idx], k, "head of cluster {k} must belong to it");
+        }
+    }
+
+    #[test]
+    fn cluster_of_and_head_of_lookups() {
+        let (ids, coords) = two_blobs();
+        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let cl = fuzzy_cmeans(&ids, &coords, &params);
+        let c = cl.cluster_of(NodeId(3)).unwrap();
+        assert_eq!(cl.head_of(NodeId(3)), Some(cl.heads[c]));
+        assert_eq!(cl.cluster_of(NodeId(999)), None);
+    }
+
+    #[test]
+    fn handles_tiny_populations() {
+        let ids = vec![NodeId(0)];
+        let coords = vec![Coord::xy(1.0, 1.0)];
+        let cl = fuzzy_cmeans(&ids, &coords, &ClusterParams::for_size(1));
+        assert_eq!(cl.assignment, vec![0]);
+        assert_eq!(cl.heads[0], NodeId(0));
+        let empty = fuzzy_cmeans(&[], &[], &ClusterParams::for_size(0));
+        assert!(empty.members.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (ids, coords) = two_blobs();
+        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(20) };
+        let a = fuzzy_cmeans(&ids, &coords, &params);
+        let b = fuzzy_cmeans(&ids, &coords, &params);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.heads, b.heads);
+    }
+}

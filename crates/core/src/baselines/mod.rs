@@ -1,0 +1,59 @@
+//! The six baselines of the paper's evaluation (§4.1).
+//!
+//! | Baseline  | Origin | Decision rule |
+//! |-----------|--------|---------------|
+//! | Sink      | NebulaStream default | all joins at the sink node |
+//! | Source    | locality-aware heuristic \[67\] | each join at its higher-rate source |
+//! | Top-c     | cloud-style resource-aware heuristic | joins on the node with the highest remaining capacity |
+//! | Tree      | WSN multi-hop joins \[49\] | MST over the topology, join where the two streams' paths to the sink intersect |
+//! | Cl-SF     | LEACH-SF clustering \[64\] | fuzzy clustering, join at the common cluster head, else the sink |
+//! | Cl-Tree-SF| hybrid | cluster heads linked by an MST, join at head-path intersections |
+//!
+//! All baselines emit the same [`Placement`] representation as Nova so
+//! the evaluator compares them uniformly. Except for Top-c they are
+//! resource-agnostic — exactly the property the overload experiment
+//! (Fig. 6) exposes. The tree-based methods record their multi-hop
+//! overlay routes so relay forwarding is charged to intermediate nodes.
+
+mod clsf;
+mod clustering;
+mod cltreesf;
+mod sink;
+mod source;
+mod topc;
+mod tree;
+
+pub use clsf::cl_sf;
+pub use clustering::{fuzzy_cmeans, ClusterParams, Clustering};
+pub use cltreesf::cl_tree_sf;
+pub use sink::sink_based;
+pub use source::source_based;
+pub use topc::top_c;
+pub use tree::tree_based;
+
+use nova_topology::NodeId;
+
+use crate::placement::{direct_path, PlacedReplica};
+use crate::plan::JoinQuery;
+use crate::types::JoinPair;
+
+/// Build an *unpartitioned* replica of `pair` at `node` with direct
+/// routing legs — the shape all non-tree baselines share.
+pub(crate) fn whole_pair_replica(query: &JoinQuery, pair: &JoinPair, node: NodeId) -> PlacedReplica {
+    let left = query.left_stream(pair);
+    let right = query.right_stream(pair);
+    PlacedReplica {
+        pair: pair.id,
+        node,
+        left_rate: left.rate,
+        right_rate: right.rate,
+        left_partitions: vec![0],
+        right_partitions: vec![0],
+        merged_replicas: 1,
+        left_path: direct_path(left.node, node),
+        right_path: direct_path(right.node, node),
+        out_path: direct_path(node, query.sink),
+        output_rate: query.output_rate(pair),
+        overflowed: false,
+    }
+}

@@ -1,0 +1,44 @@
+//! Sink-based placement: NebulaStream's default strategy (§4.1).
+//!
+//! Every join executes on the sink node. This is the latency *lower
+//! bound* of the paper's Fig. 7 comparison (one direct hop per stream,
+//! no detour), but it funnels the entire workload through a single node
+//! and therefore overloads it in every non-trivial configuration.
+
+use crate::placement::Placement;
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+use super::whole_pair_replica;
+
+/// Place every pair on the sink.
+pub fn sink_based(query: &JoinQuery, plan: &ResolvedPlan) -> Placement {
+    let mut placement = Placement::new("sink");
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        placement.replicas.push(whole_pair_replica(query, pair, query.sink));
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_topology::NodeId;
+
+    #[test]
+    fn all_replicas_land_on_the_sink() {
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 10.0, 1), StreamSpec::keyed(NodeId(1), 10.0, 2)],
+            vec![StreamSpec::keyed(NodeId(2), 10.0, 1), StreamSpec::keyed(NodeId(3), 10.0, 2)],
+            NodeId(4),
+        );
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        assert_eq!(p.replicas.len(), 2);
+        assert!(p.replicas.iter().all(|r| r.node == NodeId(4)));
+        // Output path is trivial (join already at the sink).
+        assert!(p.replicas.iter().all(|r| r.out_path == vec![NodeId(4)]));
+        assert_eq!(p.nodes_used(), vec![NodeId(4)]);
+    }
+}

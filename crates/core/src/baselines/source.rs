@@ -1,0 +1,62 @@
+//! Source-based placement: locality-aware heuristic (§4.1, \[67\]).
+//!
+//! Resolves the join matrix by placing each join at the *source with the
+//! higher data rate*, so the heavier stream never travels. Distributes
+//! load across more nodes than the sink strategy, but remains
+//! resource-agnostic: sources are typically tiny edge devices that also
+//! pay for data ingestion, so ~half of them overload (Fig. 6).
+
+use crate::placement::Placement;
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+use super::whole_pair_replica;
+
+/// Place every pair on its higher-rate source (ties go left).
+pub fn source_based(query: &JoinQuery, plan: &ResolvedPlan) -> Placement {
+    let mut placement = Placement::new("source");
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        let left = query.left_stream(pair);
+        let right = query.right_stream(pair);
+        let node = if left.rate >= right.rate { left.node } else { right.node };
+        placement.replicas.push(whole_pair_replica(query, pair, node));
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_topology::NodeId;
+
+    #[test]
+    fn higher_rate_source_hosts_the_join() {
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 5.0, 1), StreamSpec::keyed(NodeId(1), 50.0, 2)],
+            vec![StreamSpec::keyed(NodeId(2), 10.0, 1), StreamSpec::keyed(NodeId(3), 10.0, 2)],
+            NodeId(4),
+        );
+        let plan = q.resolve();
+        let p = source_based(&q, &plan);
+        // Pair (0,0): right rate 10 > left 5 ⇒ node 2.
+        assert_eq!(p.replicas[0].node, NodeId(2));
+        // Pair (1,1): left rate 50 > right 10 ⇒ node 1.
+        assert_eq!(p.replicas[1].node, NodeId(1));
+        // The local stream's path is trivial, the remote one has a hop.
+        assert_eq!(p.replicas[1].left_path, vec![NodeId(1)]);
+        assert_eq!(p.replicas[1].right_path, vec![NodeId(3), NodeId(1)]);
+    }
+
+    #[test]
+    fn ties_prefer_the_left_source() {
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 10.0, 1)],
+            vec![StreamSpec::keyed(NodeId(1), 10.0, 1)],
+            NodeId(2),
+        );
+        let plan = q.resolve();
+        let p = source_based(&q, &plan);
+        assert_eq!(p.replicas[0].node, NodeId(0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Top-c placement: resource-aware cloud-style heuristic (§4.1).
+//!
+//! Represents cloud-centric systems: each join goes to the node with the
+//! highest *remaining* computational capacity. It is the only
+//! resource-aware baseline and accordingly the best-performing one in
+//! the overload study — but it lacks distributed parallelization, so a
+//! single large sub-join can still overwhelm even the biggest node
+//! (6–14 % overload in Fig. 6), and the chosen node is often far from
+//! the sources (high latency in Fig. 7).
+
+use nova_topology::{NodeRole, Topology};
+
+use crate::placement::{Availability, Placement};
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+use super::whole_pair_replica;
+
+/// Place each pair on the node with the maximum remaining capacity,
+/// decrementing as it goes. Overload is accepted when even the largest
+/// node cannot fit a pair.
+pub fn top_c(query: &JoinQuery, plan: &ResolvedPlan, topology: &Topology) -> Placement {
+    let mut placement = Placement::new("top-c");
+    let mut avail = Availability::from_topology(topology);
+    // Process the heaviest pairs first — the natural greedy for a
+    // capacity-driven heuristic.
+    let mut order: Vec<usize> = (0..plan.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        query
+            .required_capacity(&plan.pairs[b])
+            .total_cmp(&query.required_capacity(&plan.pairs[a]))
+    });
+    for idx in order {
+        let pair = &plan.pairs[idx];
+        // Highest remaining capacity among non-sink nodes.
+        let best = topology
+            .nodes()
+            .iter()
+            .filter(|n| n.role != NodeRole::Sink && n.capacity > 0.0)
+            .max_by(|a, b| avail.get(a.id).total_cmp(&avail.get(b.id)));
+        let Some(node) = best else {
+            // Degenerate topology: everything on the sink.
+            placement.replicas.push(whole_pair_replica(query, pair, query.sink));
+            continue;
+        };
+        avail.take(node.id, query.required_capacity(pair));
+        placement.replicas.push(whole_pair_replica(query, pair, node.id));
+    }
+    // Restore plan order for deterministic downstream processing.
+    placement.replicas.sort_unstable_by_key(|r| r.pair);
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_topology::NodeId;
+
+    fn topo(caps: &[f64]) -> Topology {
+        let mut t = Topology::new();
+        t.add_node(NodeRole::Source, 1.0, "l");
+        t.add_node(NodeRole::Source, 1.0, "r");
+        t.add_node(NodeRole::Sink, 1.0, "sink");
+        for (i, c) in caps.iter().enumerate() {
+            t.add_node(NodeRole::Worker, *c, format!("w{i}"));
+        }
+        t
+    }
+
+    fn query() -> JoinQuery {
+        JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 30.0, 1)],
+            vec![StreamSpec::keyed(NodeId(1), 30.0, 1)],
+            NodeId(2),
+        )
+    }
+
+    #[test]
+    fn picks_highest_capacity_node() {
+        let t = topo(&[10.0, 500.0, 50.0]);
+        let q = query();
+        let plan = q.resolve();
+        let p = top_c(&q, &plan, &t);
+        assert_eq!(t.node(p.replicas[0].node).label, "w1");
+    }
+
+    #[test]
+    fn capacity_is_consumed_across_pairs() {
+        let t = topo(&[100.0, 90.0]);
+        // Two independent pairs of 60 each: first goes to w0 (100), which
+        // drops to 40, so the second goes to w1 (90).
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 30.0, 1), StreamSpec::keyed(NodeId(0), 30.0, 2)],
+            vec![StreamSpec::keyed(NodeId(1), 30.0, 1), StreamSpec::keyed(NodeId(1), 30.0, 2)],
+            NodeId(2),
+        );
+        let plan = q.resolve();
+        let p = top_c(&q, &plan, &t);
+        let nodes: Vec<&str> = p
+            .replicas
+            .iter()
+            .map(|r| t.node(r.node).label.as_str())
+            .collect();
+        assert!(nodes.contains(&"w0") && nodes.contains(&"w1"), "{nodes:?}");
+    }
+
+    #[test]
+    fn sources_can_be_chosen_but_sink_never() {
+        let t = topo(&[]);
+        let q = query();
+        let plan = q.resolve();
+        let p = top_c(&q, &plan, &t);
+        assert_ne!(p.replicas[0].node, NodeId(2), "sink must not host top-c joins");
+    }
+}

@@ -1,0 +1,141 @@
+//! Tree placement: the WSN multi-hop join baseline (§4.1, \[49\]).
+//!
+//! Builds a minimum spanning tree over the (estimated) latency graph of
+//! the whole topology, roots it at the sink, and executes each join where
+//! the two input streams' routes towards the sink intersect — their
+//! lowest common ancestor. Data travels hop-by-hop along tree edges, so
+//! every intermediate node pays forwarding cost; this is why the method
+//! both overloads heavily (Fig. 6) and accumulates large multi-hop
+//! latencies that the cost space underestimates (Fig. 8).
+
+use nova_topology::{minimum_spanning_tree, LatencyProvider, NodeId, RootedTree, Topology};
+
+use crate::placement::{PlacedReplica, Placement};
+use crate::plan::{JoinQuery, ResolvedPlan};
+
+/// Place joins at MST path intersections.
+///
+/// `estimate` provides the pairwise latencies the MST is built from —
+/// pass the cost space for a fair comparison with Nova (all optimizers
+/// see estimated latencies; evaluation may then use real ones).
+pub fn tree_based(
+    query: &JoinQuery,
+    plan: &ResolvedPlan,
+    topology: &Topology,
+    estimate: &impl LatencyProvider,
+) -> Placement {
+    let members: Vec<NodeId> = topology.nodes().iter().map(|n| n.id).collect();
+    let edges = minimum_spanning_tree(&members, estimate);
+    let tree = RootedTree::from_edges(query.sink, &edges);
+    placement_on_tree(query, plan, &tree, "tree")
+}
+
+/// Shared by Tree and Cl-Tree-SF: place each pair at the LCA of its two
+/// anchor nodes and record the full tree routes.
+pub(crate) fn placement_on_tree(
+    query: &JoinQuery,
+    plan: &ResolvedPlan,
+    tree: &RootedTree,
+    label: &str,
+) -> Placement {
+    let mut placement = Placement::new(label);
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        let left = query.left_stream(pair);
+        let right = query.right_stream(pair);
+        let join_node = tree.lca(left.node, right.node);
+        placement.replicas.push(PlacedReplica {
+            pair: pair.id,
+            node: join_node,
+            left_rate: left.rate,
+            right_rate: right.rate,
+            left_partitions: vec![0],
+            right_partitions: vec![0],
+            merged_replicas: 1,
+            left_path: tree.path_to_ancestor(left.node, join_node),
+            right_path: tree.path_to_ancestor(right.node, join_node),
+            out_path: tree.path_to_ancestor(join_node, tree.root()),
+            output_rate: query.output_rate(pair),
+            overflowed: false,
+        });
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_topology::{DenseRtt, NodeRole};
+
+    /// Line topology 0-1-2-3-4 with the sink at node 2: streams from 0
+    /// and 4 meet exactly at the sink; streams from 0 and 1 meet at 1.
+    fn line_world() -> (Topology, DenseRtt) {
+        let mut t = Topology::new();
+        for i in 0..5 {
+            let role = match i {
+                0 | 1 | 4 => NodeRole::Source,
+                2 => NodeRole::Sink,
+                _ => NodeRole::Worker,
+            };
+            t.add_node(role, 10.0, format!("n{i}"));
+        }
+        let rtt = DenseRtt::from_fn(5, |i, j| (i as f64 - j as f64).abs());
+        (t, rtt)
+    }
+
+    #[test]
+    fn join_happens_at_path_intersection() {
+        let (t, rtt) = line_world();
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(1), 5.0, 1)],
+            NodeId(2),
+        );
+        let plan = q.resolve();
+        let p = tree_based(&q, &plan, &t, &rtt);
+        // Paths to the sink: 0→1→2 and 1→2 intersect at node 1.
+        assert_eq!(p.replicas[0].node, NodeId(1));
+        assert_eq!(p.replicas[0].left_path, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(p.replicas[0].right_path, vec![NodeId(1)]);
+        assert_eq!(p.replicas[0].out_path, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn opposite_sides_meet_at_the_sink() {
+        let (t, rtt) = line_world();
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(4), 5.0, 1)],
+            NodeId(2),
+        );
+        let plan = q.resolve();
+        let p = tree_based(&q, &plan, &t, &rtt);
+        assert_eq!(p.replicas[0].node, NodeId(2));
+        // Multi-hop route from node 4: 4→3→2.
+        assert_eq!(p.replicas[0].right_path, vec![NodeId(4), NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn multi_hop_latency_accumulates() {
+        let (t, rtt) = line_world();
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(NodeId(0), 5.0, 1)],
+            vec![StreamSpec::keyed(NodeId(4), 5.0, 1)],
+            NodeId(2),
+        );
+        let plan = q.resolve();
+        let p = tree_based(&q, &plan, &t, &rtt);
+        let e = crate::eval::evaluate(
+            &p,
+            &t,
+            |a, b| rtt.rtt(a, b),
+            crate::eval::EvalOptions::default(),
+        );
+        // Left path 0→1→2 = 2 ms; right path 4→3→2 = 2 ms; out = 0.
+        assert_eq!(e.max_latency(), 2.0);
+        // Relays 1 and 3 carry forwarded traffic.
+        assert!(e.node_loads.contains_key(&NodeId(1)));
+        assert!(e.node_loads.contains_key(&NodeId(3)));
+    }
+}

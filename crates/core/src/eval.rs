@@ -1,0 +1,303 @@
+//! Placement evaluation: latency distributions, overload and traffic.
+//!
+//! Computes the metrics of the paper's simulation study from a
+//! [`Placement`]:
+//!
+//! * per-stream end-to-end path latencies (source → join node → sink,
+//!   following each replica's recorded multi-hop paths) — the basis of
+//!   the Fig. 7/8/9 latency distributions,
+//! * node loads including relay forwarding, and the *overloaded-node
+//!   percentage* over the nodes actually participating in the placement
+//!   (Fig. 6; the sink-based baseline overloads "100 % of its workers"
+//!   because its single participating node exceeds its capacity),
+//! * total network traffic in tuple-hops (the bandwidth side of the σ
+//!   trade-off).
+//!
+//! Latencies are computed against a caller-supplied distance oracle so
+//! the same placement can be measured under *estimated* (cost-space) and
+//! *real* (measured RTT) latencies — the comparison behind Fig. 8.
+
+use std::collections::HashMap;
+
+use nova_topology::{NodeId, Topology};
+
+use crate::placement::Placement;
+
+/// Evaluation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Count forwarding load on relay nodes of multi-hop paths against
+    /// their capacity (the WSN tree overlays do in-network forwarding).
+    pub count_forwarding: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { count_forwarding: true }
+    }
+}
+
+/// Evaluation result for one placement.
+#[derive(Debug, Clone)]
+pub struct PlacementEval {
+    /// End-to-end latency of every stream path (two per placed replica:
+    /// left input and right input, each plus the output leg).
+    pub path_latencies: Vec<f64>,
+    /// Load per participating node (tuples/s), including forwarding if
+    /// enabled.
+    pub node_loads: HashMap<NodeId, f64>,
+    /// Participating nodes whose load exceeds their capacity.
+    pub overloaded_nodes: usize,
+    /// Total participating nodes (hosts + relays).
+    pub used_nodes: usize,
+    /// Total network traffic in tuple-hops per second.
+    pub network_traffic: f64,
+}
+
+impl PlacementEval {
+    /// Mean path latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.path_latencies.is_empty() {
+            return 0.0;
+        }
+        self.path_latencies.iter().sum::<f64>() / self.path_latencies.len() as f64
+    }
+
+    /// Latency percentile with `q` in [0, 1] (e.g. 0.9 = 90P).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.path_latencies.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.path_latencies.clone();
+        v.sort_unstable_by(f64::total_cmp);
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// Maximum path latency.
+    pub fn max_latency(&self) -> f64 {
+        self.path_latencies.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Percentage (0–100) of participating nodes that are overloaded.
+    pub fn overload_percent(&self) -> f64 {
+        if self.used_nodes == 0 {
+            return 0.0;
+        }
+        100.0 * self.overloaded_nodes as f64 / self.used_nodes as f64
+    }
+}
+
+/// Evaluate a placement under the given distance oracle.
+///
+/// `dist(a, b)` must return the latency of the direct hop `a → b` in
+/// milliseconds; multi-hop paths recorded in the placement are summed
+/// hop by hop.
+pub fn evaluate(
+    placement: &Placement,
+    topology: &Topology,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    opts: EvalOptions,
+) -> PlacementEval {
+    let mut path_latencies = Vec::with_capacity(placement.replicas.len() * 2);
+    let mut node_loads: HashMap<NodeId, f64> = HashMap::new();
+    let mut network_traffic = 0.0;
+
+    let path_cost = |path: &[NodeId], dist: &mut dyn FnMut(NodeId, NodeId) -> f64| -> f64 {
+        path.windows(2).map(|w| dist(w[0], w[1])).sum()
+    };
+
+    for rep in &placement.replicas {
+        let left = path_cost(&rep.left_path, &mut dist);
+        let right = path_cost(&rep.right_path, &mut dist);
+        let out = path_cost(&rep.out_path, &mut dist);
+        path_latencies.push(left + out);
+        path_latencies.push(right + out);
+
+        // Join processing load on the hosting node.
+        *node_loads.entry(rep.node).or_default() += rep.required_capacity();
+
+        // Forwarding load on intermediate relay nodes (first and last
+        // hops of each path are endpoints, not relays).
+        if opts.count_forwarding {
+            for (path, rate) in [
+                (&rep.left_path, rep.left_rate),
+                (&rep.right_path, rep.right_rate),
+                (&rep.out_path, rep.output_rate),
+            ] {
+                if path.len() > 2 {
+                    for relay in &path[1..path.len() - 1] {
+                        *node_loads.entry(*relay).or_default() += rate;
+                    }
+                }
+            }
+        }
+
+        // Traffic: rate × hop count for every leg.
+        network_traffic += rep.left_rate * (rep.left_path.len().saturating_sub(1)) as f64;
+        network_traffic += rep.right_rate * (rep.right_path.len().saturating_sub(1)) as f64;
+        network_traffic += rep.output_rate * (rep.out_path.len().saturating_sub(1)) as f64;
+    }
+
+    let overloaded_nodes = node_loads
+        .iter()
+        .filter(|(id, load)| **load > topology.node(**id).capacity + 1e-9)
+        .count();
+    let used_nodes = node_loads.len();
+
+    PlacementEval { path_latencies, node_loads, overloaded_nodes, used_nodes, network_traffic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacedReplica;
+    use crate::types::PairId;
+    use nova_topology::NodeRole;
+
+    /// n0=src, n1=worker, n2=relay, n3=sink.
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        t.add_node(NodeRole::Source, 10.0, "src");
+        t.add_node(NodeRole::Worker, 100.0, "w");
+        t.add_node(NodeRole::Worker, 5.0, "relay");
+        t.add_node(NodeRole::Sink, 50.0, "sink");
+        t
+    }
+
+    fn unit_dist(_: NodeId, _: NodeId) -> f64 {
+        10.0
+    }
+
+    fn replica(node: NodeId, left: Vec<NodeId>, right: Vec<NodeId>, out: Vec<NodeId>) -> PlacedReplica {
+        PlacedReplica {
+            pair: PairId(0),
+            node,
+            left_rate: 20.0,
+            right_rate: 20.0,
+            left_partitions: vec![0],
+            right_partitions: vec![0],
+            merged_replicas: 1,
+            left_path: left,
+            right_path: right,
+            out_path: out,
+            output_rate: 40.0,
+            overflowed: false,
+        }
+    }
+
+    #[test]
+    fn direct_paths_sum_two_hops() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        p.replicas.push(replica(
+            NodeId(1),
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(3)],
+        ));
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        // Each stream path: 10 (src→w) + 10 (w→sink) = 20.
+        assert_eq!(e.path_latencies, vec![20.0, 20.0]);
+        assert_eq!(e.mean_latency(), 20.0);
+        assert_eq!(e.used_nodes, 1);
+        assert_eq!(e.overloaded_nodes, 0);
+        // Traffic: 20×1 + 20×1 + 40×1 = 80 tuple-hops.
+        assert_eq!(e.network_traffic, 80.0);
+    }
+
+    #[test]
+    fn relay_forwarding_counts_toward_overload() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        // Left input routed through the tiny relay node (capacity 5).
+        p.replicas.push(replica(
+            NodeId(1),
+            vec![NodeId(0), NodeId(2), NodeId(1)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(3)],
+        ));
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        // Relay carries 20 > capacity 5 ⇒ overloaded; worker carries 40
+        // ≤ 100 ⇒ fine.
+        assert_eq!(e.used_nodes, 2);
+        assert_eq!(e.overloaded_nodes, 1);
+        assert_eq!(e.overload_percent(), 50.0);
+        // Left path latency has 3 hops... 2 link hops = 20, plus out 10.
+        assert_eq!(e.max_latency(), 30.0);
+    }
+
+    #[test]
+    fn forwarding_can_be_disabled() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        p.replicas.push(replica(
+            NodeId(1),
+            vec![NodeId(0), NodeId(2), NodeId(1)],
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(1), NodeId(3)],
+        ));
+        let e = evaluate(&p, &t, unit_dist, EvalOptions { count_forwarding: false });
+        assert_eq!(e.used_nodes, 1);
+        assert_eq!(e.overloaded_nodes, 0);
+    }
+
+    #[test]
+    fn join_on_overloaded_host_detected() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        // Join placed on the 5-capacity relay node: load 40 > 5.
+        p.replicas.push(replica(
+            NodeId(2),
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(0), NodeId(2)],
+            vec![NodeId(2), NodeId(3)],
+        ));
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        assert_eq!(e.overload_percent(), 100.0);
+    }
+
+    #[test]
+    fn percentiles_of_mixed_paths() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        for (i, hops) in [1usize, 2, 3, 4].iter().enumerate() {
+            let mut left = vec![NodeId(0)];
+            for _ in 0..*hops {
+                left.push(NodeId(1));
+            }
+            let mut r = replica(NodeId(1), left, vec![NodeId(0), NodeId(1)], vec![NodeId(1)]);
+            r.pair = PairId(i as u32);
+            p.replicas.push(r);
+        }
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        assert_eq!(e.path_latencies.len(), 8);
+        assert!(e.latency_percentile(1.0) >= e.latency_percentile(0.5));
+        assert_eq!(e.latency_percentile(1.0), 40.0);
+    }
+
+    #[test]
+    fn empty_placement_is_benign() {
+        let t = topo();
+        let p = Placement::new("empty");
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        assert_eq!(e.mean_latency(), 0.0);
+        assert_eq!(e.overload_percent(), 0.0);
+        assert_eq!(e.latency_percentile(0.9), 0.0);
+    }
+
+    #[test]
+    fn colocated_paths_cost_nothing() {
+        let t = topo();
+        let mut p = Placement::new("x");
+        // Join at the source itself; single-node paths have no hops.
+        p.replicas.push(replica(
+            NodeId(0),
+            vec![NodeId(0)],
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(3)],
+        ));
+        let e = evaluate(&p, &t, unit_dist, EvalOptions::default());
+        assert_eq!(e.path_latencies, vec![10.0, 10.0]);
+    }
+}

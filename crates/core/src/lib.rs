@@ -1,0 +1,81 @@
+//! # nova-core — the Nova join placement & parallelization optimizer
+//!
+//! From-scratch reproduction of *Nova: Scalable Streaming Join Placement
+//! and Parallelization in Resource-Constrained Geo-Distributed
+//! Environments* (EDBT 2026). Nova solves the Operator Placement and
+//! Parallelization (OPP) problem — jointly choosing placement,
+//! replication degree and stream partitioning for two-way streaming
+//! joins — by relaxing the NP-hard discrete problem into convex geometry:
+//!
+//! 1. **Phase I** embeds the topology into a Euclidean cost space whose
+//!    distances approximate latencies (Vivaldi / MDS, crate
+//!    [`nova_netcoord`]).
+//! 2. **Phase II** resolves the query into independent join pairs (one
+//!    per join-matrix entry) and places each at the *geometric median*
+//!    of its two sources and the sink — a convex problem with a unique
+//!    optimum ([`virtual_placement`]).
+//! 3. **Phase III** maps virtual positions to physical nodes:
+//!    bandwidth-aware partitioning with the σ scale factor
+//!    ([`partitioning`]), demand-adaptive k-NN candidate selection
+//!    ([`candidates`]) and sequential capacity-checked assignment
+//!    ([`placement`]).
+//!
+//! Re-optimization ([`reopt`]) adapts to node churn and workload shifts
+//! by re-running Phase III for affected pairs only. The six baselines of
+//! the paper's evaluation live in [`baselines`], and [`eval`] computes
+//! the latency/overload/traffic metrics all experiments report.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nova_core::{JoinQuery, Nova, NovaConfig, StreamSpec};
+//! use nova_topology::running_example;
+//!
+//! let ex = running_example();
+//! // Streams: pressure (left) and humidity (right), keyed by region.
+//! let query = JoinQuery::by_key(
+//!     ex.pressure
+//!         .iter()
+//!         .map(|&id| StreamSpec::keyed(id, 25.0, ex.topology.node(id).region.unwrap()))
+//!         .collect(),
+//!     ex.humidity
+//!         .iter()
+//!         .map(|&id| StreamSpec::keyed(id, 25.0, ex.topology.node(id).region.unwrap()))
+//!         .collect(),
+//!     ex.sink,
+//! );
+//! let mut nova = Nova::from_provider(
+//!     ex.topology.clone(),
+//!     ex.rtt.dense(),
+//!     NovaConfig { c_min: 15.0, ..NovaConfig::default() },
+//! );
+//! let placement = nova.optimize(query);
+//! assert!(!placement.replicas.is_empty());
+//! ```
+
+pub mod baselines;
+pub mod candidates;
+pub mod eval;
+pub mod joinmatrix;
+pub mod optimizer;
+pub mod partitioning;
+pub mod placement;
+pub mod plan;
+pub mod reopt;
+pub mod types;
+pub mod virtual_placement;
+
+pub use candidates::CandidateIndex;
+pub use eval::{evaluate, EvalOptions, PlacementEval};
+pub use joinmatrix::JoinMatrix;
+pub use optimizer::{Nova, NovaConfig};
+pub use partitioning::{
+    p_max, partition_rates, sigma_for_bandwidth, PartitionedJoin,
+};
+pub use placement::{
+    Availability, OverflowPolicy, PhaseThreeConfig, PlacedReplica, Placement,
+};
+pub use plan::{JoinQuery, ResolvedPlan};
+pub use reopt::{ReoptError, ReoptOutcome};
+pub use types::{JoinPair, PairId, Side, StreamSpec};
+pub use virtual_placement::{compute_optima, virtual_position};

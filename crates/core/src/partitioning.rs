@@ -1,0 +1,234 @@
+//! Bandwidth-aware stream partitioning (paper §3.4, Eq. 7–8).
+//!
+//! Phase III decomposes a join's left and right input streams into
+//! disjoint partitions so every replica satisfies the capacity constraint
+//! (Eq. 2) without blowing up network traffic: partitioning into `m × n`
+//! replicas broadcasts each left partition to `n` replicas and vice
+//! versa, so maximum partitioning multiplies transfer volume (the paper's
+//! example: 50 → 1250 tuples/s).
+//!
+//! The scaling factor σ ∈ [0, 1] controls the trade-off through the
+//! maximum partition load
+//!
+//! ```text
+//! p_max(s, t) = max(1, σ · 0.5 · (dr(s) + dr(t)))        (Eq. 7)
+//! ```
+//!
+//! The joint weighting (0.5 of the *combined* rate, rather than
+//! partitioning each stream independently by σ) keeps skewed pairs from
+//! over-partitioning the small side — the paper's worked example reduces
+//! per-replica demand from 6 to ≤5 while cutting transfer from 24 to 18
+//! tuples/s. σ can be derived from a bandwidth budget `t_b` by Eq. 8.
+
+use serde::{Deserialize, Serialize};
+
+/// The partitioning decision for one join pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionedJoin {
+    /// Rates of the left partitions (sums to `dr(s)`).
+    pub left: Vec<f64>,
+    /// Rates of the right partitions (sums to `dr(t)`).
+    pub right: Vec<f64>,
+    /// The `p_max` threshold applied.
+    pub p_max: f64,
+}
+
+impl PartitionedJoin {
+    /// Decompose the pair `(dr_s, dr_t)` under scaling factor `sigma`.
+    ///
+    /// Each stream is split into equal-ish partitions of at most `p_max`
+    /// (full partitions plus one remainder, exactly as the paper's
+    /// example: rate 10 with p_max 3 → {3, 3, 3, 1}).
+    pub fn decompose(dr_s: f64, dr_t: f64, sigma: f64) -> PartitionedJoin {
+        assert!((0.0..=1.0).contains(&sigma), "sigma {sigma} outside [0, 1]");
+        assert!(dr_s >= 0.0 && dr_t >= 0.0, "negative data rate");
+        let p_max = p_max(dr_s, dr_t, sigma);
+        PartitionedJoin {
+            left: partition_rates(dr_s, p_max),
+            right: partition_rates(dr_t, p_max),
+            p_max,
+        }
+    }
+
+    /// Number of replicas: every left partition joins every right
+    /// partition (`m × n`).
+    pub fn replica_count(&self) -> usize {
+        self.left.len() * self.right.len()
+    }
+
+    /// Required capacity of replica `(i, j)`:
+    /// `C_r(ω'_ij) = dr(l'_i) + dr(r'_j)`.
+    pub fn replica_capacity(&self, i: usize, j: usize) -> f64 {
+        self.left[i] + self.right[j]
+    }
+
+    /// The largest per-replica capacity requirement.
+    pub fn max_replica_capacity(&self) -> f64 {
+        let lmax = self.left.iter().copied().fold(0.0, f64::max);
+        let rmax = self.right.iter().copied().fold(0.0, f64::max);
+        lmax + rmax
+    }
+
+    /// Total network transfer in tuples/s: each left partition is sent to
+    /// `n` replicas (broadcast across the right partitions) and each right
+    /// partition to `m` replicas.
+    pub fn total_transfer(&self) -> f64 {
+        let m = self.left.len() as f64;
+        let n = self.right.len() as f64;
+        let left_sum: f64 = self.left.iter().sum();
+        let right_sum: f64 = self.right.iter().sum();
+        left_sum * n + right_sum * m
+    }
+
+    /// Iterate over all replicas as `(left index, right index, C_r)`.
+    pub fn replicas(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.left.len()).flat_map(move |i| {
+            (0..self.right.len()).map(move |j| (i, j, self.replica_capacity(i, j)))
+        })
+    }
+}
+
+/// Maximum partition load threshold (Eq. 7):
+/// `p_max(s, t) = max(1, σ · 0.5 · (dr(s) + dr(t)))`.
+pub fn p_max(dr_s: f64, dr_t: f64, sigma: f64) -> f64 {
+    (sigma * 0.5 * (dr_s + dr_t)).max(1.0)
+}
+
+/// Split a stream of rate `rate` into partitions of at most `p_max`
+/// tuples/s: `⌊rate / p_max⌋` full partitions plus a remainder.
+pub fn partition_rates(rate: f64, p_max: f64) -> Vec<f64> {
+    assert!(p_max >= 1.0, "p_max must be at least 1");
+    if rate <= 0.0 {
+        return Vec::new();
+    }
+    if rate <= p_max {
+        return vec![rate];
+    }
+    let full = (rate / p_max).floor() as usize;
+    let remainder = rate - full as f64 * p_max;
+    let mut out = Vec::with_capacity(full + 1);
+    out.extend(std::iter::repeat(p_max).take(full));
+    if remainder > 1e-9 {
+        out.push(remainder);
+    }
+    out
+}
+
+/// Derive σ from a per-operator bandwidth budget `t_b` (Eq. 8):
+/// `argmin_{σ ∈ [0,1]} (σ · 2 · dr(s) · dr(t) − t_b)²`, whose closed form
+/// is `clamp(t_b / (2 · dr(s) · dr(t)), 0, 1)`.
+pub fn sigma_for_bandwidth(dr_s: f64, dr_t: f64, t_b: f64) -> f64 {
+    let denom = 2.0 * dr_s * dr_t;
+    if denom <= 0.0 {
+        return 1.0; // no traffic: no reason to partition
+    }
+    (t_b / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_joint_weighting() {
+        // §3.4: dr(s)=2, dr(t)=10, σ=0.5 ⇒ p_max = max(1, 0.5·0.5·12) = 3,
+        // s stays whole, t → {3,3,3,1}; replicas need ≤5; transfer = 18.
+        let pj = PartitionedJoin::decompose(2.0, 10.0, 0.5);
+        assert_eq!(pj.p_max, 3.0);
+        assert_eq!(pj.left, vec![2.0]);
+        assert_eq!(pj.right, vec![3.0, 3.0, 3.0, 1.0]);
+        assert_eq!(pj.replica_count(), 4);
+        assert_eq!(pj.replica_capacity(0, 0), 5.0);
+        assert_eq!(pj.replica_capacity(0, 3), 3.0);
+        assert_eq!(pj.max_replica_capacity(), 5.0);
+        assert_eq!(pj.total_transfer(), 18.0);
+    }
+
+    #[test]
+    fn paper_max_partitioning_example() {
+        // §3.4: dr=25/25 with σ=0 ⇒ p_max=1 ⇒ 25×25 = 625 replicas with
+        // C_r = 2 each and total transfer 1250 tuples/s.
+        let pj = PartitionedJoin::decompose(25.0, 25.0, 0.0);
+        assert_eq!(pj.p_max, 1.0);
+        assert_eq!(pj.replica_count(), 625);
+        assert_eq!(pj.replica_capacity(0, 0), 2.0);
+        assert_eq!(pj.total_transfer(), 1250.0);
+    }
+
+    #[test]
+    fn sigma_one_never_partitions() {
+        let pj = PartitionedJoin::decompose(25.0, 25.0, 1.0);
+        assert_eq!(pj.replica_count(), 1);
+        assert_eq!(pj.replica_capacity(0, 0), 50.0);
+        assert_eq!(pj.total_transfer(), 50.0);
+    }
+
+    #[test]
+    fn partitions_conserve_rate() {
+        for (rate, p_max) in [(10.0, 3.0), (7.5, 2.5), (100.0, 7.0), (1.0, 1.0), (0.3, 1.0)] {
+            let parts = partition_rates(rate, p_max);
+            let sum: f64 = parts.iter().sum();
+            assert!((sum - rate).abs() < 1e-9, "rate {rate} p_max {p_max}: {parts:?}");
+            for p in &parts {
+                assert!(*p <= p_max + 1e-9);
+                assert!(*p > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_stream_has_no_partitions() {
+        assert!(partition_rates(0.0, 5.0).is_empty());
+        let pj = PartitionedJoin::decompose(0.0, 10.0, 0.5);
+        assert_eq!(pj.replica_count(), 0);
+    }
+
+    #[test]
+    fn smaller_sigma_means_more_partitions_and_more_traffic() {
+        let coarse = PartitionedJoin::decompose(40.0, 40.0, 0.8);
+        let fine = PartitionedJoin::decompose(40.0, 40.0, 0.1);
+        assert!(fine.replica_count() > coarse.replica_count());
+        assert!(fine.total_transfer() > coarse.total_transfer());
+        assert!(fine.max_replica_capacity() < coarse.max_replica_capacity());
+    }
+
+    #[test]
+    fn sigma_for_bandwidth_closed_form() {
+        // Unconstrained: budget above 2·dr(s)·dr(t) clamps to 1.
+        assert_eq!(sigma_for_bandwidth(5.0, 5.0, 1000.0), 1.0);
+        // Exact: t_b = 2·10·10·0.25 ⇒ σ = 0.25.
+        assert!((sigma_for_bandwidth(10.0, 10.0, 50.0) - 0.25).abs() < 1e-12);
+        // Zero rates: no partitioning pressure.
+        assert_eq!(sigma_for_bandwidth(0.0, 10.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn replicas_iterator_matches_counts() {
+        let pj = PartitionedJoin::decompose(6.0, 4.0, 0.5);
+        let v: Vec<_> = pj.replicas().collect();
+        assert_eq!(v.len(), pj.replica_count());
+        for (i, j, c) in v {
+            assert!((c - pj.replica_capacity(i, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn joint_weighting_beats_independent_partitioning() {
+        // The paper's motivation: independent partitioning of s and t by σ
+        // yields higher per-replica demand and more traffic than the joint
+        // p_max. Reproduce the §3.4 numbers.
+        let dr_s = 2.0;
+        let dr_t = 10.0;
+        // Independent: split each stream into 1/σ = 2 partitions.
+        let ind_left = vec![1.0, 1.0];
+        let ind_right = vec![5.0, 5.0];
+        let ind_cap = 1.0 + 5.0;
+        let ind_transfer =
+            ind_left.iter().sum::<f64>() * 2.0 + ind_right.iter().sum::<f64>() * 2.0;
+        assert_eq!(ind_cap, 6.0);
+        assert_eq!(ind_transfer, 24.0);
+        let joint = PartitionedJoin::decompose(dr_s, dr_t, 0.5);
+        assert!(joint.max_replica_capacity() < ind_cap);
+        assert!(joint.total_transfer() < ind_transfer);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared value types of the Nova optimizer.
+
+use nova_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Which side of the two-way join a stream belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The left input (the paper's stream `S` / `l_l`).
+    Left,
+    /// The right input (the paper's stream `T` / `r_l`).
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// A physical stream: the unit produced by source expansion (§3.3).
+///
+/// One logical stream (e.g. "pressure") expands into many physical
+/// streams, one per data-producing node, all sharing the same schema.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// The node producing this stream (pinned).
+    pub node: NodeId,
+    /// Data rate `dr(s)` in tuples/second.
+    pub rate: f64,
+    /// Optional partitioning key (e.g. region id). Streams with equal
+    /// keys are joinable when the join matrix is built by key.
+    pub key: Option<u32>,
+}
+
+impl StreamSpec {
+    /// A keyless stream at `node` with the given rate.
+    pub fn new(node: NodeId, rate: f64) -> Self {
+        StreamSpec { node, rate, key: None }
+    }
+
+    /// A keyed stream (key = join attribute value, e.g. region).
+    pub fn keyed(node: NodeId, rate: f64, key: u32) -> Self {
+        StreamSpec { node, rate, key: Some(key) }
+    }
+}
+
+/// Identifier of a join pair (one replica of the logical join created for
+/// one `(left stream, right stream)` entry of the join matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairId(pub u32);
+
+impl PairId {
+    /// Dense index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PairId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// One `(left, right)` joinable pair resolved from the join matrix: the
+/// unit Phase II places and Phase III parallelizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinPair {
+    /// Identifier of this pair.
+    pub id: PairId,
+    /// Index into the query's left stream list.
+    pub left: u32,
+    /// Index into the query's right stream list.
+    pub right: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_other_flips() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+    }
+
+    #[test]
+    fn stream_spec_constructors() {
+        let s = StreamSpec::new(NodeId(3), 25.0);
+        assert_eq!(s.key, None);
+        let k = StreamSpec::keyed(NodeId(3), 25.0, 7);
+        assert_eq!(k.key, Some(7));
+        assert_eq!(k.rate, 25.0);
+    }
+}

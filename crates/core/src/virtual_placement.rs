@@ -1,0 +1,122 @@
+//! Phase II: virtual join placement in the cost space (paper §3.3).
+//!
+//! Join replicas are independent — each connects only to its two sources
+//! and the sink, with no inter-replica dependencies — so the spring-energy
+//! objective of NEMO decouples and reduces to one geometric median per
+//! replica (Eq. 6): the point minimizing the summed distance to the
+//! replica's pinned endpoints. The median is convex with a unique, stable
+//! optimum, which is also why re-optimization can reuse these virtual
+//! positions unchanged when only physical conditions shift (§3.5).
+
+use nova_geom::{geometric_median, Coord, MedianOptions};
+use nova_netcoord::CostSpace;
+
+use crate::plan::{JoinQuery, ResolvedPlan};
+use crate::types::JoinPair;
+
+/// Compute the virtual (cost-space) position of every join pair in the
+/// plan: the geometric median of {left source, right source, sink}.
+///
+/// # Panics
+/// Panics if any pinned node has no coordinate in the cost space — the
+/// caller must embed all sources and the sink first.
+pub fn compute_optima(query: &JoinQuery, plan: &ResolvedPlan, space: &CostSpace) -> Vec<Coord> {
+    plan.pairs
+        .iter()
+        .map(|pair| virtual_position(query, pair, space))
+        .collect()
+}
+
+/// Virtual position of a single pair.
+pub fn virtual_position(query: &JoinQuery, pair: &JoinPair, space: &CostSpace) -> Coord {
+    let anchors = pinned_anchors(query, pair, space);
+    geometric_median(&anchors, MedianOptions::default())
+        .expect("pair always has three anchors")
+        .point
+}
+
+/// The pinned endpoints of a pair in the cost space: left source, right
+/// source, sink.
+pub fn pinned_anchors(query: &JoinQuery, pair: &JoinPair, space: &CostSpace) -> [Coord; 3] {
+    let l = query.left_stream(pair).node;
+    let r = query.right_stream(pair).node;
+    let coord = |id| {
+        space
+            .coord(id)
+            .unwrap_or_else(|| panic!("node {id} has no cost-space coordinate"))
+    };
+    [coord(l), coord(r), coord(query.sink)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::StreamSpec;
+    use nova_topology::NodeId;
+
+    fn space() -> CostSpace {
+        CostSpace::new(vec![
+            Coord::xy(0.0, 0.0),   // n0: left source
+            Coord::xy(10.0, 0.0),  // n1: right source
+            Coord::xy(5.0, 10.0),  // n2: sink
+            Coord::xy(100.0, 100.0), // n3: another left source
+        ])
+    }
+
+    fn query() -> JoinQuery {
+        JoinQuery::by_key(
+            vec![
+                StreamSpec::keyed(NodeId(0), 10.0, 1),
+                StreamSpec::keyed(NodeId(3), 10.0, 1),
+            ],
+            vec![StreamSpec::keyed(NodeId(1), 10.0, 1)],
+            NodeId(2),
+        )
+    }
+
+    #[test]
+    fn optima_lie_inside_the_anchor_hull() {
+        let q = query();
+        let plan = q.resolve();
+        let optima = compute_optima(&q, &plan, &space());
+        assert_eq!(optima.len(), 2);
+        // Pair 0 anchors: (0,0), (10,0), (5,10) — the median is interior.
+        let p = optima[0];
+        assert!(p[0] > 0.0 && p[0] < 10.0, "{p:?}");
+        assert!(p[1] > 0.0 && p[1] < 10.0, "{p:?}");
+    }
+
+    #[test]
+    fn optimum_minimizes_summed_distance_vs_anchors() {
+        let q = query();
+        let plan = q.resolve();
+        let s = space();
+        let optima = compute_optima(&q, &plan, &s);
+        let anchors = pinned_anchors(&q, &plan.pairs[0], &s);
+        let cost = |y: &Coord| anchors.iter().map(|a| a.dist(y)).sum::<f64>();
+        let c = cost(&optima[0]);
+        for a in &anchors {
+            assert!(c <= cost(a) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn independent_pairs_get_independent_optima() {
+        // Pair 1 involves the far-away source n3: its optimum must differ
+        // from pair 0's.
+        let q = query();
+        let plan = q.resolve();
+        let optima = compute_optima(&q, &plan, &space());
+        assert!(optima[0].dist(&optima[1]) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cost-space coordinate")]
+    fn missing_coordinate_panics() {
+        let q = query();
+        let plan = q.resolve();
+        let mut s = space();
+        s.remove(NodeId(1));
+        let _ = compute_optima(&q, &plan, &s);
+    }
+}

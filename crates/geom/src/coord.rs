@@ -1,0 +1,381 @@
+//! Fixed-capacity coordinate vectors for the Nova cost space.
+//!
+//! The cost space is low-dimensional (the paper embeds latency into 2-D
+//! Euclidean space; additional distance-based metrics such as energy or
+//! monetary cost add further dimensions, cf. §3.6). A [`Coord`] therefore
+//! stores its components inline in a fixed `[f64; MAX_DIM]` array, making
+//! it `Copy` and allocation-free — important because the optimizer keeps
+//! one coordinate per node for topologies of up to a million nodes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// Maximum dimensionality of the cost space.
+///
+/// Latency alone needs 2–3 dimensions; every additional distance-based
+/// metric (cf. paper §3.6) adds dimensions. Eight is far beyond anything
+/// the paper evaluates while keeping `Coord` at 72 bytes.
+pub const MAX_DIM: usize = 8;
+
+/// A point in the Euclidean cost space with runtime-chosen dimensionality
+/// of at most [`MAX_DIM`].
+#[derive(Clone, Copy, PartialEq)]
+pub struct Coord {
+    data: [f64; MAX_DIM],
+    dim: u8,
+}
+
+impl Coord {
+    /// The origin of a `dim`-dimensional space.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `dim > MAX_DIM`.
+    #[inline]
+    pub fn zero(dim: usize) -> Self {
+        assert!(dim >= 1 && dim <= MAX_DIM, "dim {dim} out of range 1..={MAX_DIM}");
+        Coord { data: [0.0; MAX_DIM], dim: dim as u8 }
+    }
+
+    /// Build a coordinate from a slice of components.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty or longer than [`MAX_DIM`].
+    #[inline]
+    pub fn from_slice(components: &[f64]) -> Self {
+        let mut c = Coord::zero(components.len());
+        c.data[..components.len()].copy_from_slice(components);
+        c
+    }
+
+    /// Convenience constructor for 2-D points (the paper's default space).
+    #[inline]
+    pub fn xy(x: f64, y: f64) -> Self {
+        Coord::from_slice(&[x, y])
+    }
+
+    /// Convenience constructor for 3-D points.
+    #[inline]
+    pub fn xyz(x: f64, y: f64, z: f64) -> Self {
+        Coord::from_slice(&[x, y, z])
+    }
+
+    /// Dimensionality of this coordinate.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data[..self.dim as usize]
+    }
+
+    /// Components as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data[..self.dim as usize]
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if dimensions differ.
+    #[inline]
+    pub fn dist2(&self, other: &Coord) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.dim as usize {
+            let d = self.data[i] - other.data[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Coord) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Euclidean norm (distance from the origin).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..self.dim as usize {
+            acc += self.data[i] * self.data[i];
+        }
+        acc.sqrt()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: &Coord) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.dim as usize {
+            acc += self.data[i] * other.data[i];
+        }
+        acc
+    }
+
+    /// Unit vector pointing from `self` towards `other`.
+    ///
+    /// When the two points coincide (within `eps`), returns `None`;
+    /// callers such as Vivaldi substitute a random direction in that case.
+    #[inline]
+    pub fn direction_to(&self, other: &Coord, eps: f64) -> Option<Coord> {
+        let d = other.dist(self);
+        if d <= eps {
+            return None;
+        }
+        let mut out = *other;
+        for i in 0..self.dim as usize {
+            out.data[i] = (other.data[i] - self.data[i]) / d;
+        }
+        Some(out)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Coord, t: f64) -> Coord {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch");
+        let mut out = *self;
+        for i in 0..self.dim as usize {
+            out.data[i] += t * (other.data[i] - self.data[i]);
+        }
+        out
+    }
+
+    /// Component-wise mean of a non-empty set of points.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn centroid(points: &[Coord]) -> Option<Coord> {
+        let first = points.first()?;
+        let mut acc = Coord::zero(first.dim());
+        for p in points {
+            acc += *p;
+        }
+        Some(acc * (1.0 / points.len() as f64))
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.as_slice().iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<usize> for Coord {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.as_slice()[i]
+    }
+}
+
+impl IndexMut<usize> for Coord {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+
+    #[inline]
+    fn add(mut self, rhs: Coord) -> Coord {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Coord {
+    #[inline]
+    fn add_assign(&mut self, rhs: Coord) {
+        debug_assert_eq!(self.dim, rhs.dim, "dimension mismatch");
+        for i in 0..self.dim as usize {
+            self.data[i] += rhs.data[i];
+        }
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+
+    #[inline]
+    fn sub(mut self, rhs: Coord) -> Coord {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for Coord {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Coord) {
+        debug_assert_eq!(self.dim, rhs.dim, "dimension mismatch");
+        for i in 0..self.dim as usize {
+            self.data[i] -= rhs.data[i];
+        }
+    }
+}
+
+impl Mul<f64> for Coord {
+    type Output = Coord;
+
+    #[inline]
+    fn mul(mut self, k: f64) -> Coord {
+        for i in 0..self.dim as usize {
+            self.data[i] *= k;
+        }
+        self
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.3}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl serde::Serialize for Coord {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.as_slice())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Coord {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = Vec::<f64>::deserialize(deserializer)?;
+        if v.is_empty() || v.len() > MAX_DIM {
+            return Err(serde::de::Error::custom(format!(
+                "coordinate must have 1..={MAX_DIM} components, got {}",
+                v.len()
+            )));
+        }
+        Ok(Coord::from_slice(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_requested_dim_and_zero_norm() {
+        for d in 1..=MAX_DIM {
+            let z = Coord::zero(d);
+            assert_eq!(z.dim(), d);
+            assert_eq!(z.norm(), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rejects_dim_zero() {
+        let _ = Coord::zero(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_rejects_oversized_dim() {
+        let _ = Coord::zero(MAX_DIM + 1);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let c = Coord::from_slice(&[1.0, -2.0, 3.5]);
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.as_slice(), &[1.0, -2.0, 3.5]);
+    }
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Coord::xy(0.0, 0.0);
+        let b = Coord::xy(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(b.dist(&a), 5.0);
+    }
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = Coord::xy(1.0, 2.0);
+        let b = Coord::xy(10.0, 20.0);
+        assert_eq!((a + b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((b - a).as_slice(), &[9.0, 18.0]);
+        assert_eq!((a * 3.0).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn direction_to_is_unit_length() {
+        let a = Coord::xy(1.0, 1.0);
+        let b = Coord::xy(4.0, 5.0);
+        let u = a.direction_to(&b, 1e-12).expect("distinct points");
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert!((u[0] - 0.6).abs() < 1e-12);
+        assert!((u[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_to_self_is_none() {
+        let a = Coord::xy(1.0, 1.0);
+        assert!(a.direction_to(&a, 1e-12).is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Coord::xy(0.0, 0.0);
+        let b = Coord::xy(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Coord::xy(1.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let pts = [
+            Coord::xy(0.0, 0.0),
+            Coord::xy(2.0, 0.0),
+            Coord::xy(2.0, 2.0),
+            Coord::xy(0.0, 2.0),
+        ];
+        assert_eq!(Coord::centroid(&pts), Some(Coord::xy(1.0, 1.0)));
+        assert_eq!(Coord::centroid(&[]), None);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Coord::xyz(1.0, 2.0, 3.0);
+        let b = Coord::xyz(4.0, -5.0, 6.0);
+        assert_eq!(a.dot(&b), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Coord::xy(1.0, 2.0).is_finite());
+        assert!(!Coord::xy(f64::NAN, 0.0).is_finite());
+        assert!(!Coord::xy(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_formats_components() {
+        let c = Coord::xy(1.0, 2.5);
+        assert_eq!(format!("{c}"), "(1.000, 2.500)");
+    }
+}

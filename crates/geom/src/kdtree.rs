@@ -1,0 +1,306 @@
+//! Exact k-nearest-neighbour search via a k-d tree.
+//!
+//! Nova's Phase III selects candidate nodes for each join replica with a
+//! k-NN search around the replica's virtual coordinates (§3.4). For small
+//! and medium topologies the paper uses an exact index; this module
+//! provides it. Nodes are stored in a flat arena (no per-node boxing) and
+//! the tree is built with median splits over the highest-spread axis,
+//! giving `O(n log n)` construction and `O(log n)` expected query time.
+
+use std::collections::BinaryHeap;
+
+use crate::{Coord, Neighbor, NnIndex};
+
+const NONE: i32 = -1;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Index into `points` of the splitting point stored at this node.
+    point: u32,
+    /// Split axis.
+    axis: u8,
+    /// Arena index of the left child (`< split`), or `NONE`.
+    left: i32,
+    /// Arena index of the right child (`>= split`), or `NONE`.
+    right: i32,
+}
+
+/// An exact k-d tree over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Coord>,
+    nodes: Vec<Node>,
+    root: i32,
+}
+
+impl KdTree {
+    /// Build a tree over `points`. The tree keeps its own copy; neighbour
+    /// indices returned from queries refer to positions in this slice.
+    pub fn build(points: &[Coord]) -> Self {
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            nodes: Vec::with_capacity(points.len()),
+            root: NONE,
+        };
+        if !ids.is_empty() {
+            let root = tree.build_rec(&mut ids);
+            tree.root = root;
+        }
+        tree
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Coord] {
+        &self.points
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32]) -> i32 {
+        if ids.is_empty() {
+            return NONE;
+        }
+        let axis = self.widest_axis(ids);
+        let mid = ids.len() / 2;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a as usize][axis].total_cmp(&self.points[b as usize][axis])
+        });
+        let point = ids[mid];
+        let node_id = self.nodes.len() as i32;
+        self.nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
+        // Split the slice around the median; recurse without the median
+        // element itself.
+        let (lo, hi) = ids.split_at_mut(mid);
+        let hi = &mut hi[1..];
+        let left = self.build_rec(lo);
+        let right = self.build_rec(hi);
+        self.nodes[node_id as usize].left = left;
+        self.nodes[node_id as usize].right = right;
+        node_id
+    }
+
+    /// Axis with the largest value spread over the given subset — a better
+    /// splitting heuristic than depth-cycling for clustered geo data.
+    fn widest_axis(&self, ids: &[u32]) -> usize {
+        let dim = self.points[ids[0] as usize].dim();
+        let mut best_axis = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        for axis in 0..dim {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &id in ids {
+                let v = self.points[id as usize][axis];
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let spread = max - min;
+            if spread > best_spread {
+                best_spread = spread;
+                best_axis = axis;
+            }
+        }
+        best_axis
+    }
+
+    /// Single nearest neighbour, or `None` when the tree is empty.
+    pub fn nearest(&self, query: &Coord) -> Option<Neighbor> {
+        self.knn(query, 1).into_iter().next()
+    }
+
+    /// All points within `radius` of `query`, closest first.
+    pub fn within_radius(&self, query: &Coord, radius: f64) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        if self.root != NONE {
+            self.range_rec(self.root, query, radius, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn range_rec(&self, node_id: i32, query: &Coord, radius: f64, out: &mut Vec<Neighbor>) {
+        let node = self.nodes[node_id as usize];
+        let p = &self.points[node.point as usize];
+        let dist = p.dist(query);
+        if dist <= radius {
+            out.push(Neighbor { index: node.point as usize, dist });
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - p[axis];
+        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.range_rec(near, query, radius, out);
+        }
+        if far != NONE && diff.abs() <= radius {
+            self.range_rec(far, query, radius, out);
+        }
+    }
+
+    fn knn_rec(&self, node_id: i32, query: &Coord, k: usize, heap: &mut BinaryHeap<Neighbor>) {
+        let node = self.nodes[node_id as usize];
+        let p = &self.points[node.point as usize];
+        let dist = p.dist(query);
+        if heap.len() < k {
+            heap.push(Neighbor { index: node.point as usize, dist });
+        } else if let Some(worst) = heap.peek() {
+            if dist < worst.dist {
+                heap.pop();
+                heap.push(Neighbor { index: node.point as usize, dist });
+            }
+        }
+        let axis = node.axis as usize;
+        let diff = query[axis] - p[axis];
+        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if near != NONE {
+            self.knn_rec(near, query, k, heap);
+        }
+        if far != NONE {
+            let prune = heap.len() == k && diff.abs() > heap.peek().map_or(f64::INFINITY, |w| w.dist);
+            if !prune {
+                self.knn_rec(far, query, k, heap);
+            }
+        }
+    }
+}
+
+impl NnIndex for KdTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn knn(&self, query: &Coord, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.root == NONE {
+            return Vec::new();
+        }
+        let mut heap = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(self.root, query, k, &mut heap);
+        let mut out = heap.into_vec();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn brute_knn(points: &[Coord], query: &Coord, k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = points
+            .iter()
+            .enumerate()
+            .map(|(index, p)| Neighbor { index, dist: p.dist(query) })
+            .collect();
+        all.sort_unstable();
+        all.truncate(k);
+        all
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Coord> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let v: Vec<f64> = (0..dim).map(|_| rng.gen_range(-100.0..100.0)).collect();
+                Coord::from_slice(&v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.knn(&Coord::xy(0.0, 0.0), 3).is_empty());
+        assert!(t.nearest(&Coord::xy(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn k_zero_returns_nothing() {
+        let t = KdTree::build(&[Coord::xy(1.0, 1.0)]);
+        assert!(t.knn(&Coord::xy(0.0, 0.0), 0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(&[Coord::xy(1.0, 2.0)]);
+        let n = t.nearest(&Coord::xy(0.0, 0.0)).unwrap();
+        assert_eq!(n.index, 0);
+        assert!((n.dist - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_2d() {
+        let points = random_points(500, 2, 42);
+        let tree = KdTree::build(&points);
+        let queries = random_points(50, 2, 7);
+        for q in &queries {
+            for k in [1, 3, 10, 25] {
+                let got = tree.knn(q, k);
+                let want = brute_knn(&points, q, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.dist - w.dist).abs() < 1e-9, "k={k} got {g:?} want {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_4d() {
+        let points = random_points(300, 4, 9);
+        let tree = KdTree::build(&points);
+        for q in &random_points(20, 4, 11) {
+            let got = tree.knn(q, 7);
+            let want = brute_knn(&points, q, 7);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_point_count_returns_all() {
+        let points = random_points(10, 2, 3);
+        let tree = KdTree::build(&points);
+        let got = tree.knn(&Coord::xy(0.0, 0.0), 50);
+        assert_eq!(got.len(), 10);
+        // Results must be sorted ascending by distance.
+        for w in got.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_all_returned() {
+        let p = Coord::xy(1.0, 1.0);
+        let points = vec![p, p, p, Coord::xy(5.0, 5.0)];
+        let tree = KdTree::build(&points);
+        let got = tree.knn(&p, 3);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn within_radius_matches_filtered_brute_force() {
+        let points = random_points(400, 2, 5);
+        let tree = KdTree::build(&points);
+        let q = Coord::xy(10.0, -20.0);
+        let r = 35.0;
+        let got = tree.within_radius(&q, r);
+        let want: Vec<Neighbor> = brute_knn(&points, &q, points.len())
+            .into_iter()
+            .filter(|n| n.dist <= r)
+            .collect();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.index, w.index);
+        }
+    }
+
+    #[test]
+    fn collinear_points_are_handled() {
+        let points: Vec<Coord> = (0..100).map(|i| Coord::xy(i as f64, 0.0)).collect();
+        let tree = KdTree::build(&points);
+        let got = tree.knn(&Coord::xy(50.2, 0.0), 3);
+        assert_eq!(got[0].index, 50);
+        assert_eq!(got.len(), 3);
+    }
+}

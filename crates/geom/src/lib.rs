@@ -1,0 +1,77 @@
+//! Geometric primitives underpinning the Nova optimizer.
+//!
+//! Nova (EDBT 2026) relaxes the NP-hard operator placement and
+//! parallelization problem by embedding the network topology into a
+//! low-dimensional Euclidean *cost space* and solving placement there.
+//! This crate provides the geometry that the optimizer relies on:
+//!
+//! * [`Coord`] — a fixed-capacity, copyable coordinate vector (up to
+//!   [`MAX_DIM`] dimensions) used for every point in the cost space,
+//! * [`median`] — solvers for the geometric median (Weiszfeld fixed point
+//!   and plain gradient descent, the paper's Eq. 6) plus a min-max
+//!   (smallest enclosing ball) alternative used for ablations,
+//! * [`kdtree`] — an exact k-d tree for k-nearest-neighbour candidate
+//!   search on small and medium topologies,
+//! * [`annoy`] — an Annoy-style random-projection forest for approximate
+//!   k-NN on very large topologies (the paper uses the Annoy library for
+//!   topologies beyond a few thousand nodes).
+//!
+//! Everything in this crate is deterministic given a seed and free of
+//! global state, which keeps the optimizer's simulations reproducible.
+
+pub mod annoy;
+pub mod coord;
+pub mod kdcap;
+pub mod kdtree;
+pub mod median;
+
+pub use annoy::{AnnoyIndex, AnnoyParams};
+pub use coord::{Coord, MAX_DIM};
+pub use kdcap::CapacityKdTree;
+pub use kdtree::KdTree;
+pub use median::{
+    geometric_median, geometric_median_gd, minmax_center, weighted_geometric_median,
+    GdOptions, MedianOptions, MedianResult,
+};
+
+/// A neighbour returned by a k-NN query: index into the indexed point set
+/// plus the Euclidean distance to the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the matched point in the order it was inserted.
+    pub index: usize,
+    /// Euclidean distance between the query and the matched point.
+    pub dist: f64,
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// Common interface over the exact ([`KdTree`]) and approximate
+/// ([`AnnoyIndex`]) nearest-neighbour indexes so the optimizer can switch
+/// between them based on topology size.
+pub trait NnIndex {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Return up to `k` nearest neighbours of `query`, closest first.
+    fn knn(&self, query: &Coord, k: usize) -> Vec<Neighbor>;
+}

@@ -1,0 +1,190 @@
+//! Embedding-quality metrics.
+//!
+//! The paper selects Vivaldi's neighbor-set size by measuring the mean
+//! absolute error (MAE) of the coordinate system (§4.1) and evaluates the
+//! practical impact of triangle-inequality violations by comparing
+//! estimated against measured latencies (§4.4, Fig. 8). This module
+//! computes those statistics over either all pairs or a random sample
+//! (essential for large topologies).
+
+use nova_geom::Coord;
+use nova_topology::{LatencyProvider, NodeId};
+
+/// One sampled pair with its true and estimated latency.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorSample {
+    /// First node.
+    pub a: NodeId,
+    /// Second node.
+    pub b: NodeId,
+    /// Measured RTT (ms).
+    pub rtt: f64,
+    /// Embedded (estimated) distance (ms).
+    pub estimate: f64,
+}
+
+/// Aggregate embedding-error statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingError {
+    /// Mean absolute error |estimate − rtt| in milliseconds.
+    pub mae: f64,
+    /// Median of |estimate − rtt| / rtt.
+    pub median_relative: f64,
+    /// 90th percentile of |estimate − rtt| / rtt.
+    pub p90_relative: f64,
+    /// Number of pairs measured.
+    pub pairs: usize,
+}
+
+impl EmbeddingError {
+    /// Evaluate `coords` against the ground-truth `provider` over up to
+    /// `max_pairs` sampled node pairs (deterministic per `seed`). When the
+    /// full pair count is below `max_pairs`, every pair is used.
+    pub fn evaluate(
+        coords: &[Coord],
+        provider: &impl LatencyProvider,
+        max_pairs: usize,
+        seed: u64,
+    ) -> EmbeddingError {
+        let samples = sample_pairs(coords, provider, max_pairs, seed);
+        Self::from_samples(&samples)
+    }
+
+    /// Aggregate pre-collected samples.
+    pub fn from_samples(samples: &[ErrorSample]) -> EmbeddingError {
+        if samples.is_empty() {
+            return EmbeddingError { mae: 0.0, median_relative: 0.0, p90_relative: 0.0, pairs: 0 };
+        }
+        let mut abs_sum = 0.0;
+        let mut rel: Vec<f64> = Vec::with_capacity(samples.len());
+        for s in samples {
+            let abs = (s.estimate - s.rtt).abs();
+            abs_sum += abs;
+            if s.rtt > 0.0 {
+                rel.push(abs / s.rtt);
+            }
+        }
+        rel.sort_unstable_by(f64::total_cmp);
+        let pick = |q: f64| -> f64 {
+            if rel.is_empty() {
+                0.0
+            } else {
+                rel[((rel.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        EmbeddingError {
+            mae: abs_sum / samples.len() as f64,
+            median_relative: pick(0.5),
+            p90_relative: pick(0.9),
+            pairs: samples.len(),
+        }
+    }
+}
+
+/// Sample up to `max_pairs` node pairs with their measured and estimated
+/// latencies. All pairs are used when the total count fits the budget.
+pub fn sample_pairs(
+    coords: &[Coord],
+    provider: &impl LatencyProvider,
+    max_pairs: usize,
+    seed: u64,
+) -> Vec<ErrorSample> {
+    let n = coords.len().min(provider.len());
+    if n < 2 {
+        return Vec::new();
+    }
+    let total = n * (n - 1) / 2;
+    let mut out = Vec::with_capacity(max_pairs.min(total));
+    if total <= max_pairs {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(make_sample(coords, provider, i, j));
+            }
+        }
+    } else {
+        // xorshift-based deterministic sampling without replacement
+        // guarantees are unnecessary here — duplicates are harmless for
+        // aggregate statistics.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        while out.len() < max_pairs {
+            let i = (next() % n as u64) as usize;
+            let j = (next() % n as u64) as usize;
+            if i != j {
+                out.push(make_sample(coords, provider, i.min(j), i.max(j)));
+            }
+        }
+    }
+    out
+}
+
+fn make_sample(
+    coords: &[Coord],
+    provider: &impl LatencyProvider,
+    i: usize,
+    j: usize,
+) -> ErrorSample {
+    let (a, b) = (NodeId(i as u32), NodeId(j as u32));
+    ErrorSample { a, b, rtt: provider.rtt(a, b), estimate: coords[i].dist(&coords[j]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_topology::DenseRtt;
+
+    #[test]
+    fn perfect_embedding_has_zero_error() {
+        let coords = vec![Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0), Coord::xy(6.0, 8.0)];
+        let m = DenseRtt::from_fn(3, |i, j| coords[i].dist(&coords[j]));
+        let e = EmbeddingError::evaluate(&coords, &m, 1000, 1);
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.median_relative, 0.0);
+        assert_eq!(e.pairs, 3);
+    }
+
+    #[test]
+    fn known_offset_gives_known_mae() {
+        let coords = vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 0.0)];
+        // True RTT is 14: estimate 10 -> abs error 4, relative 4/14.
+        let m = DenseRtt::from_fn(2, |_, _| 14.0);
+        let e = EmbeddingError::evaluate(&coords, &m, 10, 1);
+        assert!((e.mae - 4.0).abs() < 1e-12);
+        assert!((e.median_relative - 4.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_budget() {
+        let n = 100;
+        let coords: Vec<Coord> = (0..n).map(|i| Coord::xy(i as f64, 0.0)).collect();
+        let m = DenseRtt::from_fn(n, |i, j| (i as f64 - j as f64).abs());
+        let s = sample_pairs(&coords, &m, 500, 3);
+        assert_eq!(s.len(), 500);
+        let e = EmbeddingError::from_samples(&s);
+        assert_eq!(e.pairs, 500);
+        assert!(e.mae < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_do_not_panic() {
+        let e = EmbeddingError::from_samples(&[]);
+        assert_eq!(e.pairs, 0);
+        let coords: Vec<Coord> = vec![Coord::xy(0.0, 0.0)];
+        let m = DenseRtt::zeros(1);
+        assert!(sample_pairs(&coords, &m, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let coords: Vec<Coord> = (0..30).map(|i| Coord::xy(i as f64 * 2.0, 0.0)).collect();
+        let m = DenseRtt::from_fn(30, |i, j| (i as f64 - j as f64).abs());
+        let e = EmbeddingError::evaluate(&coords, &m, 10_000, 2);
+        assert!(e.p90_relative >= e.median_relative);
+        assert!(e.mae > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Network coordinate systems (NCS) — Phase I of the Nova optimizer.
+//!
+//! Nova embeds the discrete topology into a continuous Euclidean *cost
+//! space* by assigning every node a coordinate whose pairwise distances
+//! approximate measured latencies (paper §3.2, Eq. 5). Two solvers are
+//! provided, matching the paper:
+//!
+//! * [`vivaldi`] — the decentralized Vivaldi algorithm \[19\], which works
+//!   from a small per-node neighbor set (m ≪ |V| measurements per node)
+//!   and is the scalable default; it also supports incremental node
+//!   addition/removal for re-optimization (§3.5),
+//! * [`mds`] — the dense formulations: classical MDS (double-centering +
+//!   power iteration) and SMACOF stress majorization, tractable for
+//!   testbed-scale matrices and used to validate Vivaldi's output.
+//!
+//! [`error`] quantifies embedding quality (MAE, median relative error,
+//! normalized stress) — the metrics behind the paper's neighbor-set size
+//! selection and the Fig. 8 estimation-error experiment.
+
+pub mod error;
+pub mod mds;
+pub mod vivaldi;
+
+pub use error::{EmbeddingError, ErrorSample};
+pub use mds::{classical_mds, smacof, SmacofOptions};
+pub use vivaldi::{embed_new_node, Vivaldi, VivaldiConfig};
+
+use nova_geom::Coord;
+use nova_topology::NodeId;
+
+/// The cost space produced by Phase I: one coordinate per node.
+///
+/// Node ids index directly into the coordinate table. Removed nodes keep a
+/// tombstone so ids of live nodes stay stable across re-optimizations.
+#[derive(Debug, Clone)]
+pub struct CostSpace {
+    coords: Vec<Option<Coord>>,
+    dim: usize,
+}
+
+impl CostSpace {
+    /// Wrap a full coordinate assignment (one per node, id order).
+    pub fn new(coords: Vec<Coord>) -> Self {
+        let dim = coords.first().map_or(2, Coord::dim);
+        CostSpace { coords: coords.into_iter().map(Some).collect(), dim }
+    }
+
+    /// Dimensionality of the space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of coordinate slots (including tombstones).
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the space has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Coordinate of a live node.
+    pub fn coord(&self, id: NodeId) -> Option<Coord> {
+        self.coords.get(id.idx()).copied().flatten()
+    }
+
+    /// Estimated latency between two nodes = Euclidean distance in the
+    /// cost space. `None` if either node was removed.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        Some(self.coord(a)?.dist(&self.coord(b)?))
+    }
+
+    /// Insert or update a node's coordinate, growing the table if needed.
+    pub fn set_coord(&mut self, id: NodeId, coord: Coord) {
+        if id.idx() >= self.coords.len() {
+            self.coords.resize(id.idx() + 1, None);
+        }
+        self.coords[id.idx()] = Some(coord);
+    }
+
+    /// Tombstone a node (e.g. after failure or departure, §3.5).
+    pub fn remove(&mut self, id: NodeId) {
+        if id.idx() < self.coords.len() {
+            self.coords[id.idx()] = None;
+        }
+    }
+
+    /// Iterate `(id, coord)` over live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Coord)> + '_ {
+        self.coords
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (NodeId(i as u32), c)))
+    }
+
+    /// Coordinates of live nodes paired with their ids, materialized.
+    /// Convenience for building search indexes.
+    pub fn live(&self) -> (Vec<NodeId>, Vec<Coord>) {
+        let mut ids = Vec::with_capacity(self.coords.len());
+        let mut cs = Vec::with_capacity(self.coords.len());
+        for (id, c) in self.iter() {
+            ids.push(id);
+            cs.push(c);
+        }
+        (ids, cs)
+    }
+}
+
+impl nova_topology::LatencyProvider for CostSpace {
+    fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Estimated RTT = cost-space distance. Pairs involving a removed
+    /// node report `f64::INFINITY` so they are never preferred by
+    /// consumers such as MST construction.
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        self.distance(a, b).unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_space_is_a_latency_provider() {
+        use nova_topology::LatencyProvider;
+        let mut s = CostSpace::new(vec![Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0)]);
+        assert_eq!(s.rtt(NodeId(0), NodeId(1)), 5.0);
+        s.remove(NodeId(1));
+        assert_eq!(s.rtt(NodeId(0), NodeId(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn cost_space_distance_and_tombstones() {
+        let mut s = CostSpace::new(vec![Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0)]);
+        assert_eq!(s.distance(NodeId(0), NodeId(1)), Some(5.0));
+        s.remove(NodeId(1));
+        assert_eq!(s.distance(NodeId(0), NodeId(1)), None);
+        assert_eq!(s.iter().count(), 1);
+        s.set_coord(NodeId(5), Coord::xy(1.0, 1.0));
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.coord(NodeId(5)), Some(Coord::xy(1.0, 1.0)));
+        let (ids, cs) = s.live();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(cs.len(), 2);
+    }
+}

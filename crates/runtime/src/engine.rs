@@ -1,0 +1,611 @@
+//! The discrete-event stream-processing engine.
+//!
+//! Stands in for the paper's 14-Raspberry-Pi NebulaStream testbed
+//! (§4.7): nodes are single servers with a tuple/s service capacity and
+//! FIFO queues (an overloaded node's queue — and therefore its latency —
+//! grows without bound, which is exactly the backpressure collapse the
+//! end-to-end figures show), links add latency per hop, and operators
+//! pay one service slot per tuple they ingest, forward or process.
+//!
+//! The engine executes a [`Dataflow`] for a fixed wall-clock duration and
+//! records every join result delivered to the sink with its end-to-end
+//! latency — the raw series behind Fig. 11 (throughput) and Fig. 12
+//! (latency percentiles).
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use nova_core::{PairId, Side};
+use nova_topology::{NodeId, Topology};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::dataflow::Dataflow;
+use crate::tuple::{OutputTuple, Tuple};
+use crate::window::{BufferedTuple, WindowBuffers};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Total simulated time in ms (the paper runs 2-minute = 120 000 ms
+    /// experiments).
+    pub duration_ms: f64,
+    /// Tumbling window length in ms (paper sweeps 1 ms – 1 s).
+    pub window_ms: f64,
+    /// Probability that a window-matched tuple pair emits an output
+    /// (models the join predicate's selectivity beyond the window/region
+    /// condition; keeps output volume bounded).
+    pub selectivity: f64,
+    /// Garbage-collection cadence for window state.
+    pub gc_interval_ms: f64,
+    /// RNG seed (partition assignment).
+    pub seed: u64,
+    /// Safety valve on total processed events.
+    pub max_events: u64,
+    /// Bounded per-node queue: a tuple arriving at a node whose backlog
+    /// already exceeds this many milliseconds is dropped (load shedding /
+    /// backpressure — real engines bound their buffers; the paper's
+    /// overloaded baselines shed rather than queue forever).
+    pub max_queue_ms: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration_ms: 10_000.0,
+            window_ms: 100.0,
+            selectivity: 1.0,
+            gc_interval_ms: 500.0,
+            seed: 0x51,
+            max_events: 200_000_000,
+            max_queue_ms: 250.0,
+        }
+    }
+}
+
+/// One join result delivered to the sink.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputRecord {
+    /// Simulation time of delivery (ms).
+    pub arrival_ms: f64,
+    /// End-to-end latency: delivery − event time of the later input.
+    pub latency_ms: f64,
+    /// Producing pair.
+    pub pair: PairId,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Delivered join results in arrival order.
+    pub outputs: Vec<OutputRecord>,
+    /// Tuples emitted by all sources.
+    pub emitted: u64,
+    /// Join matches produced (before selectivity-surviving outputs reach
+    /// the sink; includes in-flight results the run cut off).
+    pub matched: u64,
+    /// Outputs delivered to the sink within the run (= `outputs.len()`).
+    pub delivered: u64,
+    /// Busy milliseconds accumulated per node (service time).
+    pub node_busy_ms: Vec<f64>,
+    /// Tuples dropped by bounded node queues (load shedding).
+    pub dropped: u64,
+    /// Whether the run hit the `max_events` safety valve.
+    pub truncated: bool,
+}
+
+impl SimResult {
+    /// Delivered outputs per second of simulated time.
+    pub fn throughput_per_s(&self, duration_ms: f64) -> f64 {
+        self.delivered as f64 / (duration_ms / 1000.0)
+    }
+
+    /// Mean end-to-end latency of delivered outputs.
+    pub fn mean_latency(&self) -> f64 {
+        if self.outputs.is_empty() {
+            return 0.0;
+        }
+        self.outputs.iter().map(|o| o.latency_ms).sum::<f64>() / self.outputs.len() as f64
+    }
+
+    /// Latency percentile (q in [0, 1], e.g. 0.9999 for the paper's
+    /// 99.99th percentile).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.outputs.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.outputs.iter().map(|o| o.latency_ms).collect();
+        v.sort_unstable_by(f64::total_cmp);
+        v[((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize]
+    }
+
+    /// Utilization of a node over the run: busy time / duration.
+    pub fn utilization(&self, node: NodeId, duration_ms: f64) -> f64 {
+        self.node_busy_ms.get(node.idx()).copied().unwrap_or(0.0) / duration_ms
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// A source produces its next tuple.
+    Emit { source: u32 },
+    /// An input tuple arrives at `path[hop]` (service then continue).
+    InputArrive { path: Arc<Vec<NodeId>>, hop: u32, instance: u32, tuple: Tuple },
+    /// Service at the instance node completed: run the join logic.
+    InputReady { instance: u32, tuple: Tuple },
+    /// A join output arrives at `path[hop]`.
+    OutputArrive { path: Arc<Vec<NodeId>>, hop: u32, out: OutputTuple },
+    /// Periodic window-state garbage collection.
+    Gc,
+}
+
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run the dataflow on the simulated cluster.
+///
+/// `dist(a, b)` is the one-hop network latency oracle in ms.
+pub fn simulate(
+    topology: &Topology,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &SimConfig,
+) -> SimResult {
+    let n = topology.len();
+    let mut busy_until = vec![0.0f64; n];
+    let mut busy_ms = vec![0.0f64; n];
+    // Per-node service time in ms/tuple; capacity ≤ 0 ⇒ pure relay.
+    let service_ms: Vec<f64> = topology
+        .nodes()
+        .iter()
+        .map(|nd| if nd.capacity > 0.0 { 1000.0 / nd.capacity } else { 0.0 })
+        .collect();
+    let max_queue_ms = cfg.max_queue_ms;
+    let serve = move |node: NodeId, now: f64,
+                          busy_until: &mut [f64],
+                          busy_ms: &mut [f64]|
+          -> Option<f64> {
+        let s = service_ms[node.idx()];
+        if s == 0.0 {
+            return Some(now);
+        }
+        // Bounded queue: shed load once the backlog exceeds the cap.
+        if busy_until[node.idx()] - now > max_queue_ms {
+            return None;
+        }
+        let start = busy_until[node.idx()].max(now);
+        let done = start + s;
+        busy_until[node.idx()] = done;
+        busy_ms[node.idx()] += s;
+        Some(done)
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
+        *seq += 1;
+        heap.push(Event { time, seq: *seq, kind });
+    };
+
+    // Stagger the sources' first emissions to avoid phase artifacts.
+    for (i, s) in dataflow.sources.iter().enumerate() {
+        let interval = 1000.0 / s.rate;
+        push(&mut heap, &mut seq, interval * (i as f64 / dataflow.sources.len() as f64), EventKind::Emit { source: i as u32 });
+    }
+    push(&mut heap, &mut seq, cfg.gc_interval_ms, EventKind::Gc);
+
+    let mut buffers: Vec<WindowBuffers> =
+        (0..dataflow.instances.len()).map(|_| WindowBuffers::new()).collect();
+    let mut per_stream_seq: Vec<u64> = vec![0; dataflow.sources.len()];
+
+    let mut outputs = Vec::new();
+    let mut emitted = 0u64;
+    let mut matched = 0u64;
+    let mut dropped = 0u64;
+    let mut processed_events = 0u64;
+    let mut truncated = false;
+
+    while let Some(ev) = heap.pop() {
+        if ev.time > cfg.duration_ms {
+            break;
+        }
+        processed_events += 1;
+        if processed_events > cfg.max_events {
+            truncated = true;
+            break;
+        }
+        let now = ev.time;
+        match ev.kind {
+            EventKind::Emit { source } => {
+                let s = &dataflow.sources[source as usize];
+                emitted += 1;
+                per_stream_seq[source as usize] += 1;
+                let tuple_seq = per_stream_seq[source as usize];
+                // Ingestion costs one service slot on the source node; a
+                // saturated source sheds the sample.
+                let Some(ingest_done) = serve(s.node, now, &mut busy_until, &mut busy_ms) else {
+                    dropped += 1;
+                    let next = now + 1000.0 / s.rate;
+                    if next <= cfg.duration_ms {
+                        push(&mut heap, &mut seq, next, EventKind::Emit { source });
+                    }
+                    continue;
+                };
+                for feed in &s.feeds {
+                    // Weighted partition assignment.
+                    let partition = pick_partition(&feed.partition_rates, &mut rng);
+                    let tuple = Tuple {
+                        pair: feed.pair,
+                        side: s.side,
+                        partition: partition as u32,
+                        key: s.key,
+                        seq: tuple_seq,
+                        event_time: now,
+                    };
+                    for route in &feed.routes[partition] {
+                        if route.path.len() >= 2 {
+                            let t_arr = ingest_done + dist(route.path[0], route.path[1]);
+                            push(&mut heap, &mut seq, t_arr, EventKind::InputArrive {
+                                path: Arc::clone(&route.path),
+                                hop: 1,
+                                instance: route.instance,
+                                tuple,
+                            });
+                        } else {
+                            // Join co-located with the source: the join
+                            // work still needs its own service slot.
+                            match serve(s.node, ingest_done, &mut busy_until, &mut busy_ms) {
+                                Some(done) => push(&mut heap, &mut seq, done, EventKind::InputReady {
+                                    instance: route.instance,
+                                    tuple,
+                                }),
+                                None => dropped += 1,
+                            }
+                        }
+                    }
+                }
+                let next = now + 1000.0 / s.rate;
+                if next <= cfg.duration_ms {
+                    push(&mut heap, &mut seq, next, EventKind::Emit { source });
+                }
+            }
+            EventKind::InputArrive { path, hop, instance, tuple } => {
+                let node = path[hop as usize];
+                let Some(done) = serve(node, now, &mut busy_until, &mut busy_ms) else {
+                    dropped += 1;
+                    continue;
+                };
+                if hop as usize == path.len() - 1 {
+                    push(&mut heap, &mut seq, done, EventKind::InputReady { instance, tuple });
+                } else {
+                    let next = path[hop as usize + 1];
+                    let t_arr = done + dist(node, next);
+                    push(&mut heap, &mut seq, t_arr, EventKind::InputArrive {
+                        path,
+                        hop: hop + 1,
+                        instance,
+                        tuple,
+                    });
+                }
+            }
+            EventKind::InputReady { instance, tuple } => {
+                let inst = &dataflow.instances[instance as usize];
+                let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
+                let partners = buffers[instance as usize].insert_and_probe(
+                    window,
+                    tuple.side,
+                    BufferedTuple { seq: tuple.seq, event_time: tuple.event_time },
+                );
+                for partner in partners {
+                    if !match_survives(tuple.seq, partner.seq, tuple.side, cfg) {
+                        continue;
+                    }
+                    matched += 1;
+                    let out = OutputTuple {
+                        pair: inst.pair,
+                        key: tuple.key,
+                        event_time: tuple.event_time.max(partner.event_time),
+                    };
+                    if inst.out_path.len() <= 1 {
+                        // Join runs on the sink itself.
+                        outputs.push(OutputRecord {
+                            arrival_ms: now,
+                            latency_ms: now - out.event_time,
+                            pair: out.pair,
+                        });
+                    } else {
+                        let t_arr = now + dist(inst.out_path[0], inst.out_path[1]);
+                        push(&mut heap, &mut seq, t_arr, EventKind::OutputArrive {
+                            path: Arc::clone(&inst.out_path),
+                            hop: 1,
+                            out,
+                        });
+                    }
+                }
+            }
+            EventKind::OutputArrive { path, hop, out } => {
+                let node = path[hop as usize];
+                let Some(done) = serve(node, now, &mut busy_until, &mut busy_ms) else {
+                    dropped += 1;
+                    continue;
+                };
+                if hop as usize == path.len() - 1 {
+                    if done <= cfg.duration_ms {
+                        outputs.push(OutputRecord {
+                            arrival_ms: done,
+                            latency_ms: done - out.event_time,
+                            pair: out.pair,
+                        });
+                    }
+                } else {
+                    let next = path[hop as usize + 1];
+                    let t_arr = done + dist(node, next);
+                    push(&mut heap, &mut seq, t_arr, EventKind::OutputArrive {
+                        path,
+                        hop: hop + 1,
+                        out,
+                    });
+                }
+            }
+            EventKind::Gc => {
+                // Watermark = now minus one window of allowed lateness.
+                let watermark = now - cfg.window_ms;
+                for b in &mut buffers {
+                    b.gc(watermark, cfg.window_ms);
+                }
+                let next = now + cfg.gc_interval_ms;
+                if next <= cfg.duration_ms {
+                    push(&mut heap, &mut seq, next, EventKind::Gc);
+                }
+            }
+        }
+    }
+
+    outputs.sort_unstable_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+    let delivered = outputs.len() as u64;
+    SimResult { outputs, emitted, matched, delivered, node_busy_ms: busy_ms, dropped, truncated }
+}
+
+/// Weighted random partition choice proportional to partition rates.
+fn pick_partition(rates: &[f64], rng: &mut StdRng) -> usize {
+    if rates.len() <= 1 {
+        return 0;
+    }
+    let total: f64 = rates.iter().sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for (i, r) in rates.iter().enumerate() {
+        if pick < *r {
+            return i;
+        }
+        pick -= r;
+    }
+    rates.len() - 1
+}
+
+/// Deterministic selectivity test: a (left seq, right seq) pair matches
+/// with probability `cfg.selectivity`, independent of arrival order.
+fn match_survives(a_seq: u64, b_seq: u64, a_side: Side, cfg: &SimConfig) -> bool {
+    if cfg.selectivity >= 1.0 {
+        return true;
+    }
+    let (l, r) = match a_side {
+        Side::Left => (a_seq, b_seq),
+        Side::Right => (b_seq, a_seq),
+    };
+    let mut x = cfg.seed ^ (l.wrapping_mul(0x9E3779B97F4A7C15)) ^ r.rotate_left(17);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    unit < cfg.selectivity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Dataflow;
+    use nova_core::baselines::{sink_based, source_based};
+    use nova_core::{JoinQuery, StreamSpec};
+    use nova_topology::NodeRole;
+
+    /// sink(0), left src(1), right src(2), worker(3). All links 10 ms.
+    fn world(sink_cap: f64, src_cap: f64, worker_cap: f64) -> (Topology, JoinQuery) {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, sink_cap, "sink");
+        let l = t.add_node(NodeRole::Source, src_cap, "l");
+        let r = t.add_node(NodeRole::Source, src_cap, "r");
+        t.add_node(NodeRole::Worker, worker_cap, "w");
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(l, 20.0, 1)],
+            vec![StreamSpec::keyed(r, 20.0, 1)],
+            sink,
+        );
+        (t, q)
+    }
+
+    fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            10.0
+        }
+    }
+
+    #[test]
+    fn sink_join_produces_outputs_with_sane_latency() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig { duration_ms: 2000.0, window_ms: 100.0, ..Default::default() };
+        let res = simulate(&t, flat_dist, &df, &cfg);
+        assert!(res.delivered > 0, "no outputs: {res:?}");
+        // Latency ≥ one network hop (10 ms) and far below the run length
+        // on an uncongested cluster.
+        assert!(res.mean_latency() >= 10.0, "mean {}", res.mean_latency());
+        assert!(res.mean_latency() < 300.0, "mean {}", res.mean_latency());
+        assert!(!res.truncated);
+    }
+
+    #[test]
+    fn emission_rate_matches_configuration() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig { duration_ms: 5000.0, ..Default::default() };
+        let res = simulate(&t, flat_dist, &df, &cfg);
+        // 2 sources × 20 tuples/s × 5 s = 200 (±1 boundary tuple each).
+        assert!((res.emitted as i64 - 200).abs() <= 2, "emitted {}", res.emitted);
+    }
+
+    #[test]
+    fn overloaded_sink_collapses_latency_and_throughput() {
+        // Sink can process only 15 tuples/s but ingests 40/s: latency is
+        // pegged near the bounded-queue cap and throughput collapses.
+        let (t_slow, q) = world(15.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig { duration_ms: 20_000.0, window_ms: 100.0, ..Default::default() };
+        let slow = simulate(&t_slow, flat_dist, &df, &cfg);
+
+        let (t_fast, _) = world(4000.0, 1000.0, 1000.0);
+        let fast = simulate(&t_fast, flat_dist, &df, &cfg);
+
+        assert!(
+            slow.delivered < fast.delivered / 2,
+            "overload must cut throughput: slow {} fast {}",
+            slow.delivered,
+            fast.delivered
+        );
+        assert!(
+            slow.latency_percentile(0.9) > 5.0 * fast.latency_percentile(0.9),
+            "overload must blow up tail latency: slow {} fast {}",
+            slow.latency_percentile(0.9),
+            fast.latency_percentile(0.9)
+        );
+        // The bounded queue sheds load rather than queueing forever.
+        assert!(slow.dropped > 0, "bounded queues must shed load");
+        assert!(
+            slow.latency_percentile(1.0) <= cfg.max_queue_ms + 100.0,
+            "latency stays bounded by the queue cap: {}",
+            slow.latency_percentile(1.0)
+        );
+        // Latency grows from the cold start to the saturated regime.
+        let early = slow.outputs.first().unwrap().latency_ms;
+        let late = slow.outputs.last().unwrap().latency_ms;
+        assert!(late > early, "queue growth: early {early} late {late}");
+    }
+
+    #[test]
+    fn source_placement_pays_ingestion_contention() {
+        // Joins co-located with sources share the source's tiny capacity.
+        let (t, q) = world(1000.0, 25.0, 1000.0);
+        let plan = q.resolve();
+        let p_src = source_based(&q, &plan);
+        let p_sink = sink_based(&q, &plan);
+        let cfg = SimConfig { duration_ms: 15_000.0, window_ms: 100.0, ..Default::default() };
+        let src_res = simulate(&t, flat_dist, &Dataflow::from_baseline(&q, &p_src), &cfg);
+        let sink_res = simulate(&t, flat_dist, &Dataflow::from_baseline(&q, &p_sink), &cfg);
+        // With a fast sink and slow sources, sink placement wins.
+        assert!(
+            src_res.latency_percentile(0.9) > sink_res.latency_percentile(0.9),
+            "src 90P {} vs sink 90P {}",
+            src_res.latency_percentile(0.9),
+            sink_res.latency_percentile(0.9)
+        );
+    }
+
+    #[test]
+    fn selectivity_scales_output_volume() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let full = simulate(
+            &t,
+            flat_dist,
+            &df,
+            &SimConfig { duration_ms: 5000.0, selectivity: 1.0, ..Default::default() },
+        );
+        let half = simulate(
+            &t,
+            flat_dist,
+            &df,
+            &SimConfig { duration_ms: 5000.0, selectivity: 0.5, ..Default::default() },
+        );
+        let ratio = half.delivered as f64 / full.delivered as f64;
+        assert!((0.35..0.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn windows_bound_matching() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        // Tiny windows: ~1 tuple/window/side ⇒ few matches. Large
+        // windows: every pair in a window matches ⇒ many more.
+        let small = simulate(
+            &t,
+            flat_dist,
+            &df,
+            &SimConfig { duration_ms: 5000.0, window_ms: 10.0, ..Default::default() },
+        );
+        let large = simulate(
+            &t,
+            flat_dist,
+            &df,
+            &SimConfig { duration_ms: 5000.0, window_ms: 1000.0, ..Default::default() },
+        );
+        assert!(
+            large.delivered > 3 * small.delivered,
+            "large {} small {}",
+            large.delivered,
+            small.delivered
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (t, q) = world(100.0, 100.0, 100.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig { duration_ms: 3000.0, ..Default::default() };
+        let a = simulate(&t, flat_dist, &df, &cfg);
+        let b = simulate(&t, flat_dist, &df, &cfg);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.emitted, b.emitted);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+    }
+}

@@ -1,0 +1,37 @@
+//! # nova-runtime — discrete-event stream-processing testbed
+//!
+//! A deterministic discrete-event simulator of a distributed
+//! stream-processing engine, standing in for the 14-node Raspberry-Pi
+//! NebulaStream cluster of the paper's end-to-end evaluation (§4.7; see
+//! DESIGN.md §3 for the substitution argument). It executes the
+//! placements produced by [`nova_core`] — Nova's and every baseline's —
+//! under identical conditions and measures what the paper measures:
+//! delivered throughput and end-to-end latency percentiles (mean to
+//! 99.99P), under normal and CPU-stressed conditions.
+//!
+//! The model:
+//!
+//! * **Nodes** are single-server queues with a tuple/s capacity; every
+//!   ingested, forwarded or processed tuple consumes one service slot.
+//!   Overloaded nodes build unbounded queues, so their latency grows over
+//!   the run — the backpressure collapse visible in Fig. 11.
+//! * **Links** add latency per hop from a pluggable oracle (measured
+//!   matrices, `tc`-style injected delays, or cost-space estimates).
+//! * **Operators**: sources emit at fixed rates (ingestion shares the
+//!   source node's capacity — co-locating joins with sources is *not*
+//!   free), windowed symmetric-hash joins match tuples per (pair,
+//!   tumbling window), the sink records arrival/latency per result.
+//!
+//! Everything is deterministic given the [`engine::SimConfig`] seed.
+
+pub mod dataflow;
+pub mod engine;
+pub mod testbed;
+pub mod tuple;
+pub mod window;
+
+pub use dataflow::{Dataflow, FeedSpec, JoinInstance, Route, SourceTask};
+pub use engine::{simulate, OutputRecord, SimConfig, SimResult};
+pub use testbed::{run_placement, with_stress};
+pub use tuple::{OutputTuple, Tuple};
+pub use window::{BufferedTuple, WindowBuffers};

@@ -1,0 +1,77 @@
+//! High-level testbed runs: place → deploy → simulate → measure.
+//!
+//! Convenience layer used by the end-to-end experiments (Figs. 11–12)
+//! and the examples: it wires a placement into a [`Dataflow`], runs the
+//! engine against a latency provider, and supports the paper's *stress*
+//! condition (§4.1: `stress` pins source CPUs, which the simulator
+//! models by scaling node capacity down).
+
+use nova_core::{JoinQuery, Placement};
+use nova_topology::{LatencyProvider, NodeId, Topology};
+
+use crate::dataflow::Dataflow;
+use crate::engine::{simulate, SimConfig, SimResult};
+
+/// Scale the capacity of `nodes` by `factor` (e.g. 0.3 under CPU
+/// stress), returning the modified topology.
+pub fn with_stress(topology: &Topology, nodes: &[NodeId], factor: f64) -> Topology {
+    let mut t = topology.clone();
+    for &id in nodes {
+        let cap = t.node(id).capacity;
+        t.node_mut(id).capacity = cap * factor;
+    }
+    t
+}
+
+/// Deploy `placement` for `query` and simulate it.
+///
+/// `sigma` must be the σ the placement was computed with (1.0 for the
+/// unpartitioned baselines).
+pub fn run_placement(
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    query: &JoinQuery,
+    placement: &Placement,
+    sigma: f64,
+    cfg: &SimConfig,
+) -> SimResult {
+    let df = Dataflow::build(query, placement, |_| sigma);
+    simulate(topology, |a, b| provider.rtt(a, b), &df, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_core::baselines::sink_based;
+    use nova_core::StreamSpec;
+    use nova_topology::{DenseRtt, NodeRole};
+
+    #[test]
+    fn stress_scales_capacities() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeRole::Worker, 100.0, "a");
+        let b = t.add_node(NodeRole::Worker, 100.0, "b");
+        let stressed = with_stress(&t, &[a], 0.25);
+        assert_eq!(stressed.node(a).capacity, 25.0);
+        assert_eq!(stressed.node(b).capacity, 100.0);
+    }
+
+    #[test]
+    fn run_placement_executes_end_to_end() {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, 500.0, "sink");
+        let l = t.add_node(NodeRole::Source, 500.0, "l");
+        let r = t.add_node(NodeRole::Source, 500.0, "r");
+        let rtt = DenseRtt::from_fn(3, |_, _| 5.0);
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(l, 10.0, 1)],
+            vec![StreamSpec::keyed(r, 10.0, 1)],
+            sink,
+        );
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let cfg = SimConfig { duration_ms: 3000.0, window_ms: 200.0, ..Default::default() };
+        let res = run_placement(&t, &rtt, &q, &p, 1.0, &cfg);
+        assert!(res.delivered > 0);
+    }
+}

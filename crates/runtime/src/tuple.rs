@@ -1,0 +1,46 @@
+//! Tuples flowing through the simulated dataflow.
+
+use nova_core::{PairId, Side};
+
+/// A data tuple in flight. Payload contents are irrelevant to placement
+/// behavior, so only the routing metadata and timing are carried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tuple {
+    /// The join pair this tuple feeds.
+    pub pair: PairId,
+    /// Which input of the join it belongs to.
+    pub side: Side,
+    /// Partition index within its stream (Nova's bandwidth-aware
+    /// partitioning; 0 for unpartitioned placements).
+    pub partition: u32,
+    /// Join key (e.g. region id).
+    pub key: u32,
+    /// Monotonic per-stream sequence number.
+    pub seq: u64,
+    /// Event time (ms since simulation start) — set at emission.
+    pub event_time: f64,
+}
+
+/// A join result en route to the sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputTuple {
+    /// Producing pair.
+    pub pair: PairId,
+    /// Join key.
+    pub key: u32,
+    /// Event time of the *later* input tuple — the standard event-time
+    /// semantics for join outputs.
+    pub event_time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_is_small_enough_to_copy_freely() {
+        // The simulator copies tuples per routing fan-out; keep them lean.
+        assert!(std::mem::size_of::<Tuple>() <= 40);
+        assert!(std::mem::size_of::<OutputTuple>() <= 24);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tumbling-window join buffers.
+//!
+//! The end-to-end workload joins streams on (region, tumbling window)
+//! (§4.1): region matching is already encoded in the join matrix / pair
+//! structure, so at runtime an instance only needs to match *windows*.
+//! Each instance keeps a symmetric hash join state per window id and
+//! garbage-collects windows once the watermark passes them — exactly the
+//! state/buffer management whose overhead the paper's small-window
+//! configurations stress.
+
+use std::collections::HashMap;
+
+use nova_core::Side;
+
+/// One buffered input tuple: enough to produce outputs and latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferedTuple {
+    /// Per-stream sequence number (for deterministic match sampling).
+    pub seq: u64,
+    /// Event time in ms.
+    pub event_time: f64,
+}
+
+/// Symmetric per-window hash join state of one instance.
+#[derive(Debug, Clone, Default)]
+pub struct WindowBuffers {
+    windows: HashMap<u64, (Vec<BufferedTuple>, Vec<BufferedTuple>)>,
+}
+
+impl WindowBuffers {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Window id of an event time under tumbling windows of `window_ms`.
+    pub fn window_of(event_time: f64, window_ms: f64) -> u64 {
+        debug_assert!(window_ms > 0.0);
+        (event_time / window_ms).floor().max(0.0) as u64
+    }
+
+    /// Insert a tuple on `side` of window `window` and return the
+    /// opposite-side tuples it can join with (same window).
+    pub fn insert_and_probe(
+        &mut self,
+        window: u64,
+        side: Side,
+        tuple: BufferedTuple,
+    ) -> Vec<BufferedTuple> {
+        let entry = self.windows.entry(window).or_default();
+        let (own, other) = match side {
+            Side::Left => (&mut entry.0, &entry.1),
+            Side::Right => (&mut entry.1, &entry.0),
+        };
+        own.push(tuple);
+        other.clone()
+    }
+
+    /// Drop every window that ends strictly before `watermark_ms`
+    /// (tumbling windows of `window_ms`). Returns the number of evicted
+    /// tuples.
+    pub fn gc(&mut self, watermark_ms: f64, window_ms: f64) -> usize {
+        let keep_from = Self::window_of(watermark_ms, window_ms);
+        let mut evicted = 0;
+        self.windows.retain(|w, bufs| {
+            // Window w covers [w·len, (w+1)·len); it is complete once the
+            // watermark reaches its end.
+            if *w + 1 <= keep_from {
+                evicted += bufs.0.len() + bufs.1.len();
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+
+    /// Number of currently buffered tuples (both sides, all windows).
+    pub fn buffered(&self) -> usize {
+        self.windows.values().map(|(l, r)| l.len() + r.len()).sum()
+    }
+
+    /// Number of live windows.
+    pub fn live_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bt(seq: u64, et: f64) -> BufferedTuple {
+        BufferedTuple { seq, event_time: et }
+    }
+
+    #[test]
+    fn window_assignment_is_tumbling() {
+        assert_eq!(WindowBuffers::window_of(0.0, 100.0), 0);
+        assert_eq!(WindowBuffers::window_of(99.9, 100.0), 0);
+        assert_eq!(WindowBuffers::window_of(100.0, 100.0), 1);
+        assert_eq!(WindowBuffers::window_of(250.0, 100.0), 2);
+    }
+
+    #[test]
+    fn same_window_tuples_match() {
+        let mut b = WindowBuffers::new();
+        assert!(b.insert_and_probe(0, Side::Left, bt(1, 10.0)).is_empty());
+        let matches = b.insert_and_probe(0, Side::Right, bt(2, 20.0));
+        assert_eq!(matches, vec![bt(1, 10.0)]);
+        // A second right tuple matches the same left tuple again.
+        let matches = b.insert_and_probe(0, Side::Right, bt(3, 30.0));
+        assert_eq!(matches.len(), 1);
+        // A second left tuple now matches both right tuples.
+        let matches = b.insert_and_probe(0, Side::Left, bt(4, 40.0));
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn different_windows_do_not_match() {
+        let mut b = WindowBuffers::new();
+        b.insert_and_probe(0, Side::Left, bt(1, 10.0));
+        let matches = b.insert_and_probe(1, Side::Right, bt(2, 110.0));
+        assert!(matches.is_empty());
+        assert_eq!(b.live_windows(), 2);
+    }
+
+    #[test]
+    fn gc_drops_completed_windows_only() {
+        let mut b = WindowBuffers::new();
+        b.insert_and_probe(0, Side::Left, bt(1, 10.0));
+        b.insert_and_probe(1, Side::Left, bt(2, 110.0));
+        b.insert_and_probe(2, Side::Right, bt(3, 210.0));
+        // Watermark at 150 ms with 100 ms windows: window 0 is complete.
+        let evicted = b.gc(150.0, 100.0);
+        assert_eq!(evicted, 1);
+        assert_eq!(b.live_windows(), 2);
+        assert_eq!(b.buffered(), 2);
+        // Watermark at 10 000: everything gone.
+        let evicted = b.gc(10_000.0, 100.0);
+        assert_eq!(evicted, 2);
+        assert_eq!(b.buffered(), 0);
+    }
+}

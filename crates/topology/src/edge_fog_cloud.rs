@@ -1,0 +1,334 @@
+//! Edge–fog–cloud topologies, including the paper's running example.
+//!
+//! The running example (Fig. 2, §3.1) joins a pressure stream
+//! `T = {t1..t4}` with a humidity stream `W = {w1, w2}` across two
+//! regions. Sources emit at 25 tuples/s and have capacity 10; the sink has
+//! capacity 20; fog nodes A–G carry the capacities used in the §3.4
+//! walk-through (A=55, B=40, C=40, F=20, G=200); E is a high-capacity
+//! cloud node. The figure's exact link latencies are not all printed in
+//! the text, so this reconstruction anchors every latency the paper does
+//! state:
+//!
+//! * `A[t1, C] = 60 ms` (10 ms to the base station + 50 ms to C),
+//! * `A[t1, sink] = 110 ms`,
+//! * cloud path delays ≈ 130 ms (region 1 via C, D) and ≈ 155 ms
+//!   (region 2 via F, D), plus ≈ 100 ms back to the sink,
+//! * Nova's decomposed placement ends up ≈ 150 ms (region 1 on A/B/C) and
+//!   ≈ 175 ms (region 2 on G).
+//!
+//! Base stations are modelled as zero-capacity relay workers so they can
+//! never host operators.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{NodeId, NodeRole, Topology};
+use crate::rtt::GraphRtt;
+
+/// The running-example topology with handles to its named nodes.
+#[derive(Debug, Clone)]
+pub struct RunningExample {
+    /// The topology: 6 sources, 2 base stations, 7 fog/cloud workers, sink.
+    pub topology: Topology,
+    /// All-pairs latencies over the explicit links.
+    pub rtt: GraphRtt,
+    /// Pressure sources `t1..t4` (regions 1, 1, 2, 2).
+    pub pressure: [NodeId; 4],
+    /// Humidity sources `w1, w2` (regions 1, 2).
+    pub humidity: [NodeId; 2],
+    /// Fog/cloud workers `A..G` in order.
+    pub workers: [NodeId; 7],
+    /// The sink node.
+    pub sink: NodeId,
+}
+
+/// Data rate of every source in the running example (tuples/s).
+pub const RUNNING_EXAMPLE_RATE: f64 = 25.0;
+
+/// Build the running example of the paper's §3.1 (Fig. 2).
+pub fn running_example() -> RunningExample {
+    let mut t = Topology::new();
+    // Region-1 sensors.
+    let t1 = t.add_node(NodeRole::Source, 10.0, "t1");
+    let t2 = t.add_node(NodeRole::Source, 10.0, "t2");
+    let w1 = t.add_node(NodeRole::Source, 10.0, "w1");
+    // Region-2 sensors.
+    let t3 = t.add_node(NodeRole::Source, 10.0, "t3");
+    let t4 = t.add_node(NodeRole::Source, 10.0, "t4");
+    let w2 = t.add_node(NodeRole::Source, 10.0, "w2");
+    for (id, region) in [(t1, 1), (t2, 1), (w1, 1), (t3, 2), (t4, 2), (w2, 2)] {
+        t.node_mut(id).region = Some(region);
+    }
+    // Base stations: pure relays (capacity 0 ⇒ never placement targets).
+    let bs1 = t.add_node(NodeRole::Worker, 0.0, "BS1");
+    let bs2 = t.add_node(NodeRole::Worker, 0.0, "BS2");
+    // Fog and cloud nodes with the §3.4 capacities.
+    let a = t.add_node(NodeRole::Worker, 55.0, "A");
+    let b = t.add_node(NodeRole::Worker, 40.0, "B");
+    let c = t.add_node(NodeRole::Worker, 40.0, "C");
+    let d = t.add_node(NodeRole::Worker, 35.0, "D");
+    let e = t.add_node(NodeRole::Worker, 1000.0, "E"); // cloud
+    let f = t.add_node(NodeRole::Worker, 20.0, "F");
+    let g = t.add_node(NodeRole::Worker, 200.0, "G");
+    let sink = t.add_node(NodeRole::Sink, 20.0, "sink");
+
+    // Region-1 access links: 10 ms sensor → base station.
+    for s in [t1, t2, w1] {
+        t.add_link(s, bs1, 10.0, None);
+    }
+    for s in [t3, t4, w2] {
+        t.add_link(s, bs2, 10.0, None);
+    }
+    // Region-1 fog fabric. BS1→C = 50 gives A[t1, C] = 60 as in the text.
+    t.add_link(bs1, a, 45.0, None);
+    t.add_link(bs1, b, 40.0, None);
+    t.add_link(bs1, c, 50.0, None);
+    t.add_link(a, b, 5.0, None);
+    t.add_link(b, c, 20.0, None);
+    // Sink hangs off B: t1 → sink = 10 + 40 + 60 = 110 ms as in the text.
+    t.add_link(b, sink, 60.0, None);
+    // Cloud backbone: region-1 traffic reaches E via C and D (≈130 ms),
+    // and E returns results to the sink in ≈100 ms via D.
+    t.add_link(c, d, 40.0, None);
+    t.add_link(d, e, 30.0, None);
+    t.add_link(d, sink, 70.0, None);
+    // Region-2 fabric: cloud path via F and D (≈155 ms); Nova's target G
+    // sits close to the region-2 sensors and has its own sink uplink.
+    t.add_link(bs2, g, 40.0, None);
+    t.add_link(bs2, f, 80.0, None);
+    t.add_link(g, sink, 115.0, None);
+    t.add_link(f, d, 35.0, None);
+
+    let rtt = GraphRtt::new(&t);
+    RunningExample {
+        topology: t,
+        rtt,
+        pressure: [t1, t2, t3, t4],
+        humidity: [w1, w2],
+        workers: [a, b, c, d, e, f, g],
+        sink,
+    }
+}
+
+/// Parameters for a parametric edge–fog–cloud topology, used e.g. to model
+/// the 14-node Raspberry-Pi testbed of the end-to-end evaluation (§4.7).
+#[derive(Debug, Clone)]
+pub struct EdgeFogCloudParams {
+    /// Number of regions; each region gets its own sensor group.
+    pub regions: usize,
+    /// Sources per region.
+    pub sources_per_region: usize,
+    /// Worker (fog) nodes, shared across regions.
+    pub workers: usize,
+    /// Capacity of each source node (sources share compute with
+    /// ingestion, hence small).
+    pub source_capacity: f64,
+    /// Capacity of each worker node.
+    pub worker_capacity: f64,
+    /// Capacity of the sink/coordinator node.
+    pub sink_capacity: f64,
+    /// Latency range (ms) of sensor → fog access links.
+    pub access_latency: (f64, f64),
+    /// Latency range (ms) of fog ↔ fog links.
+    pub fabric_latency: (f64, f64),
+    /// Latency range (ms) of fog → sink links.
+    pub sink_latency: (f64, f64),
+    /// RNG seed for the latency draws.
+    pub seed: u64,
+}
+
+impl Default for EdgeFogCloudParams {
+    fn default() -> Self {
+        // Mirrors the paper's testbed: 14 Raspberry Pis — 8 sources, 5
+        // workers, 1 coordinator/sink — with RIPE-Atlas-like injected
+        // latencies (§4.1, "End-to-end Deployment").
+        EdgeFogCloudParams {
+            regions: 4,
+            sources_per_region: 2,
+            workers: 5,
+            // Capacities calibrated so that the total join load (8 kHz for
+            // the default DEBS workload) exceeds any single node but fits
+            // the worker pool: sources can barely ingest their own 1 kHz
+            // stream plus a little, one worker handles ~a third of the
+            // total, the coordinator/sink the least — matching the
+            // relative strengths in the paper's testbed (§4.7).
+            source_capacity: 2200.0,
+            worker_capacity: 2600.0,
+            sink_capacity: 1200.0,
+            access_latency: (5.0, 25.0),
+            fabric_latency: (10.0, 40.0),
+            sink_latency: (20.0, 60.0),
+            seed: 0x14,
+        }
+    }
+}
+
+/// A parametric edge–fog–cloud topology.
+#[derive(Debug, Clone)]
+pub struct EdgeFogCloud {
+    /// The generated topology.
+    pub topology: Topology,
+    /// All-pairs latencies over the explicit links.
+    pub rtt: GraphRtt,
+    /// Source ids grouped by region.
+    pub sources_by_region: Vec<Vec<NodeId>>,
+    /// Worker ids.
+    pub workers: Vec<NodeId>,
+    /// The sink.
+    pub sink: NodeId,
+}
+
+impl EdgeFogCloud {
+    /// Generate a topology from the parameters; deterministic per seed.
+    pub fn generate(p: &EdgeFogCloudParams) -> Self {
+        assert!(p.regions >= 1 && p.sources_per_region >= 1 && p.workers >= 1);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut t = Topology::new();
+        let mut sources_by_region = Vec::with_capacity(p.regions);
+        let workers: Vec<NodeId> = (0..p.workers)
+            .map(|i| t.add_node(NodeRole::Worker, p.worker_capacity, format!("worker{i}")))
+            .collect();
+        let sink = t.add_node(NodeRole::Sink, p.sink_capacity, "sink");
+        for r in 0..p.regions {
+            let mut region_sources = Vec::with_capacity(p.sources_per_region);
+            for s in 0..p.sources_per_region {
+                let id = t.add_node(
+                    NodeRole::Source,
+                    p.source_capacity,
+                    format!("src{r}_{s}"),
+                );
+                t.node_mut(id).region = Some(r as u32);
+                region_sources.push(id);
+            }
+            sources_by_region.push(region_sources);
+        }
+        // Each source connects to its two nearest (by index hash) workers.
+        for region in &sources_by_region {
+            for &s in region {
+                let w1 = workers[rng.gen_range(0..workers.len())];
+                let lat1 = rng.gen_range(p.access_latency.0..=p.access_latency.1);
+                t.add_link(s, w1, lat1, None);
+                let w2 = workers[rng.gen_range(0..workers.len())];
+                if w2 != w1 {
+                    let lat2 = rng.gen_range(p.access_latency.0..=p.access_latency.1);
+                    t.add_link(s, w2, lat2, None);
+                }
+            }
+        }
+        // Fog fabric: ring plus random chords so the graph is connected
+        // and has route diversity.
+        for i in 0..workers.len() {
+            let j = (i + 1) % workers.len();
+            if workers.len() > 1 {
+                let lat = rng.gen_range(p.fabric_latency.0..=p.fabric_latency.1);
+                t.add_link(workers[i], workers[j], lat, None);
+            }
+        }
+        if workers.len() > 3 {
+            for _ in 0..workers.len() / 2 {
+                let i = rng.gen_range(0..workers.len());
+                let j = rng.gen_range(0..workers.len());
+                if i != j {
+                    let lat = rng.gen_range(p.fabric_latency.0..=p.fabric_latency.1);
+                    t.add_link(workers[i], workers[j], lat, None);
+                }
+            }
+        }
+        // Sink uplinks from two workers.
+        let lat = rng.gen_range(p.sink_latency.0..=p.sink_latency.1);
+        t.add_link(workers[0], sink, lat, None);
+        if workers.len() > 1 {
+            let lat = rng.gen_range(p.sink_latency.0..=p.sink_latency.1);
+            t.add_link(workers[workers.len() / 2], sink, lat, None);
+        }
+        let rtt = GraphRtt::new(&t);
+        EdgeFogCloud { topology: t, rtt, sources_by_region, workers, sink }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtt::LatencyProvider;
+
+    #[test]
+    fn running_example_matches_stated_latencies() {
+        let ex = running_example();
+        let t1 = ex.pressure[0];
+        let c = ex.topology.by_label("C").unwrap();
+        // A[t1, C] = 60 ms (10 to base station + 50 to C).
+        assert_eq!(ex.rtt.rtt(t1, c), 60.0);
+        // A[t1, sink] = 110 ms.
+        assert_eq!(ex.rtt.rtt(t1, ex.sink), 110.0);
+    }
+
+    #[test]
+    fn cloud_paths_match_stated_magnitudes() {
+        let ex = running_example();
+        let e = ex.topology.by_label("E").unwrap();
+        // Region 1 → cloud ≈ 130 ms.
+        assert_eq!(ex.rtt.rtt(ex.pressure[0], e), 130.0);
+        // Region 2 → cloud ≈ 155 ms.
+        assert_eq!(ex.rtt.rtt(ex.pressure[2], e), 155.0);
+        // Cloud → sink ≈ 100 ms.
+        assert_eq!(ex.rtt.rtt(e, ex.sink), 100.0);
+    }
+
+    #[test]
+    fn nova_region_targets_beat_cloud() {
+        let ex = running_example();
+        let e = ex.topology.by_label("E").unwrap();
+        let g = ex.topology.by_label("G").unwrap();
+        let a = ex.topology.by_label("A").unwrap();
+        // End-to-end via cloud for region 2: source → E → sink = 255 ms.
+        let cloud_r2 = ex.rtt.rtt(ex.pressure[2], e) + ex.rtt.rtt(e, ex.sink);
+        // Nova's region-2 placement on G.
+        let nova_r2 = ex.rtt.rtt(ex.pressure[2], g) + ex.rtt.rtt(g, ex.sink);
+        assert!(nova_r2 < cloud_r2, "nova {nova_r2} vs cloud {cloud_r2}");
+        assert!(nova_r2 <= 180.0, "paper states ≈175 ms, got {nova_r2}");
+        // Nova's region-1 placement on A.
+        let cloud_r1 = ex.rtt.rtt(ex.pressure[0], e) + ex.rtt.rtt(e, ex.sink);
+        let nova_r1 = ex.rtt.rtt(ex.pressure[0], a) + ex.rtt.rtt(a, ex.sink);
+        assert!(nova_r1 < cloud_r1, "nova {nova_r1} vs cloud {cloud_r1}");
+        assert!(nova_r1 <= 155.0, "paper states ≈150 ms, got {nova_r1}");
+    }
+
+    #[test]
+    fn running_example_capacities_match_walkthrough() {
+        let ex = running_example();
+        let cap = |l: &str| ex.topology.node(ex.topology.by_label(l).unwrap()).capacity;
+        assert_eq!(cap("A"), 55.0);
+        assert_eq!(cap("B"), 40.0);
+        assert_eq!(cap("C"), 40.0);
+        assert_eq!(cap("F"), 20.0);
+        assert_eq!(cap("G"), 200.0);
+        assert_eq!(cap("sink"), 20.0);
+        assert_eq!(cap("t1"), 10.0);
+    }
+
+    #[test]
+    fn base_stations_cannot_host_operators() {
+        let ex = running_example();
+        assert_eq!(ex.topology.node(ex.topology.by_label("BS1").unwrap()).capacity, 0.0);
+        assert_eq!(ex.topology.node(ex.topology.by_label("BS2").unwrap()).capacity, 0.0);
+    }
+
+    #[test]
+    fn parametric_generator_is_connected() {
+        let efc = EdgeFogCloud::generate(&EdgeFogCloudParams::default());
+        assert_eq!(efc.topology.len(), 4 * 2 + 5 + 1);
+        // Every source must reach the sink.
+        for region in &efc.sources_by_region {
+            for &s in region {
+                assert!(efc.rtt.rtt(s, efc.sink).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn parametric_generator_is_deterministic() {
+        let a = EdgeFogCloud::generate(&EdgeFogCloudParams::default());
+        let b = EdgeFogCloud::generate(&EdgeFogCloudParams::default());
+        assert_eq!(a.rtt.rtt(a.sink, a.workers[0]), b.rtt.rtt(b.sink, b.workers[0]));
+    }
+}

@@ -1,0 +1,399 @@
+//! Latency providers: where pairwise RTTs come from.
+//!
+//! The paper conceptually works with a symmetric latency matrix `A` whose
+//! entry `A_ij` is the end-to-end latency between nodes ν_i and ν_j
+//! (§3.2). Depending on the topology source we materialize it differently:
+//!
+//! * [`DenseRtt`] — a fully materialized symmetric matrix, used for the
+//!   testbed-scale topologies (hundreds to ~2000 nodes) and for the
+//!   24-hour drift replay,
+//! * [`GeoRtt`] — an *on-demand* model for synthetic scalability
+//!   topologies (up to 10⁶ nodes, where a dense matrix would need ~8 TB):
+//!   RTT is derived from ground-truth geographic positions plus
+//!   deterministic per-pair jitter and optional triangle-inequality
+//!   violations,
+//! * [`GraphRtt`] — all-pairs shortest paths over explicit links, used
+//!   for hand-built topologies like the paper's running example.
+
+use nova_geom::Coord;
+
+use crate::graph::{NodeId, Topology};
+use crate::routing::dijkstra;
+
+/// Source of pairwise round-trip latencies (milliseconds).
+pub trait LatencyProvider {
+    /// Number of nodes covered by this provider.
+    fn len(&self) -> usize;
+
+    /// Whether the provider covers no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Round-trip latency between `a` and `b` in milliseconds. Must be
+    /// symmetric and zero on the diagonal.
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64;
+}
+
+/// Fully materialized symmetric latency matrix.
+#[derive(Debug, Clone)]
+pub struct DenseRtt {
+    n: usize,
+    /// Row-major `n × n` storage. Kept dense (rather than triangular) for
+    /// simple indexing; testbed sizes make this at most ~24 MB.
+    data: Vec<f64>,
+}
+
+impl DenseRtt {
+    /// A zero matrix over `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        DenseRtt { n, data: vec![0.0; n * n] }
+    }
+
+    /// Build from a function of node pairs; `f` is called once per
+    /// unordered pair and mirrored.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DenseRtt::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = f(i, j);
+                m.data[i * n + j] = v;
+                m.data[j * n + i] = v;
+            }
+        }
+        m
+    }
+
+    /// Materialize any provider into a dense matrix.
+    pub fn from_provider(p: &impl LatencyProvider) -> Self {
+        DenseRtt::from_fn(p.len(), |i, j| p.rtt(NodeId(i as u32), NodeId(j as u32)))
+    }
+
+    /// Number of nodes covered (inherent mirror of the trait method, so
+    /// callers need not import [`LatencyProvider`]).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Set the symmetric entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Iterate over all strictly-upper-triangle entries `(i, j, rtt)`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
+        })
+    }
+
+    /// Number of pairs `(i, j)` (i < j) for which the latency differs from
+    /// `other` by more than `threshold` ms, plus the median absolute
+    /// change among those. Used by the drift experiment (Fig. 9).
+    pub fn diff_stats(&self, other: &DenseRtt, threshold: f64) -> (usize, f64) {
+        assert_eq!(self.n, other.n, "matrix size mismatch");
+        let mut changes: Vec<f64> = self
+            .pairs()
+            .filter_map(|(i, j, v)| {
+                let d = (v - other.get(i, j)).abs();
+                (d > threshold).then_some(d)
+            })
+            .collect();
+        if changes.is_empty() {
+            return (0, 0.0);
+        }
+        changes.sort_unstable_by(f64::total_cmp);
+        let median = changes[changes.len() / 2];
+        (changes.len(), median)
+    }
+
+    /// Fraction of node triples (sampled) violating the triangle
+    /// inequality, i.e. `rtt(a,c) > rtt(a,b) + rtt(b,c)`. Real-world
+    /// latency datasets exhibit such TIVs (§3.2 limitations).
+    pub fn tiv_rate(&self, samples: usize, seed: u64) -> f64 {
+        if self.n < 3 {
+            return 0.0;
+        }
+        let mut violations = 0usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64* — cheap deterministic sampling.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..samples {
+            let a = (next() % self.n as u64) as usize;
+            let b = (next() % self.n as u64) as usize;
+            let c = (next() % self.n as u64) as usize;
+            if a == b || b == c || a == c {
+                continue;
+            }
+            if self.get(a, c) > self.get(a, b) + self.get(b, c) + 1e-9 {
+                violations += 1;
+            }
+        }
+        violations as f64 / samples as f64
+    }
+}
+
+impl LatencyProvider for DenseRtt {
+    fn len(&self) -> usize {
+        DenseRtt::len(self)
+    }
+
+    #[inline]
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        self.get(a.idx(), b.idx())
+    }
+}
+
+/// SplitMix64 — deterministic per-pair hash used for reproducible jitter.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform f64 in [0, 1) from a hash.
+#[inline]
+pub(crate) fn hash_unit(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// On-demand geographic latency model for very large synthetic topologies.
+///
+/// `rtt(a, b) = access(a) + access(b) + dist(a, b) · ms_per_unit · jitter`,
+/// where `jitter` is a deterministic per-pair factor in
+/// `[1 − jitter_frac, 1 + jitter_frac]`, optionally inflated by a detour
+/// factor with probability `tiv_prob` to create triangle-inequality
+/// violations.
+#[derive(Debug, Clone)]
+pub struct GeoRtt {
+    positions: Vec<Coord>,
+    access_ms: Vec<f64>,
+    /// Propagation cost per unit of geographic distance.
+    pub ms_per_unit: f64,
+    /// Relative jitter amplitude (0 = deterministic distances).
+    pub jitter_frac: f64,
+    /// Probability that a pair receives a detour inflation.
+    pub tiv_prob: f64,
+    /// Maximum detour multiplication factor (≥ 1).
+    pub tiv_factor: f64,
+    /// Seed mixed into every per-pair hash.
+    pub seed: u64,
+}
+
+impl GeoRtt {
+    /// Build a model over ground-truth positions with per-node access
+    /// latencies (e.g. last-mile delays of edge devices).
+    pub fn new(positions: Vec<Coord>, access_ms: Vec<f64>, ms_per_unit: f64, seed: u64) -> Self {
+        assert_eq!(positions.len(), access_ms.len(), "positions/access length mismatch");
+        GeoRtt {
+            positions,
+            access_ms,
+            ms_per_unit,
+            jitter_frac: 0.1,
+            tiv_prob: 0.0,
+            tiv_factor: 1.0,
+            seed,
+        }
+    }
+
+    /// Enable TIV injection: with probability `prob` a pair's latency is
+    /// multiplied by a factor drawn uniformly from `[1.2, factor]`.
+    pub fn with_tivs(mut self, prob: f64, factor: f64) -> Self {
+        self.tiv_prob = prob;
+        self.tiv_factor = factor.max(1.2);
+        self
+    }
+
+    /// Set the relative jitter amplitude.
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Ground-truth positions (used by tests and by generators that also
+    /// need the geometry).
+    pub fn positions(&self) -> &[Coord] {
+        &self.positions
+    }
+
+    #[inline]
+    fn pair_hash(&self, a: usize, b: usize) -> u64 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        splitmix64(self.seed ^ ((lo as u64) << 32 | hi as u64))
+    }
+}
+
+impl LatencyProvider for GeoRtt {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (i, j) = (a.idx(), b.idx());
+        let base = self.positions[i].dist(&self.positions[j]) * self.ms_per_unit;
+        let h = self.pair_hash(i, j);
+        let jitter = 1.0 + self.jitter_frac * (2.0 * hash_unit(h) - 1.0);
+        let mut v = self.access_ms[i] + self.access_ms[j] + base * jitter;
+        if self.tiv_prob > 0.0 {
+            let h2 = splitmix64(h ^ 0xD1F7);
+            if hash_unit(h2) < self.tiv_prob {
+                let detour = 1.2 + (self.tiv_factor - 1.2) * hash_unit(splitmix64(h2 ^ 0xBEEF));
+                v *= detour;
+            }
+        }
+        v
+    }
+}
+
+/// All-pairs shortest-path latencies over explicit links.
+///
+/// Materializes the APSP matrix at construction; intended for small
+/// hand-built topologies (running example, edge–fog–cloud testbeds).
+#[derive(Debug, Clone)]
+pub struct GraphRtt {
+    dense: DenseRtt,
+}
+
+impl GraphRtt {
+    /// Run Dijkstra from every node of `topology`.
+    pub fn new(topology: &Topology) -> Self {
+        let n = topology.len();
+        let mut dense = DenseRtt::zeros(n);
+        for i in 0..n {
+            let r = dijkstra(topology, NodeId(i as u32));
+            for j in 0..n {
+                dense.data[i * n + j] = r.dist[j];
+            }
+        }
+        GraphRtt { dense }
+    }
+
+    /// Access the underlying dense matrix.
+    pub fn dense(&self) -> &DenseRtt {
+        &self.dense
+    }
+}
+
+impl LatencyProvider for GraphRtt {
+    fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    #[inline]
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        self.dense.rtt(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeRole;
+
+    #[test]
+    fn dense_is_symmetric_with_zero_diagonal() {
+        let m = DenseRtt::from_fn(4, |i, j| (i + j) as f64);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_pairs_covers_upper_triangle() {
+        let m = DenseRtt::from_fn(4, |i, j| (i * 10 + j) as f64);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.iter().all(|&(i, j, _)| i < j));
+    }
+
+    #[test]
+    fn diff_stats_counts_changes_over_threshold() {
+        let a = DenseRtt::from_fn(3, |_, _| 100.0);
+        let mut b = a.clone();
+        b.set(0, 1, 130.0);
+        b.set(1, 2, 105.0);
+        let (count, median) = b.diff_stats(&a, 10.0);
+        assert_eq!(count, 1);
+        assert_eq!(median, 30.0);
+    }
+
+    #[test]
+    fn geo_rtt_is_symmetric_and_deterministic() {
+        let pos = vec![Coord::xy(0.0, 0.0), Coord::xy(30.0, 40.0), Coord::xy(-5.0, 2.0)];
+        let acc = vec![1.0, 2.0, 3.0];
+        let g = GeoRtt::new(pos, acc, 1.0, 7).with_jitter(0.2);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                assert_eq!(g.rtt(NodeId(i), NodeId(j)), g.rtt(NodeId(j), NodeId(i)));
+            }
+        }
+        assert_eq!(g.rtt(NodeId(0), NodeId(0)), 0.0);
+        // Distance 50 with ±20% jitter and 3ms access: within [43, 63].
+        let r = g.rtt(NodeId(0), NodeId(1));
+        assert!(r > 43.0 && r < 63.0, "rtt {r}");
+    }
+
+    #[test]
+    fn geo_rtt_tivs_create_triangle_violations() {
+        // A long chain of points: without TIVs the straight-line geometry
+        // is (nearly) metric; with heavy TIV injection violations appear.
+        let n = 60;
+        let pos: Vec<Coord> = (0..n).map(|i| Coord::xy(i as f64 * 10.0, 0.0)).collect();
+        let acc = vec![0.0; n];
+        let clean = GeoRtt::new(pos.clone(), acc.clone(), 1.0, 3).with_jitter(0.0);
+        let dirty = GeoRtt::new(pos, acc, 1.0, 3).with_jitter(0.0).with_tivs(0.4, 3.0);
+        let clean_rate = DenseRtt::from_provider(&clean).tiv_rate(20_000, 1);
+        let dirty_rate = DenseRtt::from_provider(&dirty).tiv_rate(20_000, 1);
+        assert!(clean_rate < 0.01, "clean rate {clean_rate}");
+        assert!(dirty_rate > 0.05, "dirty rate {dirty_rate}");
+    }
+
+    #[test]
+    fn graph_rtt_matches_dijkstra() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeRole::Source, 1.0, "a");
+        let b = t.add_node(NodeRole::Worker, 1.0, "b");
+        let c = t.add_node(NodeRole::Sink, 1.0, "c");
+        t.add_link(a, b, 3.0, None);
+        t.add_link(b, c, 4.0, None);
+        let g = GraphRtt::new(&t);
+        assert_eq!(g.rtt(a, c), 7.0);
+        assert_eq!(g.rtt(c, a), 7.0);
+        assert_eq!(g.rtt(a, a), 0.0);
+    }
+
+    #[test]
+    fn from_provider_materializes_geo_model() {
+        let pos = vec![Coord::xy(0.0, 0.0), Coord::xy(10.0, 0.0)];
+        let g = GeoRtt::new(pos, vec![0.0, 0.0], 2.0, 5).with_jitter(0.0);
+        let d = DenseRtt::from_provider(&g);
+        assert_eq!(d.get(0, 1), 20.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic Gaussian-cluster topologies for scalability experiments.
+//!
+//! The paper generates synthetic network coordinate systems "with varying
+//! latency distributions and sizes from 10³ to 10⁶ nodes. Nodes are
+//! positioned within [0, 100] (x-axis) and [−50, 50] (y-axis), using
+//! Gaussian clusters to emulate heterogeneous, geo-distributed networks"
+//! (§4.1). This module reproduces that: node positions come from a
+//! mixture of Gaussian clusters, latencies from the on-demand [`GeoRtt`]
+//! model (a dense matrix at 10⁶ nodes is infeasible), roles follow the
+//! paper's 60 % source / 40 % worker split, and capacities come from a
+//! configurable [`CapacityDistribution`].
+
+use nova_geom::Coord;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{NodeRole, Topology};
+use crate::heterogeneity::CapacityDistribution;
+use crate::rtt::GeoRtt;
+
+/// Parameters for [`SyntheticTopology::generate`].
+#[derive(Debug, Clone)]
+pub struct SyntheticParams {
+    /// Total number of nodes (sources + workers + one sink).
+    pub n: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Standard deviation of each cluster.
+    pub cluster_std: f64,
+    /// Fraction of nodes designated as sources (paper: 0.6, mirroring the
+    /// FIT IoT Lab hardware distribution).
+    pub source_frac: f64,
+    /// Capacity distribution for all nodes.
+    pub capacity: CapacityDistribution,
+    /// Mean capacity after normalization (total capacity is held
+    /// approximately constant across heterogeneity levels).
+    pub capacity_mean: f64,
+    /// Milliseconds of latency per unit of Euclidean distance in the
+    /// [0,100]×[−50,50] plane.
+    pub ms_per_unit: f64,
+    /// Per-node access latency range in milliseconds.
+    pub access_ms: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticParams {
+    fn default() -> Self {
+        SyntheticParams {
+            n: 1000,
+            clusters: 12,
+            cluster_std: 4.0,
+            source_frac: 0.6,
+            capacity: CapacityDistribution::Uniform { min: 1.0, max: 200.0 },
+            capacity_mean: 100.0,
+            ms_per_unit: 1.0,
+            access_ms: (0.5, 3.0),
+            seed: 0x0A0BA,
+        }
+    }
+}
+
+/// A generated synthetic topology plus its latency model.
+#[derive(Debug, Clone)]
+pub struct SyntheticTopology {
+    /// Node set with roles and capacities. No explicit links — latencies
+    /// come from `rtt`.
+    pub topology: Topology,
+    /// On-demand latency model over the ground-truth positions.
+    pub rtt: GeoRtt,
+}
+
+impl SyntheticTopology {
+    /// Generate a topology from the given parameters. Deterministic for a
+    /// fixed parameter set.
+    pub fn generate(params: &SyntheticParams) -> Self {
+        assert!(params.n >= 3, "need at least one source, one worker and a sink");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        // Cluster centers inside the paper's [0,100]×[−50,50] area.
+        let centers: Vec<Coord> = (0..params.clusters.max(1))
+            .map(|_| Coord::xy(rng.gen_range(0.0..100.0), rng.gen_range(-50.0..50.0)))
+            .collect();
+        let mut positions = Vec::with_capacity(params.n);
+        let mut access = Vec::with_capacity(params.n);
+        for _ in 0..params.n {
+            let c = centers[rng.gen_range(0..centers.len())];
+            positions.push(Coord::xy(
+                (c[0] + gaussian(&mut rng) * params.cluster_std).clamp(0.0, 100.0),
+                (c[1] + gaussian(&mut rng) * params.cluster_std).clamp(-50.0, 50.0),
+            ));
+            access.push(rng.gen_range(params.access_ms.0..=params.access_ms.1));
+        }
+        let capacities =
+            params.capacity.sample_normalized(params.n, params.capacity_mean, &mut rng);
+
+        // Role assignment: one random sink, then `source_frac` of the rest
+        // as sources, remainder workers (paper §4.1).
+        let sink_idx = rng.gen_range(0..params.n);
+        let mut order: Vec<usize> = (0..params.n).filter(|&i| i != sink_idx).collect();
+        order.shuffle(&mut rng);
+        let n_sources = ((params.n - 1) as f64 * params.source_frac).round() as usize;
+        let mut roles = vec![NodeRole::Worker; params.n];
+        roles[sink_idx] = NodeRole::Sink;
+        for &i in order.iter().take(n_sources) {
+            roles[i] = NodeRole::Source;
+        }
+
+        let mut topology = Topology::new();
+        for i in 0..params.n {
+            topology.add_node_at(
+                roles[i],
+                capacities[i],
+                format!("syn{i}"),
+                positions[i],
+                None,
+            );
+        }
+        let rtt = GeoRtt::new(positions, access, params.ms_per_unit, params.seed ^ 0xA11CE)
+            .with_jitter(0.1);
+        SyntheticTopology { topology, rtt }
+    }
+}
+
+/// One standard normal draw via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneity::coefficient_of_variation;
+    use crate::rtt::LatencyProvider;
+    use crate::NodeId;
+
+    fn small() -> SyntheticParams {
+        SyntheticParams { n: 200, seed: 11, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_requested_node_count_and_roles() {
+        let t = SyntheticTopology::generate(&small());
+        assert_eq!(t.topology.len(), 200);
+        let sources = t.topology.nodes_with_role(NodeRole::Source).len();
+        let workers = t.topology.nodes_with_role(NodeRole::Worker).len();
+        let sinks = t.topology.nodes_with_role(NodeRole::Sink).len();
+        assert_eq!(sinks, 1);
+        assert_eq!(sources + workers + sinks, 200);
+        // 60/40 split of the 199 non-sink nodes.
+        assert_eq!(sources, 119);
+    }
+
+    #[test]
+    fn positions_stay_in_paper_area() {
+        let t = SyntheticTopology::generate(&small());
+        for n in t.topology.nodes() {
+            let g = n.geo.expect("synthetic nodes have positions");
+            assert!((0.0..=100.0).contains(&g[0]), "x {g:?}");
+            assert!((-50.0..=50.0).contains(&g[1]), "y {g:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticTopology::generate(&small());
+        let b = SyntheticTopology::generate(&small());
+        for (x, y) in a.topology.nodes().iter().zip(b.topology.nodes()) {
+            assert_eq!(x.capacity, y.capacity);
+            assert_eq!(x.role, y.role);
+        }
+        assert_eq!(
+            a.rtt.rtt(NodeId(0), NodeId(1)),
+            b.rtt.rtt(NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticTopology::generate(&small());
+        let b = SyntheticTopology::generate(&SyntheticParams { seed: 12, ..small() });
+        let same = a
+            .topology
+            .nodes()
+            .iter()
+            .zip(b.topology.nodes())
+            .filter(|(x, y)| x.capacity == y.capacity)
+            .count();
+        assert!(same < 50, "seeds should decorrelate capacities, {same} identical");
+    }
+
+    #[test]
+    fn capacity_mean_is_normalized() {
+        let t = SyntheticTopology::generate(&small());
+        let caps: Vec<f64> = t.topology.nodes().iter().map(|n| n.capacity).collect();
+        let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+        assert!((mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneity_sweep_changes_cv_not_total() {
+        let mut totals = Vec::new();
+        let mut cvs = Vec::new();
+        for (_, dist) in CapacityDistribution::paper_sweep() {
+            let t = SyntheticTopology::generate(&SyntheticParams {
+                capacity: dist,
+                ..small()
+            });
+            let caps: Vec<f64> = t.topology.nodes().iter().map(|n| n.capacity).collect();
+            totals.push(caps.iter().sum::<f64>());
+            cvs.push(coefficient_of_variation(&caps));
+        }
+        for t in &totals {
+            assert!((t - totals[0]).abs() < 1e-6, "totals {totals:?}");
+        }
+        assert!(cvs.last().unwrap() > &0.8);
+        assert!(cvs[0] < 0.2, "first sweep entry is near-homogeneous: {cvs:?}");
+    }
+
+    #[test]
+    fn rtt_magnitudes_are_millisecond_scale() {
+        let t = SyntheticTopology::generate(&small());
+        let mut max = 0.0f64;
+        for i in 0..50u32 {
+            for j in (i + 1)..50 {
+                let r = t.rtt.rtt(NodeId(i), NodeId(j));
+                assert!(r >= 0.0 && r.is_finite());
+                max = max.max(r);
+            }
+        }
+        // Diagonal of the area is ~141 units -> latencies must stay within
+        // a few hundred ms.
+        assert!(max < 400.0, "max rtt {max}");
+        assert!(max > 5.0, "latencies suspiciously small: {max}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Synthetic stand-ins for the four real-world measurement testbeds.
+//!
+//! The paper evaluates on latency datasets from FIT IoT Lab (433 nodes),
+//! RIPE Atlas (723 anchors, plus a fixed 418-node subset), PlanetLab
+//! (335 nodes) and King (1740 DNS servers). Those raw RTT datasets are not
+//! bundled with this reproduction, so each testbed is *synthesized*
+//! (cf. DESIGN.md §3): nodes are placed around cluster centers that mirror
+//! the platform's geography, RTTs combine distance-proportional
+//! propagation, per-node access delays, lognormal-ish jitter and injected
+//! triangle-inequality violations (TIVs). Node counts match the paper
+//! exactly and every dataset is deterministic per seed.
+//!
+//! What the downstream experiments need from these datasets — metric-space
+//! structure with realistic violations, millisecond magnitudes, distinct
+//! geographic regimes (LAN-scale FIT vs. intercontinental King) — is
+//! preserved; absolute values are not claimed to match the originals.
+
+use nova_geom::Coord;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::graph::{NodeRole, Topology};
+use crate::rtt::{DenseRtt, GeoRtt};
+
+/// The real-world testbeds used in the paper's evaluation (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Testbed {
+    /// FIT IoT Lab: 433 IoT nodes across 6 French sites — LAN/metro-scale
+    /// latencies, 4 gateway servers.
+    FitIotLab,
+    /// RIPE Atlas: 723 globally distributed anchors.
+    RipeAtlas,
+    /// The fixed 418-node RIPE Atlas subset used in §4.4–4.5.
+    RipeAtlas418,
+    /// PlanetLab: 335 university/research nodes in Europe + North America.
+    PlanetLab,
+    /// King: 1740 Internet DNS servers, global, heavy-tailed latencies.
+    King,
+}
+
+impl Testbed {
+    /// Human-readable name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Testbed::FitIotLab => "FIT IoT Lab",
+            Testbed::RipeAtlas => "RIPE Atlas",
+            Testbed::RipeAtlas418 => "RIPE Atlas (418)",
+            Testbed::PlanetLab => "PlanetLab",
+            Testbed::King => "King",
+        }
+    }
+
+    /// Number of nodes, matching the paper.
+    pub fn node_count(self) -> usize {
+        match self {
+            Testbed::FitIotLab => 433,
+            Testbed::RipeAtlas => 723,
+            Testbed::RipeAtlas418 => 418,
+            Testbed::PlanetLab => 335,
+            Testbed::King => 1740,
+        }
+    }
+
+    /// The Vivaldi neighbor-set size the paper selected per testbed
+    /// (m = 20 for RIPE Atlas and FIT IoT Lab, m = 32 for PlanetLab and
+    /// King, §4.1).
+    pub fn vivaldi_neighbors(self) -> usize {
+        match self {
+            Testbed::FitIotLab | Testbed::RipeAtlas | Testbed::RipeAtlas418 => 20,
+            Testbed::PlanetLab | Testbed::King => 32,
+        }
+    }
+
+    /// All testbeds in the order the paper's Fig. 5 presents them.
+    pub fn all() -> [Testbed; 4] {
+        [Testbed::FitIotLab, Testbed::PlanetLab, Testbed::RipeAtlas, Testbed::King]
+    }
+
+    /// Generate the synthetic stand-in dataset.
+    pub fn generate(self, seed: u64) -> TestbedTopology {
+        let spec = self.spec();
+        spec.generate(self, seed)
+    }
+
+    fn spec(self) -> TestbedSpec {
+        match self {
+            // 6 French sites (Grenoble, Lille, Paris/Saclay, Strasbourg,
+            // Lyon, Toulouse); distances of a few hundred km ⇒ RTTs of a
+            // few ms plus small access delays. Four gateway-class nodes.
+            Testbed::FitIotLab => TestbedSpec {
+                clusters: vec![
+                    ClusterSpec { center: (45.2, 5.7), weight: 0.35, spread: 0.05 },
+                    ClusterSpec { center: (50.6, 3.1), weight: 0.2, spread: 0.05 },
+                    ClusterSpec { center: (48.7, 2.2), weight: 0.2, spread: 0.05 },
+                    ClusterSpec { center: (48.6, 7.8), weight: 0.1, spread: 0.05 },
+                    ClusterSpec { center: (45.8, 4.8), weight: 0.1, spread: 0.05 },
+                    ClusterSpec { center: (43.6, 1.4), weight: 0.05, spread: 0.05 },
+                ],
+                ms_per_degree: 0.35,
+                access_ms: (0.3, 2.5),
+                jitter: 0.12,
+                tiv_prob: 0.02,
+                tiv_factor: 1.8,
+            },
+            // EU + North America institutions.
+            Testbed::PlanetLab => TestbedSpec {
+                clusters: vec![
+                    ClusterSpec { center: (48.0, 8.0), weight: 0.4, spread: 4.0 },
+                    ClusterSpec { center: (52.0, -1.0), weight: 0.12, spread: 2.0 },
+                    ClusterSpec { center: (40.0, -75.0), weight: 0.25, spread: 3.0 },
+                    ClusterSpec { center: (37.5, -120.0), weight: 0.15, spread: 3.0 },
+                    ClusterSpec { center: (45.0, -93.0), weight: 0.08, spread: 3.0 },
+                ],
+                ms_per_degree: 0.9,
+                access_ms: (0.5, 6.0),
+                jitter: 0.15,
+                tiv_prob: 0.05,
+                tiv_factor: 2.2,
+            },
+            // Global anchor mesh.
+            Testbed::RipeAtlas | Testbed::RipeAtlas418 => TestbedSpec {
+                clusters: vec![
+                    ClusterSpec { center: (50.0, 8.0), weight: 0.34, spread: 6.0 },
+                    ClusterSpec { center: (40.0, -78.0), weight: 0.18, spread: 6.0 },
+                    ClusterSpec { center: (36.0, -118.0), weight: 0.08, spread: 4.0 },
+                    ClusterSpec { center: (1.3, 103.8), weight: 0.1, spread: 5.0 },
+                    ClusterSpec { center: (35.6, 139.7), weight: 0.08, spread: 4.0 },
+                    ClusterSpec { center: (-23.5, -46.6), weight: 0.07, spread: 4.0 },
+                    ClusterSpec { center: (-33.9, 151.2), weight: 0.06, spread: 4.0 },
+                    ClusterSpec { center: (28.6, 77.2), weight: 0.05, spread: 4.0 },
+                    ClusterSpec { center: (-1.3, 36.8), weight: 0.04, spread: 4.0 },
+                ],
+                ms_per_degree: 1.05,
+                access_ms: (1.0, 12.0),
+                jitter: 0.15,
+                tiv_prob: 0.08,
+                tiv_factor: 2.5,
+            },
+            // DNS servers: similar global footprint, heavier tails and
+            // more TIVs (King estimates pass through recursive resolvers).
+            Testbed::King => TestbedSpec {
+                clusters: vec![
+                    ClusterSpec { center: (40.0, -78.0), weight: 0.3, spread: 7.0 },
+                    ClusterSpec { center: (37.0, -120.0), weight: 0.12, spread: 5.0 },
+                    ClusterSpec { center: (50.0, 8.0), weight: 0.28, spread: 7.0 },
+                    ClusterSpec { center: (35.6, 139.7), weight: 0.1, spread: 5.0 },
+                    ClusterSpec { center: (31.0, 121.0), weight: 0.08, spread: 5.0 },
+                    ClusterSpec { center: (-23.5, -46.6), weight: 0.06, spread: 5.0 },
+                    ClusterSpec { center: (19.0, 72.8), weight: 0.06, spread: 5.0 },
+                ],
+                ms_per_degree: 1.15,
+                access_ms: (3.0, 30.0),
+                jitter: 0.2,
+                tiv_prob: 0.12,
+                tiv_factor: 3.0,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ClusterSpec {
+    /// (latitude-like y, longitude-like x) center, degrees.
+    center: (f64, f64),
+    /// Fraction of nodes drawn from this cluster.
+    weight: f64,
+    /// Standard deviation in degrees.
+    spread: f64,
+}
+
+#[derive(Debug, Clone)]
+struct TestbedSpec {
+    clusters: Vec<ClusterSpec>,
+    /// Propagation milliseconds per degree of (planar) distance.
+    ms_per_degree: f64,
+    /// Access latency range per node.
+    access_ms: (f64, f64),
+    /// Relative jitter amplitude.
+    jitter: f64,
+    /// TIV injection probability.
+    tiv_prob: f64,
+    /// TIV detour factor cap.
+    tiv_factor: f64,
+}
+
+/// A generated testbed dataset: node set, materialized latency matrix and
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct TestbedTopology {
+    /// Which testbed this models.
+    pub testbed: Testbed,
+    /// Nodes (all workers by default — experiment workloads assign
+    /// source/sink roles and capacities).
+    pub topology: Topology,
+    /// The measured-RTT stand-in matrix.
+    pub rtt: DenseRtt,
+}
+
+impl TestbedSpec {
+    fn generate(&self, testbed: Testbed, seed: u64) -> TestbedTopology {
+        let n = testbed.node_count();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7e57bed);
+        // Cumulative cluster weights for sampling.
+        let total_w: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut positions = Vec::with_capacity(n);
+        let mut access = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut chosen = &self.clusters[0];
+            for c in &self.clusters {
+                if pick < c.weight {
+                    chosen = c;
+                    break;
+                }
+                pick -= c.weight;
+            }
+            // Planar approximation: x = longitude scaled by cos(lat) so
+            // east-west degrees shrink towards the poles, y = latitude.
+            let lat = chosen.center.0 + gaussian(&mut rng) * chosen.spread;
+            let lon = chosen.center.1 + gaussian(&mut rng) * chosen.spread;
+            let x = lon * lat.to_radians().cos().abs().max(0.2);
+            positions.push(Coord::xy(x, lat));
+            access.push(rng.gen_range(self.access_ms.0..=self.access_ms.1));
+        }
+        let geo = GeoRtt::new(positions.clone(), access, self.ms_per_degree, seed ^ 0x9e0)
+            .with_jitter(self.jitter)
+            .with_tivs(self.tiv_prob, self.tiv_factor);
+        let rtt = DenseRttBuilder::materialize(&geo);
+        let mut topology = Topology::new();
+        for (i, pos) in positions.into_iter().enumerate() {
+            topology.add_node_at(
+                NodeRole::Worker,
+                0.0,
+                format!("{}-{}", short_name(testbed), i),
+                pos,
+                None,
+            );
+        }
+        TestbedTopology { testbed, topology, rtt }
+    }
+}
+
+fn short_name(t: Testbed) -> &'static str {
+    match t {
+        Testbed::FitIotLab => "fit",
+        Testbed::RipeAtlas => "ripe",
+        Testbed::RipeAtlas418 => "ripe418",
+        Testbed::PlanetLab => "plab",
+        Testbed::King => "king",
+    }
+}
+
+/// Indirection so the dense materialization can be unit-tested.
+struct DenseRttBuilder;
+
+impl DenseRttBuilder {
+    fn materialize(geo: &GeoRtt) -> DenseRtt {
+        DenseRtt::from_provider(geo)
+    }
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts_match_paper() {
+        assert_eq!(Testbed::FitIotLab.node_count(), 433);
+        assert_eq!(Testbed::RipeAtlas.node_count(), 723);
+        assert_eq!(Testbed::RipeAtlas418.node_count(), 418);
+        assert_eq!(Testbed::PlanetLab.node_count(), 335);
+        assert_eq!(Testbed::King.node_count(), 1740);
+    }
+
+    #[test]
+    fn generated_matrix_is_symmetric_and_positive() {
+        let t = Testbed::PlanetLab.generate(1);
+        assert_eq!(t.rtt.len(), 335);
+        for (i, j, v) in t.rtt.pairs().take(5000) {
+            assert!(v > 0.0, "rtt({i},{j}) = {v}");
+            assert_eq!(v, t.rtt.get(j, i));
+        }
+    }
+
+    #[test]
+    fn fit_is_lan_scale_king_is_wan_scale() {
+        let fit = Testbed::FitIotLab.generate(2);
+        let king = Testbed::King.generate(2);
+        let mean = |m: &DenseRtt| -> f64 {
+            let mut acc = 0.0;
+            let mut cnt = 0usize;
+            for (_, _, v) in m.pairs() {
+                acc += v;
+                cnt += 1;
+            }
+            acc / cnt as f64
+        };
+        let fit_mean = mean(&fit.rtt);
+        let king_mean = mean(&king.rtt);
+        assert!(fit_mean < 15.0, "FIT should be metro-scale, mean {fit_mean}");
+        assert!(king_mean > 60.0, "King should be WAN-scale, mean {king_mean}");
+        assert!(king_mean > 5.0 * fit_mean);
+    }
+
+    #[test]
+    fn testbeds_exhibit_tivs() {
+        let ripe = Testbed::RipeAtlas418.generate(3);
+        let rate = ripe.rtt.tiv_rate(50_000, 9);
+        assert!(rate > 0.01, "RIPE stand-in should violate triangles: {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Testbed::PlanetLab.generate(5);
+        let b = Testbed::PlanetLab.generate(5);
+        let c = Testbed::PlanetLab.generate(6);
+        assert_eq!(a.rtt.get(0, 1), b.rtt.get(0, 1));
+        assert_ne!(a.rtt.get(0, 1), c.rtt.get(0, 1));
+    }
+
+    #[test]
+    fn vivaldi_neighbor_sizes_match_paper() {
+        assert_eq!(Testbed::FitIotLab.vivaldi_neighbors(), 20);
+        assert_eq!(Testbed::RipeAtlas.vivaldi_neighbors(), 20);
+        assert_eq!(Testbed::PlanetLab.vivaldi_neighbors(), 32);
+        assert_eq!(Testbed::King.vivaldi_neighbors(), 32);
+    }
+}

@@ -1,0 +1,118 @@
+//! The environmental-monitoring workload (paper §1, §4.1, §4.7).
+//!
+//! Models the DEBS 2021 Grand Challenge-inspired scenario: pressure and
+//! humidity streams from Sensor.Community-style sensors in several
+//! regions, continuously joined on (region id, tumbling window) to detect
+//! regional climate anomalies. The paper's end-to-end deployment uses
+//! four regions × (1 pressure + 1 humidity) sensor at 1 kHz each on a
+//! 14-node Raspberry-Pi cluster (8 sources, 5 workers, 1 coordinator).
+
+use nova_core::{JoinQuery, StreamSpec};
+use nova_topology::{EdgeFogCloud, EdgeFogCloudParams};
+
+/// Per-sensor emission rate of the paper's end-to-end workload
+/// (1 kHz = 1000 tuples/s).
+pub const DEBS_RATE: f64 = 1000.0;
+
+/// Parameters of the environmental workload.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvironmentalParams {
+    /// Number of regions (paper: 4).
+    pub regions: usize,
+    /// Emission rate per sensor in tuples/s (paper: 1000).
+    pub rate: f64,
+    /// Join selectivity applied on top of the (region, window) condition.
+    pub selectivity: f64,
+    /// Seed for the testbed topology latencies.
+    pub seed: u64,
+}
+
+impl Default for EnvironmentalParams {
+    fn default() -> Self {
+        EnvironmentalParams { regions: 4, rate: DEBS_RATE, selectivity: 1.0, seed: 0xDEB5 }
+    }
+}
+
+/// The full end-to-end scenario: a Pi-cluster-like topology plus the
+/// regional pressure ⋈ humidity query.
+#[derive(Debug, Clone)]
+pub struct EnvironmentalScenario {
+    /// The simulated 14-node cluster (8 sources, 5 workers, sink) — or
+    /// scaled variants for other region counts.
+    pub cluster: EdgeFogCloud,
+    /// The two-way join query: pressure (left) ⋈ humidity (right) per
+    /// region.
+    pub query: JoinQuery,
+}
+
+/// Build the paper's end-to-end scenario. Each region contributes one
+/// pressure sensor (left stream) and one humidity sensor (right stream);
+/// the join matrix pairs them per region (4 parallel two-way joins for
+/// the default parameters).
+pub fn environmental_scenario(params: &EnvironmentalParams) -> EnvironmentalScenario {
+    let cluster = EdgeFogCloud::generate(&EdgeFogCloudParams {
+        regions: params.regions,
+        sources_per_region: 2,
+        seed: params.seed,
+        ..EdgeFogCloudParams::default()
+    });
+    let mut left = Vec::with_capacity(params.regions);
+    let mut right = Vec::with_capacity(params.regions);
+    for (region, sources) in cluster.sources_by_region.iter().enumerate() {
+        // First source of the region: pressure; second: humidity.
+        left.push(StreamSpec::keyed(sources[0], params.rate, region as u32));
+        right.push(StreamSpec::keyed(sources[1], params.rate, region as u32));
+    }
+    let query = JoinQuery::by_key(left, right, cluster.sink)
+        .with_selectivity(params.selectivity);
+    EnvironmentalScenario { cluster, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_topology::LatencyProvider;
+
+    #[test]
+    fn default_scenario_matches_paper_shape() {
+        let s = environmental_scenario(&EnvironmentalParams::default());
+        // 14 nodes: 8 sources + 5 workers + 1 sink.
+        assert_eq!(s.cluster.topology.len(), 14);
+        assert_eq!(s.query.left.len(), 4);
+        assert_eq!(s.query.right.len(), 4);
+        // Four parallel region joins.
+        assert_eq!(s.query.resolve().len(), 4);
+        // All sensors at 1 kHz.
+        for spec in s.query.left.iter().chain(&s.query.right) {
+            assert_eq!(spec.rate, DEBS_RATE);
+        }
+    }
+
+    #[test]
+    fn regions_join_only_within_themselves() {
+        let s = environmental_scenario(&EnvironmentalParams::default());
+        for pair in &s.query.resolve().pairs {
+            let l = s.query.left_stream(pair);
+            let r = s.query.right_stream(pair);
+            assert_eq!(l.key, r.key, "cross-region pair {pair:?}");
+        }
+    }
+
+    #[test]
+    fn sources_reach_the_sink() {
+        let s = environmental_scenario(&EnvironmentalParams::default());
+        for spec in s.query.left.iter().chain(&s.query.right) {
+            assert!(s.cluster.rtt.rtt(spec.node, s.cluster.sink).is_finite());
+        }
+    }
+
+    #[test]
+    fn scenario_scales_with_region_count() {
+        let s = environmental_scenario(&EnvironmentalParams {
+            regions: 8,
+            ..Default::default()
+        });
+        assert_eq!(s.query.resolve().len(), 8);
+        assert_eq!(s.cluster.topology.len(), 8 * 2 + 5 + 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # nova-workloads — workload generators for the Nova experiments
+//!
+//! Three workload families drive the paper's evaluation, all reproduced
+//! here as deterministic, seeded generators:
+//!
+//! * [`environmental`] — the DEBS-2021-inspired environmental-monitoring
+//!   scenario (pressure ⋈ humidity by region at 1 kHz on a simulated
+//!   Raspberry-Pi cluster) used by the end-to-end experiments (§4.7) and
+//!   the running example,
+//! * [`synthetic_opp`] — the simulation workload of §4.1: 60 % sources /
+//!   40 % workers over any topology, capacity-heterogeneity sweeps, and a
+//!   join matrix with exactly one entry per row,
+//! * [`smart_city`] — the introduction's traffic ⋈ weather scenario with
+//!   strongly asymmetric rates, exercising the joint partition weighting.
+
+pub mod environmental;
+pub mod smart_city;
+pub mod synthetic_opp;
+
+pub use environmental::{
+    environmental_scenario, EnvironmentalParams, EnvironmentalScenario, DEBS_RATE,
+};
+pub use smart_city::{smart_city_scenario, SmartCityParams, SmartCityScenario};
+pub use synthetic_opp::{synthetic_opp, OppParams, OppWorkload};

@@ -1,0 +1,103 @@
+//! Re-optimization under churn (§3.5): sensors joining, nodes failing,
+//! rates shifting — without ever recomputing the full placement.
+//!
+//! Run with: `cargo run --release --example reoptimization`
+
+use std::time::Instant;
+
+use nova::core::{Nova, NovaConfig, Side};
+use nova::netcoord::{Vivaldi, VivaldiConfig};
+use nova::topology::{LatencyProvider, NodeId, SyntheticParams, SyntheticTopology};
+use nova::workloads::{synthetic_opp, OppParams};
+
+/// Provider view that maps ids beyond the base population onto an anchor
+/// node (new sensors join near existing infrastructure).
+struct Grown<'a, P> {
+    inner: &'a P,
+    base: usize,
+    anchor: NodeId,
+}
+
+impl<P: LatencyProvider> LatencyProvider for Grown<'_, P> {
+    fn len(&self) -> usize {
+        self.base + 8
+    }
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        let map = |x: NodeId| if x.idx() >= self.base { self.anchor } else { x };
+        let (a, b) = (map(a), map(b));
+        if a == b {
+            0.7
+        } else {
+            self.inner.rtt(a, b)
+        }
+    }
+}
+
+fn main() {
+    let n = 2_000;
+    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 42, ..Default::default() });
+    let w = synthetic_opp(&syn.topology, &OppParams { seed: 42, ..OppParams::default() });
+    println!("topology: {n} nodes, query: {} join pairs", w.query.resolve().len());
+
+    let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 32, ..VivaldiConfig::default() };
+    let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
+    let mut nova = Nova::with_cost_space(
+        w.topology.clone(),
+        space,
+        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+    );
+
+    let t = Instant::now();
+    nova.optimize(w.query.clone());
+    println!(
+        "full optimization: {:?} ({} instances)\n",
+        t.elapsed(),
+        nova.placement().instance_count()
+    );
+
+    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    let show = |label: &str, t: Instant, touched: usize| {
+        println!("{label:<28} {:>10.3?}  pairs touched: {touched}", t.elapsed());
+    };
+
+    // 1. A new sensor joins region 0.
+    let t = Instant::now();
+    let out = nova
+        .add_source(&grown, Side::Left, 60.0, 0, 120.0, "new-sensor")
+        .expect("add source");
+    show("add source", t, out.replaced_pairs.len());
+
+    // 2. A join host fails.
+    let victim = nova.placement().nodes_used()[0];
+    let t = Instant::now();
+    let out = nova.remove_node(victim).expect("remove worker");
+    show("remove join host", t, out.replaced_pairs.len());
+
+    // 3. An idle worker is added.
+    let t = Instant::now();
+    let _ = nova.add_worker(&grown, 300.0, "fresh-worker");
+    show("add worker", t, 0);
+
+    // 4. A sensor's rate doubles.
+    let t = Instant::now();
+    let out = nova.change_rate(Side::Right, 1, 180.0).expect("rate change");
+    show("rate change", t, out.replaced_pairs.len());
+
+    // 5. A node's latency profile drifts. (The provider must cover the
+    // grown population — nodes added in steps 1 and 3 may be sampled as
+    // embedding neighbors.)
+    let host = nova.placement().nodes_used()[0];
+    let t = Instant::now();
+    let out = nova.update_coordinates(&grown, host).expect("coord update");
+    show("coordinate update", t, out.replaced_pairs.len());
+
+    println!(
+        "\nplacement still covers {} pairs; no global recomputation performed.",
+        nova.placement()
+            .replicas
+            .iter()
+            .map(|r| r.pair)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    );
+}

@@ -1,0 +1,106 @@
+//! Integration test: cross-crate pipeline invariants on testbed-scale
+//! topologies — the qualitative claims of Figs. 6–8 as assertions.
+
+use nova::core::baselines::{sink_based, tree_based};
+use nova::core::{evaluate, EvalOptions, Nova, NovaConfig};
+use nova::netcoord::{EmbeddingError, Vivaldi, VivaldiConfig};
+use nova::topology::{LatencyProvider, Testbed};
+use nova::workloads::{synthetic_opp, OppParams};
+
+#[test]
+fn fit_testbed_full_pipeline_avoids_overload_near_bound() {
+    let data = Testbed::FitIotLab.generate(5);
+    let w = synthetic_opp(&data.topology, &OppParams { seed: 5, ..OppParams::default() });
+    let vivaldi_cfg = VivaldiConfig {
+        neighbors: Testbed::FitIotLab.vivaldi_neighbors(),
+        rounds: 48,
+        ..VivaldiConfig::default()
+    };
+    let vivaldi = Vivaldi::embed(&data.rtt, vivaldi_cfg);
+    // Fig. 5 claim: the embedding is accurate at the paper's m.
+    let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 30_000, 1);
+    assert!(err.median_relative < 0.35, "median rel err {}", err.median_relative);
+
+    let space = vivaldi.into_cost_space();
+    let mut nova = Nova::with_cost_space(
+        w.topology.clone(),
+        space.clone(),
+        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+    );
+    nova.optimize(w.query.clone());
+    let nova_eval = evaluate(
+        nova.placement(),
+        &w.topology,
+        |a, b| data.rtt.rtt(a, b),
+        EvalOptions::default(),
+    );
+    // Fig. 6 claim: zero overload.
+    assert_eq!(nova_eval.overloaded_nodes, 0, "loads {:?}", nova_eval.node_loads);
+
+    // Fig. 7 claim: within a bounded delta of the sink-based bound.
+    let plan = w.query.resolve();
+    let sink_eval = evaluate(
+        &sink_based(&w.query, &plan),
+        &w.topology,
+        |a, b| data.rtt.rtt(a, b),
+        EvalOptions::default(),
+    );
+    let bound = sink_eval.latency_percentile(0.9);
+    let delta = nova_eval.latency_percentile(0.9) - bound;
+    assert!(delta < bound.max(5.0), "90P delta {delta} vs bound {bound}");
+
+    // Fig. 8 claim: Nova's estimates are accurate; the tree overlay
+    // underestimates badly under multi-hop accumulation.
+    let nova_est = evaluate(
+        nova.placement(),
+        &w.topology,
+        |a, b| space.distance(a, b).unwrap_or(f64::INFINITY),
+        EvalOptions::default(),
+    );
+    let nova_ratio = nova_eval.mean_latency() / nova_est.mean_latency().max(1e-9);
+    let tree = tree_based(&w.query, &plan, &w.topology, &space);
+    let tree_real = evaluate(&tree, &w.topology, |a, b| data.rtt.rtt(a, b), EvalOptions::default());
+    let tree_est = evaluate(
+        &tree,
+        &w.topology,
+        |a, b| space.distance(a, b).unwrap_or(f64::INFINITY),
+        EvalOptions::default(),
+    );
+    let tree_ratio = tree_real.mean_latency() / tree_est.mean_latency().max(1e-9);
+    assert!(
+        tree_ratio > nova_ratio,
+        "tree must underestimate more: tree {tree_ratio:.2}× vs nova {nova_ratio:.2}×"
+    );
+    assert!(nova_ratio < 2.0, "nova estimate ratio {nova_ratio:.2}");
+}
+
+#[test]
+fn drift_leaves_placement_quality_stable() {
+    // Fig. 9 in miniature: a fixed placement re-measured across drifted
+    // hours varies by less than 25 % around its mean.
+    use nova::topology::DriftModel;
+    let data = Testbed::RipeAtlas418.generate(8);
+    let w = synthetic_opp(&data.topology, &OppParams { seed: 8, ..OppParams::default() });
+    let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 32, ..VivaldiConfig::default() };
+    let space = Vivaldi::embed(&data.rtt, vivaldi_cfg).into_cost_space();
+    let mut nova = Nova::with_cost_space(
+        w.topology.clone(),
+        space,
+        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+    );
+    nova.optimize(w.query.clone());
+    let drift = DriftModel::new(data.rtt.clone(), 8);
+    let mut means = Vec::new();
+    for hour in [0.0, 6.0, 12.0, 18.0, 23.0] {
+        let m = drift.at_hour(hour);
+        let eval = evaluate(nova.placement(), &w.topology, |a, b| m.rtt(a, b), EvalOptions::default());
+        means.push(eval.mean_latency());
+    }
+    let avg = means.iter().sum::<f64>() / means.len() as f64;
+    for m in &means {
+        assert!(
+            (m - avg).abs() < 0.25 * avg,
+            "hourly mean {m} strays from {avg} (all: {means:?})"
+        );
+    }
+}

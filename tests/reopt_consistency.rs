@@ -1,0 +1,117 @@
+//! Integration test: bookkeeping stays exact through re-optimization
+//! batteries.
+//!
+//! Applies long randomized sequences of §3.5 events (add/remove sources
+//! and workers, rate changes, capacity changes, coordinate drift) and
+//! validates after every step that the optimizer's availability tracking
+//! matches a from-scratch recomputation and that every live pair remains
+//! placed.
+
+use nova::core::{Nova, NovaConfig, Side};
+use nova::netcoord::{Vivaldi, VivaldiConfig};
+use nova::topology::{LatencyProvider, NodeId, SyntheticParams, SyntheticTopology};
+use nova::workloads::{synthetic_opp, OppParams};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Provider covering up to 64 nodes beyond the base topology (events add
+/// sources/workers); new nodes reuse an anchor's latency profile.
+struct Grown<'a, P> {
+    inner: &'a P,
+    base: usize,
+    anchor: NodeId,
+}
+
+impl<P: LatencyProvider> LatencyProvider for Grown<'_, P> {
+    fn len(&self) -> usize {
+        self.base + 64
+    }
+    fn rtt(&self, a: NodeId, b: NodeId) -> f64 {
+        let map = |x: NodeId| if x.idx() >= self.base { self.anchor } else { x };
+        let (a, b) = (map(a), map(b));
+        if a == b {
+            0.9
+        } else {
+            self.inner.rtt(a, b)
+        }
+    }
+}
+
+#[test]
+fn random_event_battery_keeps_accounting_exact() {
+    let n = 400;
+    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 13, ..Default::default() });
+    let w = synthetic_opp(&syn.topology, &OppParams { seed: 13, ..OppParams::default() });
+    let vivaldi_cfg = VivaldiConfig { neighbors: 16, rounds: 24, ..VivaldiConfig::default() };
+    let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
+    let mut nova = Nova::with_cost_space(
+        w.topology.clone(),
+        space,
+        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+    );
+    nova.optimize(w.query.clone());
+    nova.validate_accounting().expect("fresh placement consistent");
+
+    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut added_sources = 0u32;
+
+    for step in 0..40 {
+        match rng.gen_range(0..5) {
+            0 if added_sources < 30 => {
+                let key = rng.gen_range(0..w.query.left.len() as u32);
+                nova.add_source(&grown, Side::Right, 40.0, key, 150.0, format!("s{step}"))
+                    .expect("add source");
+                added_sources += 1;
+            }
+            1 => {
+                let hosts = nova.placement().nodes_used();
+                if !hosts.is_empty() {
+                    let victim = hosts[rng.gen_range(0..hosts.len())];
+                    nova.remove_node(victim).expect("remove host");
+                }
+            }
+            2 => {
+                let _ = nova.add_worker(&grown, rng.gen_range(50.0..400.0), format!("w{step}"));
+            }
+            3 => {
+                let idx = rng.gen_range(0..w.query.left.len() as u32);
+                let _ = nova.change_rate(Side::Left, idx, rng.gen_range(5.0..150.0));
+            }
+            _ => {
+                let hosts = nova.placement().nodes_used();
+                if !hosts.is_empty() {
+                    let target = hosts[rng.gen_range(0..hosts.len())];
+                    nova.change_capacity(target, rng.gen_range(50.0..500.0))
+                        .expect("capacity change");
+                }
+            }
+        }
+        nova.validate_accounting()
+            .unwrap_or_else(|e| panic!("accounting drifted after step {step}: {e}"));
+    }
+}
+
+#[test]
+fn full_reoptimize_after_battery_matches_fresh_run() {
+    // After churn, a full re-optimize from the mutated topology must
+    // still produce a consistent, fully-placed result.
+    let n = 300;
+    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 21, ..Default::default() });
+    let w = synthetic_opp(&syn.topology, &OppParams { seed: 21, ..OppParams::default() });
+    let vivaldi_cfg = VivaldiConfig { neighbors: 16, rounds: 24, ..VivaldiConfig::default() };
+    let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
+    let mut nova = Nova::with_cost_space(
+        w.topology.clone(),
+        space,
+        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+    );
+    nova.optimize(w.query.clone());
+    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    for i in 0..5 {
+        let _ = nova.add_worker(&grown, 200.0, format!("late{i}"));
+    }
+    let query_now = nova.query().expect("query present").clone();
+    nova.optimize(query_now);
+    nova.validate_accounting().expect("re-optimized placement consistent");
+}
