@@ -18,7 +18,10 @@ fn clustered_points(n: usize, seed: u64) -> Vec<Coord> {
     (0..n)
         .map(|_| {
             let c = centers[rng.gen_range(0..centers.len())];
-            Coord::xy(c[0] + rng.gen_range(-4.0..4.0), c[1] + rng.gen_range(-4.0..4.0))
+            Coord::xy(
+                c[0] + rng.gen_range(-4.0..4.0),
+                c[1] + rng.gen_range(-4.0..4.0),
+            )
         })
         .collect()
 }

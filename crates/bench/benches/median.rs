@@ -30,7 +30,10 @@ fn bench_median(c: &mut Criterion) {
             b.iter(|| {
                 geometric_median_gd(
                     std::hint::black_box(a),
-                    GdOptions { max_iters: 500, ..GdOptions::default() },
+                    GdOptions {
+                        max_iters: 500,
+                        ..GdOptions::default()
+                    },
                 )
             })
         });

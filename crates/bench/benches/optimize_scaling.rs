@@ -11,9 +11,23 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize_scaling");
     group.sample_size(10);
     for n in [500usize, 2_000, 8_000, 32_000] {
-        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 5, ..Default::default() });
-        let w = synthetic_opp(&syn.topology, &OppParams { seed: 5, ..OppParams::default() });
-        let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 16, ..VivaldiConfig::default() };
+        let syn = SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed: 5,
+            ..Default::default()
+        });
+        let w = synthetic_opp(
+            &syn.topology,
+            &OppParams {
+                seed: 5,
+                ..OppParams::default()
+            },
+        );
+        let vivaldi_cfg = VivaldiConfig {
+            neighbors: 20,
+            rounds: 16,
+            ..VivaldiConfig::default()
+        };
         let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
             b.iter_batched(

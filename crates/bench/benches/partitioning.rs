@@ -10,7 +10,9 @@ fn bench_decompose(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("decompose_200x200", format!("sigma{sigma}")),
             &sigma,
-            |b, &sigma| b.iter(|| PartitionedJoin::decompose(200.0, 200.0, std::hint::black_box(sigma))),
+            |b, &sigma| {
+                b.iter(|| PartitionedJoin::decompose(200.0, 200.0, std::hint::black_box(sigma)))
+            },
         );
     }
     group.bench_function("partition_rates_1000_by_7", |b| {

@@ -10,11 +10,25 @@ fn bench_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement_phases");
     group.sample_size(10);
     for n in [1_000usize, 10_000] {
-        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 9, ..Default::default() });
-        let w = synthetic_opp(&syn.topology, &OppParams { seed: 9, ..OppParams::default() });
+        let syn = SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed: 9,
+            ..Default::default()
+        });
+        let w = synthetic_opp(
+            &syn.topology,
+            &OppParams {
+                seed: 9,
+                ..OppParams::default()
+            },
+        );
         let vivaldi = Vivaldi::embed(
             &syn.rtt,
-            VivaldiConfig { neighbors: 20, rounds: 24, ..VivaldiConfig::default() },
+            VivaldiConfig {
+                neighbors: 20,
+                rounds: 24,
+                ..VivaldiConfig::default()
+            },
         );
         let space = vivaldi.into_cost_space();
         let plan = w.query.resolve();

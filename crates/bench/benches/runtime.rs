@@ -2,7 +2,7 @@
 //! for a scaled-down DEBS run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nova_bench::endtoend::{end_to_end_runs, default_sim};
+use nova_bench::endtoend::{default_sim, end_to_end_runs};
 use nova_runtime::SimConfig;
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
@@ -13,7 +13,10 @@ fn bench_engine(c: &mut Criterion) {
         rate: 200.0, // scaled down from 1 kHz for bench iteration counts
         ..EnvironmentalParams::default()
     });
-    let sim = SimConfig { duration_ms: 5_000.0, ..default_sim(5_000.0, 1) };
+    let sim = SimConfig {
+        duration_ms: 5_000.0,
+        ..default_sim(5_000.0, 1)
+    };
     group.bench_function("debs_5s_all_approaches", |b| {
         b.iter(|| end_to_end_runs(std::hint::black_box(&scenario), &sim, 1.0))
     });

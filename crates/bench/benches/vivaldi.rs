@@ -13,18 +13,30 @@ fn bench_embed(c: &mut Criterion) {
         b.iter(|| {
             Vivaldi::embed(
                 &fit.rtt,
-                VivaldiConfig { neighbors: 20, rounds: 48, ..VivaldiConfig::default() },
+                VivaldiConfig {
+                    neighbors: 20,
+                    rounds: 48,
+                    ..VivaldiConfig::default()
+                },
             )
         })
     });
     // Synthetic scaling.
     for n in [1_000usize, 10_000] {
-        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 2, ..Default::default() });
+        let syn = SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed: 2,
+            ..Default::default()
+        });
         group.bench_with_input(BenchmarkId::new("synthetic", n), &syn, |b, syn| {
             b.iter(|| {
                 Vivaldi::embed(
                     &syn.rtt,
-                    VivaldiConfig { neighbors: 20, rounds: 24, ..VivaldiConfig::default() },
+                    VivaldiConfig {
+                        neighbors: 20,
+                        rounds: 24,
+                        ..VivaldiConfig::default()
+                    },
                 )
             })
         });
@@ -36,8 +48,16 @@ fn bench_incremental(c: &mut Criterion) {
     // Adding one node must be constant-time w.r.t. topology size (§3.5).
     let mut group = c.benchmark_group("vivaldi_add_node");
     for n in [1_000usize, 10_000, 100_000] {
-        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 3, ..Default::default() });
-        let cfg = VivaldiConfig { neighbors: 20, rounds: 16, ..VivaldiConfig::default() };
+        let syn = SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed: 3,
+            ..Default::default()
+        });
+        let cfg = VivaldiConfig {
+            neighbors: 20,
+            rounds: 16,
+            ..VivaldiConfig::default()
+        };
         let vivaldi = Vivaldi::embed(&syn.rtt, VivaldiConfig { rounds: 8, ..cfg });
         let space = vivaldi.into_cost_space();
         group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, space| {

@@ -135,7 +135,12 @@ pub fn run_with_space(
                 |a, b| space.distance(a, b).unwrap_or(f64::INFINITY),
                 EvalOptions::default(),
             );
-            ApproachResult { name, placement, real, estimated }
+            ApproachResult {
+                name,
+                placement,
+                real,
+                estimated,
+            }
         })
         .collect();
     ApproachSet { space, results }
@@ -149,7 +154,11 @@ mod tests {
 
     #[test]
     fn all_seven_approaches_produce_placements() {
-        let base = SyntheticTopology::generate(&SyntheticParams { n: 120, seed: 3, ..Default::default() });
+        let base = SyntheticTopology::generate(&SyntheticParams {
+            n: 120,
+            seed: 3,
+            ..Default::default()
+        });
         let w = synthetic_opp(&base.topology, &OppParams::default());
         let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &BenchConfig::default());
         assert_eq!(set.results.len(), 7);
@@ -169,8 +178,18 @@ mod tests {
 
     #[test]
     fn nova_overloads_least() {
-        let base = SyntheticTopology::generate(&SyntheticParams { n: 150, seed: 4, ..Default::default() });
-        let w = synthetic_opp(&base.topology, &OppParams { seed: 4, ..Default::default() });
+        let base = SyntheticTopology::generate(&SyntheticParams {
+            n: 150,
+            seed: 4,
+            ..Default::default()
+        });
+        let w = synthetic_opp(
+            &base.topology,
+            &OppParams {
+                seed: 4,
+                ..Default::default()
+            },
+        );
         let set = run_all_approaches(&w.topology, &base.rtt, &w.query, &BenchConfig::default());
         let nova = set.get("nova").unwrap().real.overload_percent();
         let sink = set.get("sink").unwrap().real.overload_percent();

@@ -16,14 +16,25 @@ fn main() {
     println!("== Fig. 5: cost-space embeddings of the evaluation topologies ==\n");
 
     let mut summary = Table::new(&[
-        "topology", "nodes", "m", "MAE (ms)", "median rel err", "p90 rel err", "TIV rate",
+        "topology",
+        "nodes",
+        "m",
+        "MAE (ms)",
+        "median rel err",
+        "p90 rel err",
+        "TIV rate",
     ]);
     for testbed in Testbed::all() {
         let data = testbed.generate(seed);
         let m = testbed.vivaldi_neighbors();
         let vivaldi = Vivaldi::embed(
             &data.rtt,
-            VivaldiConfig { neighbors: m, rounds: 60, seed, ..VivaldiConfig::default() },
+            VivaldiConfig {
+                neighbors: m,
+                rounds: 60,
+                seed,
+                ..VivaldiConfig::default()
+            },
         );
         let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 100_000, seed);
         let tiv = data.rtt.tiv_rate(100_000, seed);
@@ -42,7 +53,13 @@ fn main() {
             .coords()
             .iter()
             .enumerate()
-            .map(|(i, c)| vec![i.to_string(), format!("{:.4}", c[0]), format!("{:.4}", c[1])])
+            .map(|(i, c)| {
+                vec![
+                    i.to_string(),
+                    format!("{:.4}", c[0]),
+                    format!("{:.4}", c[1]),
+                ]
+            })
             .collect();
         let path = write_csv(
             &format!("fig05_{}.csv", testbed.name().replace([' ', '(', ')'], "_")),
@@ -67,7 +84,12 @@ fn main() {
         for &m in &ms {
             let vivaldi = Vivaldi::embed(
                 &data.rtt,
-                VivaldiConfig { neighbors: m, rounds: 60, seed, ..VivaldiConfig::default() },
+                VivaldiConfig {
+                    neighbors: m,
+                    rounds: 60,
+                    seed,
+                    ..VivaldiConfig::default()
+                },
             );
             let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 50_000, seed);
             row.push(format!("{:.1}", err.mae));

@@ -14,7 +14,9 @@
 
 use nova_bench::{run_all_approaches, write_csv, BenchConfig, Table};
 use nova_core::NovaConfig;
-use nova_topology::{coefficient_of_variation, CapacityDistribution, SyntheticParams, SyntheticTopology};
+use nova_topology::{
+    coefficient_of_variation, CapacityDistribution, SyntheticParams, SyntheticTopology,
+};
 use nova_workloads::{synthetic_opp, OppParams};
 
 fn main() {
@@ -29,17 +31,33 @@ fn main() {
     let seed = 7;
 
     println!("== Fig. 6: overloaded nodes vs capacity heterogeneity ({n} nodes) ==\n");
-    let base = SyntheticTopology::generate(&SyntheticParams { n, seed, ..Default::default() });
+    let base = SyntheticTopology::generate(&SyntheticParams {
+        n,
+        seed,
+        ..Default::default()
+    });
 
-    let approaches = ["nova", "sink", "source", "top-c", "tree", "cl-sf", "cl-tree-sf"];
+    let approaches = [
+        "nova",
+        "sink",
+        "source",
+        "top-c",
+        "tree",
+        "cl-sf",
+        "cl-tree-sf",
+    ];
     let mut headers = vec!["capacity dist", "CV"];
-    headers.extend(approaches.iter().map(|a| *a));
+    headers.extend(approaches.iter().copied());
     let mut table = Table::new(&headers);
 
     for (label, dist) in CapacityDistribution::paper_sweep() {
         let w = synthetic_opp(
             &base.topology,
-            &OppParams { capacity: dist, seed, ..OppParams::default() },
+            &OppParams {
+                capacity: dist,
+                seed,
+                ..OppParams::default()
+            },
         );
         let caps: Vec<f64> = w.topology.nodes().iter().map(|nd| nd.capacity).collect();
         let cv = coefficient_of_variation(&caps);
@@ -52,21 +70,32 @@ fn main() {
         table.row(row);
     }
     table.print();
-    write_csv(
-        "fig06_overload.csv",
-        &table.headers().to_vec(),
-        table.rows(),
-    );
+    write_csv("fig06_overload.csv", table.headers(), table.rows());
 
     if sigma_sweep {
-        println!("\n== σ ablation: partitioning degree vs traffic vs overload (uniform capacities) ==\n");
+        println!(
+            "\n== σ ablation: partitioning degree vs traffic vs overload (uniform capacities) ==\n"
+        );
         let mut ab = Table::new(&[
-            "sigma", "overload %", "instances", "sub-replicas", "traffic (tuple-hops/s)",
+            "sigma",
+            "overload %",
+            "instances",
+            "sub-replicas",
+            "traffic (tuple-hops/s)",
         ]);
         for sigma in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
-            let w = synthetic_opp(&base.topology, &OppParams { seed, ..OppParams::default() });
+            let w = synthetic_opp(
+                &base.topology,
+                &OppParams {
+                    seed,
+                    ..OppParams::default()
+                },
+            );
             let cfg = BenchConfig {
-                nova: NovaConfig { sigma, ..NovaConfig::default() },
+                nova: NovaConfig {
+                    sigma,
+                    ..NovaConfig::default()
+                },
                 include_tree_family: false,
                 ..BenchConfig::default()
             };
@@ -81,6 +110,6 @@ fn main() {
             ]);
         }
         ab.print();
-        write_csv("fig06_sigma_ablation.csv", &ab.headers().to_vec(), ab.rows());
+        write_csv("fig06_sigma_ablation.csv", ab.headers(), ab.rows());
     }
 }

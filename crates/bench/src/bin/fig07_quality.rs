@@ -29,26 +29,59 @@ fn run_topology(
     table: &mut Table,
     seed: u64,
 ) {
-    let w = synthetic_opp(topology, &OppParams { seed, ..OppParams::default() });
+    let w = synthetic_opp(
+        topology,
+        &OppParams {
+            seed,
+            ..OppParams::default()
+        },
+    );
     let cfg = BenchConfig {
         vivaldi_neighbors: if topology.len() > 500 { 32 } else { 20 },
         ..BenchConfig::default()
     };
     let set = run_all_approaches(&w.topology, provider, &w.query, &cfg);
-    let bound = set.get("sink").expect("sink present").real.latency_percentile(0.9);
+    let bound = set
+        .get("sink")
+        .expect("sink present")
+        .real
+        .latency_percentile(0.9);
 
     // nova(p): the most heterogeneous capacity distribution (highest
     // replication to balance load).
-    let heavy = CapacityDistribution::Exponential { scale: 120.0, min: 1.0, max: 1000.0 };
-    let wp = synthetic_opp(topology, &OppParams { capacity: heavy, seed, ..OppParams::default() });
+    let heavy = CapacityDistribution::Exponential {
+        scale: 120.0,
+        min: 1.0,
+        max: 1000.0,
+    };
+    let wp = synthetic_opp(
+        topology,
+        &OppParams {
+            capacity: heavy,
+            seed,
+            ..OppParams::default()
+        },
+    );
     let cfg_p = BenchConfig {
-        nova: NovaConfig { sigma: 0.25, ..NovaConfig::default() },
+        nova: NovaConfig {
+            sigma: 0.25,
+            ..NovaConfig::default()
+        },
         include_tree_family: false,
         ..cfg
     };
     let set_p = run_all_approaches(&wp.topology, provider, &wp.query, &cfg_p);
-    let bound_p = set_p.get("sink").expect("sink present").real.latency_percentile(0.9);
-    let novap = set_p.get("nova").expect("nova present").real.latency_percentile(0.9) - bound_p;
+    let bound_p = set_p
+        .get("sink")
+        .expect("sink present")
+        .real
+        .latency_percentile(0.9);
+    let novap = set_p
+        .get("nova")
+        .expect("nova present")
+        .real
+        .latency_percentile(0.9)
+        - bound_p;
 
     let delta = |n: &str| -> String {
         set.get(n)
@@ -83,17 +116,26 @@ fn main() {
         "cl-tree-sf",
     ]);
 
-    for testbed in [Testbed::PlanetLab, Testbed::FitIotLab, Testbed::RipeAtlas, Testbed::King] {
+    for testbed in [
+        Testbed::PlanetLab,
+        Testbed::FitIotLab,
+        Testbed::RipeAtlas,
+        Testbed::King,
+    ] {
         let data = testbed.generate(seed);
         run_topology(testbed.name(), &data.topology, &data.rtt, &mut table, seed);
     }
     // 1K-node synthetic simulation topology.
-    let syn = SyntheticTopology::generate(&SyntheticParams { n: 1000, seed, ..Default::default() });
+    let syn = SyntheticTopology::generate(&SyntheticParams {
+        n: 1000,
+        seed,
+        ..Default::default()
+    });
     let dense = DenseRtt::from_provider(&syn.rtt);
     run_topology("1K synthetic", &syn.topology, &dense, &mut table, seed);
 
     table.print();
-    write_csv("fig07_quality.csv", &table.headers().to_vec(), table.rows());
+    write_csv("fig07_quality.csv", table.headers(), table.rows());
     println!(
         "(deltas in ms above the sink-based direct-transmission bound; the bound itself\n\
          ignores overload — Fig. 6/11 show why it is unusable in practice)"

@@ -20,7 +20,13 @@ fn main() {
     let seed = 33;
     println!("== Fig. 8: estimated vs measured latencies (RIPE Atlas, 418 nodes) ==\n");
     let data = Testbed::RipeAtlas418.generate(seed);
-    let w = synthetic_opp(&data.topology, &OppParams { seed, ..OppParams::default() });
+    let w = synthetic_opp(
+        &data.topology,
+        &OppParams {
+            seed,
+            ..OppParams::default()
+        },
+    );
     let set = run_all_approaches(&w.topology, &data.rtt, &w.query, &BenchConfig::default());
 
     let mut table = Table::new(&[
@@ -48,7 +54,7 @@ fn main() {
         ]);
     }
     table.print();
-    write_csv("fig08_estimation_error.csv", &table.headers().to_vec(), table.rows());
+    write_csv("fig08_estimation_error.csv", table.headers(), table.rows());
 
     let tree_ratio = set
         .get("tree")

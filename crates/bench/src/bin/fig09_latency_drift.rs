@@ -31,12 +31,21 @@ fn main() {
             ..OppParams::default()
         },
     );
-    let cfg = BenchConfig { include_tree_family: false, ..BenchConfig::default() };
+    let cfg = BenchConfig {
+        include_tree_family: false,
+        ..BenchConfig::default()
+    };
     let set = run_all_approaches(&w.topology, &data.rtt, &w.query, &cfg);
     let nova = set.get("nova").expect("nova present");
 
     let drift = DriftModel::new(data.rtt.clone(), seed);
-    let mut table = Table::new(&["hour", "mean (ms)", "90P (ms)", "changed>10ms", "median Δ (ms)"]);
+    let mut table = Table::new(&[
+        "hour",
+        "mean (ms)",
+        "90P (ms)",
+        "changed>10ms",
+        "median Δ (ms)",
+    ]);
     let mut means = Vec::new();
     let mut p90s = Vec::new();
     let mut prev = drift.at_hour(0.0);
@@ -56,12 +65,20 @@ fn main() {
             hour.to_string(),
             format!("{:.1}", eval.mean_latency()),
             format!("{:.1}", eval.latency_percentile(0.9)),
-            if hour == 0 { "-".into() } else { changed.to_string() },
-            if hour == 0 { "-".into() } else { format!("{median:.1}") },
+            if hour == 0 {
+                "-".into()
+            } else {
+                changed.to_string()
+            },
+            if hour == 0 {
+                "-".into()
+            } else {
+                format!("{median:.1}")
+            },
         ]);
     }
     table.print();
-    write_csv("fig09_latency_drift.csv", &table.headers().to_vec(), table.rows());
+    write_csv("fig09_latency_drift.csv", table.headers(), table.rows());
 
     let stats = |v: &[f64]| -> (f64, f64, f64) {
         let mean = v.iter().sum::<f64>() / v.len() as f64;

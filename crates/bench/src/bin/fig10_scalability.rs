@@ -61,8 +61,18 @@ fn main() {
     ]);
 
     for &n in &sizes {
-        let syn = SyntheticTopology::generate(&SyntheticParams { n, seed, ..Default::default() });
-        let w = synthetic_opp(&syn.topology, &OppParams { seed, ..OppParams::default() });
+        let syn = SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed,
+            ..Default::default()
+        });
+        let w = synthetic_opp(
+            &syn.topology,
+            &OppParams {
+                seed,
+                ..OppParams::default()
+            },
+        );
         let plan = w.query.resolve();
         let pairs = plan.len();
 
@@ -94,7 +104,11 @@ fn main() {
         let mut nova = Nova::with_cost_space(
             w.topology.clone(),
             space,
-            NovaConfig { vivaldi: vivaldi_cfg, seed, ..NovaConfig::default() },
+            NovaConfig {
+                vivaldi: vivaldi_cfg,
+                seed,
+                ..NovaConfig::default()
+            },
         );
         let t1 = Instant::now();
         nova.optimize(w.query.clone());
@@ -161,11 +175,15 @@ fn main() {
             fmt(clsf_s),
             fmt(cltree_s),
         ]);
-        eprintln!("n={n}: nova {nova_total_s:.2}s (phase I {phase1_s:.2}s), reopt max {reopt_max_s:.4}s");
+        eprintln!(
+            "n={n}: nova {nova_total_s:.2}s (phase I {phase1_s:.2}s), reopt max {reopt_max_s:.4}s"
+        );
     }
     table.print();
-    println!("timeout* = Θ(n²)+ baseline gated (exceeds the 600 s budget; measured up to the gate)");
-    write_csv("fig10_scalability.csv", &table.headers().to_vec(), table.rows());
+    println!(
+        "timeout* = Θ(n²)+ baseline gated (exceeds the 600 s budget; measured up to the gate)"
+    );
+    write_csv("fig10_scalability.csv", table.headers(), table.rows());
 }
 
 /// Apply the paper's five re-optimization events and return the slowest
@@ -205,7 +223,11 @@ fn run_reopt_events(
     };
 
     let anchor = NodeId((seed as usize % n) as u32);
-    let grown = Grown { inner: provider, anchor, n: nova.topology().len() };
+    let grown = Grown {
+        inner: provider,
+        anchor,
+        n: nova.topology().len(),
+    };
 
     // 1. Add a source.
     let t = Instant::now();

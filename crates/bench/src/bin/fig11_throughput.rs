@@ -68,9 +68,13 @@ fn main() {
         &["approach".into(), "processed".into(), "latency_ms".into()],
         &series_rows,
     );
-    write_csv("fig11_throughput.csv", &table.headers().to_vec(), table.rows());
+    write_csv("fig11_throughput.csv", table.headers(), table.rows());
 
-    let get = |name: &str| runs.iter().find(|r| r.name == name).map(|r| r.result.delivered);
+    let get = |name: &str| {
+        runs.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.result.delivered)
+    };
     if let (Some(nova), Some(sink), Some(st)) = (get("nova"), get("sink"), get("source/tree")) {
         println!(
             "nova/sink throughput: {:.1}× (paper: 13.4×); nova/source-tree: {:.1}× (paper: 4.5×)",

@@ -51,11 +51,7 @@ fn main() {
             ]);
         }
         table.print();
-        write_csv(
-            &format!("fig12_{label}.csv"),
-            &table.headers().to_vec(),
-            table.rows(),
-        );
+        write_csv(&format!("fig12_{label}.csv"), table.headers(), table.rows());
 
         let find = |name: &str| runs.iter().find(|r| r.name == name);
         if let (Some(nova), Some(sink), Some(st)) =

@@ -52,18 +52,37 @@ pub fn end_to_end_runs(
     let coords = classical_mds(provider.dense(), 2, 0xE2E);
     let space = CostSpace::new(coords);
 
-    let nova_cfg = NovaConfig { sigma: 0.4, c_min: 0.0, ..NovaConfig::default() };
+    let nova_cfg = NovaConfig {
+        sigma: 0.4,
+        c_min: 0.0,
+        ..NovaConfig::default()
+    };
     let mut nova = Nova::with_cost_space(topology.clone(), space.clone(), nova_cfg);
     nova.optimize(query.clone());
 
-    let cluster_params = ClusterParams { clusters: 3, ..ClusterParams::for_size(topology.len()) };
+    let cluster_params = ClusterParams {
+        clusters: 3,
+        ..ClusterParams::for_size(topology.len())
+    };
     let placements: Vec<(&'static str, Placement, f64)> = vec![
         ("nova", nova.placement().clone(), nova_cfg.sigma),
         ("sink", sink_based(query, &plan), 1.0),
         ("source/tree", source_based(query, &plan), 1.0),
-        ("cluster/top-c", cluster_head_placement(query, topology), 1.0),
-        ("tree-overlay", tree_based(query, &plan, topology, &space), 1.0),
-        ("cl-sf", cl_sf(query, &plan, topology, &space, &cluster_params), 1.0),
+        (
+            "cluster/top-c",
+            cluster_head_placement(query, topology),
+            1.0,
+        ),
+        (
+            "tree-overlay",
+            tree_based(query, &plan, topology, &space),
+            1.0,
+        ),
+        (
+            "cl-sf",
+            cl_sf(query, &plan, topology, &space, &cluster_params),
+            1.0,
+        ),
     ];
 
     // Stress: saturate the source nodes' CPUs.
@@ -84,7 +103,11 @@ pub fn end_to_end_runs(
         .into_iter()
         .map(|(name, placement, sigma)| {
             let result = run_placement(&run_topology, provider, query, &placement, sigma, sim);
-            E2ERun { name, placement, result }
+            E2ERun {
+                name,
+                placement,
+                result,
+            }
         })
         .collect()
 }

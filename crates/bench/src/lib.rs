@@ -19,8 +19,10 @@
 
 pub mod approaches;
 pub mod endtoend;
+pub mod realexec;
 pub mod report;
 
 pub use approaches::{run_all_approaches, ApproachResult, ApproachSet, BenchConfig};
 pub use endtoend::{default_sim, end_to_end_runs, E2ERun, STRESS_FACTOR};
+pub use realexec::{run_dataflow_real, run_placement_real};
 pub use report::{results_dir, write_csv, Table};

@@ -1,0 +1,78 @@
+//! Real-execution runs: place → deploy → *execute on threads* → measure.
+//!
+//! Counterpart of `nova_runtime::run_placement` for the threaded
+//! executor: the same placement, latency provider and (virtual) engine
+//! settings, but every tuple is physically processed by a worker
+//! thread. Used by `benches/exec_throughput.rs` and the
+//! `real_execution` example, and by any experiment that wants hardware
+//! numbers next to model numbers.
+
+use nova_core::{JoinQuery, Placement};
+use nova_exec::{Backend, ExecConfig, ExecResult, ThreadedBackend};
+use nova_runtime::Dataflow;
+use nova_topology::{LatencyProvider, Topology};
+
+/// Deploy `placement` for `query` and execute it on the threaded
+/// backend.
+///
+/// `sigma` must be the σ the placement was computed with (1.0 for the
+/// unpartitioned baselines), exactly as for the simulator path.
+pub fn run_placement_real(
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    query: &JoinQuery,
+    placement: &Placement,
+    sigma: f64,
+    cfg: &ExecConfig,
+) -> ExecResult {
+    let df = Dataflow::build(query, placement, |_| sigma);
+    let mut dist = |a, b| provider.rtt(a, b);
+    ThreadedBackend.run(topology, &mut dist, &df, cfg)
+}
+
+/// Execute an already-deployed dataflow on a caller-chosen backend —
+/// the seam the cross-validation tests and future backends
+/// (sharded / async / pinned) go through.
+pub fn run_dataflow_real(
+    backend: &dyn Backend,
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> ExecResult {
+    let mut dist = |a, b| provider.rtt(a, b);
+    backend.run(topology, &mut dist, dataflow, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_core::baselines::sink_based;
+    use nova_core::StreamSpec;
+    use nova_topology::{DenseRtt, NodeRole};
+
+    #[test]
+    fn run_placement_real_executes_end_to_end() {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, 500.0, "sink");
+        let l = t.add_node(NodeRole::Source, 500.0, "l");
+        let r = t.add_node(NodeRole::Source, 500.0, "r");
+        let rtt = DenseRtt::from_fn(3, |_, _| 5.0);
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(l, 10.0, 1)],
+            vec![StreamSpec::keyed(r, 10.0, 1)],
+            sink,
+        );
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let cfg = ExecConfig {
+            duration_ms: 3000.0,
+            window_ms: 200.0,
+            time_scale: 8.0,
+            ..ExecConfig::default()
+        };
+        let res = run_placement_real(&t, &rtt, &q, &p, 1.0, &cfg);
+        assert!(res.delivered > 0);
+        assert_eq!(res.threads, 4);
+    }
+}

@@ -61,7 +61,9 @@ fn placement_from_clusters(
             (Some(cl), Some(cr)) if cl == cr => clustering.heads[cl],
             _ => query.sink,
         };
-        placement.replicas.push(whole_pair_replica(query, pair, node));
+        placement
+            .replicas
+            .push(whole_pair_replica(query, pair, node));
     }
     placement
 }
@@ -81,13 +83,21 @@ mod tests {
         coords.push(Coord::xy(50.0, 0.0));
         // Region A around x=0: two sources + two workers.
         for i in 0..4 {
-            let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+            let role = if i < 2 {
+                NodeRole::Source
+            } else {
+                NodeRole::Worker
+            };
             t.add_node(role, 10.0, format!("a{i}"));
             coords.push(Coord::xy(i as f64, 0.0));
         }
         // Region B around x=100.
         for i in 0..4 {
-            let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+            let role = if i < 2 {
+                NodeRole::Source
+            } else {
+                NodeRole::Worker
+            };
             t.add_node(role, 10.0, format!("b{i}"));
             coords.push(Coord::xy(100.0 + i as f64, 0.0));
         }
@@ -104,7 +114,10 @@ mod tests {
             NodeId(0),
         );
         let plan = q.resolve();
-        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(9) };
+        let params = ClusterParams {
+            clusters: 2,
+            ..ClusterParams::for_size(9)
+        };
         let p = cl_sf(&q, &plan, &t, &s, &params);
         let node = p.replicas[0].node;
         // The head must be a region-A node (x < 10), not the sink.
@@ -122,7 +135,10 @@ mod tests {
             NodeId(0),
         );
         let plan = q.resolve();
-        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(9) };
+        let params = ClusterParams {
+            clusters: 2,
+            ..ClusterParams::for_size(9)
+        };
         let p = cl_sf(&q, &plan, &t, &s, &params);
         assert_eq!(p.replicas[0].node, NodeId(0));
     }

@@ -89,7 +89,11 @@ mod tests {
         coords.push(Coord::xy(50.0, 0.0));
         for (region, base) in [(0, 0.0), (1, 50.0), (2, 100.0)] {
             for i in 0..4 {
-                let role = if i < 2 { NodeRole::Source } else { NodeRole::Worker };
+                let role = if i < 2 {
+                    NodeRole::Source
+                } else {
+                    NodeRole::Worker
+                };
                 t.add_node(role, 10.0, format!("r{region}n{i}"));
                 coords.push(Coord::xy(base + i as f64, 1.0));
             }
@@ -108,7 +112,10 @@ mod tests {
             NodeId(0),
         );
         let plan = q.resolve();
-        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(13) };
+        let params = ClusterParams {
+            clusters: 3,
+            ..ClusterParams::for_size(13)
+        };
         let p = cl_tree_sf(&q, &plan, &t, &s, &rtt, &params);
         let rep = &p.replicas[0];
         // Left path starts at the source and passes through at least one
@@ -130,7 +137,10 @@ mod tests {
             NodeId(0),
         );
         let plan = q.resolve();
-        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(13) };
+        let params = ClusterParams {
+            clusters: 3,
+            ..ClusterParams::for_size(13)
+        };
         let p = cl_tree_sf(&q, &plan, &t, &s, &rtt, &params);
         let rep = &p.replicas[0];
         // Both sources sit in region 0, so the join node is their common

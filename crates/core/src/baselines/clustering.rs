@@ -59,7 +59,10 @@ pub struct Clustering {
 impl Clustering {
     /// Cluster index of a node, or `None` if it was not clustered.
     pub fn cluster_of(&self, id: NodeId) -> Option<usize> {
-        self.members.iter().position(|&m| m == id).map(|i| self.assignment[i])
+        self.members
+            .iter()
+            .position(|&m| m == id)
+            .map(|i| self.assignment[i])
     }
 
     /// Head of the cluster containing `id`.
@@ -134,23 +137,33 @@ pub fn fuzzy_cmeans(ids: &[NodeId], coords: &[Coord], params: &ClusterParams) ->
     // Head election: member nearest to its cluster's centroid
     // (resource-agnostic, like LEACH-SF).
     let mut heads = Vec::with_capacity(c);
+    #[allow(clippy::needless_range_loop)] // `k` is the cluster id, not just an index
     for k in 0..c {
         let head = (0..n)
             .filter(|&i| assignment[i] == k)
             .min_by(|&a, &b| {
-                coords[a].dist(&centroids[k]).total_cmp(&coords[b].dist(&centroids[k]))
+                coords[a]
+                    .dist(&centroids[k])
+                    .total_cmp(&coords[b].dist(&centroids[k]))
             })
             // Empty cluster: fall back to the globally nearest member.
             .unwrap_or_else(|| {
                 (0..n)
                     .min_by(|&a, &b| {
-                        coords[a].dist(&centroids[k]).total_cmp(&coords[b].dist(&centroids[k]))
+                        coords[a]
+                            .dist(&centroids[k])
+                            .total_cmp(&coords[b].dist(&centroids[k]))
                     })
                     .expect("n > 0")
             });
         heads.push(ids[head]);
     }
-    Clustering { members: ids.to_vec(), assignment, heads, centroids }
+    Clustering {
+        members: ids.to_vec(),
+        assignment,
+        heads,
+        centroids,
+    }
 }
 
 #[cfg(test)]
@@ -162,7 +175,11 @@ mod tests {
         let mut coords = Vec::new();
         for i in 0..20 {
             ids.push(NodeId(i));
-            let (cx, off) = if i < 10 { (0.0, i as f64) } else { (100.0, (i - 10) as f64) };
+            let (cx, off) = if i < 10 {
+                (0.0, i as f64)
+            } else {
+                (100.0, (i - 10) as f64)
+            };
             coords.push(Coord::xy(cx + off * 0.1, 0.0));
         }
         (ids, coords)
@@ -171,7 +188,10 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let (ids, coords) = two_blobs();
-        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let params = ClusterParams {
+            clusters: 2,
+            ..ClusterParams::for_size(20)
+        };
         let cl = fuzzy_cmeans(&ids, &coords, &params);
         // All members of blob 1 share a cluster, all of blob 2 another.
         let c0 = cl.assignment[0];
@@ -184,18 +204,27 @@ mod tests {
     #[test]
     fn heads_are_members_of_their_cluster() {
         let (ids, coords) = two_blobs();
-        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let params = ClusterParams {
+            clusters: 2,
+            ..ClusterParams::for_size(20)
+        };
         let cl = fuzzy_cmeans(&ids, &coords, &params);
         for (k, head) in cl.heads.iter().enumerate() {
             let idx = ids.iter().position(|i| i == head).unwrap();
-            assert_eq!(cl.assignment[idx], k, "head of cluster {k} must belong to it");
+            assert_eq!(
+                cl.assignment[idx], k,
+                "head of cluster {k} must belong to it"
+            );
         }
     }
 
     #[test]
     fn cluster_of_and_head_of_lookups() {
         let (ids, coords) = two_blobs();
-        let params = ClusterParams { clusters: 2, ..ClusterParams::for_size(20) };
+        let params = ClusterParams {
+            clusters: 2,
+            ..ClusterParams::for_size(20)
+        };
         let cl = fuzzy_cmeans(&ids, &coords, &params);
         let c = cl.cluster_of(NodeId(3)).unwrap();
         assert_eq!(cl.head_of(NodeId(3)), Some(cl.heads[c]));
@@ -216,7 +245,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (ids, coords) = two_blobs();
-        let params = ClusterParams { clusters: 3, ..ClusterParams::for_size(20) };
+        let params = ClusterParams {
+            clusters: 3,
+            ..ClusterParams::for_size(20)
+        };
         let a = fuzzy_cmeans(&ids, &coords, &params);
         let b = fuzzy_cmeans(&ids, &coords, &params);
         assert_eq!(a.assignment, b.assignment);

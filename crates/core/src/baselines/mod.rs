@@ -16,16 +16,16 @@
 //! overlay routes so relay forwarding is charged to intermediate nodes.
 
 mod clsf;
-mod clustering;
 mod cltreesf;
+mod clustering;
 mod sink;
 mod source;
 mod topc;
 mod tree;
 
 pub use clsf::cl_sf;
-pub use clustering::{fuzzy_cmeans, ClusterParams, Clustering};
 pub use cltreesf::cl_tree_sf;
+pub use clustering::{fuzzy_cmeans, ClusterParams, Clustering};
 pub use sink::sink_based;
 pub use source::source_based;
 pub use topc::top_c;
@@ -39,7 +39,11 @@ use crate::types::JoinPair;
 
 /// Build an *unpartitioned* replica of `pair` at `node` with direct
 /// routing legs — the shape all non-tree baselines share.
-pub(crate) fn whole_pair_replica(query: &JoinQuery, pair: &JoinPair, node: NodeId) -> PlacedReplica {
+pub(crate) fn whole_pair_replica(
+    query: &JoinQuery,
+    pair: &JoinPair,
+    node: NodeId,
+) -> PlacedReplica {
     let left = query.left_stream(pair);
     let right = query.right_stream(pair);
     PlacedReplica {

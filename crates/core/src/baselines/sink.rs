@@ -15,7 +15,9 @@ pub fn sink_based(query: &JoinQuery, plan: &ResolvedPlan) -> Placement {
     let mut placement = Placement::new("sink");
     placement.replicas.reserve(plan.len());
     for pair in &plan.pairs {
-        placement.replicas.push(whole_pair_replica(query, pair, query.sink));
+        placement
+            .replicas
+            .push(whole_pair_replica(query, pair, query.sink));
     }
     placement
 }
@@ -29,8 +31,14 @@ mod tests {
     #[test]
     fn all_replicas_land_on_the_sink() {
         let q = JoinQuery::by_key(
-            vec![StreamSpec::keyed(NodeId(0), 10.0, 1), StreamSpec::keyed(NodeId(1), 10.0, 2)],
-            vec![StreamSpec::keyed(NodeId(2), 10.0, 1), StreamSpec::keyed(NodeId(3), 10.0, 2)],
+            vec![
+                StreamSpec::keyed(NodeId(0), 10.0, 1),
+                StreamSpec::keyed(NodeId(1), 10.0, 2),
+            ],
+            vec![
+                StreamSpec::keyed(NodeId(2), 10.0, 1),
+                StreamSpec::keyed(NodeId(3), 10.0, 2),
+            ],
             NodeId(4),
         );
         let plan = q.resolve();

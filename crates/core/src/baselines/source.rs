@@ -18,8 +18,14 @@ pub fn source_based(query: &JoinQuery, plan: &ResolvedPlan) -> Placement {
     for pair in &plan.pairs {
         let left = query.left_stream(pair);
         let right = query.right_stream(pair);
-        let node = if left.rate >= right.rate { left.node } else { right.node };
-        placement.replicas.push(whole_pair_replica(query, pair, node));
+        let node = if left.rate >= right.rate {
+            left.node
+        } else {
+            right.node
+        };
+        placement
+            .replicas
+            .push(whole_pair_replica(query, pair, node));
     }
     placement
 }
@@ -33,8 +39,14 @@ mod tests {
     #[test]
     fn higher_rate_source_hosts_the_join() {
         let q = JoinQuery::by_key(
-            vec![StreamSpec::keyed(NodeId(0), 5.0, 1), StreamSpec::keyed(NodeId(1), 50.0, 2)],
-            vec![StreamSpec::keyed(NodeId(2), 10.0, 1), StreamSpec::keyed(NodeId(3), 10.0, 2)],
+            vec![
+                StreamSpec::keyed(NodeId(0), 5.0, 1),
+                StreamSpec::keyed(NodeId(1), 50.0, 2),
+            ],
+            vec![
+                StreamSpec::keyed(NodeId(2), 10.0, 1),
+                StreamSpec::keyed(NodeId(3), 10.0, 2),
+            ],
             NodeId(4),
         );
         let plan = q.resolve();

@@ -39,11 +39,15 @@ pub fn top_c(query: &JoinQuery, plan: &ResolvedPlan, topology: &Topology) -> Pla
             .max_by(|a, b| avail.get(a.id).total_cmp(&avail.get(b.id)));
         let Some(node) = best else {
             // Degenerate topology: everything on the sink.
-            placement.replicas.push(whole_pair_replica(query, pair, query.sink));
+            placement
+                .replicas
+                .push(whole_pair_replica(query, pair, query.sink));
             continue;
         };
         avail.take(node.id, query.required_capacity(pair));
-        placement.replicas.push(whole_pair_replica(query, pair, node.id));
+        placement
+            .replicas
+            .push(whole_pair_replica(query, pair, node.id));
     }
     // Restore plan order for deterministic downstream processing.
     placement.replicas.sort_unstable_by_key(|r| r.pair);
@@ -90,8 +94,14 @@ mod tests {
         // Two independent pairs of 60 each: first goes to w0 (100), which
         // drops to 40, so the second goes to w1 (90).
         let q = JoinQuery::by_key(
-            vec![StreamSpec::keyed(NodeId(0), 30.0, 1), StreamSpec::keyed(NodeId(0), 30.0, 2)],
-            vec![StreamSpec::keyed(NodeId(1), 30.0, 1), StreamSpec::keyed(NodeId(1), 30.0, 2)],
+            vec![
+                StreamSpec::keyed(NodeId(0), 30.0, 1),
+                StreamSpec::keyed(NodeId(0), 30.0, 2),
+            ],
+            vec![
+                StreamSpec::keyed(NodeId(1), 30.0, 1),
+                StreamSpec::keyed(NodeId(1), 30.0, 2),
+            ],
             NodeId(2),
         );
         let plan = q.resolve();
@@ -110,6 +120,10 @@ mod tests {
         let q = query();
         let plan = q.resolve();
         let p = top_c(&q, &plan, &t);
-        assert_ne!(p.replicas[0].node, NodeId(2), "sink must not host top-c joins");
+        assert_ne!(
+            p.replicas[0].node,
+            NodeId(2),
+            "sink must not host top-c joins"
+        );
     }
 }

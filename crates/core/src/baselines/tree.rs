@@ -113,7 +113,10 @@ mod tests {
         let p = tree_based(&q, &plan, &t, &rtt);
         assert_eq!(p.replicas[0].node, NodeId(2));
         // Multi-hop route from node 4: 4→3→2.
-        assert_eq!(p.replicas[0].right_path, vec![NodeId(4), NodeId(3), NodeId(2)]);
+        assert_eq!(
+            p.replicas[0].right_path,
+            vec![NodeId(4), NodeId(3), NodeId(2)]
+        );
     }
 
     #[test]

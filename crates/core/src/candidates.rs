@@ -58,7 +58,12 @@ impl CandidateIndex {
     /// topology: workers and sources with live coordinates, with their
     /// full capacities as the initial availability. (Sinks are pinned
     /// and never candidates.)
-    pub fn build(topology: &Topology, space: &CostSpace, exact_threshold: usize, seed: u64) -> Self {
+    pub fn build(
+        topology: &Topology,
+        space: &CostSpace,
+        exact_threshold: usize,
+        seed: u64,
+    ) -> Self {
         let mut ids = Vec::with_capacity(topology.len());
         let mut coords = Vec::with_capacity(topology.len());
         let mut caps = Vec::with_capacity(topology.len());
@@ -98,7 +103,10 @@ impl CandidateIndex {
         } else {
             Backend::Approx(AnnoyIndex::build(
                 coords,
-                AnnoyParams { seed, ..AnnoyParams::default() },
+                AnnoyParams {
+                    seed,
+                    ..AnnoyParams::default()
+                },
             ))
         }
     }
@@ -159,7 +167,7 @@ impl CandidateIndex {
         for (id, coord, cap) in &self.extra {
             if *cap >= need {
                 let d = coord.dist(query);
-                if best.map_or(true, |(_, bd)| d < bd) {
+                if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((*id, d));
                 }
             }
@@ -239,7 +247,10 @@ impl CandidateIndex {
             .map(|&p| self.caps[p as usize])
             .filter(|c| c.is_finite())
             .or_else(|| {
-                self.extra.iter().find(|(x, _, _)| *x == id).map(|(_, _, c)| *c)
+                self.extra
+                    .iter()
+                    .find(|(x, _, _)| *x == id)
+                    .map(|(_, _, c)| *c)
             })
             .unwrap_or(f64::MAX);
         self.remove(id);
@@ -277,7 +288,11 @@ impl CandidateIndex {
         self.backend = Self::make_backend(&coords, &caps, self.exact_threshold, self.seed);
         self.dead = vec![false; ids.len()];
         self.dead_count = 0;
-        self.pos = ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        self.pos = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
         self.caps = caps;
         self.ids = ids;
     }
@@ -291,7 +306,11 @@ mod tests {
         let mut t = Topology::new();
         let mut coords = Vec::new();
         for i in 0..n {
-            let role = if i == 0 { NodeRole::Sink } else { NodeRole::Worker };
+            let role = if i == 0 {
+                NodeRole::Sink
+            } else {
+                NodeRole::Worker
+            };
             t.add_node(role, 100.0, format!("n{i}"));
             coords.push(Coord::xy(i as f64, 0.0));
         }
@@ -407,7 +426,10 @@ mod tests {
             idx.set_avail(NodeId(i), 2.0);
         }
         let (id, _) = idx.nearest_capable(&Coord::xy(100.0, 0.0), 50.0).unwrap();
-        assert!(!(90..=110).contains(&id.0), "drained region skipped, got {id}");
+        assert!(
+            !(90..=110).contains(&id.0),
+            "drained region skipped, got {id}"
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { count_forwarding: true }
+        EvalOptions {
+            count_forwarding: true,
+        }
     }
 }
 
@@ -145,7 +147,13 @@ pub fn evaluate(
         .count();
     let used_nodes = node_loads.len();
 
-    PlacementEval { path_latencies, node_loads, overloaded_nodes, used_nodes, network_traffic }
+    PlacementEval {
+        path_latencies,
+        node_loads,
+        overloaded_nodes,
+        used_nodes,
+        network_traffic,
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +177,12 @@ mod tests {
         10.0
     }
 
-    fn replica(node: NodeId, left: Vec<NodeId>, right: Vec<NodeId>, out: Vec<NodeId>) -> PlacedReplica {
+    fn replica(
+        node: NodeId,
+        left: Vec<NodeId>,
+        right: Vec<NodeId>,
+        out: Vec<NodeId>,
+    ) -> PlacedReplica {
         PlacedReplica {
             pair: PairId(0),
             node,
@@ -237,7 +250,14 @@ mod tests {
             vec![NodeId(0), NodeId(1)],
             vec![NodeId(1), NodeId(3)],
         ));
-        let e = evaluate(&p, &t, unit_dist, EvalOptions { count_forwarding: false });
+        let e = evaluate(
+            &p,
+            &t,
+            unit_dist,
+            EvalOptions {
+                count_forwarding: false,
+            },
+        );
         assert_eq!(e.used_nodes, 1);
         assert_eq!(e.overloaded_nodes, 0);
     }

@@ -22,8 +22,12 @@ pub struct JoinMatrix {
 impl JoinMatrix {
     /// An all-zero matrix.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        let words = (rows * cols + 63) / 64;
-        JoinMatrix { rows, cols, bits: vec![0; words] }
+        let words = (rows * cols).div_ceil(64);
+        JoinMatrix {
+            rows,
+            cols,
+            bits: vec![0; words],
+        }
     }
 
     /// A dense (all-ones) matrix — the initialization the paper uses when
@@ -66,7 +70,10 @@ impl JoinMatrix {
 
     #[inline]
     fn bit_index(&self, r: usize, c: usize) -> (usize, u64) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let idx = r * self.cols + c;
         (idx / 64, 1u64 << (idx % 64))
     }
@@ -96,9 +103,8 @@ impl JoinMatrix {
 
     /// Iterate over all set `(row, col)` entries in row-major order.
     pub fn ones(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.rows).flat_map(move |r| {
-            (0..self.cols).filter_map(move |c| self.get(r, c).then_some((r, c)))
-        })
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).filter_map(move |c| self.get(r, c).then_some((r, c))))
     }
 
     /// Grow the matrix by one row (new left stream), all entries zero.

@@ -69,12 +69,8 @@ pub use candidates::CandidateIndex;
 pub use eval::{evaluate, EvalOptions, PlacementEval};
 pub use joinmatrix::JoinMatrix;
 pub use optimizer::{Nova, NovaConfig};
-pub use partitioning::{
-    p_max, partition_rates, sigma_for_bandwidth, PartitionedJoin,
-};
-pub use placement::{
-    Availability, OverflowPolicy, PhaseThreeConfig, PlacedReplica, Placement,
-};
+pub use partitioning::{p_max, partition_rates, sigma_for_bandwidth, PartitionedJoin};
+pub use placement::{Availability, OverflowPolicy, PhaseThreeConfig, PlacedReplica, Placement};
 pub use plan::{JoinQuery, ResolvedPlan};
 pub use reopt::{ReoptError, ReoptOutcome};
 pub use types::{JoinPair, PairId, Side, StreamSpec};

@@ -25,9 +25,7 @@ use nova_topology::{LatencyProvider, Topology};
 
 use crate::candidates::CandidateIndex;
 use crate::partitioning::sigma_for_bandwidth;
-use crate::placement::{
-    place_pair, Availability, OverflowPolicy, PhaseThreeConfig, Placement,
-};
+use crate::placement::{place_pair, Availability, OverflowPolicy, PhaseThreeConfig, Placement};
 use crate::plan::{JoinQuery, ResolvedPlan};
 use crate::virtual_placement;
 
@@ -118,7 +116,8 @@ impl Nova {
     }
 
     fn build(topology: Topology, space: CostSpace, config: NovaConfig) -> Self {
-        let index = CandidateIndex::build(&topology, &space, config.exact_index_threshold, config.seed);
+        let index =
+            CandidateIndex::build(&topology, &space, config.exact_index_threshold, config.seed);
         let avail = Availability::from_topology(&topology);
         let median_capacity = avail.median_capacity(&topology);
         Nova {
@@ -267,8 +266,7 @@ impl Nova {
         let query = self.query.as_ref().ok_or("no active query")?;
         let plan = self.plan.as_ref().ok_or("no plan")?;
         // Expected availability per node.
-        let mut expected: Vec<f64> =
-            self.topology.nodes().iter().map(|n| n.capacity).collect();
+        let mut expected: Vec<f64> = self.topology.nodes().iter().map(|n| n.capacity).collect();
         for s in query.left.iter().chain(&query.right) {
             expected[s.node.idx()] -= s.rate;
         }
@@ -313,8 +311,7 @@ mod tests {
         // Ground-truth-quality cost space from classical MDS over the
         // measured matrix, so the test exercises placement rather than
         // embedding noise.
-        let coords =
-            nova_netcoord::classical_mds(ex.rtt.dense(), 2, 7);
+        let coords = nova_netcoord::classical_mds(ex.rtt.dense(), 2, 7);
         let space = CostSpace::new(coords);
         let query = JoinQuery::by_key(
             ex.pressure
@@ -333,8 +330,15 @@ mod tests {
                 .collect(),
             ex.sink,
         );
-        let config = NovaConfig { c_min: 15.0, sigma: 0.4, ..Default::default() };
-        (Nova::with_cost_space(ex.topology.clone(), space, config), query)
+        let config = NovaConfig {
+            c_min: 15.0,
+            sigma: 0.4,
+            ..Default::default()
+        };
+        (
+            Nova::with_cost_space(ex.topology.clone(), space, config),
+            query,
+        )
     }
 
     #[test]
@@ -429,7 +433,10 @@ mod tests {
         let mut nova = Nova::from_provider(
             ex.topology.clone(),
             ex.rtt.dense(),
-            NovaConfig { c_min: 15.0, ..Default::default() },
+            NovaConfig {
+                c_min: 15.0,
+                ..Default::default()
+            },
         );
         nova.optimize(query);
         assert!(!nova.placement().replicas.is_empty());

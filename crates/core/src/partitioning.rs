@@ -107,7 +107,7 @@ pub fn partition_rates(rate: f64, p_max: f64) -> Vec<f64> {
     let full = (rate / p_max).floor() as usize;
     let remainder = rate - full as f64 * p_max;
     let mut out = Vec::with_capacity(full + 1);
-    out.extend(std::iter::repeat(p_max).take(full));
+    out.extend(std::iter::repeat_n(p_max, full));
     if remainder > 1e-9 {
         out.push(remainder);
     }
@@ -165,10 +165,19 @@ mod tests {
 
     #[test]
     fn partitions_conserve_rate() {
-        for (rate, p_max) in [(10.0, 3.0), (7.5, 2.5), (100.0, 7.0), (1.0, 1.0), (0.3, 1.0)] {
+        for (rate, p_max) in [
+            (10.0, 3.0),
+            (7.5, 2.5),
+            (100.0, 7.0),
+            (1.0, 1.0),
+            (0.3, 1.0),
+        ] {
             let parts = partition_rates(rate, p_max);
             let sum: f64 = parts.iter().sum();
-            assert!((sum - rate).abs() < 1e-9, "rate {rate} p_max {p_max}: {parts:?}");
+            assert!(
+                (sum - rate).abs() < 1e-9,
+                "rate {rate} p_max {p_max}: {parts:?}"
+            );
             for p in &parts {
                 assert!(*p <= p_max + 1e-9);
                 assert!(*p > 0.0);
@@ -220,11 +229,10 @@ mod tests {
         let dr_s = 2.0;
         let dr_t = 10.0;
         // Independent: split each stream into 1/σ = 2 partitions.
-        let ind_left = vec![1.0, 1.0];
-        let ind_right = vec![5.0, 5.0];
+        let ind_left = [1.0, 1.0];
+        let ind_right = [5.0, 5.0];
         let ind_cap = 1.0 + 5.0;
-        let ind_transfer =
-            ind_left.iter().sum::<f64>() * 2.0 + ind_right.iter().sum::<f64>() * 2.0;
+        let ind_transfer = ind_left.iter().sum::<f64>() * 2.0 + ind_right.iter().sum::<f64>() * 2.0;
         assert_eq!(ind_cap, 6.0);
         assert_eq!(ind_transfer, 24.0);
         let joint = PartitionedJoin::decompose(dr_s, dr_t, 0.5);

@@ -86,7 +86,9 @@ pub struct Availability {
 impl Availability {
     /// Initialize from the topology's node capacities.
     pub fn from_topology(topology: &Topology) -> Self {
-        Availability { avail: topology.nodes().iter().map(|n| n.capacity).collect() }
+        Availability {
+            avail: topology.nodes().iter().map(|n| n.capacity).collect(),
+        }
     }
 
     /// Remaining capacity of a node.
@@ -188,7 +190,10 @@ pub struct Placement {
 impl Placement {
     /// An empty placement for the given approach label.
     pub fn new(approach: impl Into<String>) -> Self {
-        Placement { approach: approach.into(), replicas: Vec::new() }
+        Placement {
+            approach: approach.into(),
+            replicas: Vec::new(),
+        }
     }
 
     /// Distinct nodes hosting at least one replica.
@@ -206,7 +211,10 @@ impl Placement {
 
     /// Total number of sub-replicas before merging.
     pub fn sub_replica_count(&self) -> usize {
-        self.replicas.iter().map(|r| r.merged_replicas as usize).sum()
+        self.replicas
+            .iter()
+            .map(|r| r.merged_replicas as usize)
+            .sum()
     }
 
     /// All replicas of one pair.
@@ -282,13 +290,17 @@ pub fn place_pair(
     let right_stream = query.right_stream(pair);
     let parts = PartitionedJoin::decompose(left_stream.rate, right_stream.rate, cfg.sigma);
     if parts.replica_count() == 0 {
-        return PlacePairOutcome { replicas: Vec::new() };
+        return PlacePairOutcome {
+            replicas: Vec::new(),
+        };
     }
 
     // The paper's adaptive V_knn: k scales with the pair's total demand
     // relative to the median per-node availability.
     let total_required = query.required_capacity(pair);
-    let k = ((total_required / median_capacity).ceil().max(cfg.k_min as f64) as usize)
+    let k = ((total_required / median_capacity)
+        .ceil()
+        .max(cfg.k_min as f64) as usize)
         .min(index.live_count().max(1));
     let vknn: Vec<(NodeId, f64)> = index.knn(&virtual_pos, k);
     let restrict_to_vknn = matches!(cfg.overflow, OverflowPolicy::DistributeEvenly);
@@ -311,7 +323,12 @@ pub fn place_pair(
             // (a) closest already-used node that fits incrementally.
             let reuse = used
                 .iter()
-                .find(|(n, _)| fits(avail.get(*n), incremental_cost(&per_node, *n, &parts, li, rj)))
+                .find(|(n, _)| {
+                    fits(
+                        avail.get(*n),
+                        incremental_cost(&per_node, *n, &parts, li, rj),
+                    )
+                })
                 .copied();
             // (b) nearest fresh node able to host the full replica and
             // satisfying C_min (Eq. 3).
@@ -338,7 +355,9 @@ pub fn place_pair(
                     // restricted policy) can host this replica: accept
                     // overload and distribute the rest evenly.
                     if vknn.is_empty() {
-                        return PlacePairOutcome { replicas: Vec::new() };
+                        return PlacePairOutcome {
+                            replicas: Vec::new(),
+                        };
                     }
                     distribute_cursor = Some(1);
                     let (node, dist) = vknn[0];
@@ -480,7 +499,11 @@ mod tests {
             vec![StreamSpec::keyed(r, 25.0, 1)],
             sink,
         );
-        Fixture { topology: t, space: CostSpace::new(coords), query }
+        Fixture {
+            topology: t,
+            space: CostSpace::new(coords),
+            query,
+        }
     }
 
     fn run(f: &Fixture, cfg: &PhaseThreeConfig) -> (Vec<PlacedReplica>, Availability) {
@@ -503,7 +526,10 @@ mod tests {
     #[test]
     fn unpartitioned_pair_fits_single_worker() {
         let f = fixture(&[100.0]);
-        let cfg = PhaseThreeConfig { sigma: 1.0, ..Default::default() };
+        let cfg = PhaseThreeConfig {
+            sigma: 1.0,
+            ..Default::default()
+        };
         let (reps, avail) = run(&f, &cfg);
         assert_eq!(reps.len(), 1);
         let rep = &reps[0];
@@ -521,7 +547,10 @@ mod tests {
         // second node duplicates some traffic — the bandwidth/overload
         // trade-off of §3.4).
         let f = fixture(&[40.0, 40.0]);
-        let cfg = PhaseThreeConfig { sigma: 0.4, ..Default::default() };
+        let cfg = PhaseThreeConfig {
+            sigma: 0.4,
+            ..Default::default()
+        };
         let (reps, avail) = run(&f, &cfg);
         assert!(reps.len() >= 2, "should use both workers: {reps:?}");
         for rep in &reps {
@@ -543,7 +572,10 @@ mod tests {
         // can host ALL of them because merged accounting charges each
         // distinct partition once (total distinct = 25 + 25 = 50).
         let f = fixture(&[50.0]);
-        let cfg = PhaseThreeConfig { sigma: 0.0, ..Default::default() };
+        let cfg = PhaseThreeConfig {
+            sigma: 0.0,
+            ..Default::default()
+        };
         let (reps, avail) = run(&f, &cfg);
         assert_eq!(reps.len(), 1);
         assert_eq!(reps[0].merged_replicas, 625);
@@ -565,7 +597,10 @@ mod tests {
         };
         let (reps, _) = run(&f, &cfg);
         let total: f64 = reps.iter().map(|r| r.required_capacity()).sum();
-        assert!((total - 50.0).abs() < 1e-9, "all load must be placed, got {total}");
+        assert!(
+            (total - 50.0).abs() < 1e-9,
+            "all load must be placed, got {total}"
+        );
         assert!(reps.iter().any(|r| r.overflowed));
     }
 
@@ -574,7 +609,11 @@ mod tests {
         // First worker has 12 < C_min = 15: must not be used even though
         // it is nearest.
         let f = fixture(&[12.0, 100.0]);
-        let cfg = PhaseThreeConfig { c_min: 15.0, sigma: 1.0, ..Default::default() };
+        let cfg = PhaseThreeConfig {
+            c_min: 15.0,
+            sigma: 1.0,
+            ..Default::default()
+        };
         let (reps, _) = run(&f, &cfg);
         assert_eq!(reps.len(), 1);
         assert_eq!(f.topology.node(reps[0].node).label, "w1");
@@ -583,7 +622,10 @@ mod tests {
     #[test]
     fn paths_are_direct_legs() {
         let f = fixture(&[100.0]);
-        let cfg = PhaseThreeConfig { sigma: 1.0, ..Default::default() };
+        let cfg = PhaseThreeConfig {
+            sigma: 1.0,
+            ..Default::default()
+        };
         let (reps, _) = run(&f, &cfg);
         let rep = &reps[0];
         assert_eq!(rep.left_path.len(), 2);

@@ -36,18 +36,33 @@ impl JoinQuery {
     /// predefined-condition case (e.g. regional joins).
     pub fn by_key(left: Vec<StreamSpec>, right: Vec<StreamSpec>, sink: NodeId) -> Self {
         let matrix = JoinMatrix::by_key(&left, &right);
-        JoinQuery { left, right, sink, matrix, selectivity: 1.0 }
+        JoinQuery {
+            left,
+            right,
+            sink,
+            matrix,
+            selectivity: 1.0,
+        }
     }
 
     /// Build a query with a dense matrix — every pair must be evaluated.
     pub fn dense(left: Vec<StreamSpec>, right: Vec<StreamSpec>, sink: NodeId) -> Self {
         let matrix = JoinMatrix::dense(left.len(), right.len());
-        JoinQuery { left, right, sink, matrix, selectivity: 1.0 }
+        JoinQuery {
+            left,
+            right,
+            sink,
+            matrix,
+            selectivity: 1.0,
+        }
     }
 
     /// Override the join selectivity.
     pub fn with_selectivity(mut self, selectivity: f64) -> Self {
-        assert!(selectivity >= 0.0 && selectivity.is_finite(), "invalid selectivity");
+        assert!(
+            selectivity >= 0.0 && selectivity.is_finite(),
+            "invalid selectivity"
+        );
         self.selectivity = selectivity;
         self
     }
@@ -55,13 +70,25 @@ impl JoinQuery {
     /// Resolve the query into its parallelized logical plan: one join
     /// replica per set matrix entry (§3.3 "pair-wise join replication").
     pub fn resolve(&self) -> ResolvedPlan {
-        assert_eq!(self.matrix.rows(), self.left.len(), "matrix rows != left streams");
-        assert_eq!(self.matrix.cols(), self.right.len(), "matrix cols != right streams");
+        assert_eq!(
+            self.matrix.rows(),
+            self.left.len(),
+            "matrix rows != left streams"
+        );
+        assert_eq!(
+            self.matrix.cols(),
+            self.right.len(),
+            "matrix cols != right streams"
+        );
         let pairs: Vec<JoinPair> = self
             .matrix
             .ones()
             .enumerate()
-            .map(|(i, (r, c))| JoinPair { id: PairId(i as u32), left: r as u32, right: c as u32 })
+            .map(|(i, (r, c))| JoinPair {
+                id: PairId(i as u32),
+                left: r as u32,
+                right: c as u32,
+            })
             .collect();
         ResolvedPlan { pairs }
     }
@@ -178,7 +205,10 @@ mod tests {
 
     #[test]
     fn dense_query_creates_full_cross() {
-        let left = vec![StreamSpec::new(NodeId(0), 1.0), StreamSpec::new(NodeId(1), 2.0)];
+        let left = vec![
+            StreamSpec::new(NodeId(0), 1.0),
+            StreamSpec::new(NodeId(1), 2.0),
+        ];
         let right = vec![StreamSpec::new(NodeId(2), 3.0)];
         let q = JoinQuery::dense(left, right, NodeId(3));
         assert_eq!(q.resolve().len(), 2);

@@ -130,7 +130,10 @@ impl Nova {
                 }
             }
         }
-        let mut outcome = ReoptOutcome { new_node: Some(id), ..Default::default() };
+        let mut outcome = ReoptOutcome {
+            new_node: Some(id),
+            ..Default::default()
+        };
         // Phase II + III for the new sub-branch only.
         for (left, right) in new_pairs {
             let pair = crate::types::JoinPair {
@@ -181,10 +184,9 @@ impl Nova {
         }
         let mut outcome = ReoptOutcome::default();
         let role = self.topology.node(id).role;
-        if role == NodeRole::Source && self.query.is_some() {
+        if let (NodeRole::Source, Some(query)) = (role, self.query.as_mut()) {
             // Deactivate every pair over a stream produced by this node
             // and clear the corresponding join-matrix entries.
-            let query = self.query.as_mut().expect("checked");
             let plan = self.plan.as_ref().expect("plan exists with query");
             let mut dead_pairs = Vec::new();
             for pair in &plan.pairs {
@@ -195,7 +197,9 @@ impl Nova {
                 let r = query.right[pair.right as usize].node;
                 if l == id || r == id {
                     dead_pairs.push(pair.id);
-                    query.matrix.set(pair.left as usize, pair.right as usize, false);
+                    query
+                        .matrix
+                        .set(pair.left as usize, pair.right as usize, false);
                 }
             }
             for pid in dead_pairs {
@@ -489,7 +493,11 @@ mod tests {
             .nova
             .add_source(&rtt_grown, Side::Left, 20.0, 1, 10.0, "l3")
             .expect("add source");
-        assert_eq!(out.replaced_pairs.len(), 1, "one matching right stream with key 1");
+        assert_eq!(
+            out.replaced_pairs.len(),
+            1,
+            "one matching right stream with key 1"
+        );
         assert!(w.nova.placement().replicas.len() > n_before);
         // The new pair's replicas ingest the new source's rate.
         let new_pair = out.replaced_pairs[0];
@@ -516,8 +524,7 @@ mod tests {
             .map(|r| r.pair)
             .collect();
         let out = w.nova.remove_node(victim).expect("remove");
-        let replaced: std::collections::HashSet<_> =
-            out.replaced_pairs.iter().copied().collect();
+        let replaced: std::collections::HashSet<_> = out.replaced_pairs.iter().copied().collect();
         assert_eq!(replaced, victim_pairs);
         // Nothing remains on the removed node.
         assert!(w.nova.placement().replicas.iter().all(|r| r.node != victim));
@@ -541,12 +548,22 @@ mod tests {
     #[test]
     fn rate_change_replaces_affected_pair_with_new_rate() {
         let mut w = world();
-        let out = w.nova.change_rate(Side::Left, 0, 60.0).expect("rate change");
+        let out = w
+            .nova
+            .change_rate(Side::Left, 0, 60.0)
+            .expect("rate change");
         assert_eq!(out.replaced_pairs.len(), 1);
         let pid = out.replaced_pairs[0];
-        let left_total: f64 =
-            w.nova.placement().replicas_of(pid).map(|r| r.left_rate).sum();
-        assert!(left_total >= 60.0 - 1e-9, "left rate re-placed: {left_total}");
+        let left_total: f64 = w
+            .nova
+            .placement()
+            .replicas_of(pid)
+            .map(|r| r.left_rate)
+            .sum();
+        assert!(
+            left_total >= 60.0 - 1e-9,
+            "left rate re-placed: {left_total}"
+        );
     }
 
     #[test]
@@ -554,7 +571,10 @@ mod tests {
         let mut w = world();
         let hosts = w.nova.placement().nodes_used();
         let victim = hosts[0];
-        let out = w.nova.change_capacity(victim, 1.0).expect("capacity change");
+        let out = w
+            .nova
+            .change_capacity(victim, 1.0)
+            .expect("capacity change");
         assert!(!out.replaced_pairs.is_empty());
         // The shrunk node cannot host the old load any more (C_r per pair
         // is 60 > 1); replicas must have moved.
@@ -574,7 +594,10 @@ mod tests {
         let mut w = world();
         let hosts = w.nova.placement().nodes_used();
         let victim = hosts[0];
-        let out = w.nova.update_coordinates(&w.rtt, victim).expect("coord update");
+        let out = w
+            .nova
+            .update_coordinates(&w.rtt, victim)
+            .expect("coord update");
         assert!(!out.replaced_pairs.is_empty());
         let pairs: std::collections::HashSet<_> =
             w.nova.placement().replicas.iter().map(|r| r.pair).collect();
@@ -589,10 +612,14 @@ mod tests {
         let mut nova = Nova::with_cost_space(t, space, NovaConfig::default());
         let rtt = DenseRtt::zeros(1);
         assert_eq!(
-            nova.add_source(&rtt, Side::Left, 1.0, 1, 1.0, "x").unwrap_err(),
+            nova.add_source(&rtt, Side::Left, 1.0, 1, 1.0, "x")
+                .unwrap_err(),
             ReoptError::NoActiveQuery
         );
-        assert_eq!(nova.change_rate(Side::Left, 0, 1.0).unwrap_err(), ReoptError::NoActiveQuery);
+        assert_eq!(
+            nova.change_rate(Side::Left, 0, 1.0).unwrap_err(),
+            ReoptError::NoActiveQuery
+        );
     }
 
     /// Extend a DenseRtt with one extra node at the given ground-truth

@@ -40,12 +40,20 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// A keyless stream at `node` with the given rate.
     pub fn new(node: NodeId, rate: f64) -> Self {
-        StreamSpec { node, rate, key: None }
+        StreamSpec {
+            node,
+            rate,
+            key: None,
+        }
     }
 
     /// A keyed stream (key = join attribute value, e.g. region).
     pub fn keyed(node: NodeId, rate: f64, key: u32) -> Self {
-        StreamSpec { node, rate, key: Some(key) }
+        StreamSpec {
+            node,
+            rate,
+            key: Some(key),
+        }
     }
 }
 

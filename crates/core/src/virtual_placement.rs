@@ -56,9 +56,9 @@ mod tests {
 
     fn space() -> CostSpace {
         CostSpace::new(vec![
-            Coord::xy(0.0, 0.0),   // n0: left source
-            Coord::xy(10.0, 0.0),  // n1: right source
-            Coord::xy(5.0, 10.0),  // n2: sink
+            Coord::xy(0.0, 0.0),     // n0: left source
+            Coord::xy(10.0, 0.0),    // n1: right source
+            Coord::xy(5.0, 10.0),    // n2: sink
             Coord::xy(100.0, 100.0), // n3: another left source
         ])
     }

@@ -56,7 +56,7 @@ proptest! {
         let parts = partition_rates(rate, pm);
         let expected = (rate / pm).ceil() as usize;
         // Floating-point boundary: a remainder below 1e-9 merges away.
-        prop_assert!(parts.len() == expected || parts.len() == expected.saturating_sub(0).max(1) - 0 || parts.len() + 1 == expected,
+        prop_assert!(parts.len() == expected || parts.len() == expected.saturating_sub(0).max(1) || parts.len() + 1 == expected,
             "rate {rate} pm {pm}: got {} want {expected}", parts.len());
     }
 }
@@ -83,7 +83,10 @@ fn feasible_world(
         let l = t.add_node(NodeRole::Source, 1.0, format!("l{k}"));
         coords.push(Coord::xy(lx, ly));
         let r = t.add_node(NodeRole::Source, 1.0, format!("r{k}"));
-        coords.push(Coord::xy(lx + rng.gen_range(-5.0..5.0), ly + rng.gen_range(-5.0..5.0)));
+        coords.push(Coord::xy(
+            lx + rng.gen_range(-5.0..5.0),
+            ly + rng.gen_range(-5.0..5.0),
+        ));
         left.push(StreamSpec::keyed(l, rate, k as u32));
         right.push(StreamSpec::keyed(r, rate, k as u32));
     }
@@ -97,7 +100,10 @@ fn feasible_world(
     let per_worker = (4.5 * total_demand / n_workers as f64).max(0.45 * pair_demand);
     for i in 0..n_workers {
         t.add_node(NodeRole::Worker, per_worker, format!("w{i}"));
-        coords.push(Coord::xy(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0)));
+        coords.push(Coord::xy(
+            rng.gen_range(-50.0..50.0),
+            rng.gen_range(-50.0..50.0),
+        ));
     }
     let query = JoinQuery::by_key(left, right, sink);
     (t, CostSpace::new(coords), query)

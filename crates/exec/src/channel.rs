@@ -1,0 +1,170 @@
+//! Bounded MPSC links between workers.
+//!
+//! Channels are the executor's network links: every join instance and
+//! the sink own one bounded multi-producer single-consumer channel, and
+//! every upstream worker holds a cloned sender. Sends *block* when the
+//! receiver's buffer is full — backpressure propagates upstream exactly
+//! as a full TCP window would — while latency-model load shedding is
+//! handled separately by the [`crate::metrics::NodePacer`]s. Tuples
+//! travel in batches to amortize per-message synchronization, which is
+//! what lets a single box push >10⁶ tuples/s through the executor.
+
+use std::sync::mpsc::{sync_channel, Receiver as MpscReceiver, SyncSender, TrySendError};
+
+use nova_runtime::{OutputTuple, Tuple};
+
+/// An input tuple in flight to a join instance.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlight {
+    /// The routed tuple.
+    pub tuple: Tuple,
+    /// Virtual time at which the tuple has cleared every relay hop and
+    /// the instance node's ingest service slot.
+    pub deliver_at: f64,
+}
+
+/// A join output in flight to the sink.
+#[derive(Debug, Clone, Copy)]
+pub struct OutFlight {
+    /// The join result.
+    pub out: OutputTuple,
+    /// Virtual time at which the output reaches the sink node (before
+    /// the sink's own service slot).
+    pub deliver_at: f64,
+}
+
+/// Message on a source → join-instance channel.
+#[derive(Debug)]
+pub enum JoinMsg {
+    /// A batch of tuples from one source task.
+    Batch {
+        /// Index of the producing source task.
+        source: u32,
+        /// The tuples, in emission order.
+        tuples: Vec<InFlight>,
+    },
+    /// The source has emitted its last tuple.
+    Eof {
+        /// Index of the finished source task.
+        source: u32,
+    },
+}
+
+/// Message on a join-instance → sink channel.
+#[derive(Debug)]
+pub enum SinkMsg {
+    /// A batch of join outputs from one instance.
+    Batch {
+        /// Index of the producing join instance.
+        instance: u32,
+        /// The outputs, in production order.
+        outputs: Vec<OutFlight>,
+    },
+    /// The instance has produced its last output.
+    Eof {
+        /// Index of the finished instance.
+        instance: u32,
+    },
+}
+
+/// Sending half of a bounded link. Cloneable (multi-producer).
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: SyncSender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Receiving half of a bounded link.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: MpscReceiver<T>,
+}
+
+/// Create a bounded link buffering at most `capacity` messages.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = sync_channel(capacity.max(1));
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+impl<T> Sender<T> {
+    /// Blocking send; `Err` when the receiver is gone (its worker
+    /// finished or panicked), which senders treat as end-of-run.
+    pub fn send(&self, msg: T) -> Result<(), Closed> {
+        self.inner.send(msg).map_err(|_| Closed)
+    }
+
+    /// Non-blocking send: `Ok(true)` if accepted, `Ok(false)` if the
+    /// buffer is full, `Err` when the receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<bool, Closed> {
+        match self.inner.try_send(msg) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => Ok(false),
+            Err(TrySendError::Disconnected(_)) => Err(Closed),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive; `None` once every sender is dropped and the
+    /// buffer is drained.
+    pub fn recv(&self) -> Option<T> {
+        self.inner.recv().ok()
+    }
+}
+
+/// The other side of a link hung up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_arrive_in_order_per_producer() {
+        let (tx, rx) = bounded::<u32>(4);
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        let mut last = None;
+        let mut count = 0;
+        drop(tx);
+        while let Some(v) = rx.recv() {
+            if let Some(prev) = last {
+                assert!(v > prev, "FIFO violated: {v} after {prev}");
+            }
+            last = Some(v);
+            count += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn recv_ends_when_all_senders_drop() {
+        let (tx, rx) = bounded::<u8>(2);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_send_reports_full_buffers() {
+        let (tx, _rx) = bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(true));
+        assert_eq!(tx.try_send(2), Ok(false));
+    }
+}

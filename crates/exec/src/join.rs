@@ -1,0 +1,147 @@
+//! Join workers: windowed symmetric hash joins on real threads.
+//!
+//! Each deployed join instance runs on its own OS thread and reuses the
+//! simulator's [`WindowBuffers`] state machine — per-tumbling-window
+//! symmetric hash tables with watermark-driven garbage collection — and
+//! its deterministic [`match_survives`] selectivity test, so a given
+//! pair of tuples produces an output in the executor iff it does in the
+//! simulator. Watermarks are event-time based: tuples from one source
+//! arrive in event-time order over FIFO channels, so the minimum of the
+//! per-source frontiers bounds every future arrival, making garbage
+//! collection safe (and match counts deterministic) regardless of how
+//! the OS interleaves the threads.
+
+use std::collections::HashMap;
+
+use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers};
+
+use crate::channel::{JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
+use crate::metrics::{Counters, NodePacer};
+use crate::worker::CompiledInstance;
+use crate::ExecConfig;
+
+/// Join worker loop for one instance. Consumes input batches until all
+/// producing sources signalled Eof, then flushes and closes its side of
+/// the sink channel.
+pub(crate) fn run_join(
+    inst: CompiledInstance,
+    cfg: &ExecConfig,
+    pacers: &[NodePacer],
+    counters: &Counters,
+    rx: Receiver<JoinMsg>,
+    sink_tx: Sender<SinkMsg>,
+) {
+    let mut buffers = WindowBuffers::new();
+    let mut frontiers: HashMap<u32, f64> = HashMap::new();
+    let mut eofs = 0usize;
+    let mut out_batch: Vec<OutFlight> = Vec::new();
+    let mut matched = 0u64;
+    let mut last_gc_watermark = 0.0f64;
+
+    if inst.producers == 0 {
+        let _ = sink_tx.send(SinkMsg::Eof {
+            instance: inst.index,
+        });
+        return;
+    }
+
+    'consume: while let Some(msg) = rx.recv() {
+        match msg {
+            JoinMsg::Batch { source, tuples } => {
+                let mut frontier = frontiers.get(&source).copied().unwrap_or(0.0);
+                for inflight in tuples {
+                    let tuple = inflight.tuple;
+                    frontier = frontier.max(tuple.event_time);
+                    let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
+                    let partners = buffers.insert_and_probe(
+                        window,
+                        tuple.side,
+                        BufferedTuple {
+                            seq: tuple.seq,
+                            event_time: tuple.event_time,
+                        },
+                    );
+                    for partner in partners {
+                        if !match_survives(
+                            tuple.seq,
+                            partner.seq,
+                            tuple.side,
+                            cfg.selectivity,
+                            cfg.seed,
+                        ) {
+                            continue;
+                        }
+                        matched += 1;
+                        let out = OutputTuple {
+                            pair: inst.pair,
+                            key: tuple.key,
+                            event_time: tuple.event_time.max(partner.event_time),
+                        };
+                        // Chain the output through the relay hops of the
+                        // out-path; the sink's own service slot is
+                        // charged by the sink worker.
+                        let mut deliver_at = inflight.deliver_at;
+                        let mut delivered = true;
+                        for seg in &inst.out_relays {
+                            deliver_at += seg.link_ms;
+                            match pacers[seg.node].serve(deliver_at) {
+                                Some(done) => deliver_at = done,
+                                None => {
+                                    Counters::bump(&counters.dropped, 1);
+                                    delivered = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if delivered {
+                            out_batch.push(OutFlight {
+                                out,
+                                deliver_at: deliver_at + inst.out_final_link_ms,
+                            });
+                        }
+                    }
+                    if out_batch.len() >= cfg.batch_size
+                        && !flush(&sink_tx, inst.index, &mut out_batch)
+                    {
+                        break 'consume;
+                    }
+                }
+                frontiers.insert(source, frontier);
+
+                // Event-time watermark: nothing older than the smallest
+                // per-source frontier can still arrive.
+                if frontiers.len() == inst.producers {
+                    let watermark = frontiers.values().copied().fold(f64::INFINITY, f64::min);
+                    if watermark - last_gc_watermark >= cfg.gc_interval_ms {
+                        buffers.gc(watermark, cfg.window_ms);
+                        last_gc_watermark = watermark;
+                    }
+                }
+                if !out_batch.is_empty() && !flush(&sink_tx, inst.index, &mut out_batch) {
+                    break 'consume;
+                }
+            }
+            JoinMsg::Eof { source } => {
+                frontiers.insert(source, f64::INFINITY);
+                eofs += 1;
+                if eofs == inst.producers {
+                    break;
+                }
+            }
+        }
+    }
+
+    let _ = flush(&sink_tx, inst.index, &mut out_batch);
+    Counters::bump(&counters.matched, matched);
+    let _ = sink_tx.send(SinkMsg::Eof {
+        instance: inst.index,
+    });
+}
+
+fn flush(sink_tx: &Sender<SinkMsg>, instance: u32, batch: &mut Vec<OutFlight>) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    let outputs = std::mem::take(batch);
+    sink_tx.send(SinkMsg::Batch { instance, outputs }).is_ok()
+}

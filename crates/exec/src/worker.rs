@@ -1,0 +1,393 @@
+//! Plan compilation and the source/sink worker loops.
+//!
+//! Before any thread starts, the [`Dataflow`] is *compiled*: every
+//! routing path is resolved into a flat chain of `(node, link-delay)`
+//! segments so worker threads never consult the topology or the latency
+//! oracle at runtime. A source thread then plays its stream against the
+//! virtual clock — token-bucket pacing against the configured rate,
+//! ingest service on the source node's pacer, relay charges along the
+//! compiled segments — and ships batches over the bounded channels. The
+//! sink thread is the measurement point: it charges the sink node's
+//! service slot per output and records [`OutputRecord`]s.
+
+use nova_core::Side;
+use nova_runtime::{pick_partition, Dataflow, OutputRecord, Tuple};
+use nova_topology::{NodeId, Topology};
+use rand::prelude::*;
+use std::time::Instant;
+
+use crate::channel::{InFlight, JoinMsg, Receiver, Sender, SinkMsg};
+use crate::metrics::{Counters, NodePacer};
+use crate::ExecConfig;
+
+/// Wall-to-virtual time mapping shared by every worker.
+///
+/// Virtual time runs `scale`× faster than wall time, so a 120 s
+/// experiment can execute in 120/scale wall seconds while keeping every
+/// virtual-domain quantity (rates, window assignment, latencies)
+/// identical. `scale = 1` is real time.
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualClock {
+    start: Instant,
+    scale: f64,
+}
+
+impl VirtualClock {
+    /// Start the clock now.
+    pub fn start(scale: f64) -> Self {
+        VirtualClock {
+            start: Instant::now(),
+            scale: if scale > 0.0 { scale } else { 1.0 },
+        }
+    }
+
+    /// Current virtual time in ms.
+    #[inline]
+    pub fn now_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0 * self.scale
+    }
+
+    /// Elapsed wall time in ms.
+    pub fn wall_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Sleep until virtual time `t` (coarse: re-checks after sleeping).
+    pub fn sleep_until(&self, t: f64) {
+        loop {
+            let now = self.now_ms();
+            if now >= t {
+                return;
+            }
+            let wall_ms = (t - now) / self.scale;
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                (wall_ms / 1000.0).max(50e-6),
+            ));
+        }
+    }
+}
+
+/// One hop of a compiled route: pay `link_ms` of wire delay, then one
+/// service slot on `node`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Segment {
+    pub node: usize,
+    pub link_ms: f64,
+}
+
+/// A compiled path from a source to one join instance. The final
+/// segment's node is the instance's host, so clearing the chain includes
+/// the instance's ingest service charge (mirroring the simulator, which
+/// serves the instance node on the tuple's final `InputArrive`).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledRoute {
+    pub instance: u32,
+    pub segments: Vec<Segment>,
+}
+
+/// A source's routing table for one join pair.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledFeed {
+    pub pair: nova_core::PairId,
+    pub partition_rates: Vec<f64>,
+    /// Per partition index: the routes to every hosting instance.
+    pub routes: Vec<Vec<CompiledRoute>>,
+}
+
+/// A fully compiled source task.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSource {
+    pub index: u32,
+    pub node: usize,
+    pub side: Side,
+    pub key: u32,
+    /// Emission interval in virtual ms.
+    pub interval_ms: f64,
+    /// First emission time (sources are staggered like the simulator to
+    /// avoid phase artifacts).
+    pub first_at_ms: f64,
+    pub feeds: Vec<CompiledFeed>,
+    /// Distinct instances this source can reach (Eof fan-out).
+    pub targets: Vec<u32>,
+}
+
+/// A compiled join instance.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledInstance {
+    pub index: u32,
+    pub pair: nova_core::PairId,
+    /// Relay hops of the output path (excludes the sink itself).
+    pub out_relays: Vec<Segment>,
+    /// Wire delay of the final hop into the sink (0 when co-located).
+    pub out_final_link_ms: f64,
+    /// Whether the sink node charges a service slot per output (false
+    /// when the join runs on the sink itself, like the simulator).
+    pub charge_sink: bool,
+    /// Number of sources feeding this instance (Eof quorum).
+    pub producers: usize,
+}
+
+/// The compiled plan: everything workers need, oracle-free.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPlan {
+    pub sources: Vec<CompiledSource>,
+    pub instances: Vec<CompiledInstance>,
+}
+
+/// Resolve the dataflow against the topology and latency oracle.
+pub(crate) fn compile(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+) -> CompiledPlan {
+    let _ = topology; // capacities are consumed by the pacer table
+    let mut producer_sets: Vec<Vec<u32>> = vec![Vec::new(); dataflow.instances.len()];
+
+    let sources: Vec<CompiledSource> = dataflow
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let interval_ms = 1000.0 / s.rate;
+            let mut targets: Vec<u32> = Vec::new();
+            let feeds: Vec<CompiledFeed> = s
+                .feeds
+                .iter()
+                .map(|f| CompiledFeed {
+                    pair: f.pair,
+                    partition_rates: f.partition_rates.clone(),
+                    routes: f
+                        .routes
+                        .iter()
+                        .map(|routes| {
+                            routes
+                                .iter()
+                                .map(|r| {
+                                    if !targets.contains(&r.instance) {
+                                        targets.push(r.instance);
+                                    }
+                                    let segments = if r.path.len() >= 2 {
+                                        r.path
+                                            .windows(2)
+                                            .map(|w| Segment {
+                                                node: w[1].idx(),
+                                                link_ms: dist(w[0], w[1]),
+                                            })
+                                            .collect()
+                                    } else {
+                                        // Join co-located with the source:
+                                        // the join work still takes its own
+                                        // service slot on the source node.
+                                        vec![Segment {
+                                            node: s.node.idx(),
+                                            link_ms: 0.0,
+                                        }]
+                                    };
+                                    CompiledRoute {
+                                        instance: r.instance,
+                                        segments,
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect();
+            for &t in &targets {
+                producer_sets[t as usize].push(i as u32);
+            }
+            CompiledSource {
+                index: i as u32,
+                node: s.node.idx(),
+                side: s.side,
+                key: s.key,
+                interval_ms,
+                // Same stagger formula as the simulator.
+                first_at_ms: interval_ms * (i as f64 / dataflow.sources.len() as f64),
+                feeds,
+                targets,
+            }
+        })
+        .collect();
+
+    let instances: Vec<CompiledInstance> = dataflow
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let path = &inst.out_path;
+            let (out_relays, out_final_link_ms, charge_sink) = if path.len() >= 2 {
+                let relays: Vec<Segment> = (1..path.len() - 1)
+                    .map(|h| Segment {
+                        node: path[h].idx(),
+                        link_ms: dist(path[h - 1], path[h]),
+                    })
+                    .collect();
+                let final_link = dist(path[path.len() - 2], path[path.len() - 1]);
+                (relays, final_link, true)
+            } else {
+                (Vec::new(), 0.0, false)
+            };
+            CompiledInstance {
+                index: i as u32,
+                pair: inst.pair,
+                out_relays,
+                out_final_link_ms,
+                charge_sink,
+                producers: producer_sets[i].len(),
+            }
+        })
+        .collect();
+
+    CompiledPlan { sources, instances }
+}
+
+/// Source worker: emit the stream, pay ingest + relay charges, batch
+/// tuples toward the instances.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_source(
+    src: CompiledSource,
+    cfg: &ExecConfig,
+    clock: VirtualClock,
+    pacers: &[NodePacer],
+    counters: &Counters,
+    txs: &[Sender<JoinMsg>],
+) {
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (src.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut batches: Vec<Vec<InFlight>> = vec![Vec::new(); txs.len()];
+    // How far ahead of the wall clock a source may run (virtual ms):
+    // enough to fill a batch at high rates, but tightly bounded —
+    // sources reserve service slots on shared pacers as they emit, so
+    // inter-source schedule skew inflates measured queueing latency by
+    // up to this slack.
+    let slack_ms = (src.interval_ms * cfg.batch_size as f64 * 0.25).clamp(0.5, 4.0);
+
+    let flush = |batches: &mut Vec<Vec<InFlight>>, which: usize| -> bool {
+        if batches[which].is_empty() {
+            return true;
+        }
+        let tuples = std::mem::take(&mut batches[which]);
+        txs[which]
+            .send(JoinMsg::Batch {
+                source: src.index,
+                tuples,
+            })
+            .is_ok()
+    };
+
+    let mut t = src.first_at_ms;
+    let mut seq = 0u64;
+    'emit: while t <= cfg.duration_ms && seq < cfg.max_tuples_per_source {
+        let now = clock.now_ms();
+        if t > now + slack_ms {
+            for which in 0..batches.len() {
+                if !flush(&mut batches, which) {
+                    break 'emit;
+                }
+            }
+            clock.sleep_until(t - slack_ms * 0.5);
+            continue;
+        }
+        seq += 1;
+        Counters::bump(&counters.emitted, 1);
+        // Ingestion costs one service slot on the source node; a
+        // saturated source sheds the sample.
+        let Some(ingest_done) = pacers[src.node].serve(t) else {
+            Counters::bump(&counters.dropped, 1);
+            t += src.interval_ms;
+            continue;
+        };
+        for feed in &src.feeds {
+            let partition = pick_partition(&feed.partition_rates, &mut rng);
+            let tuple = Tuple {
+                pair: feed.pair,
+                side: src.side,
+                partition: partition as u32,
+                key: src.key,
+                seq,
+                event_time: t,
+            };
+            for route in &feed.routes[partition] {
+                // Walk the relay chain: wire delay, then a service slot
+                // per hop (the last hop is the instance's ingest).
+                let mut deliver_at = ingest_done;
+                let mut delivered = true;
+                for seg in &route.segments {
+                    deliver_at += seg.link_ms;
+                    match pacers[seg.node].serve(deliver_at) {
+                        Some(done) => deliver_at = done,
+                        None => {
+                            Counters::bump(&counters.dropped, 1);
+                            delivered = false;
+                            break;
+                        }
+                    }
+                }
+                if delivered {
+                    let which = route.instance as usize;
+                    batches[which].push(InFlight { tuple, deliver_at });
+                    if batches[which].len() >= cfg.batch_size && !flush(&mut batches, which) {
+                        break 'emit;
+                    }
+                }
+            }
+        }
+        t += src.interval_ms;
+    }
+    for which in 0..batches.len() {
+        let _ = flush(&mut batches, which);
+    }
+    for &target in &src.targets {
+        let _ = txs[target as usize].send(JoinMsg::Eof { source: src.index });
+    }
+}
+
+/// Sink worker: charge the sink's service slot per output and record
+/// the delivered results. Returns them in arrival order.
+pub(crate) fn run_sink(
+    rx: Receiver<SinkMsg>,
+    sink_node: usize,
+    charge_sink: &[bool],
+    pacers: &[NodePacer],
+    counters: &Counters,
+    producers: usize,
+) -> Vec<OutputRecord> {
+    let mut records: Vec<OutputRecord> = Vec::new();
+    let mut eofs = 0usize;
+    if producers == 0 {
+        return records;
+    }
+    while let Some(msg) = rx.recv() {
+        match msg {
+            SinkMsg::Batch { instance, outputs } => {
+                for o in outputs {
+                    let arrival = if charge_sink[instance as usize] {
+                        match pacers[sink_node].serve(o.deliver_at) {
+                            Some(done) => done,
+                            None => {
+                                Counters::bump(&counters.dropped, 1);
+                                continue;
+                            }
+                        }
+                    } else {
+                        o.deliver_at
+                    };
+                    records.push(OutputRecord {
+                        arrival_ms: arrival,
+                        latency_ms: arrival - o.out.event_time,
+                        pair: o.out.pair,
+                    });
+                }
+            }
+            SinkMsg::Eof { .. } => {
+                eofs += 1;
+                if eofs == producers {
+                    break;
+                }
+            }
+        }
+    }
+    records.sort_unstable_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+    records
+}

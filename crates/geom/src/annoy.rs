@@ -35,7 +35,12 @@ pub struct AnnoyParams {
 
 impl Default for AnnoyParams {
     fn default() -> Self {
-        AnnoyParams { n_trees: 12, leaf_size: 24, search_k: 400, seed: 0x5eed }
+        AnnoyParams {
+            n_trees: 12,
+            leaf_size: 24,
+            search_k: 400,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -73,7 +78,11 @@ impl AnnoyIndex {
         let trees = (0..params.n_trees.max(1))
             .map(|_| Self::build_tree(points, params.leaf_size.max(2), &mut rng))
             .collect();
-        AnnoyIndex { points: points.to_vec(), trees, params }
+        AnnoyIndex {
+            points: points.to_vec(),
+            trees,
+            params,
+        }
     }
 
     /// The indexed points, in insertion order.
@@ -145,7 +154,12 @@ impl AnnoyIndex {
         nodes.push(TreeNode::Leaf(Vec::new()));
         let left = Self::build_node(points, left_ids, leaf_size, rng, nodes);
         let right = Self::build_node(points, right_ids, leaf_size, rng, nodes);
-        nodes[placeholder as usize] = TreeNode::Split { normal, offset, left, right };
+        nodes[placeholder as usize] = TreeNode::Split {
+            normal,
+            offset,
+            left,
+            right,
+        };
         placeholder
     }
 }
@@ -215,9 +229,18 @@ impl NnIndex for AnnoyIndex {
                         break;
                     }
                 }
-                TreeNode::Split { normal, offset, left, right } => {
+                TreeNode::Split {
+                    normal,
+                    offset,
+                    left,
+                    right,
+                } => {
                     let side = normal.dot(query) - offset;
-                    let (near, far) = if side < 0.0 { (*left, *right) } else { (*right, *left) };
+                    let (near, far) = if side < 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
                     heap.push((OrdF64(margin.min(side.abs())), ti, near));
                     heap.push((OrdF64(margin.min(-side.abs())), ti, far));
                 }
@@ -226,7 +249,10 @@ impl NnIndex for AnnoyIndex {
         // Exact re-ranking of the candidate pool.
         let mut ranked: Vec<Neighbor> = candidates
             .into_iter()
-            .map(|id| Neighbor { index: id as usize, dist: self.points[id as usize].dist(query) })
+            .map(|id| Neighbor {
+                index: id as usize,
+                dist: self.points[id as usize].dist(query),
+            })
             .collect();
         ranked.sort_unstable();
         ranked.truncate(k);
@@ -309,7 +335,13 @@ mod tests {
     fn duplicate_points_do_not_break_construction() {
         let p = Coord::xy(1.0, 1.0);
         let points = vec![p; 200];
-        let idx = AnnoyIndex::build(&points, AnnoyParams { leaf_size: 8, ..Default::default() });
+        let idx = AnnoyIndex::build(
+            &points,
+            AnnoyParams {
+                leaf_size: 8,
+                ..Default::default()
+            },
+        );
         let got = idx.knn(&p, 5);
         assert_eq!(got.len(), 5);
         assert!(got.iter().all(|n| n.dist == 0.0));

@@ -32,8 +32,14 @@ impl Coord {
     /// Panics if `dim == 0` or `dim > MAX_DIM`.
     #[inline]
     pub fn zero(dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= MAX_DIM, "dim {dim} out of range 1..={MAX_DIM}");
-        Coord { data: [0.0; MAX_DIM], dim: dim as u8 }
+        assert!(
+            (1..=MAX_DIM).contains(&dim),
+            "dim {dim} out of range 1..={MAX_DIM}"
+        );
+        Coord {
+            data: [0.0; MAX_DIM],
+            dim: dim as u8,
+        }
     }
 
     /// Build a coordinate from a slice of components.

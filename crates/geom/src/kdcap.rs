@@ -191,18 +191,22 @@ impl CapacityKdTree {
         let p = &self.points[node.point as usize];
         if self.caps[node.point as usize] >= need {
             let d = p.dist(query);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 *best = Some((node.point as usize, d));
             }
         }
         let axis = node.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if near != NONE {
             self.nearest_rec(near, query, need, best);
         }
         if far != NONE {
-            let prune = best.map_or(false, |(_, bd)| diff.abs() > bd);
+            let prune = best.is_some_and(|(_, bd)| diff.abs() > bd);
             if !prune {
                 self.nearest_rec(far, query, need, best);
             }
@@ -237,22 +241,33 @@ impl CapacityKdTree {
         if self.caps[node.point as usize] >= need {
             let dist = p.dist(query);
             if heap.len() < k {
-                heap.push(Neighbor { index: node.point as usize, dist });
+                heap.push(Neighbor {
+                    index: node.point as usize,
+                    dist,
+                });
             } else if let Some(worst) = heap.peek() {
                 if dist < worst.dist {
                     heap.pop();
-                    heap.push(Neighbor { index: node.point as usize, dist });
+                    heap.push(Neighbor {
+                        index: node.point as usize,
+                        dist,
+                    });
                 }
             }
         }
         let axis = node.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if near != NONE {
             self.knn_rec(near, query, k, need, heap);
         }
         if far != NONE {
-            let prune = heap.len() == k && diff.abs() > heap.peek().map_or(f64::INFINITY, |w| w.dist);
+            let prune =
+                heap.len() == k && diff.abs() > heap.peek().map_or(f64::INFINITY, |w| w.dist);
             if !prune {
                 self.knn_rec(far, query, k, need, heap);
             }
@@ -349,7 +364,10 @@ mod tests {
                 .min_by(|a, b| a.1.total_cmp(&b.1));
             match (got, want) {
                 (Some((gi, gd)), Some((_, wd))) => {
-                    assert!((gd - wd).abs() < 1e-9, "need {need}: got {gi}@{gd}, want dist {wd}");
+                    assert!(
+                        (gd - wd).abs() < 1e-9,
+                        "need {need}: got {gi}@{gd}, want dist {wd}"
+                    );
                 }
                 (None, None) => {}
                 other => panic!("mismatch: {other:?}"),

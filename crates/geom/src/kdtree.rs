@@ -66,7 +66,12 @@ impl KdTree {
         });
         let point = ids[mid];
         let node_id = self.nodes.len() as i32;
-        self.nodes.push(Node { point, axis: axis as u8, left: NONE, right: NONE });
+        self.nodes.push(Node {
+            point,
+            axis: axis as u8,
+            left: NONE,
+            right: NONE,
+        });
         // Split the slice around the median; recurse without the median
         // element itself.
         let (lo, hi) = ids.split_at_mut(mid);
@@ -121,11 +126,18 @@ impl KdTree {
         let p = &self.points[node.point as usize];
         let dist = p.dist(query);
         if dist <= radius {
-            out.push(Neighbor { index: node.point as usize, dist });
+            out.push(Neighbor {
+                index: node.point as usize,
+                dist,
+            });
         }
         let axis = node.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if near != NONE {
             self.range_rec(near, query, radius, out);
         }
@@ -139,21 +151,32 @@ impl KdTree {
         let p = &self.points[node.point as usize];
         let dist = p.dist(query);
         if heap.len() < k {
-            heap.push(Neighbor { index: node.point as usize, dist });
+            heap.push(Neighbor {
+                index: node.point as usize,
+                dist,
+            });
         } else if let Some(worst) = heap.peek() {
             if dist < worst.dist {
                 heap.pop();
-                heap.push(Neighbor { index: node.point as usize, dist });
+                heap.push(Neighbor {
+                    index: node.point as usize,
+                    dist,
+                });
             }
         }
         let axis = node.axis as usize;
         let diff = query[axis] - p[axis];
-        let (near, far) = if diff < 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        let (near, far) = if diff < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
         if near != NONE {
             self.knn_rec(near, query, k, heap);
         }
         if far != NONE {
-            let prune = heap.len() == k && diff.abs() > heap.peek().map_or(f64::INFINITY, |w| w.dist);
+            let prune =
+                heap.len() == k && diff.abs() > heap.peek().map_or(f64::INFINITY, |w| w.dist);
             if !prune {
                 self.knn_rec(far, query, k, heap);
             }
@@ -187,7 +210,10 @@ mod tests {
         let mut all: Vec<Neighbor> = points
             .iter()
             .enumerate()
-            .map(|(index, p)| Neighbor { index, dist: p.dist(query) })
+            .map(|(index, p)| Neighbor {
+                index,
+                dist: p.dist(query),
+            })
             .collect();
         all.sort_unstable();
         all.truncate(k);

@@ -30,8 +30,8 @@ pub use coord::{Coord, MAX_DIM};
 pub use kdcap::CapacityKdTree;
 pub use kdtree::KdTree;
 pub use median::{
-    geometric_median, geometric_median_gd, minmax_center, weighted_geometric_median,
-    GdOptions, MedianOptions, MedianResult,
+    geometric_median, geometric_median_gd, minmax_center, weighted_geometric_median, GdOptions,
+    MedianOptions, MedianResult,
 };
 
 /// A neighbour returned by a k-NN query: index into the indexed point set

@@ -34,7 +34,10 @@ pub struct MedianOptions {
 
 impl Default for MedianOptions {
     fn default() -> Self {
-        MedianOptions { max_iters: 1000, tolerance: 1e-10 }
+        MedianOptions {
+            max_iters: 1000,
+            tolerance: 1e-10,
+        }
     }
 }
 
@@ -53,7 +56,12 @@ pub struct GdOptions {
 
 impl Default for GdOptions {
     fn default() -> Self {
-        GdOptions { max_iters: 2000, tolerance: 1e-9, step: 1.0, decay: 0.05 }
+        GdOptions {
+            max_iters: 2000,
+            tolerance: 1e-9,
+            step: 1.0,
+            decay: 0.05,
+        }
     }
 }
 
@@ -104,17 +112,25 @@ pub fn weighted_geometric_median(
     }
     let first = anchors.first()?;
     if anchors.len() == 1 {
-        return Some(MedianResult { point: *first, cost: 0.0, iterations: 0 });
+        return Some(MedianResult {
+            point: *first,
+            cost: 0.0,
+            iterations: 0,
+        });
     }
     if anchors.len() == 2 {
         // Any point on the segment is optimal in the unweighted case; the
         // weighted optimum is the heavier anchor, but the midpoint remains
         // optimal for equal weights and we only shortcut that case.
-        let equal = weights.map_or(true, |w| (w[0] - w[1]).abs() < f64::EPSILON);
+        let equal = weights.is_none_or(|w| (w[0] - w[1]).abs() < f64::EPSILON);
         if equal {
             let mid = anchors[0].lerp(&anchors[1], 0.5);
             let cost = objective(anchors, weights, &mid);
-            return Some(MedianResult { point: mid, cost, iterations: 0 });
+            return Some(MedianResult {
+                point: mid,
+                cost,
+                iterations: 0,
+            });
         }
     }
 
@@ -187,8 +203,9 @@ pub fn weighted_geometric_median(
                 y = *a;
             }
         }
-    } else if let Some(nearest) =
-        anchors.iter().min_by(|a, b| a.dist2(&y).total_cmp(&b.dist2(&y)))
+    } else if let Some(nearest) = anchors
+        .iter()
+        .min_by(|a, b| a.dist2(&y).total_cmp(&b.dist2(&y)))
     {
         let c = objective(anchors, weights, nearest);
         if c < cost {
@@ -196,7 +213,11 @@ pub fn weighted_geometric_median(
             y = *nearest;
         }
     }
-    Some(MedianResult { point: y, cost, iterations })
+    Some(MedianResult {
+        point: y,
+        cost,
+        iterations,
+    })
 }
 
 /// Geometric median via plain sub-gradient descent with a decaying step,
@@ -206,7 +227,11 @@ pub fn weighted_geometric_median(
 pub fn geometric_median_gd(anchors: &[Coord], opts: GdOptions) -> Option<MedianResult> {
     let first = anchors.first()?;
     if anchors.len() == 1 {
-        return Some(MedianResult { point: *first, cost: 0.0, iterations: 0 });
+        return Some(MedianResult {
+            point: *first,
+            cost: 0.0,
+            iterations: 0,
+        });
     }
     let scale = spread(anchors).max(f64::MIN_POSITIVE);
     let mut y = weighted_centroid(anchors, None);
@@ -240,7 +265,11 @@ pub fn geometric_median_gd(anchors: &[Coord], opts: GdOptions) -> Option<MedianR
             break;
         }
     }
-    Some(MedianResult { point: best, cost: best_cost, iterations })
+    Some(MedianResult {
+        point: best,
+        cost: best_cost,
+        iterations,
+    })
 }
 
 /// Center of the min–max objective: the point minimizing the *maximum*
@@ -261,7 +290,11 @@ pub fn minmax_center(anchors: &[Coord], iters: usize) -> Option<MedianResult> {
         y = y.lerp(&far, 1.0 / (t as f64 + 2.0));
     }
     let (_, radius) = farthest(anchors, &y)?;
-    Some(MedianResult { point: y, cost: radius, iterations })
+    Some(MedianResult {
+        point: y,
+        cost: radius,
+        iterations,
+    })
 }
 
 fn farthest(anchors: &[Coord], y: &Coord) -> Option<(Coord, f64)> {
@@ -376,7 +409,10 @@ mod tests {
         let w = geometric_median(&anchors, MedianOptions::default()).unwrap();
         let g = geometric_median_gd(
             &anchors,
-            GdOptions { max_iters: 20_000, ..GdOptions::default() },
+            GdOptions {
+                max_iters: 20_000,
+                ..GdOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -393,9 +429,12 @@ mod tests {
         let b = Coord::xy(10.0, 0.0);
         let c = Coord::xy(5.0, 10.0);
         // Weight anchor `a` heavily: optimum must be (much) closer to `a`.
-        let heavy =
-            weighted_geometric_median(&[a, b, c], Some(&[10.0, 1.0, 1.0]), MedianOptions::default())
-                .unwrap();
+        let heavy = weighted_geometric_median(
+            &[a, b, c],
+            Some(&[10.0, 1.0, 1.0]),
+            MedianOptions::default(),
+        )
+        .unwrap();
         assert!(heavy.point.dist(&a) < 1e-6, "heavy point {:?}", heavy.point);
     }
 
@@ -417,7 +456,11 @@ mod tests {
 
     #[test]
     fn collinear_anchors_take_middle_point() {
-        let anchors = [Coord::xy(0.0, 0.0), Coord::xy(1.0, 0.0), Coord::xy(5.0, 0.0)];
+        let anchors = [
+            Coord::xy(0.0, 0.0),
+            Coord::xy(1.0, 0.0),
+            Coord::xy(5.0, 0.0),
+        ];
         let r = geometric_median(&anchors, MedianOptions::default()).unwrap();
         // 1-D median of {0, 1, 5} is 1.
         assert_close(&r.point, &Coord::xy(1.0, 0.0), 1e-6);
@@ -453,8 +496,16 @@ mod tests {
         anchors.push(Coord::xy(100.0, 0.0));
         let sum = geometric_median(&anchors, MedianOptions::default()).unwrap();
         let max = minmax_center(&anchors, 5000).unwrap();
-        assert!(sum.point[0] < 5.0, "min-sum stays near cluster: {:?}", sum.point);
-        assert!(max.point[0] > 40.0, "min-max moves to the middle: {:?}", max.point);
+        assert!(
+            sum.point[0] < 5.0,
+            "min-sum stays near cluster: {:?}",
+            sum.point
+        );
+        assert!(
+            max.point[0] > 40.0,
+            "min-max moves to the middle: {:?}",
+            max.point
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests for the geometric primitives.
 
-use nova_geom::{
-    geometric_median, minmax_center, Coord, KdTree, MedianOptions, Neighbor, NnIndex,
-};
+use nova_geom::{geometric_median, minmax_center, Coord, KdTree, MedianOptions, Neighbor, NnIndex};
 use proptest::prelude::*;
 
 fn coord2_strategy() -> impl Strategy<Value = Coord> {

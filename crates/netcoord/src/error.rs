@@ -53,7 +53,12 @@ impl EmbeddingError {
     /// Aggregate pre-collected samples.
     pub fn from_samples(samples: &[ErrorSample]) -> EmbeddingError {
         if samples.is_empty() {
-            return EmbeddingError { mae: 0.0, median_relative: 0.0, p90_relative: 0.0, pairs: 0 };
+            return EmbeddingError {
+                mae: 0.0,
+                median_relative: 0.0,
+                p90_relative: 0.0,
+                pairs: 0,
+            };
         }
         let mut abs_sum = 0.0;
         let mut rel: Vec<f64> = Vec::with_capacity(samples.len());
@@ -130,7 +135,12 @@ fn make_sample(
     j: usize,
 ) -> ErrorSample {
     let (a, b) = (NodeId(i as u32), NodeId(j as u32));
-    ErrorSample { a, b, rtt: provider.rtt(a, b), estimate: coords[i].dist(&coords[j]) }
+    ErrorSample {
+        a,
+        b,
+        rtt: provider.rtt(a, b),
+        estimate: coords[i].dist(&coords[j]),
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +150,11 @@ mod tests {
 
     #[test]
     fn perfect_embedding_has_zero_error() {
-        let coords = vec![Coord::xy(0.0, 0.0), Coord::xy(3.0, 4.0), Coord::xy(6.0, 8.0)];
+        let coords = vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(3.0, 4.0),
+            Coord::xy(6.0, 8.0),
+        ];
         let m = DenseRtt::from_fn(3, |i, j| coords[i].dist(&coords[j]));
         let e = EmbeddingError::evaluate(&coords, &m, 1000, 1);
         assert_eq!(e.mae, 0.0);

@@ -42,7 +42,10 @@ impl CostSpace {
     /// Wrap a full coordinate assignment (one per node, id order).
     pub fn new(coords: Vec<Coord>) -> Self {
         let dim = coords.first().map_or(2, Coord::dim);
-        CostSpace { coords: coords.into_iter().map(Some).collect(), dim }
+        CostSpace {
+            coords: coords.into_iter().map(Some).collect(),
+            dim,
+        }
     }
 
     /// Dimensionality of the space.

@@ -26,7 +26,10 @@ use rand::rngs::StdRng;
 /// [`nova_geom::MAX_DIM`].
 pub fn classical_mds(matrix: &DenseRtt, dim: usize, seed: u64) -> Vec<Coord> {
     let n = matrix.len();
-    assert!(dim >= 1 && dim <= nova_geom::MAX_DIM, "dim {dim} out of range");
+    assert!(
+        (1..=nova_geom::MAX_DIM).contains(&dim),
+        "dim {dim} out of range"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -57,6 +60,7 @@ pub fn classical_mds(matrix: &DenseRtt, dim: usize, seed: u64) -> Vec<Coord> {
     let mut coords = vec![Coord::zero(dim); n];
     let mut rng = StdRng::seed_from_u64(seed);
     let mut work = vec![0.0f64; n];
+    #[allow(clippy::needless_range_loop)] // `d` indexes into every coord
     for d in 0..dim {
         let (lambda, v) = power_iteration(&b, n, &mut rng, 300);
         if lambda <= 1e-9 {
@@ -141,7 +145,12 @@ pub struct SmacofOptions {
 
 impl Default for SmacofOptions {
     fn default() -> Self {
-        SmacofOptions { dim: 2, max_iters: 300, tolerance: 1e-7, seed: 0x5aac0f }
+        SmacofOptions {
+            dim: 2,
+            max_iters: 300,
+            tolerance: 1e-7,
+            seed: 0x5aac0f,
+        }
     }
 }
 
@@ -238,11 +247,22 @@ mod tests {
 
     #[test]
     fn classical_mds_recovers_planar_configuration() {
-        let pts = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0), (5.0, 5.0), (2.0, 7.0)];
+        let pts = [
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 10.0),
+            (10.0, 10.0),
+            (5.0, 5.0),
+            (2.0, 7.0),
+        ];
         let m = planar_matrix(&pts);
         let coords = classical_mds(&m, 2, 1);
         // Distances (not absolute positions) must be recovered ~exactly.
-        assert!(max_pair_error(&coords, &m) < 1e-6, "err {}", max_pair_error(&coords, &m));
+        assert!(
+            max_pair_error(&coords, &m) < 1e-6,
+            "err {}",
+            max_pair_error(&coords, &m)
+        );
     }
 
     #[test]
@@ -272,7 +292,9 @@ mod tests {
     fn smacof_refines_classical_solution_under_noise() {
         // Perturb a planar metric so it is no longer exactly embeddable;
         // SMACOF should not make the classical solution worse.
-        let pts: Vec<(f64, f64)> = (0..12).map(|i| ((i * 7 % 12) as f64, (i * 5 % 11) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| ((i * 7 % 12) as f64, (i * 5 % 11) as f64))
+            .collect();
         let clean = planar_matrix(&pts);
         let noisy = DenseRtt::from_fn(12, |i, j| {
             clean.get(i, j) * (1.0 + 0.2 * (((i * 31 + j * 17) % 10) as f64 / 10.0 - 0.5))
@@ -281,12 +303,22 @@ mod tests {
         let s_classical = stress(&classical, &noisy);
         let refined = smacof(&noisy, SmacofOptions::default(), Some(classical));
         let s_refined = stress(&refined, &noisy);
-        assert!(s_refined <= s_classical + 1e-9, "{s_classical} -> {s_refined}");
+        assert!(
+            s_refined <= s_classical + 1e-9,
+            "{s_classical} -> {s_refined}"
+        );
     }
 
     #[test]
     fn higher_dims_fit_at_least_as_well() {
-        let pts = [(0.0, 0.0), (5.0, 1.0), (3.0, 8.0), (9.0, 4.0), (2.0, 2.0), (7.0, 7.0)];
+        let pts = [
+            (0.0, 0.0),
+            (5.0, 1.0),
+            (3.0, 8.0),
+            (9.0, 4.0),
+            (2.0, 2.0),
+            (7.0, 7.0),
+        ];
         let clean = planar_matrix(&pts);
         // Add asymmetric-ish noise to require extra dimensions.
         let noisy = DenseRtt::from_fn(6, |i, j| clean.get(i, j) + ((i + j) % 3) as f64);

@@ -41,7 +41,14 @@ pub struct VivaldiConfig {
 
 impl Default for VivaldiConfig {
     fn default() -> Self {
-        VivaldiConfig { dim: 2, neighbors: 20, cc: 0.25, ce: 0.25, rounds: 60, seed: 0x71a1d1 }
+        VivaldiConfig {
+            dim: 2,
+            neighbors: 20,
+            cc: 0.25,
+            ce: 0.25,
+            rounds: 60,
+            seed: 0x71a1d1,
+        }
     }
 }
 
@@ -108,8 +115,8 @@ impl Vivaldi {
         let dist = self.coords[i].dist(&self.coords[j]);
         let sample_err = (dist - rtt).abs() / rtt;
         // Exponentially-weighted moving average of the relative error.
-        self.errors[i] = (sample_err * self.config.ce * w + ei * (1.0 - self.config.ce * w))
-            .clamp(0.0, 2.0);
+        self.errors[i] =
+            (sample_err * self.config.ce * w + ei * (1.0 - self.config.ce * w)).clamp(0.0, 2.0);
         // Move along the spring force direction with adaptive timestep.
         let delta = self.config.cc * w;
         let dir = match self.coords[j].direction_to(&self.coords[i], 1e-9) {
@@ -140,8 +147,7 @@ impl Vivaldi {
             random_coord(self.config.dim, &mut self.rng)
         } else {
             // Start at the centroid of the neighbor coordinates.
-            let pts: Vec<Coord> =
-                neighbors.iter().map(|&j| self.coords[j as usize]).collect();
+            let pts: Vec<Coord> = neighbors.iter().map(|&j| self.coords[j as usize]).collect();
             Coord::centroid(&pts).unwrap_or_else(|| random_coord(self.config.dim, &mut self.rng))
         };
         let mut err = 1.0f64;
@@ -153,7 +159,11 @@ impl Vivaldi {
                     continue;
                 }
                 let ej = self.errors[j as usize];
-                let w = if err + ej > 0.0 { err / (err + ej) } else { 0.5 };
+                let w = if err + ej > 0.0 {
+                    err / (err + ej)
+                } else {
+                    0.5
+                };
                 let dist = coord.dist(&self.coords[j as usize]);
                 let sample_err = (dist - rtt).abs() / rtt;
                 err = (sample_err * self.config.ce * w + err * (1.0 - self.config.ce * w))
@@ -166,7 +176,8 @@ impl Vivaldi {
             }
         }
         if new_id.idx() >= self.coords.len() {
-            self.coords.resize(new_id.idx() + 1, Coord::zero(self.config.dim));
+            self.coords
+                .resize(new_id.idx() + 1, Coord::zero(self.config.dim));
             self.errors.resize(new_id.idx() + 1, 1.0);
             self.neighbor_sets.resize(new_id.idx() + 1, Vec::new());
         }
@@ -230,8 +241,8 @@ pub fn embed_new_node(
         return random_coord(config.dim, &mut rng);
     }
     let anchor_coords: Vec<Coord> = picked.iter().map(|&i| coords[i]).collect();
-    let mut coord = Coord::centroid(&anchor_coords)
-        .unwrap_or_else(|| random_coord(config.dim, &mut rng));
+    let mut coord =
+        Coord::centroid(&anchor_coords).unwrap_or_else(|| random_coord(config.dim, &mut rng));
     let mut err = 1.0f64;
     for _ in 0..config.rounds.max(16) {
         for (slot, &i) in picked.iter().enumerate() {
@@ -306,7 +317,14 @@ mod tests {
     #[test]
     fn embeds_planar_metric_accurately() {
         let rtt = planar_rtt(80, 1);
-        let v = Vivaldi::embed(&rtt, VivaldiConfig { rounds: 120, neighbors: 16, ..Default::default() });
+        let v = Vivaldi::embed(
+            &rtt,
+            VivaldiConfig {
+                rounds: 120,
+                neighbors: 16,
+                ..Default::default()
+            },
+        );
         let err = EmbeddingError::evaluate(v.coords(), &rtt, 20_000, 7);
         // Median relative error well under 15% on an embeddable metric.
         assert!(
@@ -320,7 +338,11 @@ mod tests {
     fn more_neighbors_do_not_hurt_much() {
         // The paper's m-selection study: accuracy converges quickly in m.
         let rtt = planar_rtt(100, 2);
-        let cfg = |m: usize| VivaldiConfig { neighbors: m, rounds: 80, ..Default::default() };
+        let cfg = |m: usize| VivaldiConfig {
+            neighbors: m,
+            rounds: 80,
+            ..Default::default()
+        };
         let few = Vivaldi::embed(&rtt, cfg(4));
         let many = Vivaldi::embed(&rtt, cfg(32));
         let err_few = EmbeddingError::evaluate(few.coords(), &rtt, 10_000, 3).mae;
@@ -334,9 +356,18 @@ mod tests {
     #[test]
     fn errors_decrease_with_relaxation() {
         let rtt = planar_rtt(60, 3);
-        let v = Vivaldi::embed(&rtt, VivaldiConfig { rounds: 100, ..Default::default() });
+        let v = Vivaldi::embed(
+            &rtt,
+            VivaldiConfig {
+                rounds: 100,
+                ..Default::default()
+            },
+        );
         let mean_err: f64 = v.errors().iter().sum::<f64>() / v.errors().len() as f64;
-        assert!(mean_err < 0.5, "mean confidence error {mean_err} after convergence");
+        assert!(
+            mean_err < 0.5,
+            "mean confidence error {mean_err} after convergence"
+        );
     }
 
     #[test]
@@ -355,7 +386,14 @@ mod tests {
             }
         }
         let sub = Sub(&rtt, n - 1);
-        let mut v = Vivaldi::embed(&sub, VivaldiConfig { rounds: 120, neighbors: 16, ..Default::default() });
+        let mut v = Vivaldi::embed(
+            &sub,
+            VivaldiConfig {
+                rounds: 120,
+                neighbors: 16,
+                ..Default::default()
+            },
+        );
         let new_id = NodeId((n - 1) as u32);
         v.add_node(&rtt, new_id);
         // Estimated distances from the new node should correlate with the
@@ -385,7 +423,13 @@ mod tests {
     #[test]
     fn into_cost_space_preserves_coords() {
         let rtt = planar_rtt(20, 6);
-        let v = Vivaldi::embed(&rtt, VivaldiConfig { rounds: 20, ..Default::default() });
+        let v = Vivaldi::embed(
+            &rtt,
+            VivaldiConfig {
+                rounds: 20,
+                ..Default::default()
+            },
+        );
         let c0 = v.coords()[0];
         let space = v.into_cost_space();
         assert_eq!(space.coord(NodeId(0)), Some(c0));

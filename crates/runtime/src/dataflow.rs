@@ -99,16 +99,22 @@ impl Dataflow {
         let mut routing: HashMap<(PairId, Side, u32), Vec<Route>> = HashMap::new();
         for (idx, rep) in placement.replicas.iter().enumerate() {
             for &p in &rep.left_partitions {
-                routing.entry((rep.pair, Side::Left, p)).or_default().push(Route {
-                    instance: idx as u32,
-                    path: Arc::new(rep.left_path.clone()),
-                });
+                routing
+                    .entry((rep.pair, Side::Left, p))
+                    .or_default()
+                    .push(Route {
+                        instance: idx as u32,
+                        path: Arc::new(rep.left_path.clone()),
+                    });
             }
             for &p in &rep.right_partitions {
-                routing.entry((rep.pair, Side::Right, p)).or_default().push(Route {
-                    instance: idx as u32,
-                    path: Arc::new(rep.right_path.clone()),
-                });
+                routing
+                    .entry((rep.pair, Side::Right, p))
+                    .or_default()
+                    .push(Route {
+                        instance: idx as u32,
+                        path: Arc::new(rep.right_path.clone()),
+                    });
             }
         }
 
@@ -137,10 +143,17 @@ impl Dataflow {
                     };
                     let routes: Vec<Vec<Route>> = (0..partition_rates.len() as u32)
                         .map(|p| {
-                            routing.get(&(pair.id, side, p)).cloned().unwrap_or_default()
+                            routing
+                                .get(&(pair.id, side, p))
+                                .cloned()
+                                .unwrap_or_default()
                         })
                         .collect();
-                    feeds.push(FeedSpec { pair: pair.id, partition_rates, routes });
+                    feeds.push(FeedSpec {
+                        pair: pair.id,
+                        partition_rates,
+                        routes,
+                    });
                 }
                 sources.push(SourceTask {
                     node: spec.node,
@@ -151,7 +164,11 @@ impl Dataflow {
                 });
             }
         }
-        Dataflow { sources, instances, sink: query.sink }
+        Dataflow {
+            sources,
+            instances,
+            sink: query.sink,
+        }
     }
 
     /// Build for an unpartitioned baseline placement (every replica

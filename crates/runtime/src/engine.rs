@@ -130,11 +130,20 @@ enum EventKind {
     /// A source produces its next tuple.
     Emit { source: u32 },
     /// An input tuple arrives at `path[hop]` (service then continue).
-    InputArrive { path: Arc<Vec<NodeId>>, hop: u32, instance: u32, tuple: Tuple },
+    InputArrive {
+        path: Arc<Vec<NodeId>>,
+        hop: u32,
+        instance: u32,
+        tuple: Tuple,
+    },
     /// Service at the instance node completed: run the join logic.
     InputReady { instance: u32, tuple: Tuple },
     /// A join output arrives at `path[hop]`.
-    OutputArrive { path: Arc<Vec<NodeId>>, hop: u32, out: OutputTuple },
+    OutputArrive {
+        path: Arc<Vec<NodeId>>,
+        hop: u32,
+        out: OutputTuple,
+    },
     /// Periodic window-state garbage collection.
     Gc,
 }
@@ -185,45 +194,59 @@ pub fn simulate(
     let service_ms: Vec<f64> = topology
         .nodes()
         .iter()
-        .map(|nd| if nd.capacity > 0.0 { 1000.0 / nd.capacity } else { 0.0 })
+        .map(|nd| {
+            if nd.capacity > 0.0 {
+                1000.0 / nd.capacity
+            } else {
+                0.0
+            }
+        })
         .collect();
     let max_queue_ms = cfg.max_queue_ms;
-    let serve = move |node: NodeId, now: f64,
-                          busy_until: &mut [f64],
-                          busy_ms: &mut [f64]|
-          -> Option<f64> {
-        let s = service_ms[node.idx()];
-        if s == 0.0 {
-            return Some(now);
-        }
-        // Bounded queue: shed load once the backlog exceeds the cap.
-        if busy_until[node.idx()] - now > max_queue_ms {
-            return None;
-        }
-        let start = busy_until[node.idx()].max(now);
-        let done = start + s;
-        busy_until[node.idx()] = done;
-        busy_ms[node.idx()] += s;
-        Some(done)
-    };
+    let serve =
+        move |node: NodeId, now: f64, busy_until: &mut [f64], busy_ms: &mut [f64]| -> Option<f64> {
+            let s = service_ms[node.idx()];
+            if s == 0.0 {
+                return Some(now);
+            }
+            // Bounded queue: shed load once the backlog exceeds the cap.
+            if busy_until[node.idx()] - now > max_queue_ms {
+                return None;
+            }
+            let start = busy_until[node.idx()].max(now);
+            let done = start + s;
+            busy_until[node.idx()] = done;
+            busy_ms[node.idx()] += s;
+            Some(done)
+        };
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
         *seq += 1;
-        heap.push(Event { time, seq: *seq, kind });
+        heap.push(Event {
+            time,
+            seq: *seq,
+            kind,
+        });
     };
 
     // Stagger the sources' first emissions to avoid phase artifacts.
     for (i, s) in dataflow.sources.iter().enumerate() {
         let interval = 1000.0 / s.rate;
-        push(&mut heap, &mut seq, interval * (i as f64 / dataflow.sources.len() as f64), EventKind::Emit { source: i as u32 });
+        push(
+            &mut heap,
+            &mut seq,
+            interval * (i as f64 / dataflow.sources.len() as f64),
+            EventKind::Emit { source: i as u32 },
+        );
     }
     push(&mut heap, &mut seq, cfg.gc_interval_ms, EventKind::Gc);
 
-    let mut buffers: Vec<WindowBuffers> =
-        (0..dataflow.instances.len()).map(|_| WindowBuffers::new()).collect();
+    let mut buffers: Vec<WindowBuffers> = (0..dataflow.instances.len())
+        .map(|_| WindowBuffers::new())
+        .collect();
     let mut per_stream_seq: Vec<u64> = vec![0; dataflow.sources.len()];
 
     let mut outputs = Vec::new();
@@ -273,20 +296,30 @@ pub fn simulate(
                     for route in &feed.routes[partition] {
                         if route.path.len() >= 2 {
                             let t_arr = ingest_done + dist(route.path[0], route.path[1]);
-                            push(&mut heap, &mut seq, t_arr, EventKind::InputArrive {
-                                path: Arc::clone(&route.path),
-                                hop: 1,
-                                instance: route.instance,
-                                tuple,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t_arr,
+                                EventKind::InputArrive {
+                                    path: Arc::clone(&route.path),
+                                    hop: 1,
+                                    instance: route.instance,
+                                    tuple,
+                                },
+                            );
                         } else {
                             // Join co-located with the source: the join
                             // work still needs its own service slot.
                             match serve(s.node, ingest_done, &mut busy_until, &mut busy_ms) {
-                                Some(done) => push(&mut heap, &mut seq, done, EventKind::InputReady {
-                                    instance: route.instance,
-                                    tuple,
-                                }),
+                                Some(done) => push(
+                                    &mut heap,
+                                    &mut seq,
+                                    done,
+                                    EventKind::InputReady {
+                                        instance: route.instance,
+                                        tuple,
+                                    },
+                                ),
                                 None => dropped += 1,
                             }
                         }
@@ -297,23 +330,38 @@ pub fn simulate(
                     push(&mut heap, &mut seq, next, EventKind::Emit { source });
                 }
             }
-            EventKind::InputArrive { path, hop, instance, tuple } => {
+            EventKind::InputArrive {
+                path,
+                hop,
+                instance,
+                tuple,
+            } => {
                 let node = path[hop as usize];
                 let Some(done) = serve(node, now, &mut busy_until, &mut busy_ms) else {
                     dropped += 1;
                     continue;
                 };
                 if hop as usize == path.len() - 1 {
-                    push(&mut heap, &mut seq, done, EventKind::InputReady { instance, tuple });
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        done,
+                        EventKind::InputReady { instance, tuple },
+                    );
                 } else {
                     let next = path[hop as usize + 1];
                     let t_arr = done + dist(node, next);
-                    push(&mut heap, &mut seq, t_arr, EventKind::InputArrive {
-                        path,
-                        hop: hop + 1,
-                        instance,
-                        tuple,
-                    });
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        t_arr,
+                        EventKind::InputArrive {
+                            path,
+                            hop: hop + 1,
+                            instance,
+                            tuple,
+                        },
+                    );
                 }
             }
             EventKind::InputReady { instance, tuple } => {
@@ -322,10 +370,19 @@ pub fn simulate(
                 let partners = buffers[instance as usize].insert_and_probe(
                     window,
                     tuple.side,
-                    BufferedTuple { seq: tuple.seq, event_time: tuple.event_time },
+                    BufferedTuple {
+                        seq: tuple.seq,
+                        event_time: tuple.event_time,
+                    },
                 );
                 for partner in partners {
-                    if !match_survives(tuple.seq, partner.seq, tuple.side, cfg) {
+                    if !match_survives(
+                        tuple.seq,
+                        partner.seq,
+                        tuple.side,
+                        cfg.selectivity,
+                        cfg.seed,
+                    ) {
                         continue;
                     }
                     matched += 1;
@@ -343,11 +400,16 @@ pub fn simulate(
                         });
                     } else {
                         let t_arr = now + dist(inst.out_path[0], inst.out_path[1]);
-                        push(&mut heap, &mut seq, t_arr, EventKind::OutputArrive {
-                            path: Arc::clone(&inst.out_path),
-                            hop: 1,
-                            out,
-                        });
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t_arr,
+                            EventKind::OutputArrive {
+                                path: Arc::clone(&inst.out_path),
+                                hop: 1,
+                                out,
+                            },
+                        );
                     }
                 }
             }
@@ -368,11 +430,16 @@ pub fn simulate(
                 } else {
                     let next = path[hop as usize + 1];
                     let t_arr = done + dist(node, next);
-                    push(&mut heap, &mut seq, t_arr, EventKind::OutputArrive {
-                        path,
-                        hop: hop + 1,
-                        out,
-                    });
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        t_arr,
+                        EventKind::OutputArrive {
+                            path,
+                            hop: hop + 1,
+                            out,
+                        },
+                    );
                 }
             }
             EventKind::Gc => {
@@ -391,15 +458,35 @@ pub fn simulate(
 
     outputs.sort_unstable_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
     let delivered = outputs.len() as u64;
-    SimResult { outputs, emitted, matched, delivered, node_busy_ms: busy_ms, dropped, truncated }
+    SimResult {
+        outputs,
+        emitted,
+        matched,
+        delivered,
+        node_busy_ms: busy_ms,
+        dropped,
+        truncated,
+    }
 }
 
 /// Weighted random partition choice proportional to partition rates.
-fn pick_partition(rates: &[f64], rng: &mut StdRng) -> usize {
+///
+/// Shared by the simulator and the threaded executor (`nova-exec`) so
+/// both use the same weighting logic (their RNG *streams* differ: the
+/// simulator draws from one global seeded generator, the executor from
+/// per-source ones, so individual choices are not pairwise identical).
+/// Degenerate weight vectors — all-zero,
+/// negative-summing or non-finite totals, as produced by a pathological
+/// σ decomposition — fall back to a uniform choice instead of handing
+/// `gen_range` an empty `0.0..0.0` range (which panics).
+pub fn pick_partition(rates: &[f64], rng: &mut StdRng) -> usize {
     if rates.len() <= 1 {
         return 0;
     }
     let total: f64 = rates.iter().sum();
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !total.is_finite() {
+        return rng.gen_range(0..rates.len());
+    }
     let mut pick = rng.gen_range(0.0..total);
     for (i, r) in rates.iter().enumerate() {
         if pick < *r {
@@ -411,21 +498,26 @@ fn pick_partition(rates: &[f64], rng: &mut StdRng) -> usize {
 }
 
 /// Deterministic selectivity test: a (left seq, right seq) pair matches
-/// with probability `cfg.selectivity`, independent of arrival order.
-fn match_survives(a_seq: u64, b_seq: u64, a_side: Side, cfg: &SimConfig) -> bool {
-    if cfg.selectivity >= 1.0 {
+/// with probability `selectivity`, independent of arrival order.
+///
+/// Pure function of `(seed, selectivity, seqs)` and shared by the
+/// simulator and the threaded executor, so a given tuple pair survives
+/// in both or in neither — the property the exec-vs-sim cross-validation
+/// tests rely on.
+pub fn match_survives(a_seq: u64, b_seq: u64, a_side: Side, selectivity: f64, seed: u64) -> bool {
+    if selectivity >= 1.0 {
         return true;
     }
     let (l, r) = match a_side {
         Side::Left => (a_seq, b_seq),
         Side::Right => (b_seq, a_seq),
     };
-    let mut x = cfg.seed ^ (l.wrapping_mul(0x9E3779B97F4A7C15)) ^ r.rotate_left(17);
+    let mut x = seed ^ (l.wrapping_mul(0x9E3779B97F4A7C15)) ^ r.rotate_left(17);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58476D1CE4E5B9);
     x ^= x >> 27;
     let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-    unit < cfg.selectivity
+    unit < selectivity
 }
 
 #[cfg(test)]
@@ -465,7 +557,11 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let cfg = SimConfig { duration_ms: 2000.0, window_ms: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 2000.0,
+            window_ms: 100.0,
+            ..Default::default()
+        };
         let res = simulate(&t, flat_dist, &df, &cfg);
         assert!(res.delivered > 0, "no outputs: {res:?}");
         // Latency ≥ one network hop (10 ms) and far below the run length
@@ -481,10 +577,17 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let cfg = SimConfig { duration_ms: 5000.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 5000.0,
+            ..Default::default()
+        };
         let res = simulate(&t, flat_dist, &df, &cfg);
         // 2 sources × 20 tuples/s × 5 s = 200 (±1 boundary tuple each).
-        assert!((res.emitted as i64 - 200).abs() <= 2, "emitted {}", res.emitted);
+        assert!(
+            (res.emitted as i64 - 200).abs() <= 2,
+            "emitted {}",
+            res.emitted
+        );
     }
 
     #[test]
@@ -495,7 +598,11 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let cfg = SimConfig { duration_ms: 20_000.0, window_ms: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 20_000.0,
+            window_ms: 100.0,
+            ..Default::default()
+        };
         let slow = simulate(&t_slow, flat_dist, &df, &cfg);
 
         let (t_fast, _) = world(4000.0, 1000.0, 1000.0);
@@ -533,7 +640,11 @@ mod tests {
         let plan = q.resolve();
         let p_src = source_based(&q, &plan);
         let p_sink = sink_based(&q, &plan);
-        let cfg = SimConfig { duration_ms: 15_000.0, window_ms: 100.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 15_000.0,
+            window_ms: 100.0,
+            ..Default::default()
+        };
         let src_res = simulate(&t, flat_dist, &Dataflow::from_baseline(&q, &p_src), &cfg);
         let sink_res = simulate(&t, flat_dist, &Dataflow::from_baseline(&q, &p_sink), &cfg);
         // With a fast sink and slow sources, sink placement wins.
@@ -555,13 +666,21 @@ mod tests {
             &t,
             flat_dist,
             &df,
-            &SimConfig { duration_ms: 5000.0, selectivity: 1.0, ..Default::default() },
+            &SimConfig {
+                duration_ms: 5000.0,
+                selectivity: 1.0,
+                ..Default::default()
+            },
         );
         let half = simulate(
             &t,
             flat_dist,
             &df,
-            &SimConfig { duration_ms: 5000.0, selectivity: 0.5, ..Default::default() },
+            &SimConfig {
+                duration_ms: 5000.0,
+                selectivity: 0.5,
+                ..Default::default()
+            },
         );
         let ratio = half.delivered as f64 / full.delivered as f64;
         assert!((0.35..0.65).contains(&ratio), "ratio {ratio}");
@@ -579,13 +698,21 @@ mod tests {
             &t,
             flat_dist,
             &df,
-            &SimConfig { duration_ms: 5000.0, window_ms: 10.0, ..Default::default() },
+            &SimConfig {
+                duration_ms: 5000.0,
+                window_ms: 10.0,
+                ..Default::default()
+            },
         );
         let large = simulate(
             &t,
             flat_dist,
             &df,
-            &SimConfig { duration_ms: 5000.0, window_ms: 1000.0, ..Default::default() },
+            &SimConfig {
+                duration_ms: 5000.0,
+                window_ms: 1000.0,
+                ..Default::default()
+            },
         );
         assert!(
             large.delivered > 3 * small.delivered,
@@ -596,12 +723,44 @@ mod tests {
     }
 
     #[test]
+    fn pick_partition_survives_all_zero_rates() {
+        // Regression: `gen_range(0.0..0.0)` used to panic when every
+        // partition rate was zero; now the choice falls back to uniform.
+        let mut rng = StdRng::seed_from_u64(9);
+        for rates in [vec![0.0, 0.0, 0.0], vec![0.0, -0.0], vec![f64::NAN, 1.0]] {
+            let p = pick_partition(&rates, &mut rng);
+            assert!(p < rates.len(), "{rates:?} -> {p}");
+        }
+        // Single-partition and healthy vectors are untouched.
+        assert_eq!(pick_partition(&[0.0], &mut rng), 0);
+        assert_eq!(pick_partition(&[5.0], &mut rng), 0);
+        let p = pick_partition(&[1.0, 3.0], &mut rng);
+        assert!(p < 2);
+    }
+
+    #[test]
+    fn pick_partition_uniform_fallback_covers_all_indices() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[pick_partition(&[0.0; 4], &mut rng)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "fallback must reach every partition: {seen:?}"
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let (t, q) = world(100.0, 100.0, 100.0);
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let cfg = SimConfig { duration_ms: 3000.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 3000.0,
+            ..Default::default()
+        };
         let a = simulate(&t, flat_dist, &df, &cfg);
         let b = simulate(&t, flat_dist, &df, &cfg);
         assert_eq!(a.delivered, b.delivered);

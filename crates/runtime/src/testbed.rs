@@ -70,7 +70,11 @@ mod tests {
         );
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
-        let cfg = SimConfig { duration_ms: 3000.0, window_ms: 200.0, ..Default::default() };
+        let cfg = SimConfig {
+            duration_ms: 3000.0,
+            window_ms: 200.0,
+            ..Default::default()
+        };
         let res = run_placement(&t, &rtt, &q, &p, 1.0, &cfg);
         assert!(res.delivered > 0);
     }

@@ -65,7 +65,7 @@ impl WindowBuffers {
         self.windows.retain(|w, bufs| {
             // Window w covers [w·len, (w+1)·len); it is complete once the
             // watermark reaches its end.
-            if *w + 1 <= keep_from {
+            if *w < keep_from {
                 evicted += bufs.0.len() + bufs.1.len();
                 false
             } else {
@@ -91,7 +91,10 @@ mod tests {
     use super::*;
 
     fn bt(seq: u64, et: f64) -> BufferedTuple {
-        BufferedTuple { seq, event_time: et }
+        BufferedTuple {
+            seq,
+            event_time: et,
+        }
     }
 
     #[test]

@@ -81,7 +81,11 @@ impl DriftModel {
             if hash_unit(hkey) < self.perturb_prob {
                 let (lo, hi) = self.perturb_ms;
                 let mag = lo * (hi / lo).powf(hash_unit(splitmix64(hkey ^ 0xF00D)));
-                let sign = if hash_unit(splitmix64(hkey ^ 0x5160)) < 0.5 { -1.0 } else { 1.0 };
+                let sign = if hash_unit(splitmix64(hkey ^ 0x5160)) < 0.5 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 v = (v + sign * mag).max(0.1);
             }
             out.set(i, j, v);
@@ -97,7 +101,11 @@ impl DriftModel {
         for h in 1..=hours {
             let cur = self.at_hour(h as f64);
             let (changed_entries, median_change_ms) = cur.diff_stats(&prev, 10.0);
-            reports.push(DriftReport { hour: h, changed_entries, median_change_ms });
+            reports.push(DriftReport {
+                hour: h,
+                changed_entries,
+                median_change_ms,
+            });
             prev = cur;
         }
         reports

@@ -192,11 +192,7 @@ impl EdgeFogCloud {
         for r in 0..p.regions {
             let mut region_sources = Vec::with_capacity(p.sources_per_region);
             for s in 0..p.sources_per_region {
-                let id = t.add_node(
-                    NodeRole::Source,
-                    p.source_capacity,
-                    format!("src{r}_{s}"),
-                );
+                let id = t.add_node(NodeRole::Source, p.source_capacity, format!("src{r}_{s}"));
                 t.node_mut(id).region = Some(r as u32);
                 region_sources.push(id);
             }
@@ -242,7 +238,13 @@ impl EdgeFogCloud {
             t.add_link(workers[workers.len() / 2], sink, lat, None);
         }
         let rtt = GraphRtt::new(&t);
-        EdgeFogCloud { topology: t, rtt, sources_by_region, workers, sink }
+        EdgeFogCloud {
+            topology: t,
+            rtt,
+            sources_by_region,
+            workers,
+            sink,
+        }
     }
 }
 
@@ -309,8 +311,18 @@ mod tests {
     #[test]
     fn base_stations_cannot_host_operators() {
         let ex = running_example();
-        assert_eq!(ex.topology.node(ex.topology.by_label("BS1").unwrap()).capacity, 0.0);
-        assert_eq!(ex.topology.node(ex.topology.by_label("BS2").unwrap()).capacity, 0.0);
+        assert_eq!(
+            ex.topology
+                .node(ex.topology.by_label("BS1").unwrap())
+                .capacity,
+            0.0
+        );
+        assert_eq!(
+            ex.topology
+                .node(ex.topology.by_label("BS2").unwrap())
+                .capacity,
+            0.0
+        );
     }
 
     #[test]
@@ -329,6 +341,9 @@ mod tests {
     fn parametric_generator_is_deterministic() {
         let a = EdgeFogCloud::generate(&EdgeFogCloudParams::default());
         let b = EdgeFogCloud::generate(&EdgeFogCloudParams::default());
-        assert_eq!(a.rtt.rtt(a.sink, a.workers[0]), b.rtt.rtt(b.sink, b.workers[0]));
+        assert_eq!(
+            a.rtt.rtt(a.sink, a.workers[0]),
+            b.rtt.rtt(b.sink, b.workers[0])
+        );
     }
 }

@@ -91,12 +91,7 @@ impl Topology {
     }
 
     /// Add a node and return its id.
-    pub fn add_node(
-        &mut self,
-        role: NodeRole,
-        capacity: f64,
-        label: impl Into<String>,
-    ) -> NodeId {
+    pub fn add_node(&mut self, role: NodeRole, capacity: f64, label: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             id,
@@ -140,7 +135,12 @@ impl Topology {
             "invalid latency {latency_ms}"
         );
         let link_idx = self.links.len() as u32;
-        self.links.push(Link { a, b, latency_ms, bandwidth });
+        self.links.push(Link {
+            a,
+            b,
+            latency_ms,
+            bandwidth,
+        });
         self.adjacency[a.idx()].push((b, link_idx));
         self.adjacency[b.idx()].push((a, link_idx));
     }
@@ -204,7 +204,10 @@ impl Topology {
 
     /// The first sink in the topology, if any.
     pub fn sink(&self) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.role == NodeRole::Sink).map(|n| n.id)
+        self.nodes
+            .iter()
+            .find(|n| n.role == NodeRole::Sink)
+            .map(|n| n.id)
     }
 
     /// Rebuild the adjacency lists (needed after deserialization, which

@@ -56,7 +56,12 @@ impl CapacityDistribution {
         match *self {
             CapacityDistribution::Constant { value } => value,
             CapacityDistribution::Uniform { min, max } => rng.gen_range(min..=max),
-            CapacityDistribution::Normal { mean, std, min, max } => {
+            CapacityDistribution::Normal {
+                mean,
+                std,
+                min,
+                max,
+            } => {
                 // Box–Muller; two uniforms, one normal draw.
                 let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 let u2: f64 = rng.gen_range(0.0..1.0);
@@ -74,12 +79,7 @@ impl CapacityDistribution {
     /// `target_mean` — the paper keeps total capacity approximately
     /// constant across heterogeneity levels so that only the *imbalance*
     /// changes, not the aggregate compute.
-    pub fn sample_normalized(
-        &self,
-        n: usize,
-        target_mean: f64,
-        rng: &mut impl Rng,
-    ) -> Vec<f64> {
+    pub fn sample_normalized(&self, n: usize, target_mean: f64, rng: &mut impl Rng) -> Vec<f64> {
         let mut v: Vec<f64> = (0..n).map(|_| self.sample(rng)).collect();
         let mean = v.iter().sum::<f64>() / n.max(1) as f64;
         if mean > 0.0 {
@@ -104,20 +104,44 @@ impl CapacityDistribution {
         vec![
             (
                 "normal-tight",
-                CapacityDistribution::Normal { mean: 100.0, std: 15.0, min: 1.0, max: 200.0 },
+                CapacityDistribution::Normal {
+                    mean: 100.0,
+                    std: 15.0,
+                    min: 1.0,
+                    max: 200.0,
+                },
             ),
             (
                 "normal-wide",
-                CapacityDistribution::Normal { mean: 100.0, std: 35.0, min: 1.0, max: 200.0 },
+                CapacityDistribution::Normal {
+                    mean: 100.0,
+                    std: 35.0,
+                    min: 1.0,
+                    max: 200.0,
+                },
             ),
-            ("uniform", CapacityDistribution::Uniform { min: 1.0, max: 200.0 }),
+            (
+                "uniform",
+                CapacityDistribution::Uniform {
+                    min: 1.0,
+                    max: 200.0,
+                },
+            ),
             (
                 "exp-mild",
-                CapacityDistribution::Exponential { scale: 60.0, min: 1.0, max: 600.0 },
+                CapacityDistribution::Exponential {
+                    scale: 60.0,
+                    min: 1.0,
+                    max: 600.0,
+                },
             ),
             (
                 "exp-heavy",
-                CapacityDistribution::Exponential { scale: 120.0, min: 1.0, max: 1000.0 },
+                CapacityDistribution::Exponential {
+                    scale: 120.0,
+                    min: 1.0,
+                    max: 1000.0,
+                },
             ),
         ]
     }
@@ -160,9 +184,21 @@ mod tests {
     fn samples_respect_bounds() {
         let mut rng = StdRng::seed_from_u64(1);
         let dists = [
-            CapacityDistribution::Uniform { min: 1.0, max: 200.0 },
-            CapacityDistribution::Normal { mean: 100.0, std: 50.0, min: 1.0, max: 200.0 },
-            CapacityDistribution::Exponential { scale: 100.0, min: 1.0, max: 1000.0 },
+            CapacityDistribution::Uniform {
+                min: 1.0,
+                max: 200.0,
+            },
+            CapacityDistribution::Normal {
+                mean: 100.0,
+                std: 50.0,
+                min: 1.0,
+                max: 200.0,
+            },
+            CapacityDistribution::Exponential {
+                scale: 100.0,
+                min: 1.0,
+                max: 1000.0,
+            },
         ];
         for d in dists {
             for _ in 0..2000 {
@@ -176,7 +212,11 @@ mod tests {
     #[test]
     fn normalized_samples_hit_target_mean() {
         let mut rng = StdRng::seed_from_u64(2);
-        let d = CapacityDistribution::Exponential { scale: 120.0, min: 1.0, max: 1000.0 };
+        let d = CapacityDistribution::Exponential {
+            scale: 120.0,
+            min: 1.0,
+            max: 1000.0,
+        };
         let v = d.sample_normalized(500, 80.0, &mut rng);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         assert!((mean - 80.0).abs() < 1e-9);
@@ -198,15 +238,24 @@ mod tests {
                 "sweep CVs should be (weakly) increasing: {cvs:?}"
             );
         }
-        assert!(cvs[0] < 0.2, "tight normal must be near-homogeneous: {cvs:?}");
-        assert!(*cvs.last().unwrap() > 0.8, "heavy tail must have high CV: {cvs:?}");
+        assert!(
+            cvs[0] < 0.2,
+            "tight normal must be near-homogeneous: {cvs:?}"
+        );
+        assert!(
+            *cvs.last().unwrap() > 0.8,
+            "heavy tail must have high CV: {cvs:?}"
+        );
     }
 
     #[test]
     fn normalization_preserves_cv() {
         // Rescaling by a constant must not change the CV.
         let mut rng = StdRng::seed_from_u64(4);
-        let d = CapacityDistribution::Uniform { min: 1.0, max: 200.0 };
+        let d = CapacityDistribution::Uniform {
+            min: 1.0,
+            max: 200.0,
+        };
         let raw: Vec<f64> = (0..3000).map(|_| d.sample(&mut rng)).collect();
         let mut rng2 = StdRng::seed_from_u64(4);
         let norm = d.sample_normalized(3000, 42.0, &mut rng2);

@@ -127,7 +127,14 @@ impl RootedTree {
             visited.iter().all(|&v| v),
             "tree edges do not form a single connected component containing the root"
         );
-        RootedTree { nodes, index, parent, parent_latency, depth, root: root_idx }
+        RootedTree {
+            nodes,
+            index,
+            parent,
+            parent_latency,
+            depth,
+            root: root_idx,
+        }
     }
 
     /// The root node.
@@ -261,11 +268,11 @@ mod tests {
     #[test]
     fn mst_total_weight_is_minimal_for_square() {
         // Unit square with diagonals sqrt(2): MST weight = 3.
-        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)];
+        let pts = [(0.0f64, 0.0f64), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)];
         let p = DenseRtt::from_fn(4, |i, j| {
             let (x1, y1) = pts[i];
             let (x2, y2) = pts[j];
-            ((x1 - x2) as f64).hypot(y1 - y2)
+            (x1 - x2).hypot(y1 - y2)
         });
         let edges = minimum_spanning_tree(&ids(4), &p);
         let total: f64 = edges.iter().map(|e| e.2).sum();
@@ -296,7 +303,10 @@ mod tests {
             tree.path_to_ancestor(NodeId(0), NodeId(3)),
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
         );
-        assert_eq!(tree.path_to_root(NodeId(5)), vec![NodeId(5), NodeId(4), NodeId(3)]);
+        assert_eq!(
+            tree.path_to_root(NodeId(5)),
+            vec![NodeId(5), NodeId(4), NodeId(3)]
+        );
         assert_eq!(
             tree.path_between(NodeId(1), NodeId(5)),
             vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]

@@ -71,7 +71,10 @@ pub fn dijkstra(topology: &Topology, source: NodeId) -> PathResult {
     let mut visited = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.idx()] = 0.0;
-    heap.push(QueueEntry { dist: 0.0, node: source });
+    heap.push(QueueEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(QueueEntry { dist: d, node }) = heap.pop() {
         if visited[node.idx()] {
             continue;
@@ -82,7 +85,10 @@ pub fn dijkstra(topology: &Topology, source: NodeId) -> PathResult {
             if nd < dist[nbr.idx()] {
                 dist[nbr.idx()] = nd;
                 prev[nbr.idx()] = Some(node);
-                heap.push(QueueEntry { dist: nd, node: nbr });
+                heap.push(QueueEntry {
+                    dist: nd,
+                    node: nbr,
+                });
             }
         }
     }

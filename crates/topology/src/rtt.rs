@@ -47,7 +47,10 @@ pub struct DenseRtt {
 impl DenseRtt {
     /// A zero matrix over `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        DenseRtt { n, data: vec![0.0; n * n] }
+        DenseRtt {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Build from a function of node pairs; `f` is called once per
@@ -96,9 +99,7 @@ impl DenseRtt {
 
     /// Iterate over all strictly-upper-triangle entries `(i, j, rtt)`.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
-        })
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j))))
     }
 
     /// Number of pairs `(i, j)` (i < j) for which the latency differs from
@@ -205,7 +206,11 @@ impl GeoRtt {
     /// Build a model over ground-truth positions with per-node access
     /// latencies (e.g. last-mile delays of edge devices).
     pub fn new(positions: Vec<Coord>, access_ms: Vec<f64>, ms_per_unit: f64, seed: u64) -> Self {
-        assert_eq!(positions.len(), access_ms.len(), "positions/access length mismatch");
+        assert_eq!(
+            positions.len(),
+            access_ms.len(),
+            "positions/access length mismatch"
+        );
         GeoRtt {
             positions,
             access_ms,
@@ -346,7 +351,11 @@ mod tests {
 
     #[test]
     fn geo_rtt_is_symmetric_and_deterministic() {
-        let pos = vec![Coord::xy(0.0, 0.0), Coord::xy(30.0, 40.0), Coord::xy(-5.0, 2.0)];
+        let pos = vec![
+            Coord::xy(0.0, 0.0),
+            Coord::xy(30.0, 40.0),
+            Coord::xy(-5.0, 2.0),
+        ];
         let acc = vec![1.0, 2.0, 3.0];
         let g = GeoRtt::new(pos, acc, 1.0, 7).with_jitter(0.2);
         for i in 0..3u32 {
@@ -368,7 +377,9 @@ mod tests {
         let pos: Vec<Coord> = (0..n).map(|i| Coord::xy(i as f64 * 10.0, 0.0)).collect();
         let acc = vec![0.0; n];
         let clean = GeoRtt::new(pos.clone(), acc.clone(), 1.0, 3).with_jitter(0.0);
-        let dirty = GeoRtt::new(pos, acc, 1.0, 3).with_jitter(0.0).with_tivs(0.4, 3.0);
+        let dirty = GeoRtt::new(pos, acc, 1.0, 3)
+            .with_jitter(0.0)
+            .with_tivs(0.4, 3.0);
         let clean_rate = DenseRtt::from_provider(&clean).tiv_rate(20_000, 1);
         let dirty_rate = DenseRtt::from_provider(&dirty).tiv_rate(20_000, 1);
         assert!(clean_rate < 0.01, "clean rate {clean_rate}");

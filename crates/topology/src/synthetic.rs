@@ -51,7 +51,10 @@ impl Default for SyntheticParams {
             clusters: 12,
             cluster_std: 4.0,
             source_frac: 0.6,
-            capacity: CapacityDistribution::Uniform { min: 1.0, max: 200.0 },
+            capacity: CapacityDistribution::Uniform {
+                min: 1.0,
+                max: 200.0,
+            },
             capacity_mean: 100.0,
             ms_per_unit: 1.0,
             access_ms: (0.5, 3.0),
@@ -74,7 +77,10 @@ impl SyntheticTopology {
     /// Generate a topology from the given parameters. Deterministic for a
     /// fixed parameter set.
     pub fn generate(params: &SyntheticParams) -> Self {
-        assert!(params.n >= 3, "need at least one source, one worker and a sink");
+        assert!(
+            params.n >= 3,
+            "need at least one source, one worker and a sink"
+        );
         let mut rng = StdRng::seed_from_u64(params.seed);
         // Cluster centers inside the paper's [0,100]×[−50,50] area.
         let centers: Vec<Coord> = (0..params.clusters.max(1))
@@ -91,7 +97,9 @@ impl SyntheticTopology {
             access.push(rng.gen_range(params.access_ms.0..=params.access_ms.1));
         }
         let capacities =
-            params.capacity.sample_normalized(params.n, params.capacity_mean, &mut rng);
+            params
+                .capacity
+                .sample_normalized(params.n, params.capacity_mean, &mut rng);
 
         // Role assignment: one random sink, then `source_frac` of the rest
         // as sources, remainder workers (paper §4.1).
@@ -136,7 +144,11 @@ mod tests {
     use crate::NodeId;
 
     fn small() -> SyntheticParams {
-        SyntheticParams { n: 200, seed: 11, ..Default::default() }
+        SyntheticParams {
+            n: 200,
+            seed: 11,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -179,7 +191,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SyntheticTopology::generate(&small());
-        let b = SyntheticTopology::generate(&SyntheticParams { seed: 12, ..small() });
+        let b = SyntheticTopology::generate(&SyntheticParams {
+            seed: 12,
+            ..small()
+        });
         let same = a
             .topology
             .nodes()
@@ -187,7 +202,10 @@ mod tests {
             .zip(b.topology.nodes())
             .filter(|(x, y)| x.capacity == y.capacity)
             .count();
-        assert!(same < 50, "seeds should decorrelate capacities, {same} identical");
+        assert!(
+            same < 50,
+            "seeds should decorrelate capacities, {same} identical"
+        );
     }
 
     #[test]
@@ -215,7 +233,10 @@ mod tests {
             assert!((t - totals[0]).abs() < 1e-6, "totals {totals:?}");
         }
         assert!(cvs.last().unwrap() > &0.8);
-        assert!(cvs[0] < 0.2, "first sweep entry is near-homogeneous: {cvs:?}");
+        assert!(
+            cvs[0] < 0.2,
+            "first sweep entry is near-homogeneous: {cvs:?}"
+        );
     }
 
     #[test]

@@ -73,7 +73,12 @@ impl Testbed {
 
     /// All testbeds in the order the paper's Fig. 5 presents them.
     pub fn all() -> [Testbed; 4] {
-        [Testbed::FitIotLab, Testbed::PlanetLab, Testbed::RipeAtlas, Testbed::King]
+        [
+            Testbed::FitIotLab,
+            Testbed::PlanetLab,
+            Testbed::RipeAtlas,
+            Testbed::King,
+        ]
     }
 
     /// Generate the synthetic stand-in dataset.
@@ -89,12 +94,36 @@ impl Testbed {
             // few ms plus small access delays. Four gateway-class nodes.
             Testbed::FitIotLab => TestbedSpec {
                 clusters: vec![
-                    ClusterSpec { center: (45.2, 5.7), weight: 0.35, spread: 0.05 },
-                    ClusterSpec { center: (50.6, 3.1), weight: 0.2, spread: 0.05 },
-                    ClusterSpec { center: (48.7, 2.2), weight: 0.2, spread: 0.05 },
-                    ClusterSpec { center: (48.6, 7.8), weight: 0.1, spread: 0.05 },
-                    ClusterSpec { center: (45.8, 4.8), weight: 0.1, spread: 0.05 },
-                    ClusterSpec { center: (43.6, 1.4), weight: 0.05, spread: 0.05 },
+                    ClusterSpec {
+                        center: (45.2, 5.7),
+                        weight: 0.35,
+                        spread: 0.05,
+                    },
+                    ClusterSpec {
+                        center: (50.6, 3.1),
+                        weight: 0.2,
+                        spread: 0.05,
+                    },
+                    ClusterSpec {
+                        center: (48.7, 2.2),
+                        weight: 0.2,
+                        spread: 0.05,
+                    },
+                    ClusterSpec {
+                        center: (48.6, 7.8),
+                        weight: 0.1,
+                        spread: 0.05,
+                    },
+                    ClusterSpec {
+                        center: (45.8, 4.8),
+                        weight: 0.1,
+                        spread: 0.05,
+                    },
+                    ClusterSpec {
+                        center: (43.6, 1.4),
+                        weight: 0.05,
+                        spread: 0.05,
+                    },
                 ],
                 ms_per_degree: 0.35,
                 access_ms: (0.3, 2.5),
@@ -105,11 +134,31 @@ impl Testbed {
             // EU + North America institutions.
             Testbed::PlanetLab => TestbedSpec {
                 clusters: vec![
-                    ClusterSpec { center: (48.0, 8.0), weight: 0.4, spread: 4.0 },
-                    ClusterSpec { center: (52.0, -1.0), weight: 0.12, spread: 2.0 },
-                    ClusterSpec { center: (40.0, -75.0), weight: 0.25, spread: 3.0 },
-                    ClusterSpec { center: (37.5, -120.0), weight: 0.15, spread: 3.0 },
-                    ClusterSpec { center: (45.0, -93.0), weight: 0.08, spread: 3.0 },
+                    ClusterSpec {
+                        center: (48.0, 8.0),
+                        weight: 0.4,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (52.0, -1.0),
+                        weight: 0.12,
+                        spread: 2.0,
+                    },
+                    ClusterSpec {
+                        center: (40.0, -75.0),
+                        weight: 0.25,
+                        spread: 3.0,
+                    },
+                    ClusterSpec {
+                        center: (37.5, -120.0),
+                        weight: 0.15,
+                        spread: 3.0,
+                    },
+                    ClusterSpec {
+                        center: (45.0, -93.0),
+                        weight: 0.08,
+                        spread: 3.0,
+                    },
                 ],
                 ms_per_degree: 0.9,
                 access_ms: (0.5, 6.0),
@@ -120,15 +169,51 @@ impl Testbed {
             // Global anchor mesh.
             Testbed::RipeAtlas | Testbed::RipeAtlas418 => TestbedSpec {
                 clusters: vec![
-                    ClusterSpec { center: (50.0, 8.0), weight: 0.34, spread: 6.0 },
-                    ClusterSpec { center: (40.0, -78.0), weight: 0.18, spread: 6.0 },
-                    ClusterSpec { center: (36.0, -118.0), weight: 0.08, spread: 4.0 },
-                    ClusterSpec { center: (1.3, 103.8), weight: 0.1, spread: 5.0 },
-                    ClusterSpec { center: (35.6, 139.7), weight: 0.08, spread: 4.0 },
-                    ClusterSpec { center: (-23.5, -46.6), weight: 0.07, spread: 4.0 },
-                    ClusterSpec { center: (-33.9, 151.2), weight: 0.06, spread: 4.0 },
-                    ClusterSpec { center: (28.6, 77.2), weight: 0.05, spread: 4.0 },
-                    ClusterSpec { center: (-1.3, 36.8), weight: 0.04, spread: 4.0 },
+                    ClusterSpec {
+                        center: (50.0, 8.0),
+                        weight: 0.34,
+                        spread: 6.0,
+                    },
+                    ClusterSpec {
+                        center: (40.0, -78.0),
+                        weight: 0.18,
+                        spread: 6.0,
+                    },
+                    ClusterSpec {
+                        center: (36.0, -118.0),
+                        weight: 0.08,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (1.3, 103.8),
+                        weight: 0.1,
+                        spread: 5.0,
+                    },
+                    ClusterSpec {
+                        center: (35.6, 139.7),
+                        weight: 0.08,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (-23.5, -46.6),
+                        weight: 0.07,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (-33.9, 151.2),
+                        weight: 0.06,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (28.6, 77.2),
+                        weight: 0.05,
+                        spread: 4.0,
+                    },
+                    ClusterSpec {
+                        center: (-1.3, 36.8),
+                        weight: 0.04,
+                        spread: 4.0,
+                    },
                 ],
                 ms_per_degree: 1.05,
                 access_ms: (1.0, 12.0),
@@ -140,13 +225,41 @@ impl Testbed {
             // more TIVs (King estimates pass through recursive resolvers).
             Testbed::King => TestbedSpec {
                 clusters: vec![
-                    ClusterSpec { center: (40.0, -78.0), weight: 0.3, spread: 7.0 },
-                    ClusterSpec { center: (37.0, -120.0), weight: 0.12, spread: 5.0 },
-                    ClusterSpec { center: (50.0, 8.0), weight: 0.28, spread: 7.0 },
-                    ClusterSpec { center: (35.6, 139.7), weight: 0.1, spread: 5.0 },
-                    ClusterSpec { center: (31.0, 121.0), weight: 0.08, spread: 5.0 },
-                    ClusterSpec { center: (-23.5, -46.6), weight: 0.06, spread: 5.0 },
-                    ClusterSpec { center: (19.0, 72.8), weight: 0.06, spread: 5.0 },
+                    ClusterSpec {
+                        center: (40.0, -78.0),
+                        weight: 0.3,
+                        spread: 7.0,
+                    },
+                    ClusterSpec {
+                        center: (37.0, -120.0),
+                        weight: 0.12,
+                        spread: 5.0,
+                    },
+                    ClusterSpec {
+                        center: (50.0, 8.0),
+                        weight: 0.28,
+                        spread: 7.0,
+                    },
+                    ClusterSpec {
+                        center: (35.6, 139.7),
+                        weight: 0.1,
+                        spread: 5.0,
+                    },
+                    ClusterSpec {
+                        center: (31.0, 121.0),
+                        weight: 0.08,
+                        spread: 5.0,
+                    },
+                    ClusterSpec {
+                        center: (-23.5, -46.6),
+                        weight: 0.06,
+                        spread: 5.0,
+                    },
+                    ClusterSpec {
+                        center: (19.0, 72.8),
+                        weight: 0.06,
+                        spread: 5.0,
+                    },
                 ],
                 ms_per_degree: 1.15,
                 access_ms: (3.0, 30.0),
@@ -236,7 +349,11 @@ impl TestbedSpec {
                 None,
             );
         }
-        TestbedTopology { testbed, topology, rtt }
+        TestbedTopology {
+            testbed,
+            topology,
+            rtt,
+        }
     }
 }
 
@@ -303,8 +420,14 @@ mod tests {
         };
         let fit_mean = mean(&fit.rtt);
         let king_mean = mean(&king.rtt);
-        assert!(fit_mean < 15.0, "FIT should be metro-scale, mean {fit_mean}");
-        assert!(king_mean > 60.0, "King should be WAN-scale, mean {king_mean}");
+        assert!(
+            fit_mean < 15.0,
+            "FIT should be metro-scale, mean {fit_mean}"
+        );
+        assert!(
+            king_mean > 60.0,
+            "King should be WAN-scale, mean {king_mean}"
+        );
         assert!(king_mean > 5.0 * fit_mean);
     }
 
@@ -312,7 +435,10 @@ mod tests {
     fn testbeds_exhibit_tivs() {
         let ripe = Testbed::RipeAtlas418.generate(3);
         let rate = ripe.rtt.tiv_rate(50_000, 9);
-        assert!(rate > 0.01, "RIPE stand-in should violate triangles: {rate}");
+        assert!(
+            rate > 0.01,
+            "RIPE stand-in should violate triangles: {rate}"
+        );
     }
 
     #[test]

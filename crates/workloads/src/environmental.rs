@@ -29,7 +29,12 @@ pub struct EnvironmentalParams {
 
 impl Default for EnvironmentalParams {
     fn default() -> Self {
-        EnvironmentalParams { regions: 4, rate: DEBS_RATE, selectivity: 1.0, seed: 0xDEB5 }
+        EnvironmentalParams {
+            regions: 4,
+            rate: DEBS_RATE,
+            selectivity: 1.0,
+            seed: 0xDEB5,
+        }
     }
 }
 
@@ -63,8 +68,7 @@ pub fn environmental_scenario(params: &EnvironmentalParams) -> EnvironmentalScen
         left.push(StreamSpec::keyed(sources[0], params.rate, region as u32));
         right.push(StreamSpec::keyed(sources[1], params.rate, region as u32));
     }
-    let query = JoinQuery::by_key(left, right, cluster.sink)
-        .with_selectivity(params.selectivity);
+    let query = JoinQuery::by_key(left, right, cluster.sink).with_selectivity(params.selectivity);
     EnvironmentalScenario { cluster, query }
 }
 

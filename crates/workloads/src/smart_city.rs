@@ -65,8 +65,16 @@ pub fn smart_city_scenario(params: &SmartCityParams) -> SmartCityScenario {
     let mut traffic = Vec::with_capacity(params.districts);
     let mut weather = Vec::with_capacity(params.districts);
     for (district, sources) in cluster.sources_by_region.iter().enumerate() {
-        traffic.push(StreamSpec::keyed(sources[0], params.traffic_rate, district as u32));
-        weather.push(StreamSpec::keyed(sources[1], params.weather_rate, district as u32));
+        traffic.push(StreamSpec::keyed(
+            sources[0],
+            params.traffic_rate,
+            district as u32,
+        ));
+        weather.push(StreamSpec::keyed(
+            sources[1],
+            params.weather_rate,
+            district as u32,
+        ));
     }
     let query = JoinQuery::by_key(traffic, weather, cluster.sink);
     SmartCityScenario { cluster, query }

@@ -38,7 +38,10 @@ impl Default for OppParams {
         OppParams {
             source_frac: 0.6,
             rate_range: (1.0, 200.0),
-            capacity: CapacityDistribution::Uniform { min: 1.0, max: 200.0 },
+            capacity: CapacityDistribution::Uniform {
+                min: 1.0,
+                max: 200.0,
+            },
             // Mean node capacity after normalization. Rates average ~100
             // over 60 % sources, so a mean of 200 gives the topology ≈2×
             // aggregate headroom over raw demand — enough to absorb the
@@ -63,14 +66,19 @@ pub struct OppWorkload {
 /// Assign roles, capacities, stream sides and rates over an existing node
 /// population (positions/latency model untouched).
 pub fn synthetic_opp(base: &Topology, params: &OppParams) -> OppWorkload {
-    assert!(base.len() >= 4, "need at least 2 sources, a worker and a sink");
+    assert!(
+        base.len() >= 4,
+        "need at least 2 sources, a worker and a sink"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut topology = base.clone();
     let n = topology.len();
 
     // Capacities: normalized to keep total compute constant across
     // heterogeneity levels.
-    let caps = params.capacity.sample_normalized(n, params.capacity_mean, &mut rng);
+    let caps = params
+        .capacity
+        .sample_normalized(n, params.capacity_mean, &mut rng);
     for (i, cap) in caps.iter().enumerate() {
         topology.node_mut(NodeId(i as u32)).capacity = *cap;
     }
@@ -83,8 +91,11 @@ pub fn synthetic_opp(base: &Topology, params: &OppParams) -> OppWorkload {
     // An even source count so every source has exactly one partner.
     let n_sources = (n_sources_raw - n_sources_raw % 2).max(2);
     for (i, &id) in rest.iter().enumerate() {
-        topology.node_mut(id).role =
-            if i < n_sources { NodeRole::Source } else { NodeRole::Worker };
+        topology.node_mut(id).role = if i < n_sources {
+            NodeRole::Source
+        } else {
+            NodeRole::Worker
+        };
     }
     topology.node_mut(sink).role = NodeRole::Sink;
 
@@ -113,8 +124,12 @@ mod tests {
     use nova_topology::{SyntheticParams, SyntheticTopology};
 
     fn base(n: usize) -> Topology {
-        SyntheticTopology::generate(&SyntheticParams { n, seed: 5, ..Default::default() })
-            .topology
+        SyntheticTopology::generate(&SyntheticParams {
+            n,
+            seed: 5,
+            ..Default::default()
+        })
+        .topology
     }
 
     #[test]
@@ -172,10 +187,20 @@ mod tests {
             assert_eq!(x.node, y.node);
             assert_eq!(x.rate, y.rate);
         }
-        let c = synthetic_opp(&base(150), &OppParams { seed: 77, ..Default::default() });
+        let c = synthetic_opp(
+            &base(150),
+            &OppParams {
+                seed: 77,
+                ..Default::default()
+            },
+        );
         assert!(
             a.query.sink != c.query.sink
-                || a.query.left.iter().zip(&c.query.left).any(|(x, y)| x.node != y.node),
+                || a.query
+                    .left
+                    .iter()
+                    .zip(&c.query.left)
+                    .any(|(x, y)| x.node != y.node),
             "different seeds should differ"
         );
     }

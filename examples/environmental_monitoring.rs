@@ -67,8 +67,6 @@ fn main() {
         );
     }
     let speedup = nova_run.delivered as f64 / sink_run.delivered.max(1) as f64;
-    println!(
-        "\nNova delivers {speedup:.1}× the sink-based throughput (paper: 13.4× on real Pis)."
-    );
+    println!("\nNova delivers {speedup:.1}× the sink-based throughput (paper: 13.4× on real Pis).");
     assert!(speedup > 2.0);
 }

@@ -13,7 +13,11 @@ fn main() {
     // 1. The topology: 6 sensors in two regions, fog nodes A–G, a cloud
     //    node E and a local sink, with the paper's latencies.
     let ex = running_example();
-    println!("topology: {} nodes, {} links", ex.topology.len(), ex.topology.links().len());
+    println!(
+        "topology: {} nodes, {} links",
+        ex.topology.len(),
+        ex.topology.links().len()
+    );
 
     // 2. The query: pressure (T) ⋈ humidity (W) by region id. Source
     //    expansion yields 4 pressure + 2 humidity physical streams; the
@@ -27,7 +31,10 @@ fn main() {
         ex.humidity.iter().copied().map(stream).collect(),
         ex.sink,
     );
-    println!("query: {} join pairs after resolution", query.resolve().len());
+    println!(
+        "query: {} join pairs after resolution",
+        query.resolve().len()
+    );
 
     // 3. Optimize. Phase I embeds the measured latencies via Vivaldi;
     //    C_min = 15 reproduces the §3.4 walk-through's availability
@@ -35,7 +42,10 @@ fn main() {
     let mut nova = Nova::from_provider(
         ex.topology.clone(),
         ex.rtt.dense(),
-        NovaConfig { c_min: 15.0, ..NovaConfig::default() },
+        NovaConfig {
+            c_min: 15.0,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(query.clone());
 
@@ -66,7 +76,11 @@ fn main() {
         .chain(&ex.humidity)
         .map(|&s| ex.rtt.rtt(s, cloud) + ex.rtt.rtt(cloud, ex.sink))
         .fold(0.0f64, f64::max);
-    println!("\nnova:  max end-to-end {:.0} ms, overloaded nodes: {}", eval.max_latency(), eval.overloaded_nodes);
+    println!(
+        "\nnova:  max end-to-end {:.0} ms, overloaded nodes: {}",
+        eval.max_latency(),
+        eval.overloaded_nodes
+    );
     println!("cloud: max end-to-end {worst_cloud:.0} ms (the paper's ~275 ms contrast)");
     assert!(eval.max_latency() < worst_cloud);
     assert_eq!(eval.overloaded_nodes, 0);

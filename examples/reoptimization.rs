@@ -35,16 +35,36 @@ impl<P: LatencyProvider> LatencyProvider for Grown<'_, P> {
 
 fn main() {
     let n = 2_000;
-    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 42, ..Default::default() });
-    let w = synthetic_opp(&syn.topology, &OppParams { seed: 42, ..OppParams::default() });
-    println!("topology: {n} nodes, query: {} join pairs", w.query.resolve().len());
+    let syn = SyntheticTopology::generate(&SyntheticParams {
+        n,
+        seed: 42,
+        ..Default::default()
+    });
+    let w = synthetic_opp(
+        &syn.topology,
+        &OppParams {
+            seed: 42,
+            ..OppParams::default()
+        },
+    );
+    println!(
+        "topology: {n} nodes, query: {} join pairs",
+        w.query.resolve().len()
+    );
 
-    let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 32, ..VivaldiConfig::default() };
+    let vivaldi_cfg = VivaldiConfig {
+        neighbors: 20,
+        rounds: 32,
+        ..VivaldiConfig::default()
+    };
     let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
     let mut nova = Nova::with_cost_space(
         w.topology.clone(),
         space,
-        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+        NovaConfig {
+            vivaldi: vivaldi_cfg,
+            ..NovaConfig::default()
+        },
     );
 
     let t = Instant::now();
@@ -55,9 +75,16 @@ fn main() {
         nova.placement().instance_count()
     );
 
-    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    let grown = Grown {
+        inner: &syn.rtt,
+        base: n,
+        anchor: w.query.left[0].node,
+    };
     let show = |label: &str, t: Instant, touched: usize| {
-        println!("{label:<28} {:>10.3?}  pairs touched: {touched}", t.elapsed());
+        println!(
+            "{label:<28} {:>10.3?}  pairs touched: {touched}",
+            t.elapsed()
+        );
     };
 
     // 1. A new sensor joins region 0.
@@ -80,7 +107,9 @@ fn main() {
 
     // 4. A sensor's rate doubles.
     let t = Instant::now();
-    let out = nova.change_rate(Side::Right, 1, 180.0).expect("rate change");
+    let out = nova
+        .change_rate(Side::Right, 1, 180.0)
+        .expect("rate change");
     show("rate change", t, out.replaced_pairs.len());
 
     // 5. A node's latency profile drifts. (The provider must cover the

@@ -26,25 +26,39 @@ fn main() {
     // one district's pair.
     let sigma = 0.4;
     let joint = PartitionedJoin::decompose(params.traffic_rate, params.weather_rate, sigma);
-    println!("joint weighting (Eq. 7):   traffic → {} partitions, weather → {} partition(s)",
-        joint.left.len(), joint.right.len());
-    println!("  max replica demand {:.0} t/s, total transfer {:.0} t/s",
-        joint.max_replica_capacity(), joint.total_transfer());
+    println!(
+        "joint weighting (Eq. 7):   traffic → {} partitions, weather → {} partition(s)",
+        joint.left.len(),
+        joint.right.len()
+    );
+    println!(
+        "  max replica demand {:.0} t/s, total transfer {:.0} t/s",
+        joint.max_replica_capacity(),
+        joint.total_transfer()
+    );
     // Independent σ-partitioning splits both streams 1/σ ways.
     let splits = (1.0 / sigma).ceil() as usize;
     let ind_transfer = params.traffic_rate * splits as f64 + params.weather_rate * splits as f64;
-    println!("independent σ splits:      both → {splits} partitions, transfer {ind_transfer:.0} t/s\n");
+    println!(
+        "independent σ splits:      both → {splits} partitions, transfer {ind_transfer:.0} t/s\n"
+    );
 
     // Place the whole city query.
     let space = CostSpace::new(classical_mds(scenario.cluster.rtt.dense(), 2, 3));
     let mut nova = Nova::with_cost_space(
         scenario.cluster.topology.clone(),
         space,
-        NovaConfig { sigma, ..NovaConfig::default() },
+        NovaConfig {
+            sigma,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(scenario.query.clone());
 
-    println!("placement ({} merged instances):", nova.placement().instance_count());
+    println!(
+        "placement ({} merged instances):",
+        nova.placement().instance_count()
+    );
     for rep in &nova.placement().replicas {
         println!(
             "  district-join {} on {:<8} traffic {:>5.0} t/s + weather {:>3.0} t/s",

@@ -15,6 +15,9 @@
 //!   indexes,
 //! * [`runtime`] ([`nova_runtime`]) — the discrete-event
 //!   stream-processing testbed,
+//! * [`exec`] ([`nova_exec`]) — the multi-threaded streaming-join
+//!   executor: the same dataflows on real OS threads, bounded channels
+//!   and windowed hash joins (see `examples/real_execution.rs`),
 //! * [`workloads`] ([`nova_workloads`]) — DEBS-style, synthetic-OPP and
 //!   smart-city workload generators.
 //!
@@ -22,6 +25,7 @@
 //! the system inventory and experiment index.
 
 pub use nova_core as core;
+pub use nova_exec as exec;
 pub use nova_geom as geom;
 pub use nova_netcoord as netcoord;
 pub use nova_runtime as runtime;
@@ -29,7 +33,6 @@ pub use nova_topology as topology;
 pub use nova_workloads as workloads;
 
 // The most common entry points, re-exported flat for convenience.
-pub use nova_core::{
-    evaluate, EvalOptions, JoinQuery, Nova, NovaConfig, Placement, StreamSpec,
-};
+pub use nova_core::{evaluate, EvalOptions, JoinQuery, Nova, NovaConfig, Placement, StreamSpec};
+pub use nova_exec::{execute, Backend, ExecConfig, ExecResult, ThreadedBackend};
 pub use nova_topology::{running_example, NodeId, NodeRole, Topology};

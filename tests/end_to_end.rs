@@ -74,14 +74,48 @@ fn stress_degrades_baselines_more_than_nova() {
     let plan = scenario.query.resolve();
     let cfg = sim(10_000.0);
 
-    let sources: Vec<_> = scenario.cluster.sources_by_region.iter().flatten().copied().collect();
+    let sources: Vec<_> = scenario
+        .cluster
+        .sources_by_region
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     let stressed = with_stress(topology, &sources, 0.3);
 
-    let nova_normal = run_placement(topology, &scenario.cluster.rtt, &scenario.query, nova.placement(), 0.4, &cfg);
-    let nova_stress = run_placement(&stressed, &scenario.cluster.rtt, &scenario.query, nova.placement(), 0.4, &cfg);
+    let nova_normal = run_placement(
+        topology,
+        &scenario.cluster.rtt,
+        &scenario.query,
+        nova.placement(),
+        0.4,
+        &cfg,
+    );
+    let nova_stress = run_placement(
+        &stressed,
+        &scenario.cluster.rtt,
+        &scenario.query,
+        nova.placement(),
+        0.4,
+        &cfg,
+    );
     let src_placement = nova::core::baselines::source_based(&scenario.query, &plan);
-    let src_normal = run_placement(topology, &scenario.cluster.rtt, &scenario.query, &src_placement, 1.0, &cfg);
-    let src_stress = run_placement(&stressed, &scenario.cluster.rtt, &scenario.query, &src_placement, 1.0, &cfg);
+    let src_normal = run_placement(
+        topology,
+        &scenario.cluster.rtt,
+        &scenario.query,
+        &src_placement,
+        1.0,
+        &cfg,
+    );
+    let src_stress = run_placement(
+        &stressed,
+        &scenario.cluster.rtt,
+        &scenario.query,
+        &src_placement,
+        1.0,
+        &cfg,
+    );
 
     // Stress throttles everyone's sources, but source-colocated joins
     // lose *relatively* more throughput than Nova's worker-hosted joins.
@@ -106,9 +140,26 @@ fn window_size_sweep_preserves_nova_advantage() {
     let sink_placement = sink_based(&scenario.query, &plan);
 
     for window_ms in [1.0, 10.0, 1000.0] {
-        let cfg = SimConfig { window_ms, ..sim(6_000.0) };
-        let nova_run = run_placement(topology, &scenario.cluster.rtt, &scenario.query, nova.placement(), 0.4, &cfg);
-        let sink_run = run_placement(topology, &scenario.cluster.rtt, &scenario.query, &sink_placement, 1.0, &cfg);
+        let cfg = SimConfig {
+            window_ms,
+            ..sim(6_000.0)
+        };
+        let nova_run = run_placement(
+            topology,
+            &scenario.cluster.rtt,
+            &scenario.query,
+            nova.placement(),
+            0.4,
+            &cfg,
+        );
+        let sink_run = run_placement(
+            topology,
+            &scenario.cluster.rtt,
+            &scenario.query,
+            &sink_placement,
+            1.0,
+            &cfg,
+        );
         assert!(
             nova_run.delivered > sink_run.delivered,
             "window {window_ms} ms: nova {} vs sink {}",

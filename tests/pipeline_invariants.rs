@@ -10,7 +10,13 @@ use nova::workloads::{synthetic_opp, OppParams};
 #[test]
 fn fit_testbed_full_pipeline_avoids_overload_near_bound() {
     let data = Testbed::FitIotLab.generate(5);
-    let w = synthetic_opp(&data.topology, &OppParams { seed: 5, ..OppParams::default() });
+    let w = synthetic_opp(
+        &data.topology,
+        &OppParams {
+            seed: 5,
+            ..OppParams::default()
+        },
+    );
     let vivaldi_cfg = VivaldiConfig {
         neighbors: Testbed::FitIotLab.vivaldi_neighbors(),
         rounds: 48,
@@ -19,13 +25,20 @@ fn fit_testbed_full_pipeline_avoids_overload_near_bound() {
     let vivaldi = Vivaldi::embed(&data.rtt, vivaldi_cfg);
     // Fig. 5 claim: the embedding is accurate at the paper's m.
     let err = EmbeddingError::evaluate(vivaldi.coords(), &data.rtt, 30_000, 1);
-    assert!(err.median_relative < 0.35, "median rel err {}", err.median_relative);
+    assert!(
+        err.median_relative < 0.35,
+        "median rel err {}",
+        err.median_relative
+    );
 
     let space = vivaldi.into_cost_space();
     let mut nova = Nova::with_cost_space(
         w.topology.clone(),
         space.clone(),
-        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+        NovaConfig {
+            vivaldi: vivaldi_cfg,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(w.query.clone());
     let nova_eval = evaluate(
@@ -35,7 +48,11 @@ fn fit_testbed_full_pipeline_avoids_overload_near_bound() {
         EvalOptions::default(),
     );
     // Fig. 6 claim: zero overload.
-    assert_eq!(nova_eval.overloaded_nodes, 0, "loads {:?}", nova_eval.node_loads);
+    assert_eq!(
+        nova_eval.overloaded_nodes, 0,
+        "loads {:?}",
+        nova_eval.node_loads
+    );
 
     // Fig. 7 claim: within a bounded delta of the sink-based bound.
     let plan = w.query.resolve();
@@ -59,7 +76,12 @@ fn fit_testbed_full_pipeline_avoids_overload_near_bound() {
     );
     let nova_ratio = nova_eval.mean_latency() / nova_est.mean_latency().max(1e-9);
     let tree = tree_based(&w.query, &plan, &w.topology, &space);
-    let tree_real = evaluate(&tree, &w.topology, |a, b| data.rtt.rtt(a, b), EvalOptions::default());
+    let tree_real = evaluate(
+        &tree,
+        &w.topology,
+        |a, b| data.rtt.rtt(a, b),
+        EvalOptions::default(),
+    );
     let tree_est = evaluate(
         &tree,
         &w.topology,
@@ -80,20 +102,38 @@ fn drift_leaves_placement_quality_stable() {
     // hours varies by less than 25 % around its mean.
     use nova::topology::DriftModel;
     let data = Testbed::RipeAtlas418.generate(8);
-    let w = synthetic_opp(&data.topology, &OppParams { seed: 8, ..OppParams::default() });
-    let vivaldi_cfg = VivaldiConfig { neighbors: 20, rounds: 32, ..VivaldiConfig::default() };
+    let w = synthetic_opp(
+        &data.topology,
+        &OppParams {
+            seed: 8,
+            ..OppParams::default()
+        },
+    );
+    let vivaldi_cfg = VivaldiConfig {
+        neighbors: 20,
+        rounds: 32,
+        ..VivaldiConfig::default()
+    };
     let space = Vivaldi::embed(&data.rtt, vivaldi_cfg).into_cost_space();
     let mut nova = Nova::with_cost_space(
         w.topology.clone(),
         space,
-        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+        NovaConfig {
+            vivaldi: vivaldi_cfg,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(w.query.clone());
     let drift = DriftModel::new(data.rtt.clone(), 8);
     let mut means = Vec::new();
     for hour in [0.0, 6.0, 12.0, 18.0, 23.0] {
         let m = drift.at_hour(hour);
-        let eval = evaluate(nova.placement(), &w.topology, |a, b| m.rtt(a, b), EvalOptions::default());
+        let eval = evaluate(
+            nova.placement(),
+            &w.topology,
+            |a, b| m.rtt(a, b),
+            EvalOptions::default(),
+        );
         means.push(eval.mean_latency());
     }
     let avg = means.iter().sum::<f64>() / means.len() as f64;

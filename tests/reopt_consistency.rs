@@ -40,19 +40,41 @@ impl<P: LatencyProvider> LatencyProvider for Grown<'_, P> {
 #[test]
 fn random_event_battery_keeps_accounting_exact() {
     let n = 400;
-    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 13, ..Default::default() });
-    let w = synthetic_opp(&syn.topology, &OppParams { seed: 13, ..OppParams::default() });
-    let vivaldi_cfg = VivaldiConfig { neighbors: 16, rounds: 24, ..VivaldiConfig::default() };
+    let syn = SyntheticTopology::generate(&SyntheticParams {
+        n,
+        seed: 13,
+        ..Default::default()
+    });
+    let w = synthetic_opp(
+        &syn.topology,
+        &OppParams {
+            seed: 13,
+            ..OppParams::default()
+        },
+    );
+    let vivaldi_cfg = VivaldiConfig {
+        neighbors: 16,
+        rounds: 24,
+        ..VivaldiConfig::default()
+    };
     let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
     let mut nova = Nova::with_cost_space(
         w.topology.clone(),
         space,
-        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+        NovaConfig {
+            vivaldi: vivaldi_cfg,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(w.query.clone());
-    nova.validate_accounting().expect("fresh placement consistent");
+    nova.validate_accounting()
+        .expect("fresh placement consistent");
 
-    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    let grown = Grown {
+        inner: &syn.rtt,
+        base: n,
+        anchor: w.query.left[0].node,
+    };
     let mut rng = StdRng::seed_from_u64(99);
     let mut added_sources = 0u32;
 
@@ -97,21 +119,43 @@ fn full_reoptimize_after_battery_matches_fresh_run() {
     // After churn, a full re-optimize from the mutated topology must
     // still produce a consistent, fully-placed result.
     let n = 300;
-    let syn = SyntheticTopology::generate(&SyntheticParams { n, seed: 21, ..Default::default() });
-    let w = synthetic_opp(&syn.topology, &OppParams { seed: 21, ..OppParams::default() });
-    let vivaldi_cfg = VivaldiConfig { neighbors: 16, rounds: 24, ..VivaldiConfig::default() };
+    let syn = SyntheticTopology::generate(&SyntheticParams {
+        n,
+        seed: 21,
+        ..Default::default()
+    });
+    let w = synthetic_opp(
+        &syn.topology,
+        &OppParams {
+            seed: 21,
+            ..OppParams::default()
+        },
+    );
+    let vivaldi_cfg = VivaldiConfig {
+        neighbors: 16,
+        rounds: 24,
+        ..VivaldiConfig::default()
+    };
     let space = Vivaldi::embed(&syn.rtt, vivaldi_cfg).into_cost_space();
     let mut nova = Nova::with_cost_space(
         w.topology.clone(),
         space,
-        NovaConfig { vivaldi: vivaldi_cfg, ..NovaConfig::default() },
+        NovaConfig {
+            vivaldi: vivaldi_cfg,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(w.query.clone());
-    let grown = Grown { inner: &syn.rtt, base: n, anchor: w.query.left[0].node };
+    let grown = Grown {
+        inner: &syn.rtt,
+        base: n,
+        anchor: w.query.left[0].node,
+    };
     for i in 0..5 {
         let _ = nova.add_worker(&grown, 200.0, format!("late{i}"));
     }
     let query_now = nova.query().expect("query present").clone();
     nova.optimize(query_now);
-    nova.validate_accounting().expect("re-optimized placement consistent");
+    nova.validate_accounting()
+        .expect("re-optimized placement consistent");
 }

@@ -30,7 +30,11 @@ fn stated_latencies_hold() {
     assert_eq!(ex.rtt.rtt(t1, c), 60.0, "A[t1, C] = 60 ms");
     assert_eq!(ex.rtt.rtt(t1, ex.sink), 110.0, "A[t1, sink] = 110 ms");
     assert_eq!(ex.rtt.rtt(t1, e), 130.0, "region-1 cloud path ≈ 130 ms");
-    assert_eq!(ex.rtt.rtt(ex.pressure[2], e), 155.0, "region-2 cloud path ≈ 155 ms");
+    assert_eq!(
+        ex.rtt.rtt(ex.pressure[2], e),
+        155.0,
+        "region-2 cloud path ≈ 155 ms"
+    );
     assert_eq!(ex.rtt.rtt(e, ex.sink), 100.0, "cloud → sink ≈ 100 ms");
 }
 
@@ -58,7 +62,10 @@ fn nova_places_region_locally_without_overload() {
     let mut nova = Nova::with_cost_space(
         ex.topology.clone(),
         space,
-        NovaConfig { c_min: 15.0, ..NovaConfig::default() },
+        NovaConfig {
+            c_min: 15.0,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(query);
 
@@ -103,7 +110,10 @@ fn nova_end_to_end_beats_cloud_and_respects_paper_bounds() {
     let mut nova = Nova::with_cost_space(
         ex.topology.clone(),
         space,
-        NovaConfig { c_min: 15.0, ..NovaConfig::default() },
+        NovaConfig {
+            c_min: 15.0,
+            ..NovaConfig::default()
+        },
     );
     nova.optimize(query);
     let eval = evaluate(

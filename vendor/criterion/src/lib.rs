@@ -1,0 +1,220 @@
+//! Offline stand-in for the subset of `criterion` the workspace uses.
+//!
+//! Unlike the serde shim this one is *functional*: benchmarks really run
+//! and really get timed — warm-up iteration, then samples until a time
+//! budget (default 2 s per benchmark, `NOVA_BENCH_BUDGET_MS` overrides)
+//! or the group's `sample_size` is exhausted, then a one-line report of
+//! min/mean iteration time. No statistics beyond that, no plots, no
+//! baseline comparison — swap in the real `criterion = "0.5"` for those.
+//! The macro/API surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`, `iter_batched`,
+//! `BenchmarkId`, `black_box`) matches upstream, so bench sources compile
+//! unchanged against either implementation.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Hint for how `iter_batched` amortizes setup; the stand-in runs every
+/// batch per-iteration regardless, so this only mirrors the upstream API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("NOVA_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(2000);
+        Criterion {
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.budget;
+        run_one(name, 100, budget, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<N: Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.criterion.budget, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, N: Display, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.criterion.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (report-flush in upstream; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle: benchmarks call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_cap: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_cap && started.elapsed() < self.budget {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup` each iteration; only
+    /// the routine is timed.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.sample_cap && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_cap: usize, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_cap,
+        budget,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let n = b.samples.len() as u32;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!("bench {label:<48} mean {mean:>12.3?}  min {min:>12.3?}  ({n} samples)");
+}
+
+/// Bundle benchmark functions into a runnable group, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the subset of `proptest` the workspace uses.
+//!
+//! A real (if small) property-testing runner: the [`proptest!`] macro
+//! generates `#[test]` functions that draw inputs from [`Strategy`]
+//! values and run the body for `ProptestConfig::cases` cases
+//! (`PROPTEST_CASES` overrides the default of 64). Failures report the
+//! case number and the generated inputs. What's missing versus upstream
+//! is shrinking and persistence — a failing case is reported as-is, not
+//! minimized. The seed is derived from the test name, so runs are
+//! deterministic and failures reproducible.
+//!
+//! Supported strategy surface: numeric ranges (`lo..hi`, `lo..=hi`),
+//! tuples of strategies (arity 2–4), [`Strategy::prop_map`], and
+//! [`collection::vec`]. That is exactly what the workspace's property
+//! tests use; swap the path dependency for the real `proptest = "1"` to
+//! get the full DSL and shrinking.
+
+use rand::prelude::*;
+
+pub mod collection;
+pub mod prelude;
+
+/// A generator of test-case inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: Clone,
+    core::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: Clone,
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+/// Drives the cases of one property test.
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// New runner seeded deterministically from the test name.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            cases: config.cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// Draw one input from a strategy.
+    pub fn generate<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+        strategy.generate(&mut self.rng)
+    }
+}
+
+/// Define property tests (`proptest!` subset: `fn name(arg in strategy,
+/// ...) { body }` items, optionally preceded by
+/// `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $arg = runner.generate(&($strategy));)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        { $body };
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case}: {message}\n  inputs: {}",
+                            stringify!($name),
+                            format!(
+                                concat!($(stringify!($arg), " = {:?}; "),+),
+                                $(&$arg),+
+                            ),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {l:?} != {r:?}"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("{}: {l:?} != {r:?}", format!($($fmt)+)),
+            );
+        }
+    }};
+}

@@ -1,0 +1,5 @@
+//! Common imports, mirroring `proptest::prelude`.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRunner,
+};

@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of `rand` 0.8 the workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the exact API surface the nova crates rely on — seeded
+//! [`rngs::StdRng`], the [`Rng`] extension trait with `gen_range`, and
+//! [`seq::SliceRandom`] — backed by the SplitMix64 generator. All draws
+//! are deterministic given the seed, which is the only property the
+//! workspace's tests and experiments require. Swap this path dependency
+//! for the real `rand = "0.8"` to restore the upstream implementation;
+//! the numeric streams will differ, the semantics will not.
+
+pub mod prelude;
+pub mod rngs;
+pub mod seq;
+
+pub use seq::SliceRandom;
+
+/// Core randomness source: a stream of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed. Distinct seeds yield
+    /// decorrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (`a..b` or `a..=b`). Panics on an empty
+    /// range, like upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Uniform draw of a full value (`f64` in `[0, 1)`, integers over
+    /// their whole domain).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types drawable uniformly over their natural domain (for [`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f64` in `[0, 1]` (inclusive upper bound).
+#[inline]
+fn unit_f64_inclusive(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Floating-point rounding may land exactly on `end`; clamp back
+        // into the half-open interval like upstream rand does.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = unit_f64_inclusive(rng.next_u64());
+        (lo + u * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64()) as f32;
+        let v = self.start + u * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&v));
+            let w: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _: f64 = rng.gen_range(1.0..1.0);
+    }
+
+    #[test]
+    fn uniformity_is_roughly_flat() {
+        // 10 buckets × 10 000 draws: every bucket within ±15 % of mean.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            let v: f64 = rng.gen();
+            buckets[(v * 10.0) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((8_500..11_500).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

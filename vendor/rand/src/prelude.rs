@@ -1,0 +1,5 @@
+//! Common imports, mirroring `rand::prelude`.
+
+pub use crate::rngs::StdRng;
+pub use crate::seq::SliceRandom;
+pub use crate::{Rng, RngCore, SeedableRng};

@@ -1,0 +1,32 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator: SplitMix64.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha-based; this stand-in trades
+/// cryptographic strength (irrelevant here) for zero dependencies.
+/// SplitMix64 passes BigCrush and, crucially, produces well-decorrelated
+/// streams for adjacent seeds — the workspace seeds runs with small
+/// consecutive integers.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}

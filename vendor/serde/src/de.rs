@@ -1,0 +1,9 @@
+//! Deserialization error plumbing (`serde::de` subset).
+
+use std::fmt::Display;
+
+/// Errors produced by a [`crate::Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for the subset of `serde` the workspace uses.
+//!
+//! Provides the `Serialize`/`Deserialize` traits (with a tiny generic
+//! [`value::Value`] data model so hand-written impls like
+//! `nova_geom::Coord`'s are exercisable), the `Serializer`/`Deserializer`
+//! trait pair those impls are written against, and re-exports the no-op
+//! derive macros from `serde_derive`. Replace the two path dependencies
+//! with the real `serde = { version = "1", features = ["derive"] }` to
+//! restore full serialization support; no annotated type needs changing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+use std::marker::PhantomData;
+
+use value::Value;
+
+/// A type serializable into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized values. Minimal data model: primitives and
+/// sequences, which is all the workspace's hand-written impls emit.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a sequence from an iterator of serializable items.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize;
+}
+
+/// A type deserializable from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of deserialized values, surfaced through the [`Value`] model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Pull the next value out of the input.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+macro_rules! impl_serialize_primitive {
+    ($($t:ty => $method:ident as $cast:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self as $cast)
+            }
+        }
+    )*};
+}
+
+impl_serialize_primitive!(
+    bool => serialize_bool as bool,
+    i8 => serialize_i64 as i64, i16 => serialize_i64 as i64,
+    i32 => serialize_i64 as i64, i64 => serialize_i64 as i64,
+    u8 => serialize_u64 as u64, u16 => serialize_u64 as u64,
+    u32 => serialize_u64 as u64, u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+    f32 => serialize_f64 as f64, f64 => serialize_f64 as f64
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Float(v) => Ok(v),
+            Value::Int(v) => Ok(v as f64),
+            Value::UInt(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format!("expected float, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::UInt(v) => Ok(v),
+            Value::Int(v) if v >= 0 => Ok(v as u64),
+            other => Err(de::Error::custom(format!(
+                "expected unsigned int, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer::<D::Error>::new(v)))
+                .collect(),
+            other => Err(de::Error::custom(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Adapter turning an owned [`Value`] back into a [`Deserializer`], used
+/// to deserialize the elements of compound values.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}

@@ -1,0 +1,9 @@
+//! Serialization error plumbing (`serde::ser` subset).
+
+use std::fmt::Display;
+
+/// Errors produced by a [`crate::Serializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}

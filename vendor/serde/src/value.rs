@@ -1,0 +1,21 @@
+//! The stand-in's generic data model.
+
+/// A self-describing value: what a [`crate::Deserializer`] yields and the
+/// common currency between hand-written impls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence of values.
+    Seq(Vec<Value>),
+}

@@ -1,0 +1,26 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and plan
+//! types so they can be persisted by downstream tooling, but nothing in
+//! the workspace itself drives a serializer through those derived impls
+//! (the one place that (de)serializes — `nova_geom::Coord` — implements
+//! the traits by hand). These derives therefore expand to nothing: the
+//! annotation compiles, `#[serde(...)]` attributes are accepted, and no
+//! impl is generated. Swapping in the real `serde`/`serde_derive`
+//! restores full codegen without touching any annotated type.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` field/variant
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` field/variant
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
