@@ -1,61 +1,54 @@
-//! Hardware throughput of the threaded executor vs. simulator event rate.
+//! Hardware throughput of the executor backends vs. simulator event rate.
 //!
-//! The headline number: aggregate source tuples/s physically pushed
+//! The headline numbers: aggregate source tuples/s physically pushed
 //! through the executor's threads on a keyed join with selectivity 1.0
 //! (uncapped nodes, zero-delay links, windows sized so the join state
-//! stays hot). The companion benchmark runs the *simulator* on the same
-//! dataflow, so one report shows model-events/s next to real tuples/s.
+//! stays hot), swept over shard counts 1/2/4/8 of the sharded backend
+//! next to the thread-per-operator baseline — plus a *large-window*
+//! variant where every probe visits ~a hundred partners, stressing the
+//! zero-copy visitor path. The companion benchmark runs the *simulator*
+//! on the same dataflow, so one report shows model-events/s next to
+//! real tuples/s.
+//!
+//! Match counts are asserted identical across all backends and shard
+//! counts — sharding must never change *what* joins, only how fast.
 //!
 //! Run with: `cargo bench -p nova-bench --bench exec_throughput`
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nova_core::baselines::sink_based;
-use nova_core::{JoinQuery, StreamSpec};
-use nova_exec::{execute, ExecConfig};
-use nova_runtime::{simulate, Dataflow, SimConfig};
-use nova_topology::{NodeId, NodeRole, Topology};
-
-/// `n_pairs` keyed joins, `rate` tuples/s per stream, uncapped nodes
-/// (capacity 0 ⇒ pure relay: no service pacing in the hot path).
-fn throughput_world(n_pairs: u32, rate: f64) -> (Topology, Dataflow) {
-    let mut t = Topology::new();
-    let sink = t.add_node(NodeRole::Sink, 0.0, "sink");
-    let mut left = Vec::new();
-    let mut right = Vec::new();
-    for k in 0..n_pairs {
-        let l = t.add_node(NodeRole::Source, 0.0, format!("l{k}"));
-        let r = t.add_node(NodeRole::Source, 0.0, format!("r{k}"));
-        left.push(StreamSpec::keyed(l, rate, k));
-        right.push(StreamSpec::keyed(r, rate, k));
-    }
-    let query = JoinQuery::by_key(left, right, sink);
-    let placement = sink_based(&query, &query.resolve());
-    let dataflow = Dataflow::from_baseline(&query, &placement);
-    (t, dataflow)
-}
+use nova_bench::{throughput_cfg, throughput_world};
+use nova_exec::{Backend, ExecConfig, ShardedBackend, ThreadedBackend};
+use nova_runtime::{simulate, SimConfig};
+use nova_topology::NodeId;
 
 fn zero_dist(_a: NodeId, _b: NodeId) -> f64 {
     0.0
 }
 
-fn exec_cfg(duration_ms: f64) -> ExecConfig {
-    ExecConfig {
-        duration_ms,
-        // One emission interval per window: each window holds one tuple
-        // per side, so the selectivity-1.0 keyed join emits ~1 output
-        // per input tuple pair without a quadratic window cross-product.
-        window_ms: 1000.0 / 300_000.0,
-        selectivity: 1.0,
-        gc_interval_ms: 5.0,
-        seed: 0x51,
-        max_queue_ms: f64::INFINITY,
-        // Effectively flat-out: virtual schedule runs far ahead of the
-        // wall clock, so sources never sleep.
-        time_scale: 1000.0,
-        batch_size: 1024,
-        channel_capacity: 64,
-        max_tuples_per_source: u64::MAX,
-    }
+/// Run one backend pass over zero-delay links.
+fn run(
+    backend: &dyn Backend,
+    t: &nova_topology::Topology,
+    df: &nova_runtime::Dataflow,
+    cfg: &ExecConfig,
+) -> nova_exec::ExecResult {
+    let mut dist = zero_dist;
+    backend.run(t, &mut dist, df, cfg)
+}
+
+/// One emission interval per window: each window holds one tuple per
+/// side, so the selectivity-1.0 keyed join emits ~1 output per input
+/// tuple pair without a quadratic window cross-product.
+fn small_window_cfg(duration_ms: f64, rate: f64, shards: usize) -> ExecConfig {
+    throughput_cfg(duration_ms, 1000.0 / rate, 1.0, shards)
+}
+
+/// Large windows: ~200 tuples per side per window, so every probe walks
+/// a long opposite buffer (the regime the old clone-per-probe path went
+/// quadratic in). Selectivity keeps output volume bounded while the
+/// per-partner hash still runs for every candidate.
+fn large_window_cfg(duration_ms: f64, rate: f64, shards: usize) -> ExecConfig {
+    throughput_cfg(duration_ms, 200.0 * 1000.0 / rate, 0.01, shards)
 }
 
 fn bench_exec_throughput(c: &mut Criterion) {
@@ -63,14 +56,16 @@ fn bench_exec_throughput(c: &mut Criterion) {
     group.sample_size(10);
 
     // 2 pairs × 2 × 300 k tuples/s = 1.2 M tuples/s aggregate demand.
-    let (t, df) = throughput_world(2, 300_000.0);
-    let cfg = exec_cfg(1000.0);
+    let rate = 300_000.0;
+    let (t, df) = throughput_world(2, rate);
 
-    // One measured run up front for the tuples/s headline.
-    let probe = execute(&t, zero_dist, &df, &cfg);
+    // Measured probe sweep up front for the tuples/s headline: the
+    // threaded baseline, then the sharded backend at 1/2/4/8 shards.
+    let base = small_window_cfg(1000.0, rate, 1);
+    let probe = run(&ThreadedBackend, &t, &df, &base);
     println!(
-        "exec_throughput: {} tuples + {} matches in {:.0} ms wall \
-         -> {:.0} tuples/s aggregate through {} threads ({} delivered)",
+        "exec_throughput[threaded  ]: {} tuples + {} matches in {:>5.0} ms wall \
+         -> {:>9.0} tuples/s aggregate through {} threads ({} delivered)",
         probe.emitted,
         probe.matched,
         probe.wall_ms,
@@ -79,9 +74,74 @@ fn bench_exec_throughput(c: &mut Criterion) {
         probe.delivered,
     );
     assert!(probe.delivered > 0, "keyed join must deliver outputs");
+    for shards in [1usize, 2, 4, 8] {
+        // Both backends share one bootstrap, so the 1-shard row is the
+        // same machinery as the threaded baseline — a sanity anchor
+        // whose delta vs threaded is pure measurement noise.
+        let cfg = ExecConfig { shards, ..base };
+        let res = run(&ShardedBackend, &t, &df, &cfg);
+        println!(
+            "exec_throughput[{} shard(s)]: {} tuples + {} matches in {:>5.0} ms wall \
+             -> {:>9.0} tuples/s aggregate through {} threads",
+            shards,
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+            res.threads,
+        );
+        assert_eq!(
+            res.matched, probe.matched,
+            "sharding changed the match set at {shards} shards"
+        );
+    }
 
     group.bench_function("threaded_keyed_join_1.2M", |b| {
-        b.iter(|| execute(&t, zero_dist, &df, std::hint::black_box(&cfg)))
+        b.iter(|| run(&ThreadedBackend, &t, &df, std::hint::black_box(&base)))
+    });
+    for shards in [4usize, 8] {
+        let cfg = ExecConfig { shards, ..base };
+        group.bench_function(format!("sharded{shards}_keyed_join_1.2M"), |b| {
+            b.iter(|| run(&ShardedBackend, &t, &df, std::hint::black_box(&cfg)))
+        });
+    }
+
+    // Large-window sweep: 1 pair at 50 k tuples/s per side, ~200 tuples
+    // per side per window — the probe path dominates.
+    let lw_rate = 50_000.0;
+    let (lt, ldf) = throughput_world(1, lw_rate);
+    let lw_base = large_window_cfg(500.0, lw_rate, 1);
+    let lw_probe = run(&ThreadedBackend, &lt, &ldf, &lw_base);
+    for shards in [1usize, 4] {
+        let cfg = ExecConfig { shards, ..lw_base };
+        let res = run(&ShardedBackend, &lt, &ldf, &cfg);
+        println!(
+            "exec_throughput[large-window, {} shard(s)]: {} tuples + {} matches \
+             in {:>5.0} ms wall -> {:>9.0} tuples/s",
+            shards,
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+        );
+        assert_eq!(res.matched, lw_probe.matched);
+    }
+    group.bench_function("threaded_large_window_100k", |b| {
+        b.iter(|| run(&ThreadedBackend, &lt, &ldf, std::hint::black_box(&lw_base)))
+    });
+    let lw_sharded = ExecConfig {
+        shards: 4,
+        ..lw_base
+    };
+    group.bench_function("sharded4_large_window_100k", |b| {
+        b.iter(|| {
+            run(
+                &ShardedBackend,
+                &lt,
+                &ldf,
+                std::hint::black_box(&lw_sharded),
+            )
+        })
     });
 
     // The simulator on the identical dataflow, scaled to a tenth of the
@@ -89,10 +149,10 @@ fn bench_exec_throughput(c: &mut Criterion) {
     // events per tuple).
     let sim_cfg = SimConfig {
         duration_ms: 100.0,
-        window_ms: cfg.window_ms,
+        window_ms: base.window_ms,
         selectivity: 1.0,
-        gc_interval_ms: cfg.gc_interval_ms,
-        seed: cfg.seed,
+        gc_interval_ms: base.gc_interval_ms,
+        seed: base.seed,
         max_events: u64::MAX,
         max_queue_ms: f64::INFINITY,
     };

@@ -1,0 +1,160 @@
+//! CI smoke check for executor-backend performance and correctness.
+//!
+//! Runs the `exec_throughput` workload (see
+//! [`nova_bench::throughput_world`]) with short iterations — the
+//! thread-per-operator baseline plus the sharded backend at 1/2/4/8
+//! shards — and:
+//!
+//! * asserts `matched` counts are **identical** across every backend
+//!   and shard count (a sharding bug fails the job loudly on any host),
+//! * on hosts with ≥ 4 cores, asserts the 4-shard backend beats the
+//!   threaded baseline on aggregate tuples/s (perf regressions fail
+//!   loudly where the parallelism exists to measure them),
+//! * writes `BENCH_exec.json` with tuples/s per shard count, so the
+//!   scaling trajectory is tracked run over run.
+//!
+//! Run with: `cargo run --release -p nova-bench --bin bench_exec_smoke`
+//! (`--full` for the benchmark-length 1 s horizon; default 300 ms keeps
+//! the CI job in seconds).
+
+use nova_bench::{throughput_cfg, throughput_world};
+use nova_exec::{Backend, ExecConfig, ExecResult, ShardedBackend, ThreadedBackend};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let duration_ms = if full { 1000.0 } else { 300.0 };
+
+    // The exec_throughput benchmark workload: 2 keyed pairs at
+    // 300 k tuples/s per stream, one emission interval per window,
+    // selectivity 1.0 — aggregate demand 1.2 M tuples/s.
+    let rate = 300_000.0;
+    let (topology, dataflow) = throughput_world(2, rate);
+    let base = throughput_cfg(duration_ms, 1000.0 / rate, 1.0, 1);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "bench_exec_smoke: {cores}-core host, {duration_ms} ms virtual horizon, \
+         1.2 M tuples/s aggregate demand\n"
+    );
+
+    // Discarded warmup pass: page in the binary, warm the allocator and
+    // let the scheduler settle, so the first measured run — the threaded
+    // baseline the perf gate divides by — is not systematically cold
+    // (a cold baseline biases the speedup gate toward passing).
+    {
+        let mut dist = |_a, _b| 0.0;
+        let _ = ThreadedBackend.run(&topology, &mut dist, &dataflow, &base);
+    }
+
+    let mut runs: Vec<(String, usize, ExecResult)> = Vec::new();
+    {
+        let mut dist = |_a, _b| 0.0;
+        let res = ThreadedBackend.run(&topology, &mut dist, &dataflow, &base);
+        runs.push(("threaded".into(), 1, res));
+    }
+    // Both backends share one bootstrap, so the sharded(1) row is the
+    // same machinery as the baseline — a sanity anchor whose delta vs
+    // threaded is pure measurement noise.
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ExecConfig { shards, ..base };
+        let mut dist = |_a, _b| 0.0;
+        let res = ShardedBackend.run(&topology, &mut dist, &dataflow, &cfg);
+        runs.push(("sharded".into(), shards, res));
+    }
+
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>9} {:>12} {:>8}",
+        "backend", "shards", "emitted", "matched", "wall ms", "tuples/s", "threads"
+    );
+    for (name, shards, r) in &runs {
+        println!(
+            "{:<10} {:>7} {:>10} {:>10} {:>9.0} {:>12.0} {:>8}",
+            name,
+            shards,
+            r.emitted,
+            r.matched,
+            r.wall_ms,
+            r.input_tuples_per_wall_s(),
+            r.threads,
+        );
+    }
+
+    // Correctness: sharding must never change what joins.
+    let reference = &runs[0].2;
+    assert!(reference.delivered > 0, "workload delivered nothing");
+    for (name, shards, r) in &runs[1..] {
+        assert_eq!(
+            r.matched, reference.matched,
+            "{name}({shards}) changed the match set: {} vs {}",
+            r.matched, reference.matched
+        );
+        assert_eq!(
+            r.emitted, reference.emitted,
+            "{name}({shards}) changed the emission count"
+        );
+    }
+    println!("\nmatched counts identical across all backends/shard counts ✓");
+
+    // Performance: where the cores exist, sharding must pay off. The
+    // enforced bound is 1.5× at 4 shards — deliberately below the 2.5×
+    // dedicated-4-core acceptance target, because shared/noisy CI
+    // runners can't sustain that bar reliably; 1-to-3-core hosts only
+    // report. The full tuples/s trajectory lands in BENCH_exec.json
+    // for offline comparison against the real target.
+    let tput = |backend: &str, shards: usize| {
+        runs.iter()
+            .find(|(n, s, _)| n == backend && *s == shards)
+            .map(|(_, _, r)| r.input_tuples_per_wall_s())
+            .unwrap_or(0.0)
+    };
+    let threaded = tput("threaded", 1);
+    let sharded4 = tput("sharded", 4);
+    if cores >= 4 {
+        let speedup = sharded4 / threaded.max(1.0);
+        println!("sharded(4)/threaded speedup: {speedup:.2}× on {cores} cores");
+        assert!(
+            speedup >= 1.5,
+            "backend perf regression: 4-shard backend only {speedup:.2}× \
+             the threaded baseline on a {cores}-core host"
+        );
+    } else {
+        println!(
+            "host has {cores} core(s) < 4: reporting only, skipping the scaling assertion \
+             (sharded(4)/threaded = {:.2}×)",
+            sharded4 / threaded.max(1.0)
+        );
+    }
+
+    // BENCH_exec.json: tuples/s per shard count, for the trajectory.
+    let mut entries = String::new();
+    for (i, (name, shards, r)) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"backend\": \"{name}\", \"shards\": {shards}, \
+             \"tuples_per_s\": {:.0}, \"wall_ms\": {:.1}, \"emitted\": {}, \
+             \"matched\": {}, \"delivered\": {}, \"threads\": {}}}",
+            r.input_tuples_per_wall_s(),
+            r.wall_ms,
+            r.emitted,
+            r.matched,
+            r.delivered,
+            r.threads,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"exec_throughput_smoke\",\n  \"host_cores\": {cores},\n  \
+         \"duration_ms\": {duration_ms},\n  \"aggregate_demand_tuples_per_s\": {:.0},\n  \
+         \"runs\": [\n{entries}\n  ]\n}}\n",
+        2.0 * 2.0 * rate,
+    );
+    let path = std::path::Path::new("BENCH_exec.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -13,8 +13,13 @@
 //! 1 057 tuples and 4.5× over the best baseline.
 //!
 //! Run with `--full` for the paper's 120 s duration (default 30 s).
+//! Run with `--real` to additionally re-run every placement on the
+//! `nova-exec` executor (`--shards N` selects the sharded backend) and
+//! emit side-by-side simulator/executor columns.
 
-use nova_bench::{default_sim, end_to_end_runs, write_csv, Table};
+use nova_bench::{
+    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, write_csv, Table,
+};
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
 fn main() {
@@ -23,34 +28,60 @@ fn main() {
     let duration_ms = if full { 120_000.0 } else { 30_000.0 };
     let seed = 11;
 
+    let sim = default_sim(duration_ms, seed);
+    // The executor replays the simulator settings, dilated 20× so the
+    // 30 s virtual horizon takes ~1.5 s wall per approach.
+    let real_cfg = real_exec_cfg(&args, &sim, 20.0);
+    let real = real_cfg.is_some();
+
     println!(
-        "== Fig. 11: end-to-end throughput, DEBS workload, {}s run (non-stressed) ==\n",
-        duration_ms / 1000.0
+        "== Fig. 11: end-to-end throughput, DEBS workload, {}s run (non-stressed{}) ==\n",
+        duration_ms / 1000.0,
+        real_cfg
+            .as_ref()
+            .map(|cfg| format!(", + executor at {} shard(s)", cfg.shards))
+            .unwrap_or_default()
     );
     let scenario = environmental_scenario(&EnvironmentalParams::default());
-    let sim = default_sim(duration_ms, seed);
     let runs = end_to_end_runs(&scenario, &sim, 1.0);
+    let real_runs = real_cfg
+        .as_ref()
+        .map(|cfg| end_to_end_runs_real(&scenario, cfg, 1.0));
 
-    let mut table = Table::new(&[
+    let mut headers = vec![
         "approach",
         "delivered",
         "emitted",
         "mean lat (ms)",
         "90P (ms)",
         "final lat (ms)",
-    ]);
+    ];
+    if real {
+        headers.extend(["delivered real", "mean real (ms)", "90P real (ms)"]);
+    }
+    let mut table = Table::new(&headers);
     let mut series_rows: Vec<Vec<String>> = Vec::new();
-    for run in &runs {
+    for (i, run) in runs.iter().enumerate() {
         let r = &run.result;
         let final_latency = r.outputs.last().map(|o| o.latency_ms).unwrap_or(0.0);
-        table.row(vec![
+        let mut row = vec![
             run.name.to_string(),
             r.delivered.to_string(),
             r.emitted.to_string(),
             format!("{:.1}", r.mean_latency()),
             format!("{:.1}", r.latency_percentile(0.9)),
             format!("{final_latency:.1}"),
-        ]);
+        ];
+        if let Some(real_runs) = &real_runs {
+            let e = &real_runs[i].result;
+            assert_eq!(real_runs[i].name, run.name, "approach order must match");
+            row.extend([
+                e.delivered_by(duration_ms).to_string(),
+                format!("{:.1}", e.mean_latency()),
+                format!("{:.1}", e.latency_percentile(0.9)),
+            ]);
+        }
+        table.row(row);
         // Latency-vs-processed-count series (downsampled to ≤300 points)
         // — the x/y of the paper's Fig. 11.
         let step = (r.outputs.len() / 300).max(1);
@@ -81,5 +112,19 @@ fn main() {
             nova as f64 / sink.max(1) as f64,
             nova as f64 / st.max(1) as f64
         );
+    }
+    if let Some(real_runs) = &real_runs {
+        let rget = |name: &str| {
+            real_runs
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.result.delivered_by(duration_ms))
+        };
+        if let (Some(nova), Some(sink)) = (rget("nova"), rget("sink")) {
+            println!(
+                "executor confirms: nova/sink throughput {:.1}× on real threads",
+                nova as f64 / sink.max(1) as f64
+            );
+        }
     }
 }

@@ -10,8 +10,14 @@
 //! while Nova degrades only mildly.
 //!
 //! Run with `--full` for the paper's 120 s duration (default 30 s).
+//! Run with `--real` to additionally re-run every placement on the
+//! `nova-exec` executor (`--shards N` selects the sharded backend) and
+//! emit side-by-side simulator/executor columns.
 
-use nova_bench::{default_sim, end_to_end_runs, write_csv, Table, STRESS_FACTOR};
+use nova_bench::{
+    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, write_csv, Table,
+    STRESS_FACTOR,
+};
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
 fn main() {
@@ -22,14 +28,23 @@ fn main() {
 
     let scenario = environmental_scenario(&EnvironmentalParams::default());
     let sim = default_sim(duration_ms, seed);
+    let real_cfg = real_exec_cfg(&args, &sim, 20.0);
+    let real = real_cfg.is_some();
 
     for (label, stress) in [("non-stressed", 1.0), ("stressed", STRESS_FACTOR)] {
         println!(
-            "== Fig. 12: end-to-end latency percentiles ({label}, {}s run) ==\n",
-            duration_ms / 1000.0
+            "== Fig. 12: end-to-end latency percentiles ({label}, {}s run{}) ==\n",
+            duration_ms / 1000.0,
+            real_cfg
+                .as_ref()
+                .map(|cfg| format!(", + executor at {} shard(s)", cfg.shards))
+                .unwrap_or_default()
         );
         let runs = end_to_end_runs(&scenario, &sim, stress);
-        let mut table = Table::new(&[
+        let real_runs = real_cfg
+            .as_ref()
+            .map(|cfg| end_to_end_runs_real(&scenario, cfg, stress));
+        let mut headers = vec![
             "approach",
             "delivered",
             "mean",
@@ -37,10 +52,14 @@ fn main() {
             "99P",
             "99.9P",
             "99.99P",
-        ]);
-        for run in &runs {
+        ];
+        if real {
+            headers.extend(["delivered real", "mean real", "99P real"]);
+        }
+        let mut table = Table::new(&headers);
+        for (i, run) in runs.iter().enumerate() {
             let r = &run.result;
-            table.row(vec![
+            let mut row = vec![
                 run.name.to_string(),
                 r.delivered.to_string(),
                 format!("{:.1}", r.mean_latency()),
@@ -48,7 +67,17 @@ fn main() {
                 format!("{:.1}", r.latency_percentile(0.99)),
                 format!("{:.1}", r.latency_percentile(0.999)),
                 format!("{:.1}", r.latency_percentile(0.9999)),
-            ]);
+            ];
+            if let Some(real_runs) = &real_runs {
+                let e = &real_runs[i].result;
+                assert_eq!(real_runs[i].name, run.name, "approach order must match");
+                row.extend([
+                    e.delivered_by(duration_ms).to_string(),
+                    format!("{:.1}", e.mean_latency()),
+                    format!("{:.1}", e.latency_percentile(0.99)),
+                ]);
+            }
+            table.row(row);
         }
         table.print();
         write_csv(&format!("fig12_{label}.csv"), table.headers(), table.rows());

@@ -2,14 +2,19 @@
 //!
 //! Places the environmental-monitoring query with every approach,
 //! deploys each placement on the simulated Raspberry-Pi cluster, and
-//! runs the discrete-event engine under identical conditions.
+//! runs the discrete-event engine — or, for the `--real` figure
+//! variants, the threaded/sharded executor — under identical
+//! conditions.
 
 use nova_core::baselines::{cl_sf, sink_based, source_based, tree_based, ClusterParams};
 use nova_core::{Nova, NovaConfig, PlacedReplica, Placement};
+use nova_exec::{ExecConfig, ExecResult};
 use nova_netcoord::{classical_mds, CostSpace};
 use nova_runtime::{run_placement, with_stress, SimConfig, SimResult};
 use nova_topology::{NodeId, Topology};
 use nova_workloads::EnvironmentalScenario;
+
+use crate::realexec::run_placement_real;
 
 /// One approach's end-to-end run.
 #[derive(Debug)]
@@ -23,14 +28,27 @@ pub struct E2ERun {
     pub result: SimResult,
 }
 
-/// Execute all approaches on the scenario. `stress` scales the capacity
-/// of all *source* nodes by the given factor (the paper's `stress` tool
-/// saturates source CPUs; 1.0 = unstressed).
-pub fn end_to_end_runs(
-    scenario: &EnvironmentalScenario,
-    sim: &SimConfig,
-    stress: f64,
-) -> Vec<E2ERun> {
+/// One approach's end-to-end run on the real executor.
+#[derive(Debug)]
+pub struct E2ERunReal {
+    /// Approach label (same set and order as [`end_to_end_runs`]).
+    pub name: &'static str,
+    /// The placement that was deployed.
+    pub placement: Placement,
+    /// Executor results.
+    pub result: ExecResult,
+}
+
+/// Every approach's placement on the scenario, plus the topology the
+/// engines should run it on — the shared setup behind both the
+/// simulated and the executor-backed end-to-end runs.
+struct E2ESetup {
+    run_topology: Topology,
+    /// `(name, placement, sigma)` in the canonical approach order.
+    placements: Vec<(&'static str, Placement, f64)>,
+}
+
+fn build_setup(scenario: &EnvironmentalScenario, stress: f64) -> E2ESetup {
     let query = &scenario.query;
     let plan = query.resolve();
     // Heterogeneous fog tier: the first worker is the "cluster head"
@@ -43,13 +61,12 @@ pub fn end_to_end_runs(
         topology.node_mut(*head).capacity = cap * 1.6;
     }
     let topology = &topology;
-    let provider = &scenario.cluster.rtt;
 
     // Cost space: classical MDS on the full measured matrix — exact for
     // a 14-node cluster, isolating placement quality from embedding
     // noise (the paper's testbed also has full latency knowledge from
     // the tc-injected delays).
-    let coords = classical_mds(provider.dense(), 2, 0xE2E);
+    let coords = classical_mds(scenario.cluster.rtt.dense(), 2, 0xE2E);
     let space = CostSpace::new(coords);
 
     let nova_cfg = NovaConfig {
@@ -99,11 +116,68 @@ pub fn end_to_end_runs(
         topology.clone()
     };
 
-    placements
+    E2ESetup {
+        run_topology,
+        placements,
+    }
+}
+
+/// Execute all approaches on the scenario's simulated cluster. `stress`
+/// scales the capacity of all *source* nodes by the given factor (the
+/// paper's `stress` tool saturates source CPUs; 1.0 = unstressed).
+pub fn end_to_end_runs(
+    scenario: &EnvironmentalScenario,
+    sim: &SimConfig,
+    stress: f64,
+) -> Vec<E2ERun> {
+    let setup = build_setup(scenario, stress);
+    let provider = &scenario.cluster.rtt;
+    setup
+        .placements
         .into_iter()
         .map(|(name, placement, sigma)| {
-            let result = run_placement(&run_topology, provider, query, &placement, sigma, sim);
+            let result = run_placement(
+                &setup.run_topology,
+                provider,
+                &scenario.query,
+                &placement,
+                sigma,
+                sim,
+            );
             E2ERun {
+                name,
+                placement,
+                result,
+            }
+        })
+        .collect()
+}
+
+/// Execute all approaches on the *real executor* — identical
+/// placements, topology and stress handling as [`end_to_end_runs`],
+/// but every tuple physically flows through worker threads
+/// (`cfg.shards > 1` selects the sharded backend). The figure binaries'
+/// `--real` flag goes through here.
+pub fn end_to_end_runs_real(
+    scenario: &EnvironmentalScenario,
+    cfg: &ExecConfig,
+    stress: f64,
+) -> Vec<E2ERunReal> {
+    let setup = build_setup(scenario, stress);
+    let provider = &scenario.cluster.rtt;
+    setup
+        .placements
+        .into_iter()
+        .map(|(name, placement, sigma)| {
+            let result = run_placement_real(
+                &setup.run_topology,
+                provider,
+                &scenario.query,
+                &placement,
+                sigma,
+                cfg,
+            );
+            E2ERunReal {
                 name,
                 placement,
                 result,

@@ -23,6 +23,10 @@ pub mod realexec;
 pub mod report;
 
 pub use approaches::{run_all_approaches, ApproachResult, ApproachSet, BenchConfig};
-pub use endtoend::{default_sim, end_to_end_runs, E2ERun, STRESS_FACTOR};
-pub use realexec::{run_dataflow_real, run_placement_real};
+pub use endtoend::{
+    default_sim, end_to_end_runs, end_to_end_runs_real, E2ERun, E2ERunReal, STRESS_FACTOR,
+};
+pub use realexec::{
+    real_exec_cfg, run_dataflow_real, run_placement_real, throughput_cfg, throughput_world,
+};
 pub use report::{results_dir, write_csv, Table};

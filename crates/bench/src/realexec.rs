@@ -8,12 +8,34 @@
 //! numbers next to model numbers.
 
 use nova_core::{JoinQuery, Placement};
-use nova_exec::{Backend, ExecConfig, ExecResult, ThreadedBackend};
-use nova_runtime::Dataflow;
+use nova_exec::{backend_for, Backend, ExecConfig, ExecResult};
+use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{LatencyProvider, Topology};
 
-/// Deploy `placement` for `query` and execute it on the threaded
-/// backend.
+/// Parse the figure binaries' shared `--real` / `--shards N` flags and
+/// build the executor config for the `--real` re-runs: the simulator
+/// settings dilated by `time_scale`, at the requested shard count
+/// (default 1; a malformed count falls back to 1). Returns `None` when
+/// `--real` is absent.
+pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Option<ExecConfig> {
+    if !args.iter().any(|a| a == "--real") {
+        return None;
+    }
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    Some(ExecConfig {
+        shards,
+        ..ExecConfig::from_sim(sim, time_scale)
+    })
+}
+
+/// Deploy `placement` for `query` and execute it on the backend the
+/// config selects (`cfg.shards > 1` ⇒ the sharded backend, else the
+/// thread-per-operator one).
 ///
 /// `sigma` must be the σ the placement was computed with (1.0 for the
 /// unpartitioned baselines), exactly as for the simulator path.
@@ -27,7 +49,7 @@ pub fn run_placement_real(
 ) -> ExecResult {
     let df = Dataflow::build(query, placement, |_| sigma);
     let mut dist = |a, b| provider.rtt(a, b);
-    ThreadedBackend.run(topology, &mut dist, &df, cfg)
+    backend_for(cfg).run(topology, &mut dist, &df, cfg)
 }
 
 /// Execute an already-deployed dataflow on a caller-chosen backend —
@@ -42,6 +64,56 @@ pub fn run_dataflow_real(
 ) -> ExecResult {
     let mut dist = |a, b| provider.rtt(a, b);
     backend.run(topology, &mut dist, dataflow, cfg)
+}
+
+/// The executor-throughput benchmark world: `n_pairs` keyed joins,
+/// `rate` tuples/s per stream, uncapped nodes (capacity 0 ⇒ pure relay:
+/// no service pacing in the hot path), sink-based placement. Shared by
+/// `benches/exec_throughput.rs` and the `bench_exec_smoke` binary so
+/// the CI smoke numbers measure exactly the benchmark workload.
+pub fn throughput_world(n_pairs: u32, rate: f64) -> (Topology, Dataflow) {
+    use nova_core::baselines::sink_based;
+    use nova_core::StreamSpec;
+    use nova_topology::NodeRole;
+
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 0.0, "sink");
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for k in 0..n_pairs {
+        let l = t.add_node(NodeRole::Source, 0.0, format!("l{k}"));
+        let r = t.add_node(NodeRole::Source, 0.0, format!("r{k}"));
+        left.push(StreamSpec::keyed(l, rate, k));
+        right.push(StreamSpec::keyed(r, rate, k));
+    }
+    let query = JoinQuery::by_key(left, right, sink);
+    let placement = sink_based(&query, &query.resolve());
+    let dataflow = Dataflow::from_baseline(&query, &placement);
+    (t, dataflow)
+}
+
+/// Flat-out executor settings for [`throughput_world`]: virtual time
+/// runs far ahead of the wall clock so sources never sleep and the
+/// join/channel machinery is the only bottleneck.
+pub fn throughput_cfg(
+    duration_ms: f64,
+    window_ms: f64,
+    selectivity: f64,
+    shards: usize,
+) -> ExecConfig {
+    ExecConfig {
+        duration_ms,
+        window_ms,
+        selectivity,
+        gc_interval_ms: 5.0,
+        seed: 0x51,
+        max_queue_ms: f64::INFINITY,
+        time_scale: 1000.0,
+        batch_size: 1024,
+        channel_capacity: 64,
+        max_tuples_per_source: u64::MAX,
+        shards,
+    }
 }
 
 #[cfg(test)]
@@ -69,10 +141,24 @@ mod tests {
             duration_ms: 3000.0,
             window_ms: 200.0,
             time_scale: 8.0,
+            // Unbounded queues make the run structurally drop-free, so
+            // the exact-count assertions below hold under any OS
+            // schedule (count identity is only guaranteed without
+            // shedding; a stalled thread on a loaded 1-core host could
+            // otherwise trip the queue bound and shed a tuple).
+            max_queue_ms: f64::INFINITY,
             ..ExecConfig::default()
         };
         let res = run_placement_real(&t, &rtt, &q, &p, 1.0, &cfg);
         assert!(res.delivered > 0);
+        assert_eq!(res.dropped, 0);
         assert_eq!(res.threads, 4);
+
+        // The shards knob selects the sharded backend and keeps counts.
+        let sharded_cfg = ExecConfig { shards: 2, ..cfg };
+        let sharded = run_placement_real(&t, &rtt, &q, &p, 1.0, &sharded_cfg);
+        assert_eq!(sharded.threads, 5, "2 sources + 2 shards + sink");
+        assert_eq!(sharded.matched, res.matched);
+        assert_eq!(sharded.delivered, res.delivered);
     }
 }

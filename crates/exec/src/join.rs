@@ -53,56 +53,64 @@ pub(crate) fn run_join(
                     let tuple = inflight.tuple;
                     frontier = frontier.max(tuple.event_time);
                     let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
-                    let partners = buffers.insert_and_probe(
+                    // Zero-copy probe: partners are visited in place —
+                    // no per-probe Vec of the opposite buffer.
+                    let mut closed = false;
+                    buffers.insert_and_probe_with(
                         window,
                         tuple.side,
                         BufferedTuple {
                             seq: tuple.seq,
                             event_time: tuple.event_time,
                         },
-                    );
-                    for partner in partners {
-                        if !match_survives(
-                            tuple.seq,
-                            partner.seq,
-                            tuple.side,
-                            cfg.selectivity,
-                            cfg.seed,
-                        ) {
-                            continue;
-                        }
-                        matched += 1;
-                        let out = OutputTuple {
-                            pair: inst.pair,
-                            key: tuple.key,
-                            event_time: tuple.event_time.max(partner.event_time),
-                        };
-                        // Chain the output through the relay hops of the
-                        // out-path; the sink's own service slot is
-                        // charged by the sink worker.
-                        let mut deliver_at = inflight.deliver_at;
-                        let mut delivered = true;
-                        for seg in &inst.out_relays {
-                            deliver_at += seg.link_ms;
-                            match pacers[seg.node].serve(deliver_at) {
-                                Some(done) => deliver_at = done,
-                                None => {
-                                    Counters::bump(&counters.dropped, 1);
-                                    delivered = false;
-                                    break;
+                        |partner| {
+                            if closed
+                                || !match_survives(
+                                    tuple.seq,
+                                    partner.seq,
+                                    tuple.side,
+                                    cfg.selectivity,
+                                    cfg.seed,
+                                )
+                            {
+                                return;
+                            }
+                            matched += 1;
+                            let out = OutputTuple {
+                                pair: inst.pair,
+                                key: tuple.key,
+                                event_time: tuple.event_time.max(partner.event_time),
+                            };
+                            // Chain the output through the relay hops of
+                            // the out-path; the sink's own service slot
+                            // is charged by the sink worker.
+                            let mut deliver_at = inflight.deliver_at;
+                            let mut delivered = true;
+                            for seg in &inst.out_relays {
+                                deliver_at += seg.link_ms;
+                                match pacers[seg.node].serve(deliver_at) {
+                                    Some(done) => deliver_at = done,
+                                    None => {
+                                        Counters::bump(&counters.dropped, 1);
+                                        delivered = false;
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                        if delivered {
-                            out_batch.push(OutFlight {
-                                out,
-                                deliver_at: deliver_at + inst.out_final_link_ms,
-                            });
-                        }
-                    }
-                    if out_batch.len() >= cfg.batch_size
-                        && !flush(&sink_tx, inst.index, &mut out_batch)
-                    {
+                            if delivered {
+                                out_batch.push(OutFlight {
+                                    out,
+                                    deliver_at: deliver_at + inst.out_final_link_ms,
+                                });
+                                if out_batch.len() >= cfg.batch_size
+                                    && !flush(&sink_tx, inst.index, &mut out_batch)
+                                {
+                                    closed = true;
+                                }
+                            }
+                        },
+                    );
+                    if closed {
                         break 'consume;
                     }
                 }

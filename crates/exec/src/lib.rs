@@ -31,23 +31,25 @@
 //!
 //! ## Backends
 //!
-//! Execution is behind the [`Backend`] trait; [`ThreadedBackend`]
-//! (thread-per-operator, this crate) is the first implementation.
-//! Later backends (sharded workers, async runtimes, NUMA-pinned pools)
-//! plug in without touching callers.
+//! Execution is behind the [`Backend`] trait. [`ThreadedBackend`]
+//! (thread-per-operator) is the baseline; [`ShardedBackend`] fans each
+//! join instance out to [`ExecConfig::shards`] workers, hash-partitioned
+//! by `(window, pair)` so shards share no state and counts stay
+//! identical (see [`sharded`]). Later backends (async runtimes,
+//! NUMA-pinned pools) plug in without touching callers.
 
 pub mod channel;
 pub mod join;
 pub mod metrics;
+pub mod sharded;
 pub mod worker;
 
 use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{NodeId, Topology};
 
 pub use metrics::{Counters, ExecResult, NodePacer};
+pub use sharded::{shard_of, ShardedBackend};
 pub use worker::VirtualClock;
-
-use channel::{bounded, JoinMsg, SinkMsg};
 
 /// Executor parameters. The virtual-domain fields mirror
 /// [`SimConfig`] so a simulator experiment can be replayed on the
@@ -77,6 +79,12 @@ pub struct ExecConfig {
     pub channel_capacity: usize,
     /// Safety valve on tuples per source.
     pub max_tuples_per_source: u64,
+    /// Join shards per deployed instance. 1 = classic thread-per-
+    /// operator; >1 hash-partitions each instance's tuples by
+    /// `(window, pair)` across that many dedicated worker threads
+    /// ([`ShardedBackend`]). Count results are identical either way on
+    /// drop-free runs.
+    pub shards: usize,
 }
 
 impl Default for ExecConfig {
@@ -93,6 +101,7 @@ impl Default for ExecConfig {
             batch_size: 256,
             channel_capacity: 64,
             max_tuples_per_source: u64::MAX,
+            shards: 1,
         }
     }
 }
@@ -134,7 +143,12 @@ pub trait Backend {
 }
 
 /// Thread-per-operator backend: one OS thread per source task, join
-/// instance and sink, bounded channels in between.
+/// instance and sink, bounded channels in between. Ignores
+/// [`ExecConfig::shards`] — it is the single-worker-per-instance
+/// baseline that [`ShardedBackend`] is measured against. Both backends
+/// share one bootstrap (`sharded::run_with_shards`, pinned at 1 shard
+/// here), so they cannot drift apart in channel wiring, sink quorum or
+/// accounting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedBackend;
 
@@ -150,76 +164,23 @@ impl Backend for ThreadedBackend {
         dataflow: &Dataflow,
         cfg: &ExecConfig,
     ) -> ExecResult {
-        let plan = worker::compile(topology, dist, dataflow);
-        let pacers: Vec<NodePacer> = topology
-            .nodes()
-            .iter()
-            .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
-            .collect();
-        let counters = Counters::default();
-        let threads = plan.sources.len() + plan.instances.len() + 1;
-
-        // Channels: one per join instance, one into the sink.
-        let mut join_txs = Vec::with_capacity(plan.instances.len());
-        let mut join_rxs = Vec::with_capacity(plan.instances.len());
-        for _ in &plan.instances {
-            let (tx, rx) = bounded::<JoinMsg>(cfg.channel_capacity);
-            join_txs.push(tx);
-            join_rxs.push(rx);
-        }
-        let (sink_tx, sink_rx) = bounded::<SinkMsg>(cfg.channel_capacity);
-        let charge_sink: Vec<bool> = plan.instances.iter().map(|i| i.charge_sink).collect();
-        let sink_node = dataflow.sink.idx();
-        let n_instances = plan.instances.len();
-
-        let clock = VirtualClock::start(cfg.time_scale);
-        let outputs = std::thread::scope(|scope| {
-            for inst in plan.instances {
-                let rx = join_rxs.remove(0);
-                let sink_tx = sink_tx.clone();
-                let (pacers, counters) = (&pacers, &counters);
-                scope.spawn(move || join::run_join(inst, cfg, pacers, counters, rx, sink_tx));
-            }
-            for src in plan.sources {
-                let (pacers, counters, join_txs) = (&pacers, &counters, &join_txs);
-                scope
-                    .spawn(move || worker::run_source(src, cfg, clock, pacers, counters, join_txs));
-            }
-            // The spawners above hold clones; drop the original so the
-            // sink terminates once every instance hangs up.
-            drop(sink_tx);
-            let sink = {
-                let (pacers, counters, charge_sink) = (&pacers, &counters, &charge_sink);
-                scope.spawn(move || {
-                    worker::run_sink(
-                        sink_rx,
-                        sink_node,
-                        charge_sink,
-                        pacers,
-                        counters,
-                        n_instances,
-                    )
-                })
-            };
-            sink.join().expect("sink worker panicked")
-        });
-
-        use std::sync::atomic::Ordering;
-        let delivered = outputs.len() as u64;
-        ExecResult {
-            outputs,
-            emitted: counters.emitted.load(Ordering::Relaxed),
-            matched: counters.matched.load(Ordering::Relaxed),
-            delivered,
-            node_busy_ms: pacers.iter().map(|p| p.busy_ms()).collect(),
-            dropped: counters.dropped.load(Ordering::Relaxed),
-            wall_ms: clock.wall_ms(),
-            threads,
-        }
+        sharded::run_with_shards(topology, dist, dataflow, cfg, 1)
     }
 }
 
-/// Execute a dataflow on the default [`ThreadedBackend`] — the
+/// The backend a configuration selects: [`ShardedBackend`] when
+/// `cfg.shards > 1`, the thread-per-operator [`ThreadedBackend`]
+/// otherwise. The single seam through which `execute`,
+/// `nova_bench::run_placement_real` and the examples pick an engine.
+pub fn backend_for(cfg: &ExecConfig) -> &'static dyn Backend {
+    if cfg.shards > 1 {
+        &ShardedBackend
+    } else {
+        &ThreadedBackend
+    }
+}
+
+/// Execute a dataflow on the backend selected by [`backend_for`] — the
 /// executor-side counterpart of [`nova_runtime::simulate`].
 pub fn execute(
     topology: &Topology,
@@ -227,7 +188,7 @@ pub fn execute(
     dataflow: &Dataflow,
     cfg: &ExecConfig,
 ) -> ExecResult {
-    ThreadedBackend.run(topology, &mut dist, dataflow, cfg)
+    backend_for(cfg).run(topology, &mut dist, dataflow, cfg)
 }
 
 #[cfg(test)]
@@ -261,11 +222,18 @@ mod tests {
         }
     }
 
+    /// Uncongested test config: unbounded queues make the run
+    /// structurally drop-free, so exact-count and dropped == 0 asserts
+    /// hold under any OS schedule (at time_scale 8 a ~30 ms scheduler
+    /// stall is ~250 virtual ms — enough to trip a bounded queue
+    /// spuriously on a loaded host). Tests that exercise shedding opt
+    /// back into a bounded queue explicitly.
     fn fast_cfg(duration_ms: f64) -> ExecConfig {
         ExecConfig {
             duration_ms,
             window_ms: 100.0,
             time_scale: 8.0,
+            max_queue_ms: f64::INFINITY,
             ..ExecConfig::default()
         }
     }
@@ -323,7 +291,11 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let res = execute(&t, flat_dist, &df, &fast_cfg(10_000.0));
+        let cfg = ExecConfig {
+            max_queue_ms: ExecConfig::default().max_queue_ms,
+            ..fast_cfg(10_000.0)
+        };
+        let res = execute(&t, flat_dist, &df, &cfg);
         assert!(res.dropped > 0, "bounded queues must shed load: {res:?}");
         // The queue cap bounds model-domain latency.
         assert!(

@@ -1,0 +1,277 @@
+//! Intra-operator sharding: N join workers per deployed instance.
+//!
+//! [`ShardedBackend`] fans every join instance out to
+//! [`ExecConfig::shards`] worker threads, each owning a disjoint slice
+//! of the instance's window state. Tuples are hash-partitioned at the
+//! source by `(window, pair)`: any two tuples that could ever match
+//! share both coordinates (matching is per instance — i.e. per pair —
+//! and per tumbling window; for keyed queries the pair determines the
+//! join key, so this is the standard `(window, key)` partitioning), so
+//! every potential match lands on exactly one shard and the union of
+//! per-shard match sets equals the unsharded match set. Shards share no
+//! buffers, take no locks, and run each window's cross-product
+//! privately; parallelism comes from different windows (and different
+//! pairs) hashing to different shards.
+//!
+//! ## Determinism
+//!
+//! Window assignment, the shard hash and the selectivity test are pure
+//! functions of the config seed and event times, so on drop-free runs
+//! `emitted` / `matched` / `delivered` are *identical* to
+//! [`crate::ThreadedBackend`] and to the simulator — regardless of
+//! shard count or OS scheduling. Per-shard watermarks (min event-time
+//! frontier over the sources feeding the instance) drive garbage
+//! collection exactly as in the unsharded worker: a shard sees each
+//! source's tuples in event-time order over its FIFO channel, so its
+//! frontiers still bound every future arrival. A shard that happens to
+//! receive no tuples for a while only *delays* its GC — never makes it
+//! unsafe.
+//!
+//! The model-domain numbers are also unchanged: ingest/relay service
+//! slots are charged by the source worker and out-path relays by the
+//! shard that produced the output, against the same shared
+//! [`NodePacer`]s, so the sharding is invisible to the virtual-time
+//! resource model.
+
+use nova_core::PairId;
+use nova_runtime::Dataflow;
+use nova_topology::{NodeId, Topology};
+
+use crate::channel::{bounded, JoinMsg, SinkMsg};
+use crate::metrics::{Counters, ExecResult, NodePacer};
+use crate::worker::{self, VirtualClock};
+use crate::{join, Backend, ExecConfig};
+
+/// Shard owning the `(window, pair)` slice, for `shards` shards.
+///
+/// A 64-bit finalizer mix over the window id and pair id; pure, so the
+/// routing decision is identical across sources, runs and backends.
+#[inline]
+pub fn shard_of(window: u64, pair: PairId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = window ^ ((pair.0 as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x % shards as u64) as usize
+}
+
+/// Multi-core backend: one OS thread per source task, `shards` join
+/// workers per instance, and the sink. Reads the shard count from
+/// [`ExecConfig::shards`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardedBackend;
+
+impl Backend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn run(
+        &self,
+        topology: &Topology,
+        dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+        dataflow: &Dataflow,
+        cfg: &ExecConfig,
+    ) -> ExecResult {
+        run_with_shards(topology, dist, dataflow, cfg, cfg.shards.max(1))
+    }
+}
+
+/// The executor bootstrap shared by every threaded backend: `shards`
+/// join workers per deployed instance, hash-partitioned at the source.
+/// `shards = 1` is exactly the classic thread-per-operator layout, so
+/// [`crate::ThreadedBackend`] delegates here too — one copy of the
+/// channel wiring, spawn loops, sink quorum and result assembly to keep
+/// correct, with no possibility of the backends drifting apart.
+pub(crate) fn run_with_shards(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+    shards: usize,
+) -> ExecResult {
+    let plan = worker::compile(topology, dist, dataflow);
+    let pacers: Vec<NodePacer> = topology
+        .nodes()
+        .iter()
+        .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
+        .collect();
+    let counters = Counters::default();
+    let n_instances = plan.instances.len();
+    let n_workers = n_instances * shards;
+    let threads = plan.sources.len() + n_workers + 1;
+
+    // Channels: `shards` per join instance (flat index
+    // `instance × shards + shard`), one into the sink.
+    let mut join_txs = Vec::with_capacity(n_workers);
+    let mut join_rxs = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let (tx, rx) = bounded::<JoinMsg>(cfg.channel_capacity);
+        join_txs.push(tx);
+        join_rxs.push(rx);
+    }
+    let (sink_tx, sink_rx) = bounded::<SinkMsg>(cfg.channel_capacity);
+    let charge_sink: Vec<bool> = plan.instances.iter().map(|i| i.charge_sink).collect();
+    let sink_node = dataflow.sink.idx();
+
+    let clock = VirtualClock::start(cfg.time_scale);
+    let outputs = std::thread::scope(|scope| {
+        for (flat, rx) in join_rxs.into_iter().enumerate() {
+            // Every shard runs the full join worker loop over its
+            // slice of the instance's tuples; `SinkMsg`s carry the
+            // *instance* index, so sink-side accounting is
+            // shard-oblivious.
+            let inst = plan.instances[flat / shards].clone();
+            let sink_tx = sink_tx.clone();
+            let (pacers, counters) = (&pacers, &counters);
+            scope.spawn(move || join::run_join(inst, cfg, pacers, counters, rx, sink_tx));
+        }
+        for src in plan.sources {
+            let (pacers, counters, join_txs) = (&pacers, &counters, &join_txs);
+            scope.spawn(move || {
+                worker::run_source(src, cfg, clock, pacers, counters, join_txs, shards)
+            });
+        }
+        // The spawners above hold clones; drop the original so the
+        // sink terminates once every shard worker hangs up.
+        drop(sink_tx);
+        let sink = {
+            let (pacers, counters, charge_sink) = (&pacers, &counters, &charge_sink);
+            scope.spawn(move || {
+                worker::run_sink(sink_rx, sink_node, charge_sink, pacers, counters, n_workers)
+            })
+        };
+        sink.join().expect("sink worker panicked")
+    });
+
+    use std::sync::atomic::Ordering;
+    let delivered = outputs.len() as u64;
+    ExecResult {
+        outputs,
+        emitted: counters.emitted.load(Ordering::Relaxed),
+        matched: counters.matched.load(Ordering::Relaxed),
+        delivered,
+        node_busy_ms: pacers.iter().map(|p| p.busy_ms()).collect(),
+        dropped: counters.dropped.load(Ordering::Relaxed),
+        wall_ms: clock.wall_ms(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadedBackend;
+    use nova_core::baselines::sink_based;
+    use nova_core::{JoinQuery, StreamSpec};
+    use nova_topology::NodeRole;
+
+    fn world() -> (Topology, Dataflow) {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for k in 0..2u32 {
+            let l = t.add_node(NodeRole::Source, 1000.0, format!("l{k}"));
+            let r = t.add_node(NodeRole::Source, 1000.0, format!("r{k}"));
+            left.push(StreamSpec::keyed(l, 40.0, k));
+            right.push(StreamSpec::keyed(r, 40.0, k));
+        }
+        let q = JoinQuery::by_key(left, right, sink);
+        let p = sink_based(&q, &q.resolve());
+        let df = Dataflow::from_baseline(&q, &p);
+        (t, df)
+    }
+
+    fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            10.0
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            for window in 0..200u64 {
+                for pair in 0..4u32 {
+                    let s = shard_of(window, PairId(pair), shards);
+                    assert!(s < shards);
+                    assert_eq!(s, shard_of(window, PairId(pair), shards));
+                }
+            }
+        }
+        assert_eq!(shard_of(123, PairId(7), 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_windows_across_shards() {
+        let shards = 4;
+        let mut seen = [false; 4];
+        for window in 0..64u64 {
+            seen[shard_of(window, PairId(0), shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "hash must reach every shard");
+    }
+
+    #[test]
+    fn sharded_counts_match_threaded_exactly() {
+        let (t, df) = world();
+        let base = ExecConfig {
+            duration_ms: 2500.0,
+            window_ms: 100.0,
+            selectivity: 0.6,
+            time_scale: 8.0,
+            // Unbounded queues: count identity is guaranteed only on
+            // drop-free runs, and with a bounded queue an OS-stalled
+            // source thread (~30 ms on a loaded 1-core host ≈ 250
+            // virtual ms at time_scale 8) can shed a tuple spuriously.
+            max_queue_ms: f64::INFINITY,
+            ..ExecConfig::default()
+        };
+        let mut dist = flat_dist;
+        let threaded = ThreadedBackend.run(&t, &mut dist, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        for shards in [1usize, 2, 4] {
+            let cfg = ExecConfig { shards, ..base };
+            let mut dist = flat_dist;
+            let sharded = ShardedBackend.run(&t, &mut dist, &df, &cfg);
+            assert_eq!(sharded.dropped, 0);
+            assert_eq!(sharded.emitted, threaded.emitted, "shards={shards}");
+            assert_eq!(sharded.matched, threaded.matched, "shards={shards}");
+            assert_eq!(sharded.delivered, threaded.delivered, "shards={shards}");
+            assert_eq!(
+                sharded.threads,
+                df.sources.len() + df.instances.len() * shards + 1
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_count_deterministic() {
+        let (t, df) = world();
+        let cfg = ExecConfig {
+            duration_ms: 2000.0,
+            window_ms: 100.0,
+            selectivity: 0.5,
+            time_scale: 8.0,
+            shards: 4,
+            // Drop-free by construction — see above.
+            max_queue_ms: f64::INFINITY,
+            ..ExecConfig::default()
+        };
+        let mut dist = flat_dist;
+        let a = ShardedBackend.run(&t, &mut dist, &df, &cfg);
+        let mut dist = flat_dist;
+        let b = ShardedBackend.run(&t, &mut dist, &df, &cfg);
+        assert!(a.delivered > 0);
+        assert_eq!(a.dropped, 0);
+        assert_eq!(a.emitted, b.emitted);
+        assert_eq!(a.matched, b.matched);
+        assert_eq!(a.delivered, b.delivered);
+    }
+}

@@ -11,13 +11,14 @@
 //! service slot per output and records [`OutputRecord`]s.
 
 use nova_core::Side;
-use nova_runtime::{pick_partition, Dataflow, OutputRecord, Tuple};
+use nova_runtime::{pick_partition, Dataflow, OutputRecord, Tuple, WindowBuffers};
 use nova_topology::{NodeId, Topology};
 use rand::prelude::*;
 use std::time::Instant;
 
 use crate::channel::{InFlight, JoinMsg, Receiver, Sender, SinkMsg};
 use crate::metrics::{Counters, NodePacer};
+use crate::sharded::shard_of;
 use crate::ExecConfig;
 
 /// Wall-to-virtual time mapping shared by every worker.
@@ -244,6 +245,11 @@ pub(crate) fn compile(
 
 /// Source worker: emit the stream, pay ingest + relay charges, batch
 /// tuples toward the instances.
+///
+/// `txs` holds `shards` consecutive channels per join instance (flat
+/// index `instance × shards + shard`); each tuple is routed to the
+/// shard owning its `(window, pair)` slice so shards share no window
+/// state. `shards = 1` is the classic one-channel-per-instance layout.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_source(
     src: CompiledSource,
@@ -252,6 +258,7 @@ pub(crate) fn run_source(
     pacers: &[NodePacer],
     counters: &Counters,
     txs: &[Sender<JoinMsg>],
+    shards: usize,
 ) {
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (src.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
@@ -298,8 +305,10 @@ pub(crate) fn run_source(
             t += src.interval_ms;
             continue;
         };
+        let window = WindowBuffers::window_of(t, cfg.window_ms);
         for feed in &src.feeds {
             let partition = pick_partition(&feed.partition_rates, &mut rng);
+            let shard = shard_of(window, feed.pair, shards);
             let tuple = Tuple {
                 pair: feed.pair,
                 side: src.side,
@@ -325,7 +334,7 @@ pub(crate) fn run_source(
                     }
                 }
                 if delivered {
-                    let which = route.instance as usize;
+                    let which = route.instance as usize * shards + shard;
                     batches[which].push(InFlight { tuple, deliver_at });
                     if batches[which].len() >= cfg.batch_size && !flush(&mut batches, which) {
                         break 'emit;
@@ -339,7 +348,9 @@ pub(crate) fn run_source(
         let _ = flush(&mut batches, which);
     }
     for &target in &src.targets {
-        let _ = txs[target as usize].send(JoinMsg::Eof { source: src.index });
+        for shard in 0..shards {
+            let _ = txs[target as usize * shards + shard].send(JoinMsg::Eof { source: src.index });
+        }
     }
 }
 

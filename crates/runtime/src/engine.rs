@@ -367,51 +367,54 @@ pub fn simulate(
             EventKind::InputReady { instance, tuple } => {
                 let inst = &dataflow.instances[instance as usize];
                 let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
-                let partners = buffers[instance as usize].insert_and_probe(
+                // Zero-copy probe: partners are visited in place, in
+                // insertion order (same order the old Vec-returning path
+                // produced, so event sequencing is unchanged).
+                buffers[instance as usize].insert_and_probe_with(
                     window,
                     tuple.side,
                     BufferedTuple {
                         seq: tuple.seq,
                         event_time: tuple.event_time,
                     },
+                    |partner| {
+                        if !match_survives(
+                            tuple.seq,
+                            partner.seq,
+                            tuple.side,
+                            cfg.selectivity,
+                            cfg.seed,
+                        ) {
+                            return;
+                        }
+                        matched += 1;
+                        let out = OutputTuple {
+                            pair: inst.pair,
+                            key: tuple.key,
+                            event_time: tuple.event_time.max(partner.event_time),
+                        };
+                        if inst.out_path.len() <= 1 {
+                            // Join runs on the sink itself.
+                            outputs.push(OutputRecord {
+                                arrival_ms: now,
+                                latency_ms: now - out.event_time,
+                                pair: out.pair,
+                            });
+                        } else {
+                            let t_arr = now + dist(inst.out_path[0], inst.out_path[1]);
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t_arr,
+                                EventKind::OutputArrive {
+                                    path: Arc::clone(&inst.out_path),
+                                    hop: 1,
+                                    out,
+                                },
+                            );
+                        }
+                    },
                 );
-                for partner in partners {
-                    if !match_survives(
-                        tuple.seq,
-                        partner.seq,
-                        tuple.side,
-                        cfg.selectivity,
-                        cfg.seed,
-                    ) {
-                        continue;
-                    }
-                    matched += 1;
-                    let out = OutputTuple {
-                        pair: inst.pair,
-                        key: tuple.key,
-                        event_time: tuple.event_time.max(partner.event_time),
-                    };
-                    if inst.out_path.len() <= 1 {
-                        // Join runs on the sink itself.
-                        outputs.push(OutputRecord {
-                            arrival_ms: now,
-                            latency_ms: now - out.event_time,
-                            pair: out.pair,
-                        });
-                    } else {
-                        let t_arr = now + dist(inst.out_path[0], inst.out_path[1]);
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            t_arr,
-                            EventKind::OutputArrive {
-                                path: Arc::clone(&inst.out_path),
-                                hop: 1,
-                                out,
-                            },
-                        );
-                    }
-                }
             }
             EventKind::OutputArrive { path, hop, out } => {
                 let node = path[hop as usize];

@@ -39,21 +39,52 @@ impl WindowBuffers {
         (event_time / window_ms).floor().max(0.0) as u64
     }
 
-    /// Insert a tuple on `side` of window `window` and return the
-    /// opposite-side tuples it can join with (same window).
-    pub fn insert_and_probe(
+    /// Insert a tuple on `side` of window `window` and visit every
+    /// opposite-side tuple it can join with (same window), in insertion
+    /// order. Returns the number of partners visited.
+    ///
+    /// This is the hot-path probe API: no allocation, no copy of the
+    /// opposite buffer — the visitor borrows each partner in place. Both
+    /// engines (the simulator's `InputReady` handler and the executor's
+    /// join workers) go through here.
+    pub fn insert_and_probe_with<F>(
         &mut self,
         window: u64,
         side: Side,
         tuple: BufferedTuple,
-    ) -> Vec<BufferedTuple> {
+        mut visit: F,
+    ) -> usize
+    where
+        F: FnMut(&BufferedTuple),
+    {
         let entry = self.windows.entry(window).or_default();
         let (own, other) = match side {
             Side::Left => (&mut entry.0, &entry.1),
             Side::Right => (&mut entry.1, &entry.0),
         };
         own.push(tuple);
-        other.clone()
+        for partner in other.iter() {
+            visit(partner);
+        }
+        other.len()
+    }
+
+    /// Insert a tuple on `side` of window `window` and return the
+    /// opposite-side tuples it can join with (same window).
+    ///
+    /// Convenience wrapper over [`Self::insert_and_probe_with`] that
+    /// materializes the partner set. It allocates a `Vec` per probe, so
+    /// it is kept for tests and one-off inspection only — hot paths use
+    /// the visitor API.
+    pub fn insert_and_probe(
+        &mut self,
+        window: u64,
+        side: Side,
+        tuple: BufferedTuple,
+    ) -> Vec<BufferedTuple> {
+        let mut partners = Vec::new();
+        self.insert_and_probe_with(window, side, tuple, |p| partners.push(*p));
+        partners
     }
 
     /// Drop every window that ends strictly before `watermark_ms`
@@ -126,6 +157,37 @@ mod tests {
         let matches = b.insert_and_probe(1, Side::Right, bt(2, 110.0));
         assert!(matches.is_empty());
         assert_eq!(b.live_windows(), 2);
+    }
+
+    #[test]
+    fn visitor_probe_matches_vec_probe_and_counts() {
+        let mut a = WindowBuffers::new();
+        let mut b = WindowBuffers::new();
+        for (w, side, t) in [
+            (0, Side::Left, bt(1, 10.0)),
+            (0, Side::Right, bt(2, 20.0)),
+            (0, Side::Right, bt(3, 30.0)),
+            (1, Side::Left, bt(4, 140.0)),
+            (0, Side::Left, bt(5, 40.0)),
+        ] {
+            let want = a.insert_and_probe(w, side, t);
+            let mut got = Vec::new();
+            let n = b.insert_and_probe_with(w, side, t, |p| got.push(*p));
+            assert_eq!(got, want);
+            assert_eq!(n, want.len());
+        }
+        assert_eq!(a.buffered(), b.buffered());
+    }
+
+    #[test]
+    fn visitor_probe_visits_nothing_on_one_sided_windows() {
+        let mut b = WindowBuffers::new();
+        for i in 0..5 {
+            let n = b.insert_and_probe_with(0, Side::Left, bt(i, i as f64), |_| {
+                panic!("one-sided window must have no partners")
+            });
+            assert_eq!(n, 0);
+        }
     }
 
     #[test]

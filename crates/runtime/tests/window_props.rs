@@ -1,0 +1,174 @@
+//! Property tests for the `WindowBuffers` probe API.
+//!
+//! The zero-copy visitor path (`insert_and_probe_with`) and the
+//! clone-based compatibility path (`insert_and_probe`) must observe the
+//! same partner sets under any interleaving of inserts and garbage
+//! collection — the visitor API replaced the Vec-returning one in both
+//! engines' hot paths, so any divergence here is a correctness bug in
+//! the join itself.
+
+use nova_core::Side;
+use nova_runtime::{BufferedTuple, WindowBuffers};
+use proptest::prelude::*;
+
+const WINDOW_MS: f64 = 100.0;
+
+/// One scripted operation on a buffer pair.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert on (window, side) — seq/event_time filled from the index.
+    Insert { window: u64, left: bool },
+    /// Garbage-collect with the given watermark.
+    Gc { watermark: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // kind 0..4 insert (3:1 insert:gc mix), window 0..6, side by parity.
+    (0u8..4, 0u64..6, 0f64..600.0).prop_map(|(kind, window, wm)| {
+        if kind < 3 {
+            Op::Insert {
+                window,
+                left: wm < 300.0,
+            }
+        } else {
+            Op::Gc { watermark: wm }
+        }
+    })
+}
+
+fn ops_strategy(max: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op_strategy(), 0..max)
+}
+
+proptest! {
+    /// Replaying any script against two buffers — one driven through the
+    /// visitor API, one through the clone-based API — yields identical
+    /// partner sequences, identical eviction counts and identical state.
+    #[test]
+    fn visitor_and_clone_paths_agree(ops in ops_strategy(80)) {
+        let mut via_visitor = WindowBuffers::new();
+        let mut via_clone = WindowBuffers::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert { window, left } => {
+                    let side = if left { Side::Left } else { Side::Right };
+                    let tuple = BufferedTuple { seq: i as u64, event_time: window as f64 * WINDOW_MS };
+                    let want = via_clone.insert_and_probe(window, side, tuple);
+                    let mut got = Vec::new();
+                    let n = via_visitor.insert_and_probe_with(window, side, tuple, |p| got.push(*p));
+                    prop_assert_eq!(&got, &want, "partner mismatch at op {}", i);
+                    prop_assert_eq!(n, want.len());
+                }
+                Op::Gc { watermark } => {
+                    let a = via_visitor.gc(watermark, WINDOW_MS);
+                    let b = via_clone.gc(watermark, WINDOW_MS);
+                    prop_assert_eq!(a, b, "eviction mismatch at op {}", i);
+                }
+            }
+            prop_assert_eq!(via_visitor.buffered(), via_clone.buffered());
+            prop_assert_eq!(via_visitor.live_windows(), via_clone.live_windows());
+        }
+    }
+
+    /// Partners visited are exactly the live opposite-side tuples of the
+    /// probed window — checked against an independent model that also
+    /// replays GC (a window GC'd mid-script must probe empty afterwards
+    /// until refilled).
+    #[test]
+    fn visitor_matches_reference_model(ops in ops_strategy(80)) {
+        let mut buffers = WindowBuffers::new();
+        // Model: per window, the two sides' live tuples.
+        let mut model: std::collections::HashMap<u64, (Vec<BufferedTuple>, Vec<BufferedTuple>)> =
+            std::collections::HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert { window, left } => {
+                    let side = if left { Side::Left } else { Side::Right };
+                    let tuple = BufferedTuple { seq: i as u64, event_time: window as f64 * WINDOW_MS };
+                    let mut got = Vec::new();
+                    buffers.insert_and_probe_with(window, side, tuple, |p| got.push(*p));
+                    let entry = model.entry(window).or_default();
+                    let (own, other) = if left {
+                        (&mut entry.0, &entry.1)
+                    } else {
+                        (&mut entry.1, &entry.0)
+                    };
+                    prop_assert_eq!(&got, other, "window {} partners diverge at op {}", window, i);
+                    own.push(tuple);
+                }
+                Op::Gc { watermark } => {
+                    let keep_from = WindowBuffers::window_of(watermark, WINDOW_MS);
+                    let evicted_model: usize = model
+                        .iter()
+                        .filter(|(w, _)| **w < keep_from)
+                        .map(|(_, b)| b.0.len() + b.1.len())
+                        .sum();
+                    model.retain(|w, _| *w >= keep_from);
+                    let evicted = buffers.gc(watermark, WINDOW_MS);
+                    prop_assert_eq!(evicted, evicted_model);
+                }
+            }
+        }
+        let model_total: usize = model.values().map(|b| b.0.len() + b.1.len()).sum();
+        prop_assert_eq!(buffers.buffered(), model_total);
+    }
+
+    /// One-sided streams never produce partners, through either API,
+    /// regardless of GC interleaving.
+    #[test]
+    fn one_sided_windows_never_match(windows in proptest::collection::vec(0u64..4, 0..40)) {
+        let mut b = WindowBuffers::new();
+        for (i, w) in windows.iter().enumerate() {
+            let tuple = BufferedTuple { seq: i as u64, event_time: *w as f64 * WINDOW_MS };
+            let n = b.insert_and_probe_with(*w, Side::Left, tuple, |_| {
+                panic!("one-sided window produced a partner")
+            });
+            prop_assert_eq!(n, 0);
+            if i % 5 == 4 {
+                b.gc((i as f64) * 20.0, WINDOW_MS);
+            }
+        }
+    }
+}
+
+/// A window fully evicted by GC probes empty, then refills from scratch
+/// — the executor's GC runs between probes on the same thread, so this
+/// is exactly the interleaving the join worker exercises.
+#[test]
+fn gc_between_probes_resets_the_window() {
+    let mut b = WindowBuffers::new();
+    let bt = |seq, et| BufferedTuple {
+        seq,
+        event_time: et,
+    };
+    b.insert_and_probe(0, Side::Left, bt(1, 10.0));
+    b.insert_and_probe(0, Side::Left, bt(2, 20.0));
+    assert_eq!(b.insert_and_probe(0, Side::Right, bt(3, 30.0)).len(), 2);
+    // Watermark passes window 0: all three tuples evicted.
+    assert_eq!(b.gc(150.0, 100.0), 3);
+    // A late probe of the dead window sees nothing…
+    let n = b.insert_and_probe_with(0, Side::Right, bt(4, 40.0), |_| {
+        panic!("GC'd window must probe empty")
+    });
+    assert_eq!(n, 0);
+    // …and the window state rebuilds cleanly from there.
+    assert_eq!(b.insert_and_probe(0, Side::Left, bt(5, 50.0)).len(), 1);
+    assert_eq!(b.live_windows(), 1);
+}
+
+/// Probing an entirely empty buffer is a no-op visit.
+#[test]
+fn empty_buffer_probe_visits_nothing() {
+    let mut b = WindowBuffers::new();
+    let n = b.insert_and_probe_with(
+        7,
+        Side::Right,
+        BufferedTuple {
+            seq: 1,
+            event_time: 700.0,
+        },
+        |_| panic!("empty buffer has no partners"),
+    );
+    assert_eq!(n, 0);
+    assert_eq!(b.buffered(), 1);
+}

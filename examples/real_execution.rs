@@ -2,11 +2,13 @@
 //!
 //! Builds a small edge topology (two regions × two sensor streams, four
 //! workers, one sink), places the join with the sink-based baseline,
-//! and executes the deployed dataflow twice: once on the discrete-event
-//! simulator and once on the `nova-exec` threaded executor (one OS
-//! thread per source task, join instance and sink — 7 threads here).
-//! Prints delivered throughput and p50/p99 latency from both engines
-//! side by side, plus the executor's hardware throughput.
+//! and executes the deployed dataflow three times: on the discrete-event
+//! simulator, on the `nova-exec` threaded executor (one OS thread per
+//! source task, join instance and sink — 7 threads here), and on the
+//! sharded backend with 4 join shards per instance (`cfg.shards = 4`,
+//! 13 threads). Prints delivered throughput and p50/p99 latency from
+//! all engines side by side, plus the executors' hardware throughput —
+//! note the sharded run matches the threaded one count for count.
 //!
 //! Run with: `cargo run --release --example real_execution`
 
@@ -45,13 +47,20 @@ fn main() {
     };
     let sim = simulate(&t, dist, &dataflow, &sim_cfg);
 
-    // Same experiment on real threads, dilated 4× (5 s virtual ≈ 1.25 s wall).
+    // Same experiment on real threads, dilated 4× (5 s virtual ≈ 1.25 s wall),
+    // then once more with 4 join shards per instance.
     let exec_cfg = ExecConfig::from_sim(&sim_cfg, 4.0);
     let exec = execute(&t, dist, &dataflow, &exec_cfg);
+    let sharded_cfg = ExecConfig {
+        shards: 4,
+        ..exec_cfg
+    };
+    let sharded = execute(&t, dist, &dataflow, &sharded_cfg);
 
     println!(
-        "sink-based placement, {} threads (4 sources + 2 joins + sink)\n",
-        exec.threads
+        "sink-based placement: {} threads threaded (4 sources + 2 joins + sink), \
+         {} threads sharded (4 shards per join)\n",
+        exec.threads, sharded.threads
     );
     println!(
         "{:<12} {:>12} {:>12} {:>10} {:>10} {:>10}",
@@ -66,21 +75,35 @@ fn main() {
         sim.latency_percentile(0.99),
         sim.dropped,
     );
-    println!(
-        "{:<12} {:>12} {:>12.1} {:>10.2} {:>10.2} {:>10}",
-        "exec",
-        exec.delivered,
-        exec.throughput_per_s(exec_cfg.duration_ms),
-        exec.latency_percentile(0.5),
-        exec.latency_percentile(0.99),
-        exec.dropped,
-    );
+    for (name, r) in [("exec", &exec), ("exec-4shard", &sharded)] {
+        println!(
+            "{:<12} {:>12} {:>12.1} {:>10.2} {:>10.2} {:>10}",
+            name,
+            r.delivered,
+            r.throughput_per_s(exec_cfg.duration_ms),
+            r.latency_percentile(0.5),
+            r.latency_percentile(0.99),
+            r.dropped,
+        );
+    }
     println!(
         "\nexecutor: {} tuples in {:.0} ms wall → {:.0} tuples/s through real threads",
         exec.emitted,
         exec.wall_ms,
         exec.input_tuples_per_wall_s(),
     );
+    // Count identity between backends is guaranteed only on drop-free
+    // runs; on a heavily loaded host a stalled thread can trip the
+    // bounded queue and shed a tuple, so gate the exact asserts.
+    if exec.dropped == 0 && sharded.dropped == 0 {
+        assert_eq!(
+            sharded.matched, exec.matched,
+            "sharding must not change what matches"
+        );
+        assert_eq!(sharded.delivered, exec.delivered);
+    } else {
+        println!("note: shedding occurred; exact count identity not checked");
+    }
     let within = exec.delivered_by(exec_cfg.duration_ms);
     let drift = (within as f64 - sim.delivered as f64).abs() / sim.delivered.max(1) as f64;
     println!(

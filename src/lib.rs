@@ -34,5 +34,7 @@ pub use nova_workloads as workloads;
 
 // The most common entry points, re-exported flat for convenience.
 pub use nova_core::{evaluate, EvalOptions, JoinQuery, Nova, NovaConfig, Placement, StreamSpec};
-pub use nova_exec::{execute, Backend, ExecConfig, ExecResult, ThreadedBackend};
+pub use nova_exec::{
+    backend_for, execute, Backend, ExecConfig, ExecResult, ShardedBackend, ThreadedBackend,
+};
 pub use nova_topology::{running_example, NodeId, NodeRole, Topology};

@@ -114,6 +114,11 @@ fn executor_is_count_identical_across_runs() {
         window_ms: 100.0,
         selectivity: 0.7,
         time_scale: 8.0,
+        // Unbounded queues make the drop-free precondition structural:
+        // with a bounded queue an OS-stalled source thread (~30 ms on a
+        // loaded 1-core host ≈ 250 virtual ms at time_scale 8) can shed
+        // a tuple spuriously even in this uncongested scenario.
+        max_queue_ms: f64::INFINITY,
         ..ExecConfig::default()
     };
     let a = execute(&t, flat_dist, &df, &cfg);
