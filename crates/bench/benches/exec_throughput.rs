@@ -13,10 +13,18 @@
 //! Match counts are asserted identical across all backends and shard
 //! counts — sharding must never change *what* joins, only how fast.
 //!
+//! Two skewed scenarios ride along: a **single-hot-pair** saturation
+//! case (one pair, one giant window, 128 sub-keys — the workload where
+//! `(window, pair)` routing serializes on one shard and only key-bucket
+//! routing scales) and **Zipfian pair weights** (4 pairs, head pair
+//! ~54 % of traffic).
+//!
 //! Run with: `cargo bench -p nova-bench --bench exec_throughput`
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nova_bench::{throughput_cfg, throughput_world};
+use nova_bench::{
+    hot_pair_cfg, throughput_cfg, throughput_world, throughput_world_rates, zipf_pair_rates,
+};
 use nova_exec::{Backend, ExecConfig, ShardedBackend, ThreadedBackend};
 use nova_runtime::{simulate, SimConfig};
 use nova_topology::NodeId;
@@ -144,6 +152,87 @@ fn bench_exec_throughput(c: &mut Criterion) {
         })
     });
 
+    // Single-hot-pair saturation: one pair, one giant window spanning
+    // the run, 128 sub-keys. Under `(window, pair)` routing (buckets=1)
+    // every tuple hashes to ONE shard — the sweep shows the keyed
+    // buckets recovering the parallelism the PR 2 hash cannot.
+    let hp_rate = 100_000.0;
+    let (ht, hdf) = throughput_world(1, hp_rate);
+    let hp_base = hot_pair_cfg(500.0, 128, 1, 1);
+    let hp_probe = run(&ThreadedBackend, &ht, &hdf, &hp_base);
+    assert!(hp_probe.delivered > 0, "hot pair must deliver outputs");
+    for (shards, buckets) in [(4usize, 1usize), (2, 16), (4, 16), (8, 16)] {
+        let cfg = ExecConfig {
+            shards,
+            key_buckets: buckets,
+            ..hp_base
+        };
+        let res = run(&ShardedBackend, &ht, &hdf, &cfg);
+        println!(
+            "exec_throughput[hot-pair, {} shard(s), {} bucket(s)]: {} tuples + {} matches \
+             in {:>5.0} ms wall -> {:>9.0} tuples/s (threaded: {:>9.0})",
+            shards,
+            buckets,
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+            hp_probe.input_tuples_per_wall_s(),
+        );
+        assert_eq!(
+            res.matched, hp_probe.matched,
+            "keyed sharding changed the hot-pair match set at \
+             {shards} shards / {buckets} buckets"
+        );
+    }
+    group.bench_function("threaded_hot_pair_200k", |b| {
+        b.iter(|| run(&ThreadedBackend, &ht, &hdf, std::hint::black_box(&hp_base)))
+    });
+    for (label, buckets) in [("pr2_routing", 1usize), ("keyed", 16)] {
+        let cfg = ExecConfig {
+            shards: 4,
+            key_buckets: buckets,
+            ..hp_base
+        };
+        group.bench_function(format!("sharded4_hot_pair_200k_{label}"), |b| {
+            b.iter(|| run(&ShardedBackend, &ht, &hdf, std::hint::black_box(&cfg)))
+        });
+    }
+
+    // Zipfian pair weights: 4 pairs, head pair ~54 % of the traffic,
+    // keyed workload — count identity under realistic pair skew.
+    let zrates = zipf_pair_rates(4, 100_000.0, 1.25);
+    let (zt, zdf) = throughput_world_rates(&zrates);
+    let z_base = ExecConfig {
+        key_space: 64,
+        ..throughput_cfg(500.0, 250.0, 0.02, 1)
+    };
+    let z_probe = run(&ThreadedBackend, &zt, &zdf, &z_base);
+    assert!(z_probe.delivered > 0, "zipf workload must deliver outputs");
+    for (shards, buckets) in [(4usize, 1usize), (4, 16)] {
+        let cfg = ExecConfig {
+            shards,
+            key_buckets: buckets,
+            ..z_base
+        };
+        let res = run(&ShardedBackend, &zt, &zdf, &cfg);
+        println!(
+            "exec_throughput[zipf, {} shard(s), {} bucket(s)]: {} tuples + {} matches \
+             in {:>5.0} ms wall -> {:>9.0} tuples/s",
+            shards,
+            buckets,
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+        );
+        assert_eq!(
+            res.matched, z_probe.matched,
+            "keyed sharding changed the zipf match set at \
+             {shards} shards / {buckets} buckets"
+        );
+    }
+
     // The simulator on the identical dataflow, scaled to a tenth of the
     // virtual horizon (its single-threaded event loop pays ~4 heap
     // events per tuple).
@@ -155,6 +244,7 @@ fn bench_exec_throughput(c: &mut Criterion) {
         seed: base.seed,
         max_events: u64::MAX,
         max_queue_ms: f64::INFINITY,
+        key_space: 1,
     };
     let sim_probe = {
         let start = std::time::Instant::now();

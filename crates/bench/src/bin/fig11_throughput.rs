@@ -14,11 +14,14 @@
 //!
 //! Run with `--full` for the paper's 120 s duration (default 30 s).
 //! Run with `--real` to additionally re-run every placement on the
-//! `nova-exec` executor (`--shards N` selects the sharded backend) and
-//! emit side-by-side simulator/executor columns.
+//! `nova-exec` executor (`--shards N` selects the sharded backend;
+//! `--key-space N` + `--key-buckets N` switch both engines to a keyed
+//! workload with keyed sub-pair shard routing) and emit side-by-side
+//! simulator/executor columns.
 
 use nova_bench::{
-    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, write_csv, Table,
+    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, with_key_space, write_csv,
+    Table,
 };
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
@@ -28,7 +31,7 @@ fn main() {
     let duration_ms = if full { 120_000.0 } else { 30_000.0 };
     let seed = 11;
 
-    let sim = default_sim(duration_ms, seed);
+    let sim = with_key_space(&args, default_sim(duration_ms, seed));
     // The executor replays the simulator settings, dilated 20× so the
     // 30 s virtual horizon takes ~1.5 s wall per approach.
     let real_cfg = real_exec_cfg(&args, &sim, 20.0);

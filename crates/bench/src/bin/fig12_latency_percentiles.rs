@@ -11,12 +11,14 @@
 //!
 //! Run with `--full` for the paper's 120 s duration (default 30 s).
 //! Run with `--real` to additionally re-run every placement on the
-//! `nova-exec` executor (`--shards N` selects the sharded backend) and
-//! emit side-by-side simulator/executor columns.
+//! `nova-exec` executor (`--shards N` selects the sharded backend;
+//! `--key-space N` + `--key-buckets N` switch both engines to a keyed
+//! workload with keyed sub-pair shard routing) and emit side-by-side
+//! simulator/executor columns.
 
 use nova_bench::{
-    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, write_csv, Table,
-    STRESS_FACTOR,
+    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, with_key_space, write_csv,
+    Table, STRESS_FACTOR,
 };
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
@@ -27,7 +29,7 @@ fn main() {
     let seed = 12;
 
     let scenario = environmental_scenario(&EnvironmentalParams::default());
-    let sim = default_sim(duration_ms, seed);
+    let sim = with_key_space(&args, default_sim(duration_ms, seed));
     let real_cfg = real_exec_cfg(&args, &sim, 20.0);
     let real = real_cfg.is_some();
 

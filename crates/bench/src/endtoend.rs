@@ -237,6 +237,7 @@ pub fn default_sim(duration_ms: f64, seed: u64) -> SimConfig {
         seed,
         max_events: 400_000_000,
         max_queue_ms: 250.0,
+        key_space: 1,
     }
 }
 

@@ -12,25 +12,50 @@ use nova_exec::{backend_for, Backend, ExecConfig, ExecResult};
 use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{LatencyProvider, Topology};
 
-/// Parse the figure binaries' shared `--real` / `--shards N` flags and
-/// build the executor config for the `--real` re-runs: the simulator
-/// settings dilated by `time_scale`, at the requested shard count
-/// (default 1; a malformed count falls back to 1). Returns `None` when
-/// `--real` is absent.
+/// Parse the figure binaries' shared `--real` / `--shards N` /
+/// `--key-space N` / `--key-buckets N` flags and build the executor
+/// config for the `--real` re-runs: the simulator settings dilated by
+/// `time_scale`, at the requested shard and key-bucket counts (each
+/// defaulting to 1; a malformed count falls back to the default).
+/// The sub-key cardinality is inherited from the `SimConfig` (patched
+/// by [`with_key_space`] so *both* engines' columns agree on the
+/// workload) — with `key_space = 1` every tuple carries sub-key 0 and
+/// `--key-buckets` alone only permutes the `(window, pair)` shard
+/// layout; pass `--key-space N` too to exercise keyed sub-pair
+/// sharding. Returns `None` when `--real` is absent.
 pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Option<ExecConfig> {
     if !args.iter().any(|a| a == "--real") {
         return None;
     }
-    let shards = args
-        .iter()
-        .position(|a| a == "--shards")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(1);
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+    };
     Some(ExecConfig {
-        shards,
+        shards: flag("--shards"),
+        key_buckets: flag("--key-buckets"),
         ..ExecConfig::from_sim(sim, time_scale)
     })
+}
+
+/// Apply the figure binaries' `--key-space N` flag to a simulator
+/// config. The sub-key cardinality is a *workload* property, so it must
+/// patch the `SimConfig` both the simulator columns and the `--real`
+/// executor re-runs ([`real_exec_cfg`] via `ExecConfig::from_sim`) are
+/// derived from — overriding only the executor side would silently
+/// break their side-by-side comparability. Absent or malformed flag
+/// keeps the config's own `key_space`.
+pub fn with_key_space(args: &[String], sim: SimConfig) -> SimConfig {
+    let key_space = args
+        .iter()
+        .position(|a| a == "--key-space")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(sim.key_space);
+    SimConfig { key_space, ..sim }
 }
 
 /// Deploy `placement` for `query` and execute it on the backend the
@@ -72,6 +97,15 @@ pub fn run_dataflow_real(
 /// `benches/exec_throughput.rs` and the `bench_exec_smoke` binary so
 /// the CI smoke numbers measure exactly the benchmark workload.
 pub fn throughput_world(n_pairs: u32, rate: f64) -> (Topology, Dataflow) {
+    throughput_world_rates(&vec![rate; n_pairs as usize])
+}
+
+/// [`throughput_world`] with one join pair per entry of `rates` —
+/// the skewed-workload generator: pair `k`'s two streams each emit
+/// `rates[k]` tuples/s. Uniform vectors reproduce `throughput_world`;
+/// [`zipf_pair_rates`] vectors concentrate the traffic on the first
+/// (hot) pairs.
+pub fn throughput_world_rates(rates: &[f64]) -> (Topology, Dataflow) {
     use nova_core::baselines::sink_based;
     use nova_core::StreamSpec;
     use nova_topology::NodeRole;
@@ -80,16 +114,27 @@ pub fn throughput_world(n_pairs: u32, rate: f64) -> (Topology, Dataflow) {
     let sink = t.add_node(NodeRole::Sink, 0.0, "sink");
     let mut left = Vec::new();
     let mut right = Vec::new();
-    for k in 0..n_pairs {
+    for (k, &rate) in rates.iter().enumerate() {
         let l = t.add_node(NodeRole::Source, 0.0, format!("l{k}"));
         let r = t.add_node(NodeRole::Source, 0.0, format!("r{k}"));
-        left.push(StreamSpec::keyed(l, rate, k));
-        right.push(StreamSpec::keyed(r, rate, k));
+        left.push(StreamSpec::keyed(l, rate, k as u32));
+        right.push(StreamSpec::keyed(r, rate, k as u32));
     }
     let query = JoinQuery::by_key(left, right, sink);
     let placement = sink_based(&query, &query.resolve());
     let dataflow = Dataflow::from_baseline(&query, &placement);
     (t, dataflow)
+}
+
+/// Zipfian per-pair stream rates: pair `k` emits
+/// `top_rate / (k + 1)^exponent` tuples/s per side — the classic
+/// skewed-popularity workload where the first pair dominates the
+/// traffic (exponent 1.25 gives the head pair ~54 % of a 4-pair
+/// aggregate).
+pub fn zipf_pair_rates(n_pairs: u32, top_rate: f64, exponent: f64) -> Vec<f64> {
+    (0..n_pairs)
+        .map(|k| top_rate / ((k + 1) as f64).powf(exponent))
+        .collect()
 }
 
 /// Flat-out executor settings for [`throughput_world`]: virtual time
@@ -113,6 +158,31 @@ pub fn throughput_cfg(
         channel_capacity: 64,
         max_tuples_per_source: u64::MAX,
         shards,
+        key_space: 1,
+        key_buckets: 1,
+    }
+}
+
+/// The **single-hot-pair saturation** configuration: one giant tumbling
+/// window spanning the whole run, a keyed workload (`key_space`
+/// sub-keys), and `key_buckets` routing buckets. Under `(window, pair)`
+/// routing (`key_buckets = 1`) every tuple of the run lands on one
+/// shard — the skew failure mode where PR 2's sharding shows no
+/// speedup; with `key_buckets > 1` the window's state hash-splits by
+/// sub-key across all shards. Selectivity keeps the output volume of
+/// the giant window's keyed cross-product bounded.
+pub fn hot_pair_cfg(
+    duration_ms: f64,
+    key_space: u32,
+    key_buckets: usize,
+    shards: usize,
+) -> ExecConfig {
+    ExecConfig {
+        key_space,
+        key_buckets,
+        // One window covering the entire horizon (+1 ms so boundary
+        // tuples at t == duration stay inside it); selectivity 1 %.
+        ..throughput_cfg(duration_ms, duration_ms + 1.0, 0.01, shards)
     }
 }
 

@@ -9,7 +9,7 @@
 //! | Cl-SF     | LEACH-SF clustering \[64\] | fuzzy clustering, join at the common cluster head, else the sink |
 //! | Cl-Tree-SF| hybrid | cluster heads linked by an MST, join at head-path intersections |
 //!
-//! All baselines emit the same [`Placement`] representation as Nova so
+//! All baselines emit the same [`Placement`](crate::Placement) representation as Nova so
 //! the evaluator compares them uniformly. Except for Top-c they are
 //! resource-agnostic — exactly the property the overload experiment
 //! (Fig. 6) exposes. The tree-based methods record their multi-hop

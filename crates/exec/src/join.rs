@@ -53,11 +53,16 @@ pub(crate) fn run_join(
                     let tuple = inflight.tuple;
                     frontier = frontier.max(tuple.event_time);
                     let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
-                    // Zero-copy probe: partners are visited in place —
-                    // no per-probe Vec of the opposite buffer.
+                    // Zero-copy keyed probe: partners are visited in
+                    // place — no per-probe Vec of the opposite buffer —
+                    // and only within the tuple's (window, subkey)
+                    // group, so keyed workloads never walk candidates
+                    // they cannot match (unkeyed ones carry subkey 0
+                    // and probe the whole window as before).
                     let mut closed = false;
                     buffers.insert_and_probe_with(
                         window,
+                        tuple.subkey,
                         tuple.side,
                         BufferedTuple {
                             seq: tuple.seq,

@@ -34,9 +34,12 @@
 //! Execution is behind the [`Backend`] trait. [`ThreadedBackend`]
 //! (thread-per-operator) is the baseline; [`ShardedBackend`] fans each
 //! join instance out to [`ExecConfig::shards`] workers, hash-partitioned
-//! by `(window, pair)` so shards share no state and counts stay
-//! identical (see [`sharded`]). Later backends (async runtimes,
-//! NUMA-pinned pools) plug in without touching callers.
+//! by `(window, pair, key bucket)` so shards share no state and counts
+//! stay identical (see [`sharded`]). With multiple
+//! [`ExecConfig::key_buckets`] even a single hot pair with one giant
+//! window splits by join sub-key across shards — the backend scales
+//! with cores, not with the number of pairs. Later backends (async
+//! runtimes, NUMA-pinned pools) plug in without touching callers.
 
 pub mod channel;
 pub mod join;
@@ -48,7 +51,7 @@ use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{NodeId, Topology};
 
 pub use metrics::{Counters, ExecResult, NodePacer};
-pub use sharded::{shard_of, ShardedBackend};
+pub use sharded::{key_bucket_of, shard_of, ShardedBackend};
 pub use worker::VirtualClock;
 
 /// Executor parameters. The virtual-domain fields mirror
@@ -81,10 +84,25 @@ pub struct ExecConfig {
     pub max_tuples_per_source: u64,
     /// Join shards per deployed instance. 1 = classic thread-per-
     /// operator; >1 hash-partitions each instance's tuples by
-    /// `(window, pair)` across that many dedicated worker threads
-    /// ([`ShardedBackend`]). Count results are identical either way on
-    /// drop-free runs.
+    /// `(window, pair, key bucket)` across that many dedicated worker
+    /// threads ([`ShardedBackend`]). Count results are identical either
+    /// way on drop-free runs.
     pub shards: usize,
+    /// Cardinality of the per-tuple join sub-key space (workload
+    /// property, mirrors [`SimConfig::key_space`]). 1 = unkeyed
+    /// cross-product windows; >1 draws each tuple's sub-key from
+    /// `[0, key_space)` via [`nova_runtime::subkey_of`] and restricts
+    /// matching to equal sub-keys.
+    pub key_space: u32,
+    /// Key buckets for shard routing (runtime knob). 1 reproduces the
+    /// `(window, pair)` routing of the unkeyed sharded backend exactly;
+    /// larger values additionally hash-split each join instance's
+    /// window state by sub-key into this many buckets, so even a single
+    /// hot pair with one giant window spreads across shards. Any value
+    /// preserves
+    /// match/delivery counts: matching requires *equal* sub-keys and
+    /// co-keyed tuples always co-locate (see [`sharded::key_bucket_of`]).
+    pub key_buckets: usize,
 }
 
 impl Default for ExecConfig {
@@ -102,6 +120,8 @@ impl Default for ExecConfig {
             channel_capacity: 64,
             max_tuples_per_source: u64::MAX,
             shards: 1,
+            key_space: 1,
+            key_buckets: 1,
         }
     }
 }
@@ -118,6 +138,7 @@ impl ExecConfig {
             seed: sim.seed,
             max_queue_ms: sim.max_queue_ms,
             time_scale,
+            key_space: sim.key_space,
             ..ExecConfig::default()
         }
     }

@@ -3,15 +3,30 @@
 //! [`ShardedBackend`] fans every join instance out to
 //! [`ExecConfig::shards`] worker threads, each owning a disjoint slice
 //! of the instance's window state. Tuples are hash-partitioned at the
-//! source by `(window, pair)`: any two tuples that could ever match
-//! share both coordinates (matching is per instance — i.e. per pair —
-//! and per tumbling window; for keyed queries the pair determines the
-//! join key, so this is the standard `(window, key)` partitioning), so
-//! every potential match lands on exactly one shard and the union of
-//! per-shard match sets equals the unsharded match set. Shards share no
-//! buffers, take no locks, and run each window's cross-product
-//! privately; parallelism comes from different windows (and different
-//! pairs) hashing to different shards.
+//! source by `(window, pair, key bucket)`: any two tuples that could
+//! ever match share all three coordinates — matching is per instance
+//! (i.e. per pair), per tumbling window, and (for keyed workloads,
+//! `key_space > 1`) requires *equal* join sub-keys, which always map to
+//! the same bucket under [`key_bucket_of`]. So every potential match
+//! lands on exactly one shard and the union of per-shard match sets
+//! equals the unsharded match set, at any shard *and* any bucket count.
+//! Shards share no buffers, take no locks, and probe each `(window,
+//! key)` group privately.
+//!
+//! Parallelism comes from two independent axes:
+//!
+//! * **windows × pairs** (PR 2's axis, always on): different windows
+//!   and pairs hash to different shards — enough when the workload has
+//!   many pairs or small windows;
+//! * **key buckets** ([`ExecConfig::key_buckets`] > 1): a *single hot
+//!   pair with one giant window* — the skew case where the first axis
+//!   degenerates to one shard — is hash-split by join sub-key, so its
+//!   window state and probe work spread across all shards and the
+//!   backend scales with cores even on one pair.
+//!
+//! `key_buckets = 1` keeps every sub-key in bucket 0 and reproduces the
+//! PR 2 `(window, pair)` routing bit-for-bit (property-tested in
+//! `crates/exec/tests/shard_props.rs`).
 //!
 //! ## Determinism
 //!
@@ -42,20 +57,48 @@ use crate::metrics::{Counters, ExecResult, NodePacer};
 use crate::worker::{self, VirtualClock};
 use crate::{join, Backend, ExecConfig};
 
-/// Shard owning the `(window, pair)` slice, for `shards` shards.
+/// Shard owning the `(window, pair, key bucket)` slice, for `shards`
+/// shards.
 ///
-/// A 64-bit finalizer mix over the window id and pair id; pure, so the
-/// routing decision is identical across sources, runs and backends.
+/// A 64-bit finalizer mix over the window id, pair id and key bucket;
+/// pure, so the routing decision is identical across sources, runs and
+/// backends. `bucket = 0` — every tuple of an unkeyed workload, and
+/// every tuple when `key_buckets = 1` — contributes nothing to the mix,
+/// so the function then equals PR 2's `(window, pair)` routing exactly:
+/// existing scaling numbers and shard layouts are reproduced
+/// bit-for-bit.
 #[inline]
-pub fn shard_of(window: u64, pair: PairId, shards: usize) -> usize {
+pub fn shard_of(window: u64, pair: PairId, bucket: u32, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    let mut x = window ^ ((pair.0 as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    let mut x = window
+        ^ ((pair.0 as u64) << 32)
+        ^ (bucket as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ 0x9E37_79B9_7F4A_7C15;
     x ^= x >> 33;
     x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     x ^= x >> 33;
     (x % shards as u64) as usize
+}
+
+/// Key bucket of a join sub-key, for `key_buckets` buckets.
+///
+/// A pure 64-bit finalizer mix over the sub-key (so adjacent sub-keys
+/// spread instead of striping), reduced mod `key_buckets`. Equal
+/// sub-keys always land in the same bucket — the co-location invariant
+/// keyed sharding rests on — and `key_buckets <= 1` pins everything to
+/// bucket 0, reproducing unkeyed routing.
+#[inline]
+pub fn key_bucket_of(subkey: u32, key_buckets: usize) -> u32 {
+    if key_buckets <= 1 {
+        return 0;
+    }
+    let mut x = (subkey as u64).wrapping_mul(0xA24B_AED4_963E_E407) ^ 0x9FB2_1C65_1E98_DF25;
+    x ^= x >> 32;
+    x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x ^= x >> 29;
+    (x % key_buckets as u64) as u32
 }
 
 /// Multi-core backend: one OS thread per source task, `shards` join
@@ -199,13 +242,15 @@ mod tests {
         for shards in [1usize, 2, 3, 4, 8] {
             for window in 0..200u64 {
                 for pair in 0..4u32 {
-                    let s = shard_of(window, PairId(pair), shards);
-                    assert!(s < shards);
-                    assert_eq!(s, shard_of(window, PairId(pair), shards));
+                    for bucket in [0u32, 1, 7] {
+                        let s = shard_of(window, PairId(pair), bucket, shards);
+                        assert!(s < shards);
+                        assert_eq!(s, shard_of(window, PairId(pair), bucket, shards));
+                    }
                 }
             }
         }
-        assert_eq!(shard_of(123, PairId(7), 1), 0);
+        assert_eq!(shard_of(123, PairId(7), 0, 1), 0);
     }
 
     #[test]
@@ -213,9 +258,25 @@ mod tests {
         let shards = 4;
         let mut seen = [false; 4];
         for window in 0..64u64 {
-            seen[shard_of(window, PairId(0), shards)] = true;
+            seen[shard_of(window, PairId(0), 0, shards)] = true;
         }
         assert!(seen.iter().all(|&s| s), "hash must reach every shard");
+    }
+
+    #[test]
+    fn key_buckets_spread_a_single_hot_window_across_shards() {
+        // The skew failure mode `(window, pair)` routing cannot escape:
+        // one pair, one window. Buckets must reach every shard.
+        let shards = 4;
+        let mut seen = [false; 4];
+        for subkey in 0..64u32 {
+            let bucket = key_bucket_of(subkey, 16);
+            seen[shard_of(0, PairId(0), bucket, shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "buckets must reach every shard");
+        // And with a single bucket everything stays on one shard.
+        let only = shard_of(0, PairId(0), key_bucket_of(17, 1), shards);
+        assert_eq!(only, shard_of(0, PairId(0), 0, shards));
     }
 
     #[test]
@@ -248,6 +309,46 @@ mod tests {
                 sharded.threads,
                 df.sources.len() + df.instances.len() * shards + 1
             );
+        }
+    }
+
+    #[test]
+    fn keyed_sharding_counts_match_threaded_at_every_bucket_count() {
+        // Keyed workload (sub-keys drawn from [0, 16)): key-bucket
+        // routing must never change what joins — match and delivery
+        // counts are pinned to the threaded baseline at every
+        // (shards, key_buckets) combination, because matching requires
+        // equal sub-keys and co-keyed tuples always co-locate.
+        let (t, df) = world();
+        let base = ExecConfig {
+            duration_ms: 2500.0,
+            window_ms: 500.0,
+            selectivity: 0.9,
+            time_scale: 8.0,
+            key_space: 16,
+            // Drop-free by construction — see above.
+            max_queue_ms: f64::INFINITY,
+            ..ExecConfig::default()
+        };
+        let mut dist = flat_dist;
+        let threaded = ThreadedBackend.run(&t, &mut dist, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        assert!(threaded.delivered > 0, "keyed workload must match");
+        for shards in [2usize, 4] {
+            for key_buckets in [1usize, 2, 8, 64] {
+                let cfg = ExecConfig {
+                    shards,
+                    key_buckets,
+                    ..base
+                };
+                let mut dist = flat_dist;
+                let sharded = ShardedBackend.run(&t, &mut dist, &df, &cfg);
+                let tag = format!("shards={shards} buckets={key_buckets}");
+                assert_eq!(sharded.dropped, 0, "{tag}");
+                assert_eq!(sharded.emitted, threaded.emitted, "{tag}");
+                assert_eq!(sharded.matched, threaded.matched, "{tag}");
+                assert_eq!(sharded.delivered, threaded.delivered, "{tag}");
+            }
         }
     }
 

@@ -11,14 +11,14 @@
 //! service slot per output and records [`OutputRecord`]s.
 
 use nova_core::Side;
-use nova_runtime::{pick_partition, Dataflow, OutputRecord, Tuple, WindowBuffers};
+use nova_runtime::{pick_partition, subkey_of, Dataflow, OutputRecord, Tuple, WindowBuffers};
 use nova_topology::{NodeId, Topology};
 use rand::prelude::*;
 use std::time::Instant;
 
 use crate::channel::{InFlight, JoinMsg, Receiver, Sender, SinkMsg};
 use crate::metrics::{Counters, NodePacer};
-use crate::sharded::shard_of;
+use crate::sharded::{key_bucket_of, shard_of};
 use crate::ExecConfig;
 
 /// Wall-to-virtual time mapping shared by every worker.
@@ -248,8 +248,10 @@ pub(crate) fn compile(
 ///
 /// `txs` holds `shards` consecutive channels per join instance (flat
 /// index `instance × shards + shard`); each tuple is routed to the
-/// shard owning its `(window, pair)` slice so shards share no window
-/// state. `shards = 1` is the classic one-channel-per-instance layout.
+/// shard owning its `(window, pair, key bucket)` slice so shards share
+/// no window state — with `key_buckets > 1` even one pair's single
+/// window splits by join sub-key. `shards = 1` is the classic
+/// one-channel-per-instance layout.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_source(
     src: CompiledSource,
@@ -306,14 +308,19 @@ pub(crate) fn run_source(
             continue;
         };
         let window = WindowBuffers::window_of(t, cfg.window_ms);
+        // Same pure sub-key the simulator stamps on this (stream, seq):
+        // both engines key and bucket identically.
+        let subkey = subkey_of(cfg.seed, src.index, seq, cfg.key_space);
+        let bucket = key_bucket_of(subkey, cfg.key_buckets);
         for feed in &src.feeds {
             let partition = pick_partition(&feed.partition_rates, &mut rng);
-            let shard = shard_of(window, feed.pair, shards);
+            let shard = shard_of(window, feed.pair, bucket, shards);
             let tuple = Tuple {
                 pair: feed.pair,
                 side: src.side,
                 partition: partition as u32,
                 key: src.key,
+                subkey,
                 seq,
                 event_time: t,
             };

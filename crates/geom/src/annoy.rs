@@ -2,7 +2,7 @@
 //!
 //! For very large topologies (the paper scales to 10⁶ nodes) an exact
 //! k-d tree query per operator becomes the bottleneck of Phase III, so the
-//! paper switches to the Annoy library [4]. This module reimplements the
+//! paper switches to the Annoy library \[4\]. This module reimplements the
 //! same idea: a forest of trees, each built by recursively splitting the
 //! point set with a random hyperplane through the midpoint of two sampled
 //! points. Queries run a best-first search across all trees, collect at

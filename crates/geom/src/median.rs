@@ -13,7 +13,7 @@
 //!   not stall,
 //! * [`geometric_median_gd`] — plain (sub)gradient descent with a decaying
 //!   step size, matching the paper's description ("we solve iteratively
-//!   using gradient descent [60]").
+//!   using gradient descent \[60\]").
 //!
 //! Both converge to the same optimum; the benchmark suite compares their
 //! speed (`bench/benches/median.rs`). [`minmax_center`] additionally solves

@@ -4,7 +4,7 @@
 //! lengths: each node keeps a coordinate and a confidence-weighted error
 //! estimate, and repeatedly nudges its coordinate towards/away from a
 //! neighbor so the Euclidean distance matches the measured RTT. Nova uses
-//! Vivaldi as "a stochastic solver for the MDS objective over [a]
+//! Vivaldi as "a stochastic solver for the MDS objective over \[a\]
 //! neighborhood-induced sparse distance matrix" (§3.2): each node samples
 //! only `m ≪ |V|` neighbors, avoiding quadratic measurement cost.
 //!

@@ -47,6 +47,14 @@ pub struct SimConfig {
     /// backpressure — real engines bound their buffers; the paper's
     /// overloaded baselines shed rather than queue forever).
     pub max_queue_ms: f64,
+    /// Cardinality of the per-tuple join sub-key space. `1` (the
+    /// default) reproduces the classic workload: every tuple carries
+    /// sub-key 0 and a window's tuples form one cross-product. `> 1`
+    /// draws each tuple's sub-key from `[0, key_space)` via
+    /// [`subkey_of`] and restricts matching to equal sub-keys — the
+    /// keyed equi-join that key-partitioned sharding
+    /// (`nova-exec`'s key buckets) relies on.
+    pub key_space: u32,
 }
 
 impl Default for SimConfig {
@@ -59,6 +67,7 @@ impl Default for SimConfig {
             seed: 0x51,
             max_events: 200_000_000,
             max_queue_ms: 250.0,
+            key_space: 1,
         }
     }
 }
@@ -282,6 +291,7 @@ pub fn simulate(
                     }
                     continue;
                 };
+                let subkey = subkey_of(cfg.seed, source, tuple_seq, cfg.key_space);
                 for feed in &s.feeds {
                     // Weighted partition assignment.
                     let partition = pick_partition(&feed.partition_rates, &mut rng);
@@ -290,6 +300,7 @@ pub fn simulate(
                         side: s.side,
                         partition: partition as u32,
                         key: s.key,
+                        subkey,
                         seq: tuple_seq,
                         event_time: now,
                     };
@@ -367,11 +378,14 @@ pub fn simulate(
             EventKind::InputReady { instance, tuple } => {
                 let inst = &dataflow.instances[instance as usize];
                 let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
-                // Zero-copy probe: partners are visited in place, in
-                // insertion order (same order the old Vec-returning path
-                // produced, so event sequencing is unchanged).
+                // Zero-copy keyed probe: partners are visited in place,
+                // in insertion order, restricted to the tuple's
+                // `(window, subkey)` group — for unkeyed workloads
+                // (key_space 1, subkey 0) this is the classic flat
+                // per-window probe.
                 buffers[instance as usize].insert_and_probe_with(
                     window,
+                    tuple.subkey,
                     tuple.side,
                     BufferedTuple {
                         seq: tuple.seq,
@@ -498,6 +512,34 @@ pub fn pick_partition(rates: &[f64], rng: &mut StdRng) -> usize {
         pick -= r;
     }
     rates.len() - 1
+}
+
+/// Deterministic per-tuple join sub-key in `[0, key_space)`.
+///
+/// Pure function of `(seed, stream, seq)` — a 64-bit finalizer mix over
+/// the emitting stream's index and the tuple's per-stream sequence
+/// number — shared by the simulator and the executor so both engines
+/// stamp the *same* sub-key onto the same tuple. `key_space <= 1`
+/// short-circuits to 0: the unkeyed workload, where every tuple of a
+/// window is a join candidate.
+///
+/// The sub-key is the coordinate keyed sub-pair sharding routes on
+/// (`nova-exec`'s `shard_of(window, pair, bucket)`): because matching
+/// requires *equal* sub-keys and equal sub-keys always map to the same
+/// key bucket, hash-splitting a window's state by sub-key never
+/// separates a matching pair.
+pub fn subkey_of(seed: u64, stream: u32, seq: u64, key_space: u32) -> u32 {
+    if key_space <= 1 {
+        return 0;
+    }
+    let mut x = seed
+        ^ (stream as u64).rotate_left(40)
+        ^ seq.wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ 0xD6E8_FEB8_6659_FD93;
+    x ^= x >> 32;
+    x = x.wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    x ^= x >> 28;
+    (x % key_space as u64) as u32
 }
 
 /// Deterministic selectivity test: a (left seq, right seq) pair matches
@@ -751,6 +793,61 @@ mod tests {
         assert!(
             seen.iter().all(|&s| s),
             "fallback must reach every partition: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn subkey_is_stable_in_range_and_spreads() {
+        for key_space in [2u32, 7, 64] {
+            let mut seen = vec![false; key_space as usize];
+            for stream in 0..3u32 {
+                for seq in 1..500u64 {
+                    let k = subkey_of(0x51, stream, seq, key_space);
+                    assert!(k < key_space);
+                    assert_eq!(k, subkey_of(0x51, stream, seq, key_space));
+                    seen[k as usize] = true;
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "sub-keys must reach every value of [0, {key_space})"
+            );
+        }
+        // key_space 1 is the unkeyed workload: everything is sub-key 0.
+        assert_eq!(subkey_of(0x51, 3, 17, 1), 0);
+        assert_eq!(subkey_of(0x51, 3, 17, 0), 0);
+    }
+
+    #[test]
+    fn keyed_workload_restricts_matching() {
+        // With sub-keys drawn from [0, K), only ~1/K of the window
+        // cross-product matches — the keyed join must deliver strictly
+        // fewer results than the unkeyed run, but still some.
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let base = SimConfig {
+            duration_ms: 5000.0,
+            window_ms: 1000.0,
+            ..Default::default()
+        };
+        let unkeyed = simulate(&t, flat_dist, &df, &base);
+        let keyed = simulate(
+            &t,
+            flat_dist,
+            &df,
+            &SimConfig {
+                key_space: 8,
+                ..base
+            },
+        );
+        assert!(keyed.delivered > 0, "keyed join must still match");
+        assert!(
+            keyed.matched * 4 < unkeyed.matched,
+            "key_space 8 must cut the match volume: keyed {} unkeyed {}",
+            keyed.matched,
+            unkeyed.matched
         );
     }
 

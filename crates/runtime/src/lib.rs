@@ -31,7 +31,9 @@ pub mod tuple;
 pub mod window;
 
 pub use dataflow::{Dataflow, FeedSpec, JoinInstance, Route, SourceTask};
-pub use engine::{match_survives, pick_partition, simulate, OutputRecord, SimConfig, SimResult};
+pub use engine::{
+    match_survives, pick_partition, simulate, subkey_of, OutputRecord, SimConfig, SimResult,
+};
 pub use testbed::{run_placement, with_stress};
 pub use tuple::{OutputTuple, Tuple};
 pub use window::{BufferedTuple, WindowBuffers};

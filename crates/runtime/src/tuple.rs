@@ -15,6 +15,16 @@ pub struct Tuple {
     pub partition: u32,
     /// Join key (e.g. region id).
     pub key: u32,
+    /// Per-tuple join sub-key in `[0, key_space)`, drawn at emission by
+    /// [`crate::subkey_of`] — a pure function of `(seed, stream, seq)`,
+    /// so the simulator and the executor assign identical sub-keys to
+    /// the same tuple. Keyed workloads (`key_space > 1`) only match
+    /// tuples with equal sub-keys; unkeyed workloads carry 0 throughout.
+    ///
+    /// This is the stable coordinate keyed sub-pair sharding routes on:
+    /// co-keyed tuples of a `(window, pair)` always hash to the same
+    /// shard, at any key-bucket count.
+    pub subkey: u32,
     /// Monotonic per-stream sequence number.
     pub seq: u64,
     /// Event time (ms since simulation start) — set at emission.

@@ -2,11 +2,18 @@
 //!
 //! The end-to-end workload joins streams on (region, tumbling window)
 //! (§4.1): region matching is already encoded in the join matrix / pair
-//! structure, so at runtime an instance only needs to match *windows*.
-//! Each instance keeps a symmetric hash join state per window id and
-//! garbage-collects windows once the watermark passes them — exactly the
-//! state/buffer management whose overhead the paper's small-window
-//! configurations stress.
+//! structure, so at runtime an instance only needs to match *windows*
+//! and — for keyed workloads (`key_space > 1`) — the per-tuple sub-key.
+//! Each instance keeps a symmetric hash join state per `(window, key)`
+//! group and garbage-collects whole windows once the watermark passes
+//! them — exactly the state/buffer management whose overhead the
+//! paper's small-window configurations stress.
+//!
+//! The storage is *keyed*: tuples of the same window but different
+//! sub-keys live in disjoint groups, so a probe only ever visits
+//! partners it could actually join with. Unkeyed workloads put every
+//! tuple in key group 0 and behave exactly like the flat per-window
+//! buffers they replaced.
 
 use std::collections::HashMap;
 
@@ -21,10 +28,10 @@ pub struct BufferedTuple {
     pub event_time: f64,
 }
 
-/// Symmetric per-window hash join state of one instance.
+/// Symmetric per-`(window, key)` hash join state of one instance.
 #[derive(Debug, Clone, Default)]
 pub struct WindowBuffers {
-    windows: HashMap<u64, (Vec<BufferedTuple>, Vec<BufferedTuple>)>,
+    groups: HashMap<(u64, u32), (Vec<BufferedTuple>, Vec<BufferedTuple>)>,
 }
 
 impl WindowBuffers {
@@ -39,17 +46,19 @@ impl WindowBuffers {
         (event_time / window_ms).floor().max(0.0) as u64
     }
 
-    /// Insert a tuple on `side` of window `window` and visit every
-    /// opposite-side tuple it can join with (same window), in insertion
-    /// order. Returns the number of partners visited.
+    /// Insert a tuple on `side` of key group `(window, key)` and visit
+    /// every opposite-side tuple it can join with (same window, same
+    /// key), in insertion order. Returns the number of partners visited.
     ///
     /// This is the hot-path probe API: no allocation, no copy of the
     /// opposite buffer — the visitor borrows each partner in place. Both
     /// engines (the simulator's `InputReady` handler and the executor's
-    /// join workers) go through here.
+    /// join workers) go through here. Unkeyed workloads pass `key = 0`
+    /// everywhere, collapsing to the classic flat per-window probe.
     pub fn insert_and_probe_with<F>(
         &mut self,
         window: u64,
+        key: u32,
         side: Side,
         tuple: BufferedTuple,
         mut visit: F,
@@ -57,7 +66,7 @@ impl WindowBuffers {
     where
         F: FnMut(&BufferedTuple),
     {
-        let entry = self.windows.entry(window).or_default();
+        let entry = self.groups.entry((window, key)).or_default();
         let (own, other) = match side {
             Side::Left => (&mut entry.0, &entry.1),
             Side::Right => (&mut entry.1, &entry.0),
@@ -69,8 +78,8 @@ impl WindowBuffers {
         other.len()
     }
 
-    /// Insert a tuple on `side` of window `window` and return the
-    /// opposite-side tuples it can join with (same window).
+    /// Insert a tuple on `side` of key group `(window, key)` and return
+    /// the opposite-side tuples it can join with.
     ///
     /// Convenience wrapper over [`Self::insert_and_probe_with`] that
     /// materializes the partner set. It allocates a `Vec` per probe, so
@@ -79,21 +88,22 @@ impl WindowBuffers {
     pub fn insert_and_probe(
         &mut self,
         window: u64,
+        key: u32,
         side: Side,
         tuple: BufferedTuple,
     ) -> Vec<BufferedTuple> {
         let mut partners = Vec::new();
-        self.insert_and_probe_with(window, side, tuple, |p| partners.push(*p));
+        self.insert_and_probe_with(window, key, side, tuple, |p| partners.push(*p));
         partners
     }
 
     /// Drop every window that ends strictly before `watermark_ms`
-    /// (tumbling windows of `window_ms`). Returns the number of evicted
-    /// tuples.
+    /// (tumbling windows of `window_ms`), across all key groups.
+    /// Returns the number of evicted tuples.
     pub fn gc(&mut self, watermark_ms: f64, window_ms: f64) -> usize {
         let keep_from = Self::window_of(watermark_ms, window_ms);
         let mut evicted = 0;
-        self.windows.retain(|w, bufs| {
+        self.groups.retain(|(w, _), bufs| {
             // Window w covers [w·len, (w+1)·len); it is complete once the
             // watermark reaches its end.
             if *w < keep_from {
@@ -106,14 +116,18 @@ impl WindowBuffers {
         evicted
     }
 
-    /// Number of currently buffered tuples (both sides, all windows).
+    /// Number of currently buffered tuples (both sides, all windows and
+    /// key groups).
     pub fn buffered(&self) -> usize {
-        self.windows.values().map(|(l, r)| l.len() + r.len()).sum()
+        self.groups.values().map(|(l, r)| l.len() + r.len()).sum()
     }
 
-    /// Number of live windows.
+    /// Number of live windows (distinct window ids over all key groups).
     pub fn live_windows(&self) -> usize {
-        self.windows.len()
+        let mut seen: Vec<u64> = self.groups.keys().map(|(w, _)| *w).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
     }
 }
 
@@ -139,40 +153,69 @@ mod tests {
     #[test]
     fn same_window_tuples_match() {
         let mut b = WindowBuffers::new();
-        assert!(b.insert_and_probe(0, Side::Left, bt(1, 10.0)).is_empty());
-        let matches = b.insert_and_probe(0, Side::Right, bt(2, 20.0));
+        assert!(b.insert_and_probe(0, 0, Side::Left, bt(1, 10.0)).is_empty());
+        let matches = b.insert_and_probe(0, 0, Side::Right, bt(2, 20.0));
         assert_eq!(matches, vec![bt(1, 10.0)]);
         // A second right tuple matches the same left tuple again.
-        let matches = b.insert_and_probe(0, Side::Right, bt(3, 30.0));
+        let matches = b.insert_and_probe(0, 0, Side::Right, bt(3, 30.0));
         assert_eq!(matches.len(), 1);
         // A second left tuple now matches both right tuples.
-        let matches = b.insert_and_probe(0, Side::Left, bt(4, 40.0));
+        let matches = b.insert_and_probe(0, 0, Side::Left, bt(4, 40.0));
         assert_eq!(matches.len(), 2);
     }
 
     #[test]
     fn different_windows_do_not_match() {
         let mut b = WindowBuffers::new();
-        b.insert_and_probe(0, Side::Left, bt(1, 10.0));
-        let matches = b.insert_and_probe(1, Side::Right, bt(2, 110.0));
+        b.insert_and_probe(0, 0, Side::Left, bt(1, 10.0));
+        let matches = b.insert_and_probe(1, 0, Side::Right, bt(2, 110.0));
         assert!(matches.is_empty());
         assert_eq!(b.live_windows(), 2);
+    }
+
+    #[test]
+    fn different_keys_do_not_match_within_a_window() {
+        let mut b = WindowBuffers::new();
+        b.insert_and_probe(0, 1, Side::Left, bt(1, 10.0));
+        b.insert_and_probe(0, 2, Side::Left, bt(2, 20.0));
+        // A right tuple of key 1 sees only the key-1 left tuple.
+        let matches = b.insert_and_probe(0, 1, Side::Right, bt(3, 30.0));
+        assert_eq!(matches, vec![bt(1, 10.0)]);
+        // Key 3 has no partners at all.
+        assert!(b
+            .insert_and_probe(0, 3, Side::Right, bt(4, 40.0))
+            .is_empty());
+        // Three key groups, one window.
+        assert_eq!(b.live_windows(), 1);
+        assert_eq!(b.buffered(), 4);
+    }
+
+    #[test]
+    fn gc_evicts_every_key_group_of_a_window() {
+        let mut b = WindowBuffers::new();
+        b.insert_and_probe(0, 1, Side::Left, bt(1, 10.0));
+        b.insert_and_probe(0, 2, Side::Right, bt(2, 20.0));
+        b.insert_and_probe(1, 1, Side::Left, bt(3, 110.0));
+        // Watermark past window 0: both its key groups evict together.
+        assert_eq!(b.gc(150.0, 100.0), 2);
+        assert_eq!(b.live_windows(), 1);
+        assert_eq!(b.buffered(), 1);
     }
 
     #[test]
     fn visitor_probe_matches_vec_probe_and_counts() {
         let mut a = WindowBuffers::new();
         let mut b = WindowBuffers::new();
-        for (w, side, t) in [
-            (0, Side::Left, bt(1, 10.0)),
-            (0, Side::Right, bt(2, 20.0)),
-            (0, Side::Right, bt(3, 30.0)),
-            (1, Side::Left, bt(4, 140.0)),
-            (0, Side::Left, bt(5, 40.0)),
+        for (w, k, side, t) in [
+            (0, 0, Side::Left, bt(1, 10.0)),
+            (0, 0, Side::Right, bt(2, 20.0)),
+            (0, 1, Side::Right, bt(3, 30.0)),
+            (1, 0, Side::Left, bt(4, 140.0)),
+            (0, 0, Side::Left, bt(5, 40.0)),
         ] {
-            let want = a.insert_and_probe(w, side, t);
+            let want = a.insert_and_probe(w, k, side, t);
             let mut got = Vec::new();
-            let n = b.insert_and_probe_with(w, side, t, |p| got.push(*p));
+            let n = b.insert_and_probe_with(w, k, side, t, |p| got.push(*p));
             assert_eq!(got, want);
             assert_eq!(n, want.len());
         }
@@ -183,7 +226,7 @@ mod tests {
     fn visitor_probe_visits_nothing_on_one_sided_windows() {
         let mut b = WindowBuffers::new();
         for i in 0..5 {
-            let n = b.insert_and_probe_with(0, Side::Left, bt(i, i as f64), |_| {
+            let n = b.insert_and_probe_with(0, 0, Side::Left, bt(i, i as f64), |_| {
                 panic!("one-sided window must have no partners")
             });
             assert_eq!(n, 0);
@@ -193,9 +236,9 @@ mod tests {
     #[test]
     fn gc_drops_completed_windows_only() {
         let mut b = WindowBuffers::new();
-        b.insert_and_probe(0, Side::Left, bt(1, 10.0));
-        b.insert_and_probe(1, Side::Left, bt(2, 110.0));
-        b.insert_and_probe(2, Side::Right, bt(3, 210.0));
+        b.insert_and_probe(0, 0, Side::Left, bt(1, 10.0));
+        b.insert_and_probe(1, 0, Side::Left, bt(2, 110.0));
+        b.insert_and_probe(2, 0, Side::Right, bt(3, 210.0));
         // Watermark at 150 ms with 100 ms windows: window 0 is complete.
         let evicted = b.gc(150.0, 100.0);
         assert_eq!(evicted, 1);

@@ -1,11 +1,13 @@
-//! Property tests for the `WindowBuffers` probe API.
+//! Property tests for the `WindowBuffers` keyed probe API.
 //!
 //! The zero-copy visitor path (`insert_and_probe_with`) and the
 //! clone-based compatibility path (`insert_and_probe`) must observe the
 //! same partner sets under any interleaving of inserts and garbage
 //! collection — the visitor API replaced the Vec-returning one in both
 //! engines' hot paths, so any divergence here is a correctness bug in
-//! the join itself.
+//! the join itself. The storage is keyed by `(window, sub-key)`: probes
+//! must only ever see same-key partners, and GC must evict a window's
+//! key groups together.
 
 use nova_core::Side;
 use nova_runtime::{BufferedTuple, WindowBuffers};
@@ -16,18 +18,21 @@ const WINDOW_MS: f64 = 100.0;
 /// One scripted operation on a buffer pair.
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    /// Insert on (window, side) — seq/event_time filled from the index.
-    Insert { window: u64, left: bool },
+    /// Insert on (window, key, side) — seq/event_time filled from the
+    /// index.
+    Insert { window: u64, key: u32, left: bool },
     /// Garbage-collect with the given watermark.
     Gc { watermark: f64 },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    // kind 0..4 insert (3:1 insert:gc mix), window 0..6, side by parity.
-    (0u8..4, 0u64..6, 0f64..600.0).prop_map(|(kind, window, wm)| {
+    // kind 0..4 insert (3:1 insert:gc mix), window 0..6, key 0..3, side
+    // by watermark parity.
+    (0u8..4, 0u64..6, 0u32..3, 0f64..600.0).prop_map(|(kind, window, key, wm)| {
         if kind < 3 {
             Op::Insert {
                 window,
+                key,
                 left: wm < 300.0,
             }
         } else {
@@ -50,12 +55,12 @@ proptest! {
         let mut via_clone = WindowBuffers::new();
         for (i, op) in ops.iter().enumerate() {
             match *op {
-                Op::Insert { window, left } => {
+                Op::Insert { window, key, left } => {
                     let side = if left { Side::Left } else { Side::Right };
                     let tuple = BufferedTuple { seq: i as u64, event_time: window as f64 * WINDOW_MS };
-                    let want = via_clone.insert_and_probe(window, side, tuple);
+                    let want = via_clone.insert_and_probe(window, key, side, tuple);
                     let mut got = Vec::new();
-                    let n = via_visitor.insert_and_probe_with(window, side, tuple, |p| got.push(*p));
+                    let n = via_visitor.insert_and_probe_with(window, key, side, tuple, |p| got.push(*p));
                     prop_assert_eq!(&got, &want, "partner mismatch at op {}", i);
                     prop_assert_eq!(n, want.len());
                 }
@@ -71,39 +76,40 @@ proptest! {
     }
 
     /// Partners visited are exactly the live opposite-side tuples of the
-    /// probed window — checked against an independent model that also
-    /// replays GC (a window GC'd mid-script must probe empty afterwards
-    /// until refilled).
+    /// probed `(window, key)` group — checked against an independent
+    /// model that also replays GC (a window GC'd mid-script must probe
+    /// empty afterwards until refilled). Tuples of other keys in the
+    /// same window must never surface.
     #[test]
-    fn visitor_matches_reference_model(ops in ops_strategy(80)) {
+    fn visitor_matches_keyed_reference_model(ops in ops_strategy(80)) {
         let mut buffers = WindowBuffers::new();
-        // Model: per window, the two sides' live tuples.
-        let mut model: std::collections::HashMap<u64, (Vec<BufferedTuple>, Vec<BufferedTuple>)> =
+        // Model: per (window, key), the two sides' live tuples.
+        let mut model: std::collections::HashMap<(u64, u32), (Vec<BufferedTuple>, Vec<BufferedTuple>)> =
             std::collections::HashMap::new();
         for (i, op) in ops.iter().enumerate() {
             match *op {
-                Op::Insert { window, left } => {
+                Op::Insert { window, key, left } => {
                     let side = if left { Side::Left } else { Side::Right };
                     let tuple = BufferedTuple { seq: i as u64, event_time: window as f64 * WINDOW_MS };
                     let mut got = Vec::new();
-                    buffers.insert_and_probe_with(window, side, tuple, |p| got.push(*p));
-                    let entry = model.entry(window).or_default();
+                    buffers.insert_and_probe_with(window, key, side, tuple, |p| got.push(*p));
+                    let entry = model.entry((window, key)).or_default();
                     let (own, other) = if left {
                         (&mut entry.0, &entry.1)
                     } else {
                         (&mut entry.1, &entry.0)
                     };
-                    prop_assert_eq!(&got, other, "window {} partners diverge at op {}", window, i);
+                    prop_assert_eq!(&got, other, "group ({}, {}) partners diverge at op {}", window, key, i);
                     own.push(tuple);
                 }
                 Op::Gc { watermark } => {
                     let keep_from = WindowBuffers::window_of(watermark, WINDOW_MS);
                     let evicted_model: usize = model
                         .iter()
-                        .filter(|(w, _)| **w < keep_from)
+                        .filter(|((w, _), _)| *w < keep_from)
                         .map(|(_, b)| b.0.len() + b.1.len())
                         .sum();
-                    model.retain(|w, _| *w >= keep_from);
+                    model.retain(|(w, _), _| *w >= keep_from);
                     let evicted = buffers.gc(watermark, WINDOW_MS);
                     prop_assert_eq!(evicted, evicted_model);
                 }
@@ -116,11 +122,11 @@ proptest! {
     /// One-sided streams never produce partners, through either API,
     /// regardless of GC interleaving.
     #[test]
-    fn one_sided_windows_never_match(windows in proptest::collection::vec(0u64..4, 0..40)) {
+    fn one_sided_windows_never_match(windows in proptest::collection::vec((0u64..4, 0u32..3), 0..40)) {
         let mut b = WindowBuffers::new();
-        for (i, w) in windows.iter().enumerate() {
+        for (i, (w, k)) in windows.iter().enumerate() {
             let tuple = BufferedTuple { seq: i as u64, event_time: *w as f64 * WINDOW_MS };
-            let n = b.insert_and_probe_with(*w, Side::Left, tuple, |_| {
+            let n = b.insert_and_probe_with(*w, *k, Side::Left, tuple, |_| {
                 panic!("one-sided window produced a partner")
             });
             prop_assert_eq!(n, 0);
@@ -128,6 +134,24 @@ proptest! {
                 b.gc((i as f64) * 20.0, WINDOW_MS);
             }
         }
+    }
+
+    /// Key isolation: two-sided traffic on every key of a window, probed
+    /// with a key no other tuple carries, visits nothing — the keyed
+    /// storage can never leak cross-key partners.
+    #[test]
+    fn foreign_keys_probe_empty(keys in proptest::collection::vec(0u32..4, 1..40)) {
+        let mut b = WindowBuffers::new();
+        for (i, k) in keys.iter().enumerate() {
+            let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+            let tuple = BufferedTuple { seq: i as u64, event_time: 10.0 };
+            b.insert_and_probe_with(0, *k, side, tuple, |_| {});
+        }
+        let probe = BufferedTuple { seq: 1_000_000, event_time: 20.0 };
+        let n = b.insert_and_probe_with(0, u32::MAX, Side::Right, probe, |_| {
+            panic!("foreign key must have no partners")
+        });
+        prop_assert_eq!(n, 0);
     }
 }
 
@@ -141,18 +165,18 @@ fn gc_between_probes_resets_the_window() {
         seq,
         event_time: et,
     };
-    b.insert_and_probe(0, Side::Left, bt(1, 10.0));
-    b.insert_and_probe(0, Side::Left, bt(2, 20.0));
-    assert_eq!(b.insert_and_probe(0, Side::Right, bt(3, 30.0)).len(), 2);
+    b.insert_and_probe(0, 0, Side::Left, bt(1, 10.0));
+    b.insert_and_probe(0, 0, Side::Left, bt(2, 20.0));
+    assert_eq!(b.insert_and_probe(0, 0, Side::Right, bt(3, 30.0)).len(), 2);
     // Watermark passes window 0: all three tuples evicted.
     assert_eq!(b.gc(150.0, 100.0), 3);
     // A late probe of the dead window sees nothing…
-    let n = b.insert_and_probe_with(0, Side::Right, bt(4, 40.0), |_| {
+    let n = b.insert_and_probe_with(0, 0, Side::Right, bt(4, 40.0), |_| {
         panic!("GC'd window must probe empty")
     });
     assert_eq!(n, 0);
     // …and the window state rebuilds cleanly from there.
-    assert_eq!(b.insert_and_probe(0, Side::Left, bt(5, 50.0)).len(), 1);
+    assert_eq!(b.insert_and_probe(0, 0, Side::Left, bt(5, 50.0)).len(), 1);
     assert_eq!(b.live_windows(), 1);
 }
 
@@ -162,6 +186,7 @@ fn empty_buffer_probe_visits_nothing() {
     let mut b = WindowBuffers::new();
     let n = b.insert_and_probe_with(
         7,
+        0,
         Side::Right,
         BufferedTuple {
             seq: 1,

@@ -2,7 +2,7 @@
 //!
 //! The WSN-derived baselines route data over tree overlays: the *Tree*
 //! baseline builds an MST over the whole topology and joins streams at
-//! path intersections [49], while *Cl-Tree-SF* builds an MST over cluster
+//! path intersections \[49\], while *Cl-Tree-SF* builds an MST over cluster
 //! heads. Prim's algorithm in its O(n²) dense form is used because the
 //! latency graph is complete (every node can reach every other); this is
 //! also why these baselines blow past the paper's 10-minute timeout for

@@ -36,7 +36,7 @@ pub struct SyntheticParams {
     /// approximately constant across heterogeneity levels).
     pub capacity_mean: f64,
     /// Milliseconds of latency per unit of Euclidean distance in the
-    /// [0,100]×[−50,50] plane.
+    /// \[0,100\]×\[−50,50\] plane.
     pub ms_per_unit: f64,
     /// Per-node access latency range in milliseconds.
     pub access_ms: (f64, f64),

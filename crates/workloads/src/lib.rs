@@ -7,7 +7,7 @@
 //!   scenario (pressure ⋈ humidity by region at 1 kHz on a simulated
 //!   Raspberry-Pi cluster) used by the end-to-end experiments (§4.7) and
 //!   the running example,
-//! * [`synthetic_opp`] — the simulation workload of §4.1: 60 % sources /
+//! * [`synthetic_opp`](mod@synthetic_opp) — the simulation workload of §4.1: 60 % sources /
 //!   40 % workers over any topology, capacity-heterogeneity sweeps, and a
 //!   join matrix with exactly one entry per row,
 //! * [`smart_city`] — the introduction's traffic ⋈ weather scenario with

@@ -144,3 +144,31 @@ fn executor_is_count_identical_across_runs() {
     };
     assert_eq!(histogram(&a), histogram(&b));
 }
+
+#[test]
+fn keyed_sharded_executor_is_count_identical_across_runs() {
+    // The keyed path adds two pure functions to the hot path — the
+    // per-tuple sub-key and its routing bucket — so a keyed sharded run
+    // must stay count-deterministic exactly like the unkeyed one.
+    let (t, df, _) = partitioned_world();
+    let cfg = ExecConfig {
+        duration_ms: 3000.0,
+        window_ms: 200.0,
+        selectivity: 0.7,
+        time_scale: 8.0,
+        shards: 4,
+        key_space: 8,
+        key_buckets: 8,
+        // Drop-free by construction — see above.
+        max_queue_ms: f64::INFINITY,
+        ..ExecConfig::default()
+    };
+    let a = execute(&t, flat_dist, &df, &cfg);
+    let b = execute(&t, flat_dist, &df, &cfg);
+    assert!(a.delivered > 0, "keyed run must deliver: {a:?}");
+    assert_eq!(a.dropped, 0, "scenario must stay uncongested: {a:?}");
+    assert_eq!(b.dropped, 0);
+    assert_eq!(a.emitted, b.emitted, "emission schedule is seeded");
+    assert_eq!(a.matched, b.matched, "keyed match decisions are seeded");
+    assert_eq!(a.delivered, b.delivered, "delivery counts are seeded");
+}

@@ -326,6 +326,86 @@ fn sharded_backend_match_counts_identical_to_sim_and_threaded() {
     }
 }
 
+/// Keyed workloads under pair skew: the acceptance bar for
+/// `(window, pair, key bucket)` routing. A hot pair (5× the cold
+/// pair's rate) with windows spanning many emission intervals and
+/// sub-keys drawn from [0, 8) — the regime keyed sub-pair sharding
+/// exists for — must keep `matched` / `delivered` *identical* across
+/// the simulator relationship, the threaded baseline and the sharded
+/// backend at every (shards × key-buckets) combination.
+#[test]
+fn keyed_skewed_counts_identical_at_every_bucket_count() {
+    // Rates divide 1000 exactly (20 ms / 100 ms intervals) so both
+    // engines produce identical float event-time sequences; pair 0
+    // carries 5× the traffic of pair 1.
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+    let hot_l = t.add_node(NodeRole::Source, 1000.0, "hot_l");
+    let hot_r = t.add_node(NodeRole::Source, 1000.0, "hot_r");
+    let cold_l = t.add_node(NodeRole::Source, 1000.0, "cold_l");
+    let cold_r = t.add_node(NodeRole::Source, 1000.0, "cold_r");
+    let q = JoinQuery::by_key(
+        vec![
+            StreamSpec::keyed(hot_l, 50.0, 0),
+            StreamSpec::keyed(cold_l, 10.0, 1),
+        ],
+        vec![
+            StreamSpec::keyed(hot_r, 50.0, 0),
+            StreamSpec::keyed(cold_r, 10.0, 1),
+        ],
+        sink,
+    );
+    let p = sink_based(&q, &q.resolve());
+    let df = Dataflow::from_baseline(&q, &p);
+    let sim_cfg = SimConfig {
+        duration_ms: 2000.0,
+        // Windows span ~10 hot-pair emission intervals, so the hot
+        // pair's window state is where the matches (and the skew) live.
+        window_ms: 200.0,
+        selectivity: 0.8,
+        key_space: 8,
+        // Structurally drop-free so the exact-count asserts hold under
+        // any OS schedule (see delivered_counts_agree_within_tolerance).
+        max_queue_ms: f64::INFINITY,
+        ..SimConfig::default()
+    };
+    let sim = simulate(&t, dist, &df, &sim_cfg);
+    assert!(sim.delivered > 0, "keyed skewed workload must match");
+    let threaded = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    assert_eq!(threaded.dropped, 0);
+    // Engine-vs-sim relationship (same as the unkeyed tests): never
+    // fewer matches than the simulator, tail-bounded extras.
+    assert!(
+        threaded.matched >= sim.matched,
+        "threaded lost keyed matches: {} vs sim {}",
+        threaded.matched,
+        sim.matched
+    );
+    let extra = (threaded.matched - sim.matched) as f64;
+    assert!(extra <= (sim.matched as f64 * 0.10).max(8.0));
+    for shards in [2usize, 4] {
+        for key_buckets in [1usize, 2, 8, 32] {
+            let cfg = ExecConfig {
+                shards,
+                key_buckets,
+                ..ExecConfig::from_sim(&sim_cfg, 8.0)
+            };
+            let mut d = dist;
+            let sharded = ShardedBackend.run(&t, &mut d, &df, &cfg);
+            let tag = format!("shards={shards} buckets={key_buckets}");
+            assert_eq!(sharded.dropped, 0, "{tag}: must stay drop-free");
+            assert_eq!(
+                sharded.matched, threaded.matched,
+                "{tag}: changed the keyed match set vs threaded"
+            );
+            assert_eq!(
+                sharded.delivered, threaded.delivered,
+                "{tag}: changed the keyed delivery count vs threaded"
+            );
+        }
+    }
+}
+
 #[test]
 fn matched_sets_are_identical_with_shared_selectivity() {
     // With the shared deterministic selectivity hash, the two engines

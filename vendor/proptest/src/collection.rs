@@ -9,7 +9,7 @@ pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrateg
     VecStrategy { element, size }
 }
 
-/// Output of [`vec`].
+/// Output of [`vec`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: core::ops::Range<usize>,
