@@ -17,7 +17,11 @@
 //! case (one pair, one giant window, 128 sub-keys — the workload where
 //! `(window, pair)` routing serializes on one shard and only key-bucket
 //! routing scales) and **Zipfian pair weights** (4 pairs, head pair
-//! ~54 % of traffic).
+//! ~54 % of traffic). An **async event-loop** sweep closes the file:
+//! the same uniform workload at shard counts up to 32, multiplexed
+//! onto core-count worker threads — the regime where
+//! one-thread-per-shard pays context switches and the M:N backend
+//! does not.
 //!
 //! Run with: `cargo bench -p nova-bench --bench exec_throughput`
 
@@ -25,7 +29,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nova_bench::{
     hot_pair_cfg, throughput_cfg, throughput_world, throughput_world_rates, zipf_pair_rates,
 };
-use nova_exec::{Backend, ExecConfig, ShardedBackend, ThreadedBackend};
+use nova_exec::{AsyncBackend, Backend, BackendKind, ExecConfig, ShardedBackend, ThreadedBackend};
 use nova_runtime::{simulate, SimConfig};
 use nova_topology::NodeId;
 
@@ -231,6 +235,47 @@ fn bench_exec_throughput(c: &mut Criterion) {
             "keyed sharding changed the zipf match set at \
              {shards} shards / {buckets} buckets"
         );
+    }
+
+    // Async event loop on the uniform workload: S shard tasks on
+    // W = cores worker threads, swept past the core count. Counts stay
+    // pinned to the threaded probe at every (W, S).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let w = cores.clamp(1, 8);
+    for shards in [1usize, 4, 16, 32] {
+        let cfg = ExecConfig {
+            backend: BackendKind::Async,
+            workers: w,
+            shards,
+            ..base
+        };
+        let res = run(&AsyncBackend, &t, &df, &cfg);
+        println!(
+            "exec_throughput[async W={w}, {shards:>2} task(s)]: {} tuples + {} matches \
+             in {:>5.0} ms wall -> {:>9.0} tuples/s through {} threads",
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+            res.threads,
+        );
+        assert_eq!(
+            res.matched, probe.matched,
+            "the event loop changed the match set at W={w}, S={shards}"
+        );
+    }
+    for shards in [4usize, 32] {
+        let cfg = ExecConfig {
+            backend: BackendKind::Async,
+            workers: w,
+            shards,
+            ..base
+        };
+        group.bench_function(format!("async_w{w}_s{shards}_keyed_join_1.2M"), |b| {
+            b.iter(|| run(&AsyncBackend, &t, &df, std::hint::black_box(&cfg)))
+        });
     }
 
     // The simulator on the identical dataflow, scaled to a tenth of the

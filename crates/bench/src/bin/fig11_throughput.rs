@@ -14,19 +14,27 @@
 //!
 //! Run with `--full` for the paper's 120 s duration (default 30 s).
 //! Run with `--real` to additionally re-run every placement on the
-//! `nova-exec` executor (`--shards N` selects the sharded backend;
-//! `--key-space N` + `--key-buckets N` switch both engines to a keyed
-//! workload with keyed sub-pair shard routing) and emit side-by-side
-//! simulator/executor columns.
+//! `nova-exec` executor and emit side-by-side simulator/executor
+//! columns; `--help` lists the executor knobs (backend selection,
+//! shards, workers, key space/buckets — parsed by
+//! [`nova_bench::real_exec_cfg`], documented by
+//! [`nova_bench::REAL_FLAGS_USAGE`]).
 
 use nova_bench::{
     default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, with_key_space, write_csv,
-    Table,
+    Table, REAL_FLAGS_USAGE,
 };
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "fig11_throughput: end-to-end throughput, DEBS workload\n\nOptions:\n  \
+             --full                the paper's 120 s horizon (default 30 s)\n{REAL_FLAGS_USAGE}"
+        );
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let duration_ms = if full { 120_000.0 } else { 30_000.0 };
     let seed = 11;
@@ -42,7 +50,7 @@ fn main() {
         duration_ms / 1000.0,
         real_cfg
             .as_ref()
-            .map(|cfg| format!(", + executor at {} shard(s)", cfg.shards))
+            .map(|cfg| format!(", + executor: {}", nova_bench::exec_label(cfg)))
             .unwrap_or_default()
     );
     let scenario = environmental_scenario(&EnvironmentalParams::default());

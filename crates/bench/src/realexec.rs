@@ -8,35 +8,73 @@
 //! numbers next to model numbers.
 
 use nova_core::{JoinQuery, Placement};
-use nova_exec::{backend_for, Backend, ExecConfig, ExecResult};
+use nova_exec::{backend_for, Backend, BackendKind, ExecConfig, ExecResult};
 use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{LatencyProvider, Topology};
 
-/// Parse the figure binaries' shared `--real` / `--shards N` /
-/// `--key-space N` / `--key-buckets N` flags and build the executor
-/// config for the `--real` re-runs: the simulator settings dilated by
-/// `time_scale`, at the requested shard and key-bucket counts (each
-/// defaulting to 1; a malformed count falls back to the default).
-/// The sub-key cardinality is inherited from the `SimConfig` (patched
-/// by [`with_key_space`] so *both* engines' columns agree on the
-/// workload) — with `key_space = 1` every tuple carries sub-key 0 and
-/// `--key-buckets` alone only permutes the `(window, pair)` shard
-/// layout; pass `--key-space N` too to exercise keyed sub-pair
-/// sharding. Returns `None` when `--real` is absent.
+/// Usage text for the executor flags shared by every `--real`-capable
+/// fig binary — printed by their `--help`, kept here (next to
+/// [`real_exec_cfg`], the one parser) so the help can never drift from
+/// what is actually parsed.
+pub const REAL_FLAGS_USAGE: &str = "  \
+--real                re-run every placement on the nova-exec executor
+                        (side-by-side simulator/executor columns)
+  --backend KIND        executor engine: threaded | sharded | async
+                        (default auto: sharded when --shards > 1, else
+                        threaded; async = M:N event loop, S shard tasks
+                        on W worker threads)
+  --shards N            join shards per deployed instance (default 1)
+  --workers N           worker threads of the async event loop
+                        (default 0 = one per core; ignored by the
+                        thread-per-shard backends)
+  --key-space N         per-tuple join sub-key cardinality — a workload
+                        property, applied to BOTH engines (default 1)
+  --key-buckets N       key buckets for shard routing (default 1 =
+                        (window, pair) routing; >1 splits hot windows
+                        by sub-key across shards)";
+
+/// Parse the figure binaries' shared `--real` / `--backend KIND` /
+/// `--shards N` / `--workers N` / `--key-space N` / `--key-buckets N`
+/// flags and build the executor config for the `--real` re-runs: the
+/// simulator settings dilated by `time_scale`, at the requested
+/// backend, shard, worker and key-bucket counts (counts default to 1,
+/// workers to 0 = auto, backend to `auto`; a malformed *count* falls
+/// back to its default, but an unknown `--backend` value exits with an
+/// error — silently benchmarking a different engine than the one the
+/// user typed would be worse than stopping). The sub-key cardinality
+/// is inherited from the
+/// `SimConfig` (patched by [`with_key_space`] so *both* engines'
+/// columns agree on the workload) — with `key_space = 1` every tuple
+/// carries sub-key 0 and `--key-buckets` alone only permutes the
+/// `(window, pair)` shard layout; pass `--key-space N` too to exercise
+/// keyed sub-pair sharding. Returns `None` when `--real` is absent.
+/// [`REAL_FLAGS_USAGE`] documents exactly these flags.
 pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Option<ExecConfig> {
     if !args.iter().any(|a| a == "--real") {
         return None;
     }
-    let flag = |name: &str| {
+    let value_of = |name: &str| {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
+    };
+    let count = |name: &str, default: usize| {
+        value_of(name)
             .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1)
+            .unwrap_or(default)
+    };
+    let backend = match value_of("--backend") {
+        None => BackendKind::Auto,
+        Some(v) => BackendKind::parse(v).unwrap_or_else(|| {
+            eprintln!("unknown --backend {v:?}: expected threaded | sharded | async (or auto)");
+            std::process::exit(2)
+        }),
     };
     Some(ExecConfig {
-        shards: flag("--shards"),
-        key_buckets: flag("--key-buckets"),
+        backend,
+        shards: count("--shards", 1),
+        workers: count("--workers", 0),
+        key_buckets: count("--key-buckets", 1),
         ..ExecConfig::from_sim(sim, time_scale)
     })
 }
@@ -56,6 +94,32 @@ pub fn with_key_space(args: &[String], sim: SimConfig) -> SimConfig {
         .and_then(|v| v.parse::<u32>().ok())
         .unwrap_or(sim.key_space);
     SimConfig { key_space, ..sim }
+}
+
+/// Human-readable description of the engine a config selects, for the
+/// fig binaries' headers — e.g. `threaded`, `sharded, 4 shard(s)`, or
+/// `async, 32 shard task(s)/instance, workers auto`. The async worker
+/// count is reported as requested (`auto` = one per core), not as
+/// resolved: the effective count is additionally capped at the task
+/// count, which depends on each placement's instance count and is not
+/// known here.
+pub fn exec_label(cfg: &ExecConfig) -> String {
+    match backend_for(cfg).name() {
+        "threaded" => "threaded".to_string(),
+        "sharded" => format!("sharded, {} shard(s)", cfg.shards.max(1)),
+        "async" => {
+            let workers = if cfg.workers == 0 {
+                "auto (one per core)".to_string()
+            } else {
+                format!("≤ {}", cfg.workers)
+            };
+            format!(
+                "async, {} shard task(s)/instance, workers {workers}",
+                cfg.shards.max(1)
+            )
+        }
+        other => other.to_string(),
+    }
 }
 
 /// Deploy `placement` for `query` and execute it on the backend the
@@ -160,6 +224,7 @@ pub fn throughput_cfg(
         shards,
         key_space: 1,
         key_buckets: 1,
+        ..ExecConfig::default()
     }
 }
 

@@ -1,0 +1,580 @@
+//! M:N cooperative event-loop backend: S shard tasks on W threads.
+//!
+//! [`AsyncBackend`] runs the same hash-partitioned shard layout as
+//! [`crate::ShardedBackend`] — `shards` slices of `(window, pair, key
+//! bucket)` state per deployed join instance, routed by
+//! [`crate::shard_of`] — but each shard is a *cooperative task*
+//! (`JoinTask`) instead of an OS thread. A homemade scheduler
+//! ([`crate::sched::Scheduler`]; no external async runtime — the build
+//! is offline) multiplexes the S = instances × shards tasks onto
+//! [`ExecConfig::workers`] worker threads, so the thread count tracks
+//! the *cores*, not the shard count: with one-thread-per-shard, shard
+//! counts beyond the core count buy only context-switch overhead and
+//! per-thread stacks; here shards beyond the core count are just more
+//! (cheap) tasks, which is exactly the regime a resource-constrained
+//! node oversubscribed with join parallelism lives in.
+//!
+//! Sources and the sink stay OS threads — they pace against the wall
+//! clock and block legitimately — and talk to the tasks over
+//! [`crate::channel::poll_bounded`] links: the task-side endpoints
+//! never park (a would-block registers the task's waker and returns),
+//! while the OS-thread side keeps real blocking backpressure. Each
+//! task's poll consumes at most [`ExecConfig::run_budget`] tuples
+//! before yielding back to the FIFO ready queue, bounding the latency
+//! skew between co-scheduled shards.
+//!
+//! ## Why count identity survives cooperative scheduling
+//!
+//! The scheduler changes *when* a shard's tuples are processed, never
+//! *which* tuples it sees or *in what order*: routing happens at the
+//! source by the same pure `shard_of` hash, each poll drains the
+//! shard's FIFO channel in arrival order, and a yield or park resumes
+//! exactly where the cursor stopped — mid-batch, even mid-window. All
+//! match decisions ([`nova_runtime::match_survives`]), window
+//! assignment and sub-keys are pure functions of the config seed and
+//! event times, and the watermark argument is per-shard FIFO order
+//! (see `crate::join::JoinCore`), so delaying a task only delays its
+//! GC — never changes it. Hence on drop-free runs
+//! `emitted`/`matched`/`delivered` are *identical* to
+//! [`crate::ThreadedBackend`], [`crate::ShardedBackend`] and the
+//! simulator at every (workers × shards × key-buckets) combination.
+
+use nova_runtime::Dataflow;
+use nova_topology::{NodeId, Topology};
+
+use crate::channel::{
+    poll_bounded, JoinMsg, OutFlight, PollReceiver, PollRecv, PollSend, PollSender, SinkMsg,
+};
+use crate::join::JoinCore;
+use crate::metrics::{Counters, ExecResult, NodePacer};
+use crate::sched::{Poll, Scheduler, Waker};
+use crate::worker::{self, VirtualClock};
+use crate::{Backend, ExecConfig};
+
+/// Event-loop backend: `shards` cooperative join tasks per deployed
+/// instance, multiplexed onto [`ExecConfig::workers`] threads. Reads
+/// the shard/worker counts and the per-poll run budget from the config.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncBackend;
+
+impl Backend for AsyncBackend {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn run(
+        &self,
+        topology: &Topology,
+        dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+        dataflow: &Dataflow,
+        cfg: &ExecConfig,
+    ) -> ExecResult {
+        run_async(topology, dist, dataflow, cfg)
+    }
+}
+
+/// Resolve [`ExecConfig::workers`] for `tasks` shard tasks: 0 = one
+/// worker per core (capped at the task count — extra workers would
+/// only park); explicit values are taken as given, still capped at the
+/// task count.
+pub fn effective_workers(cfg_workers: usize, tasks: usize) -> usize {
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = if cfg_workers == 0 { auto } else { cfg_workers };
+    requested.clamp(1, tasks.max(1))
+}
+
+/// Resumable cursor into one input batch: poll can pause between any
+/// two tuples (budget exhausted / sink full) and pick up at `pos`.
+struct BatchCursor {
+    source: u32,
+    tuples: Vec<crate::channel::InFlight>,
+    pos: usize,
+    /// Event-time maximum over the processed prefix, handed to
+    /// [`JoinCore::end_batch`] when the batch completes (survives
+    /// pauses, so the frontier bookkeeping stays once-per-batch).
+    frontier: f64,
+}
+
+/// One shard of one join instance as a cooperative task — the same
+/// [`JoinCore`] the thread-per-shard backends drive, wrapped in the
+/// resumable state a poll-based loop needs.
+struct JoinTask {
+    core: JoinCore,
+    /// `None` once the task retired (or its worker panicked): dropping
+    /// the endpoint eagerly lets blocked sources observe the hang-up
+    /// instead of parking on a channel nobody will ever drain.
+    rx: Option<PollReceiver<JoinMsg>>,
+    /// `None` once retired/dead — the sink terminates either on the
+    /// full Eof quorum or on all senders hanging up, so a task that
+    /// dies without its Eof still cannot hang the run.
+    sink_tx: Option<PollSender<SinkMsg>>,
+    waker: Waker,
+    out_batch: Vec<OutFlight>,
+    /// A sink batch that found the sink channel full; retried first on
+    /// the next poll (output order to the sink stays per-task FIFO).
+    pending: Option<SinkMsg>,
+    cur: Option<BatchCursor>,
+    /// All producers have signalled Eof; drain outputs, then Eof.
+    finishing: bool,
+}
+
+impl JoinTask {
+    /// Run this shard until it blocks, exhausts its budget or finishes.
+    fn poll(&mut self, cfg: &ExecConfig, pacers: &[NodePacer], counters: &Counters) -> Poll {
+        let mut budget = cfg.run_budget.max(1);
+        'steps: loop {
+            // 1. A stashed sink message goes out before anything else.
+            if let Some(msg) = self.pending.take() {
+                let send = self.sink().try_send(msg, &self.waker);
+                match send {
+                    PollSend::Sent => {}
+                    PollSend::Full(msg) => {
+                        self.pending = Some(msg);
+                        return Poll::Pending;
+                    }
+                    // Sink hung up: the run is being torn down; retire.
+                    PollSend::Closed(_) => return self.retire(counters),
+                }
+            }
+
+            // 2. Resume the input batch in progress.
+            if let Some(mut cur) = self.cur.take() {
+                while cur.pos < cur.tuples.len() {
+                    if self.out_batch.len() >= cfg.batch_size {
+                        self.cur = Some(cur);
+                        self.stash_out_batch();
+                        continue 'steps;
+                    }
+                    if budget == 0 {
+                        self.cur = Some(cur);
+                        return Poll::Yielded;
+                    }
+                    let inflight = cur.tuples[cur.pos];
+                    cur.pos += 1;
+                    budget -= 1;
+                    cur.frontier = cur.frontier.max(inflight.tuple.event_time);
+                    self.core
+                        .on_tuple(&inflight, cfg, pacers, counters, &mut self.out_batch);
+                }
+                self.core.end_batch(cur.source, cur.frontier, cfg);
+                if !self.out_batch.is_empty() {
+                    self.stash_out_batch();
+                }
+                continue;
+            }
+
+            // 3. Winding down: everything is flushed; Eof is last.
+            if self.finishing {
+                debug_assert!(self.out_batch.is_empty() && self.pending.is_none());
+                let send = self.sink().try_send(
+                    SinkMsg::Eof {
+                        instance: self.core.inst.index,
+                    },
+                    &self.waker,
+                );
+                return match send {
+                    PollSend::Sent | PollSend::Closed(_) => self.retire(counters),
+                    PollSend::Full(_) => Poll::Pending,
+                };
+            }
+
+            // 4. Next input message.
+            if budget == 0 {
+                return Poll::Yielded;
+            }
+            budget -= 1;
+            let recv = self
+                .rx
+                .as_ref()
+                .expect("retired task polled")
+                .try_recv(&self.waker);
+            match recv {
+                PollRecv::Item(JoinMsg::Batch { source, tuples }) => {
+                    self.cur = Some(BatchCursor {
+                        source,
+                        tuples,
+                        pos: 0,
+                        frontier: 0.0,
+                    });
+                }
+                PollRecv::Item(JoinMsg::Eof { source }) => {
+                    if self.core.on_eof(source) {
+                        self.begin_finishing();
+                    }
+                }
+                PollRecv::Empty => return Poll::Pending,
+                // Every source hung up without Eof (aborted run): wind
+                // down with what we have.
+                PollRecv::Closed => self.begin_finishing(),
+            }
+        }
+    }
+
+    fn begin_finishing(&mut self) {
+        self.finishing = true;
+        if !self.out_batch.is_empty() {
+            self.stash_out_batch();
+        }
+    }
+
+    /// Move the accumulated outputs into the pending slot (step 1
+    /// flushes it on the next trip around the loop).
+    fn stash_out_batch(&mut self) {
+        debug_assert!(self.pending.is_none());
+        self.pending = Some(SinkMsg::Batch {
+            instance: self.core.inst.index,
+            outputs: std::mem::take(&mut self.out_batch),
+        });
+    }
+
+    fn sink(&self) -> &PollSender<SinkMsg> {
+        self.sink_tx.as_ref().expect("retired task polled")
+    }
+
+    /// Publish this shard's match count exactly once, drop both channel
+    /// endpoints (sources blocked on a full input channel observe the
+    /// hang-up; the sink's sender count drops) and finish.
+    fn retire(&mut self, counters: &Counters) -> Poll {
+        Counters::bump(&counters.matched, std::mem::take(&mut self.core.matched));
+        self.rx = None;
+        self.sink_tx = None;
+        Poll::Done
+    }
+
+    /// Teardown for a task whose poll panicked: same endpoint drops as
+    /// [`JoinTask::retire`], minus the counter publication (the state
+    /// is suspect). Called by the worker with the poisoned lock
+    /// recovered — the sink then terminates by sender hang-up instead
+    /// of waiting forever on this task's Eof.
+    fn abandon(&mut self) {
+        self.rx = None;
+        self.sink_tx = None;
+    }
+}
+
+/// The async bootstrap: compile the dataflow, wire poll channels, park
+/// S tasks behind the scheduler and let W workers drain them while the
+/// source/sink OS threads stream against the virtual clock.
+pub(crate) fn run_async(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> ExecResult {
+    let plan = worker::compile(topology, dist, dataflow);
+    let pacers: Vec<NodePacer> = topology
+        .nodes()
+        .iter()
+        .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
+        .collect();
+    let counters = Counters::default();
+    let shards = cfg.shards.max(1);
+    let n_instances = plan.instances.len();
+    let n_tasks = n_instances * shards;
+    let workers = effective_workers(cfg.workers, n_tasks);
+    let threads = plan.sources.len() + workers + 1;
+
+    // Channels: one poll link per shard task (flat index
+    // `instance × shards + shard`, same layout as the sharded backend),
+    // one into the sink.
+    let scheduler = Scheduler::new(n_tasks);
+    let (sink_tx, sink_rx) = poll_bounded::<SinkMsg>(cfg.channel_capacity);
+    let mut join_txs = Vec::with_capacity(n_tasks);
+    let mut tasks: Vec<std::sync::Mutex<JoinTask>> = Vec::with_capacity(n_tasks);
+    for flat in 0..n_tasks {
+        let (tx, rx) = poll_bounded::<JoinMsg>(cfg.channel_capacity);
+        join_txs.push(tx);
+        tasks.push(std::sync::Mutex::new(JoinTask {
+            core: JoinCore::new(plan.instances[flat / shards].clone()),
+            rx: Some(rx),
+            sink_tx: Some(sink_tx.clone()),
+            waker: scheduler.waker(flat),
+            out_batch: Vec::new(),
+            pending: None,
+            cur: None,
+            // Instances nobody feeds skip straight to the Eof handshake
+            // (the zero-producer quorum is vacuously met).
+            finishing: plan.instances[flat / shards].producers == 0,
+        }));
+    }
+    // Tasks hold clones; drop the original so the sink's sender count
+    // reflects live shards only.
+    drop(sink_tx);
+    let charge_sink: Vec<bool> = plan.instances.iter().map(|i| i.charge_sink).collect();
+    let sink_node = dataflow.sink.idx();
+
+    let clock = VirtualClock::start(cfg.time_scale);
+    let outputs = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (tasks, scheduler, pacers, counters) = (&tasks, &scheduler, &pacers, &counters);
+            scope.spawn(move || {
+                while let Some(id) = scheduler.next() {
+                    // The scheduler hands a Running task to exactly one
+                    // worker, so this lock is uncontended by design.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        tasks[id]
+                            .lock()
+                            .expect("join task poisoned")
+                            .poll(cfg, pacers, counters)
+                    }));
+                    match outcome {
+                        Ok(outcome) => scheduler.complete(id, outcome),
+                        Err(payload) => {
+                            // A panicked poll must not hang the run
+                            // (the thread-per-shard backends unwind via
+                            // channel hang-ups; match that): drop the
+                            // dead task's endpoints so blocked sources
+                            // and the sink observe closure, retire it
+                            // in the scheduler, then re-raise so the
+                            // run fails with the original panic.
+                            let mut task = match tasks[id].lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            task.abandon();
+                            drop(task);
+                            scheduler.complete(id, Poll::Done);
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            });
+        }
+        for src in plan.sources {
+            let (pacers, counters, join_txs) = (&pacers, &counters, &join_txs);
+            scope.spawn(move || {
+                worker::run_source(src, cfg, clock, pacers, counters, join_txs, shards)
+            });
+        }
+        let sink = {
+            let (pacers, counters, charge_sink) = (&pacers, &counters, &charge_sink);
+            scope.spawn(move || {
+                worker::run_sink(sink_rx, sink_node, charge_sink, pacers, counters, n_tasks)
+            })
+        };
+        sink.join().expect("sink worker panicked")
+    });
+
+    use std::sync::atomic::Ordering;
+    let delivered = outputs.len() as u64;
+    ExecResult {
+        outputs,
+        emitted: counters.emitted.load(Ordering::Relaxed),
+        matched: counters.matched.load(Ordering::Relaxed),
+        delivered,
+        node_busy_ms: pacers.iter().map(|p| p.busy_ms()).collect(),
+        dropped: counters.dropped.load(Ordering::Relaxed),
+        wall_ms: clock.wall_ms(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadedBackend;
+    use nova_core::baselines::sink_based;
+    use nova_core::{JoinQuery, StreamSpec};
+    use nova_topology::NodeRole;
+
+    fn world(n_pairs: u32) -> (Topology, Dataflow) {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for k in 0..n_pairs {
+            let l = t.add_node(NodeRole::Source, 1000.0, format!("l{k}"));
+            let r = t.add_node(NodeRole::Source, 1000.0, format!("r{k}"));
+            left.push(StreamSpec::keyed(l, 40.0, k));
+            right.push(StreamSpec::keyed(r, 40.0, k));
+        }
+        let q = JoinQuery::by_key(left, right, sink);
+        let p = sink_based(&q, &q.resolve());
+        let df = Dataflow::from_baseline(&q, &p);
+        (t, df)
+    }
+
+    fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            10.0
+        }
+    }
+
+    /// Uncongested base config: unbounded queues make the runs
+    /// structurally drop-free, so exact-count asserts hold under any OS
+    /// schedule (see the sharded backend's tests for the full
+    /// rationale).
+    fn base_cfg() -> ExecConfig {
+        ExecConfig {
+            duration_ms: 2500.0,
+            window_ms: 100.0,
+            selectivity: 0.6,
+            time_scale: 8.0,
+            max_queue_ms: f64::INFINITY,
+            backend: crate::BackendKind::Async,
+            ..ExecConfig::default()
+        }
+    }
+
+    fn run_threaded(t: &Topology, df: &Dataflow, cfg: &ExecConfig) -> ExecResult {
+        let mut dist = flat_dist;
+        ThreadedBackend.run(t, &mut dist, df, cfg)
+    }
+
+    fn run_async_cfg(t: &Topology, df: &Dataflow, cfg: &ExecConfig) -> ExecResult {
+        let mut dist = flat_dist;
+        AsyncBackend.run(t, &mut dist, df, cfg)
+    }
+
+    #[test]
+    fn single_worker_is_count_identical_to_threaded() {
+        // W = 1: the entire shard matrix time-shares one worker thread
+        // — the purest test that cooperative scheduling changes *when*
+        // work happens, never *what* is computed.
+        let (t, df) = world(2);
+        let base = base_cfg();
+        let threaded = run_threaded(&t, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        assert!(threaded.delivered > 0);
+        for shards in [1usize, 4] {
+            let cfg = ExecConfig {
+                shards,
+                workers: 1,
+                ..base
+            };
+            let res = run_async_cfg(&t, &df, &cfg);
+            assert_eq!(res.dropped, 0, "shards={shards}");
+            assert_eq!(res.emitted, threaded.emitted, "shards={shards}");
+            assert_eq!(res.matched, threaded.matched, "shards={shards}");
+            assert_eq!(res.delivered, threaded.delivered, "shards={shards}");
+            assert_eq!(
+                res.threads,
+                df.sources.len() + 1 + 1,
+                "sources + 1 worker + sink"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_counts_match_threaded_at_every_worker_count() {
+        // S ≫ W: 2 instances × 16 shards = 32 tasks on 1..4 workers.
+        // With 100 ms windows and ~1 tuple per pair per window, most
+        // (window, pair) slices hash to tasks that receive *no* tuples
+        // at all — the zero-input edge case: such a task must still
+        // complete the Eof handshake (sources fan Eofs to every shard)
+        // without stalling the sink quorum or inventing matches.
+        let (t, df) = world(2);
+        let base = base_cfg();
+        let threaded = run_threaded(&t, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        for workers in [1usize, 2, 4] {
+            let cfg = ExecConfig {
+                shards: 16,
+                workers,
+                ..base
+            };
+            let res = run_async_cfg(&t, &df, &cfg);
+            assert_eq!(res.dropped, 0, "workers={workers}");
+            assert_eq!(res.emitted, threaded.emitted, "workers={workers}");
+            assert_eq!(res.matched, threaded.matched, "workers={workers}");
+            assert_eq!(res.delivered, threaded.delivered, "workers={workers}");
+            assert_eq!(res.threads, df.sources.len() + workers + 1);
+        }
+    }
+
+    #[test]
+    fn starved_run_budget_preserves_counts() {
+        // run_budget = 1: every poll processes at most one tuple, so
+        // tasks yield mid-batch and mid-window thousands of times —
+        // maximum stress on the cursor resume path. Counts must not
+        // move. Windows span many emission intervals so state is live
+        // across yields; keyed so the bucket path is exercised too.
+        let (t, df) = world(2);
+        let base = ExecConfig {
+            window_ms: 500.0,
+            selectivity: 0.9,
+            key_space: 8,
+            ..base_cfg()
+        };
+        let threaded = run_threaded(&t, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        assert!(threaded.delivered > 0, "keyed workload must match");
+        let cfg = ExecConfig {
+            shards: 4,
+            workers: 2,
+            key_buckets: 4,
+            run_budget: 1,
+            ..base
+        };
+        let res = run_async_cfg(&t, &df, &cfg);
+        assert_eq!(res.dropped, 0);
+        assert_eq!(res.emitted, threaded.emitted);
+        assert_eq!(res.matched, threaded.matched);
+        assert_eq!(res.delivered, threaded.delivered);
+    }
+
+    #[test]
+    fn keyed_counts_identical_across_worker_shard_bucket_matrix() {
+        let (t, df) = world(2);
+        let base = ExecConfig {
+            window_ms: 500.0,
+            selectivity: 0.9,
+            key_space: 16,
+            ..base_cfg()
+        };
+        let threaded = run_threaded(&t, &df, &base);
+        assert_eq!(threaded.dropped, 0, "scenario must stay uncongested");
+        assert!(threaded.delivered > 0, "keyed workload must match");
+        for workers in [1usize, 3] {
+            for shards in [2usize, 8] {
+                for key_buckets in [1usize, 16] {
+                    let cfg = ExecConfig {
+                        shards,
+                        workers,
+                        key_buckets,
+                        ..base
+                    };
+                    let res = run_async_cfg(&t, &df, &cfg);
+                    let tag = format!("workers={workers} shards={shards} buckets={key_buckets}");
+                    assert_eq!(res.dropped, 0, "{tag}");
+                    assert_eq!(res.emitted, threaded.emitted, "{tag}");
+                    assert_eq!(res.matched, threaded.matched, "{tag}");
+                    assert_eq!(res.delivered, threaded.delivered, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_run_is_count_deterministic() {
+        let (t, df) = world(2);
+        let cfg = ExecConfig {
+            shards: 8,
+            workers: 2,
+            selectivity: 0.5,
+            ..base_cfg()
+        };
+        let a = run_async_cfg(&t, &df, &cfg);
+        let b = run_async_cfg(&t, &df, &cfg);
+        assert!(a.delivered > 0);
+        assert_eq!(a.dropped, 0);
+        assert_eq!(a.emitted, b.emitted);
+        assert_eq!(a.matched, b.matched);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn effective_workers_resolves_auto_and_caps_at_tasks() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_workers(0, 64), cores.min(64));
+        assert_eq!(effective_workers(4, 2), 2, "capped at the task count");
+        assert_eq!(effective_workers(4, 64), 4);
+        assert_eq!(effective_workers(0, 0), 1, "never zero workers");
+    }
+}

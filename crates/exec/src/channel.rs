@@ -8,10 +8,33 @@
 //! handled separately by the [`crate::metrics::NodePacer`]s. Tuples
 //! travel in batches to amortize per-message synchronization, which is
 //! what lets a single box push >10⁶ tuples/s through the executor.
+//!
+//! Two families share the message types and the batching discipline:
+//!
+//! * [`bounded`] — the classic link over [`std::sync::mpsc`]: both
+//!   endpoints block (a full buffer parks the sender's OS thread, an
+//!   empty one parks the receiver's). Used by the thread-per-shard
+//!   backends, where every endpoint owns a whole thread it may park.
+//! * [`poll_bounded`] — the event-loop link for [`crate::AsyncBackend`]:
+//!   the same bounded FIFO, but each endpoint exists in a blocking *and*
+//!   a non-blocking flavour. Cooperative shard tasks use
+//!   [`PollReceiver::try_recv`] / [`PollSender::try_send`], which never
+//!   park — on Empty/Full they register the task's
+//!   [`Waker`] **inside the channel's critical
+//!   section** (so the state re-check and the registration are atomic —
+//!   no lost wake-ups) and return immediately. OS-thread peers (source
+//!   tasks, the sink) keep the blocking [`PollSender::send`] /
+//!   [`PollReceiver::recv`], so backpressure on sources is still a real
+//!   park, and every state transition wakes whichever flavour of peer
+//!   is waiting.
 
+use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver as MpscReceiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 
 use nova_runtime::{OutputTuple, Tuple};
+
+use crate::sched::Waker;
 
 /// An input tuple in flight to a join instance.
 #[derive(Debug, Clone, Copy)]
@@ -123,6 +146,260 @@ impl<T> Receiver<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Closed;
 
+/// Sending a message, abstracted over the channel family — what
+/// [`crate::worker::run_source`] needs from its downstream links. The
+/// blocking semantics are identical for both implementations: the call
+/// parks the calling OS thread while the buffer is full.
+pub(crate) trait MsgSender<T> {
+    /// Blocking send; `Err` when the receiving worker is gone.
+    fn send_msg(&self, msg: T) -> Result<(), Closed>;
+}
+
+impl<T> MsgSender<T> for Sender<T> {
+    fn send_msg(&self, msg: T) -> Result<(), Closed> {
+        self.send(msg)
+    }
+}
+
+/// Receiving a message, abstracted over the channel family — what
+/// [`crate::worker::run_sink`] needs from its inbound link.
+pub(crate) trait MsgReceiver<T> {
+    /// Blocking receive; `None` once every sender hung up and the
+    /// buffer is drained.
+    fn recv_msg(&self) -> Option<T>;
+}
+
+impl<T> MsgReceiver<T> for Receiver<T> {
+    fn recv_msg(&self) -> Option<T> {
+        self.recv()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poll-based bounded links (the async backend's channels)
+// ---------------------------------------------------------------------
+
+/// Outcome of a non-blocking [`PollSender::try_send`].
+#[derive(Debug)]
+pub enum PollSend<T> {
+    /// Accepted into the buffer.
+    Sent,
+    /// Buffer full: the message is handed back and the caller's waker
+    /// is registered — it fires as soon as capacity frees up.
+    Full(T),
+    /// The receiver is gone; senders treat this as end-of-run.
+    Closed(T),
+}
+
+/// Outcome of a non-blocking [`PollReceiver::try_recv`].
+#[derive(Debug)]
+pub enum PollRecv<T> {
+    /// Next message, FIFO.
+    Item(T),
+    /// Buffer empty: the caller's waker is registered — it fires on the
+    /// next send (or when the last sender hangs up).
+    Empty,
+    /// Every sender hung up and the buffer is drained.
+    Closed,
+}
+
+struct PollState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    /// The cooperative receiver parked on Empty (at most one: MPSC).
+    recv_waker: Option<Waker>,
+    /// Cooperative senders parked on Full.
+    send_wakers: Vec<Waker>,
+}
+
+struct PollChan<T> {
+    state: Mutex<PollState<T>>,
+    /// Parks *blocking* peers only (OS threads); cooperative peers park
+    /// in the scheduler via their wakers instead.
+    cv: Condvar,
+}
+
+impl<T> PollChan<T> {
+    /// Wake everything waiting for "buffer no longer full".
+    fn notify_space(&self, state: &mut PollState<T>) {
+        for w in state.send_wakers.drain(..) {
+            w.wake();
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wake everything waiting for "buffer no longer empty" (or for a
+    /// closure, which uses the same parking spots).
+    fn notify_data(&self, state: &mut PollState<T>) {
+        if let Some(w) = state.recv_waker.take() {
+            w.wake();
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Sending half of a poll-based link. Cloneable (multi-producer); both
+/// blocking ([`PollSender::send`], for OS-thread producers) and
+/// non-blocking ([`PollSender::try_send`], for cooperative tasks).
+#[derive(Debug)]
+pub struct PollSender<T> {
+    chan: Arc<PollChan<T>>,
+}
+
+/// Receiving half of a poll-based link; both blocking
+/// ([`PollReceiver::recv`], for OS-thread consumers) and non-blocking
+/// ([`PollReceiver::try_recv`], for cooperative tasks).
+#[derive(Debug)]
+pub struct PollReceiver<T> {
+    chan: Arc<PollChan<T>>,
+}
+
+impl<T> std::fmt::Debug for PollChan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PollChan { .. }")
+    }
+}
+
+/// Create a poll-based bounded link buffering at most `capacity`
+/// messages — the [`crate::AsyncBackend`] counterpart of [`bounded`].
+pub fn poll_bounded<T>(capacity: usize) -> (PollSender<T>, PollReceiver<T>) {
+    let chan = Arc::new(PollChan {
+        state: Mutex::new(PollState {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+            recv_waker: None,
+            send_wakers: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        PollSender {
+            chan: Arc::clone(&chan),
+        },
+        PollReceiver { chan },
+    )
+}
+
+impl<T> Clone for PollSender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().expect("channel poisoned").senders += 1;
+        PollSender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for PollSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            // The receiver must observe the closure even with an empty
+            // buffer.
+            self.chan.notify_data(&mut state);
+        }
+    }
+}
+
+impl<T> Drop for PollReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        state.receiver_alive = false;
+        // Senders parked on a full buffer must observe the hang-up.
+        self.chan.notify_space(&mut state);
+    }
+}
+
+impl<T> PollSender<T> {
+    /// Blocking send (for OS-thread producers): parks while the buffer
+    /// is full; `Err` when the receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), Closed> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        loop {
+            if !state.receiver_alive {
+                return Err(Closed);
+            }
+            if state.items.len() < state.capacity {
+                state.items.push_back(msg);
+                self.chan.notify_data(&mut state);
+                return Ok(());
+            }
+            state = self.chan.cv.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking send (for cooperative tasks): on a full buffer the
+    /// message comes back and `waker` is registered *in the same
+    /// critical section* — any pop after this call fires it, so the
+    /// caller can safely park.
+    pub fn try_send(&self, msg: T, waker: &Waker) -> PollSend<T> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        if !state.receiver_alive {
+            return PollSend::Closed(msg);
+        }
+        if state.items.len() < state.capacity {
+            state.items.push_back(msg);
+            self.chan.notify_data(&mut state);
+            PollSend::Sent
+        } else {
+            state.send_wakers.push(waker.clone());
+            PollSend::Full(msg)
+        }
+    }
+}
+
+impl<T> PollReceiver<T> {
+    /// Blocking receive (for OS-thread consumers): parks while the
+    /// buffer is empty; `None` once every sender hung up and the buffer
+    /// is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.chan.notify_space(&mut state);
+                return Some(item);
+            }
+            if state.senders == 0 {
+                return None;
+            }
+            state = self.chan.cv.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking receive (for cooperative tasks): on an empty buffer
+    /// `waker` is registered in the same critical section — any push
+    /// (or final hang-up) after this call fires it, so the caller can
+    /// safely park.
+    pub fn try_recv(&self, waker: &Waker) -> PollRecv<T> {
+        let mut state = self.chan.state.lock().expect("channel poisoned");
+        if let Some(item) = state.items.pop_front() {
+            self.chan.notify_space(&mut state);
+            return PollRecv::Item(item);
+        }
+        if state.senders == 0 {
+            return PollRecv::Closed;
+        }
+        state.recv_waker = Some(waker.clone());
+        PollRecv::Empty
+    }
+}
+
+impl<T> MsgSender<T> for PollSender<T> {
+    fn send_msg(&self, msg: T) -> Result<(), Closed> {
+        self.send(msg)
+    }
+}
+
+impl<T> MsgReceiver<T> for PollReceiver<T> {
+    fn recv_msg(&self) -> Option<T> {
+        self.recv()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +443,72 @@ mod tests {
         let (tx, _rx) = bounded::<u8>(1);
         assert_eq!(tx.try_send(1), Ok(true));
         assert_eq!(tx.try_send(2), Ok(false));
+    }
+
+    use crate::sched::{Poll, Scheduler};
+
+    #[test]
+    fn poll_try_recv_registers_waker_and_push_fires_it() {
+        let sched = Scheduler::new(1);
+        let task = sched.next().unwrap();
+        let waker = sched.waker(task);
+        let (tx, rx) = poll_bounded::<u8>(4);
+        // Empty: registers the waker...
+        assert!(matches!(rx.try_recv(&waker), PollRecv::Empty));
+        sched.complete(task, Poll::Pending); // task parks
+                                             // ...and a blocking push from an "OS thread" wakes the task.
+        tx.send(7).unwrap();
+        assert_eq!(sched.next(), Some(task));
+        assert!(matches!(rx.try_recv(&waker), PollRecv::Item(7)));
+        // Last sender hanging up also wakes a parked receiver.
+        assert!(matches!(rx.try_recv(&waker), PollRecv::Empty));
+        sched.complete(task, Poll::Pending);
+        drop(tx);
+        assert_eq!(sched.next(), Some(task));
+        assert!(matches!(rx.try_recv(&waker), PollRecv::Closed));
+    }
+
+    #[test]
+    fn poll_try_send_hands_message_back_and_pop_frees_capacity() {
+        let sched = Scheduler::new(1);
+        let task = sched.next().unwrap();
+        let waker = sched.waker(task);
+        let (tx, rx) = poll_bounded::<u8>(1);
+        assert!(matches!(tx.try_send(1, &waker), PollSend::Sent));
+        // Full: the message comes back and the waker is registered...
+        let PollSend::Full(msg) = tx.try_send(2, &waker) else {
+            panic!("second send must report Full");
+        };
+        sched.complete(task, Poll::Pending);
+        // ...and a blocking pop fires it.
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(sched.next(), Some(task));
+        assert!(matches!(tx.try_send(msg, &waker), PollSend::Sent));
+        // Receiver hang-up is reported, message handed back.
+        drop(rx);
+        assert!(matches!(tx.try_send(9, &waker), PollSend::Closed(9)));
+    }
+
+    #[test]
+    fn poll_blocking_endpoints_are_fifo_across_threads() {
+        let (tx, rx) = poll_bounded::<u32>(4);
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let mut last = None;
+        let mut count = 0;
+        while let Some(v) = rx.recv() {
+            if let Some(prev) = last {
+                assert!(v > prev, "FIFO violated: {v} after {prev}");
+            }
+            last = Some(v);
+            count += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(count, 100);
     }
 }

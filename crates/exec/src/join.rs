@@ -1,28 +1,165 @@
-//! Join workers: windowed symmetric hash joins on real threads.
+//! Join workers: windowed symmetric hash joins, one state machine for
+//! every backend.
 //!
-//! Each deployed join instance runs on its own OS thread and reuses the
-//! simulator's [`WindowBuffers`] state machine — per-tumbling-window
-//! symmetric hash tables with watermark-driven garbage collection — and
-//! its deterministic [`match_survives`] selectivity test, so a given
-//! pair of tuples produces an output in the executor iff it does in the
-//! simulator. Watermarks are event-time based: tuples from one source
-//! arrive in event-time order over FIFO channels, so the minimum of the
+//! `JoinCore` is the per-shard join state — the simulator's
+//! [`WindowBuffers`] (per-tumbling-window symmetric hash tables with
+//! watermark-driven garbage collection), per-source event-time
+//! frontiers, the Eof quorum and the deterministic [`match_survives`]
+//! selectivity test — factored out of the thread loop so the blocking
+//! backends ([`crate::ThreadedBackend`], [`crate::ShardedBackend`]; one
+//! OS thread per shard, `run_join`) and the cooperative
+//! [`crate::AsyncBackend`] (S shard tasks on W worker threads) drive
+//! the *same* code tuple by tuple. A given pair of tuples produces an
+//! output in every backend iff it does in the simulator.
+//!
+//! Watermarks are event-time based: tuples from one source arrive in
+//! event-time order over FIFO channels, so the minimum of the
 //! per-source frontiers bounds every future arrival, making garbage
 //! collection safe (and match counts deterministic) regardless of how
-//! the OS interleaves the threads.
+//! the OS — or the cooperative scheduler — interleaves the work.
 
 use std::collections::HashMap;
 
 use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers};
 
-use crate::channel::{JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
+use crate::channel::{InFlight, JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
 use crate::metrics::{Counters, NodePacer};
 use crate::worker::CompiledInstance;
 use crate::ExecConfig;
 
-/// Join worker loop for one instance. Consumes input batches until all
-/// producing sources signalled Eof, then flushes and closes its side of
-/// the sink channel.
+/// The backend-independent join state of one shard of one deployed
+/// instance. Callers feed it routed tuples ([`JoinCore::on_tuple`]),
+/// close out input batches ([`JoinCore::end_batch`]) and deliver Eofs
+/// ([`JoinCore::on_eof`]); it appends surviving outputs — with their
+/// out-path relay charges already paid — to the caller's batch.
+pub(crate) struct JoinCore {
+    pub inst: CompiledInstance,
+    buffers: WindowBuffers,
+    frontiers: HashMap<u32, f64>,
+    eofs: usize,
+    /// Matches produced so far; the caller publishes this into the
+    /// shared [`Counters`] exactly once, when the shard retires.
+    pub matched: u64,
+    last_gc_watermark: f64,
+}
+
+impl JoinCore {
+    pub fn new(inst: CompiledInstance) -> Self {
+        JoinCore {
+            inst,
+            buffers: WindowBuffers::new(),
+            frontiers: HashMap::new(),
+            eofs: 0,
+            matched: 0,
+            last_gc_watermark: 0.0,
+        }
+    }
+
+    /// Whether every producing source has signalled Eof.
+    pub fn finished(&self) -> bool {
+        self.eofs == self.inst.producers
+    }
+
+    /// Probe-and-insert one routed tuple: surviving matches are
+    /// charged along the instance's out-path relays and appended to
+    /// `out`. Callers flush `out` *between* tuples, so within one call
+    /// it grows by the tuple's full match fan-out (bounded by the
+    /// tuple's `(window, subkey)` partner group — the same order as
+    /// the window state itself); the per-batch frontier bookkeeping
+    /// lives in [`JoinCore::end_batch`], off this per-tuple hot path.
+    pub fn on_tuple(
+        &mut self,
+        inflight: &InFlight,
+        cfg: &ExecConfig,
+        pacers: &[NodePacer],
+        counters: &Counters,
+        out: &mut Vec<OutFlight>,
+    ) {
+        let tuple = inflight.tuple;
+        let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
+        let (inst, matched) = (&self.inst, &mut self.matched);
+        // Zero-copy keyed probe: partners are visited in place — no
+        // per-probe Vec of the opposite buffer — and only within the
+        // tuple's (window, subkey) group, so keyed workloads never walk
+        // candidates they cannot match (unkeyed ones carry subkey 0 and
+        // probe the whole window as before).
+        self.buffers.insert_and_probe_with(
+            window,
+            tuple.subkey,
+            tuple.side,
+            BufferedTuple {
+                seq: tuple.seq,
+                event_time: tuple.event_time,
+            },
+            |partner| {
+                if !match_survives(
+                    tuple.seq,
+                    partner.seq,
+                    tuple.side,
+                    cfg.selectivity,
+                    cfg.seed,
+                ) {
+                    return;
+                }
+                *matched += 1;
+                // Chain the output through the relay hops of the
+                // out-path; the sink's own service slot is charged by
+                // the sink worker.
+                let mut deliver_at = inflight.deliver_at;
+                for seg in &inst.out_relays {
+                    deliver_at += seg.link_ms;
+                    match pacers[seg.node].serve(deliver_at) {
+                        Some(done) => deliver_at = done,
+                        None => {
+                            Counters::bump(&counters.dropped, 1);
+                            return;
+                        }
+                    }
+                }
+                out.push(OutFlight {
+                    out: OutputTuple {
+                        pair: inst.pair,
+                        key: tuple.key,
+                        event_time: tuple.event_time.max(partner.event_time),
+                    },
+                    deliver_at: deliver_at + inst.out_final_link_ms,
+                });
+            },
+        );
+    }
+
+    /// Close out an input batch from `source`: record the batch's
+    /// event-time maximum as the source's frontier (one map touch per
+    /// batch, not per tuple), re-derive the watermark (nothing older
+    /// than the smallest per-source frontier can still arrive) and
+    /// garbage-collect expired windows on cadence.
+    pub fn end_batch(&mut self, source: u32, batch_frontier: f64, cfg: &ExecConfig) {
+        let frontier = self.frontiers.entry(source).or_insert(0.0);
+        *frontier = frontier.max(batch_frontier);
+        if self.frontiers.len() == self.inst.producers {
+            let watermark = self
+                .frontiers
+                .values()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            if watermark - self.last_gc_watermark >= cfg.gc_interval_ms {
+                self.buffers.gc(watermark, cfg.window_ms);
+                self.last_gc_watermark = watermark;
+            }
+        }
+    }
+
+    /// Record a source's Eof; returns true once all producers are done.
+    pub fn on_eof(&mut self, source: u32) -> bool {
+        self.frontiers.insert(source, f64::INFINITY);
+        self.eofs += 1;
+        self.finished()
+    }
+}
+
+/// Blocking join worker loop for one shard (thread-per-shard backends).
+/// Consumes input batches until all producing sources signalled Eof,
+/// then flushes and closes its side of the sink channel.
 pub(crate) fn run_join(
     inst: CompiledInstance,
     cfg: &ExecConfig,
@@ -31,16 +168,12 @@ pub(crate) fn run_join(
     rx: Receiver<JoinMsg>,
     sink_tx: Sender<SinkMsg>,
 ) {
-    let mut buffers = WindowBuffers::new();
-    let mut frontiers: HashMap<u32, f64> = HashMap::new();
-    let mut eofs = 0usize;
+    let mut core = JoinCore::new(inst);
     let mut out_batch: Vec<OutFlight> = Vec::new();
-    let mut matched = 0u64;
-    let mut last_gc_watermark = 0.0f64;
 
-    if inst.producers == 0 {
+    if core.inst.producers == 0 {
         let _ = sink_tx.send(SinkMsg::Eof {
-            instance: inst.index,
+            instance: core.inst.index,
         });
         return;
     }
@@ -48,106 +181,33 @@ pub(crate) fn run_join(
     'consume: while let Some(msg) = rx.recv() {
         match msg {
             JoinMsg::Batch { source, tuples } => {
-                let mut frontier = frontiers.get(&source).copied().unwrap_or(0.0);
-                for inflight in tuples {
-                    let tuple = inflight.tuple;
-                    frontier = frontier.max(tuple.event_time);
-                    let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
-                    // Zero-copy keyed probe: partners are visited in
-                    // place — no per-probe Vec of the opposite buffer —
-                    // and only within the tuple's (window, subkey)
-                    // group, so keyed workloads never walk candidates
-                    // they cannot match (unkeyed ones carry subkey 0
-                    // and probe the whole window as before).
-                    let mut closed = false;
-                    buffers.insert_and_probe_with(
-                        window,
-                        tuple.subkey,
-                        tuple.side,
-                        BufferedTuple {
-                            seq: tuple.seq,
-                            event_time: tuple.event_time,
-                        },
-                        |partner| {
-                            if closed
-                                || !match_survives(
-                                    tuple.seq,
-                                    partner.seq,
-                                    tuple.side,
-                                    cfg.selectivity,
-                                    cfg.seed,
-                                )
-                            {
-                                return;
-                            }
-                            matched += 1;
-                            let out = OutputTuple {
-                                pair: inst.pair,
-                                key: tuple.key,
-                                event_time: tuple.event_time.max(partner.event_time),
-                            };
-                            // Chain the output through the relay hops of
-                            // the out-path; the sink's own service slot
-                            // is charged by the sink worker.
-                            let mut deliver_at = inflight.deliver_at;
-                            let mut delivered = true;
-                            for seg in &inst.out_relays {
-                                deliver_at += seg.link_ms;
-                                match pacers[seg.node].serve(deliver_at) {
-                                    Some(done) => deliver_at = done,
-                                    None => {
-                                        Counters::bump(&counters.dropped, 1);
-                                        delivered = false;
-                                        break;
-                                    }
-                                }
-                            }
-                            if delivered {
-                                out_batch.push(OutFlight {
-                                    out,
-                                    deliver_at: deliver_at + inst.out_final_link_ms,
-                                });
-                                if out_batch.len() >= cfg.batch_size
-                                    && !flush(&sink_tx, inst.index, &mut out_batch)
-                                {
-                                    closed = true;
-                                }
-                            }
-                        },
-                    );
-                    if closed {
+                let mut batch_frontier = 0.0f64;
+                for inflight in &tuples {
+                    batch_frontier = batch_frontier.max(inflight.tuple.event_time);
+                    core.on_tuple(inflight, cfg, pacers, counters, &mut out_batch);
+                    if out_batch.len() >= cfg.batch_size
+                        && !flush(&sink_tx, core.inst.index, &mut out_batch)
+                    {
                         break 'consume;
                     }
                 }
-                frontiers.insert(source, frontier);
-
-                // Event-time watermark: nothing older than the smallest
-                // per-source frontier can still arrive.
-                if frontiers.len() == inst.producers {
-                    let watermark = frontiers.values().copied().fold(f64::INFINITY, f64::min);
-                    if watermark - last_gc_watermark >= cfg.gc_interval_ms {
-                        buffers.gc(watermark, cfg.window_ms);
-                        last_gc_watermark = watermark;
-                    }
-                }
-                if !out_batch.is_empty() && !flush(&sink_tx, inst.index, &mut out_batch) {
+                core.end_batch(source, batch_frontier, cfg);
+                if !out_batch.is_empty() && !flush(&sink_tx, core.inst.index, &mut out_batch) {
                     break 'consume;
                 }
             }
             JoinMsg::Eof { source } => {
-                frontiers.insert(source, f64::INFINITY);
-                eofs += 1;
-                if eofs == inst.producers {
+                if core.on_eof(source) {
                     break;
                 }
             }
         }
     }
 
-    let _ = flush(&sink_tx, inst.index, &mut out_batch);
-    Counters::bump(&counters.matched, matched);
+    let _ = flush(&sink_tx, core.inst.index, &mut out_batch);
+    Counters::bump(&counters.matched, core.matched);
     let _ = sink_tx.send(SinkMsg::Eof {
-        instance: inst.index,
+        instance: core.inst.index,
     });
 }
 

@@ -31,25 +31,90 @@
 //!
 //! ## Backends
 //!
-//! Execution is behind the [`Backend`] trait. [`ThreadedBackend`]
-//! (thread-per-operator) is the baseline; [`ShardedBackend`] fans each
-//! join instance out to [`ExecConfig::shards`] workers, hash-partitioned
-//! by `(window, pair, key bucket)` so shards share no state and counts
-//! stay identical (see [`sharded`]). With multiple
-//! [`ExecConfig::key_buckets`] even a single hot pair with one giant
-//! window splits by join sub-key across shards — the backend scales
-//! with cores, not with the number of pairs. Later backends (async
-//! runtimes, NUMA-pinned pools) plug in without touching callers.
+//! Execution is behind the [`Backend`] trait; three implementations
+//! share one compiled plan, one channel discipline and one join state
+//! machine (`join::JoinCore`):
+//!
+//! * [`ThreadedBackend`] — thread-per-operator, the baseline;
+//! * [`ShardedBackend`] — fans each join instance out to
+//!   [`ExecConfig::shards`] worker *threads*, hash-partitioned by
+//!   `(window, pair, key bucket)` so shards share no state and counts
+//!   stay identical (see [`sharded`]). With multiple
+//!   [`ExecConfig::key_buckets`] even a single hot pair with one giant
+//!   window splits by join sub-key across shards — the backend scales
+//!   with cores, not with the number of pairs;
+//! * [`AsyncBackend`] — the same shard layout as cooperative *tasks*
+//!   on an M:N event loop: S = instances × shards tasks multiplexed
+//!   onto [`ExecConfig::workers`] threads (W ≤ cores, S ≫ W fine), so
+//!   shard counts beyond the core count stop costing OS threads (see
+//!   [`async_backend`] and [`sched`]).
+//!
+//! [`backend_for`] picks the engine from [`ExecConfig::backend`];
+//! further backends (NUMA-pinned pools) plug in without touching
+//! callers.
+//!
+//! ## Example
+//!
+//! Place a 1-pair query at the sink, run it on each backend and check
+//! they agree (the count-identity invariant the test suite pins at
+//! scale — see `tests/exec_vs_sim.rs`):
+//!
+//! ```
+//! use nova_core::baselines::sink_based;
+//! use nova_core::{JoinQuery, StreamSpec};
+//! use nova_exec::{execute, BackendKind, ExecConfig};
+//! use nova_runtime::Dataflow;
+//! use nova_topology::{NodeRole, Topology};
+//!
+//! let mut t = Topology::new();
+//! let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+//! let l = t.add_node(NodeRole::Source, 1000.0, "l");
+//! let r = t.add_node(NodeRole::Source, 1000.0, "r");
+//! let q = JoinQuery::by_key(
+//!     vec![StreamSpec::keyed(l, 20.0, 1)],
+//!     vec![StreamSpec::keyed(r, 20.0, 1)],
+//!     sink,
+//! );
+//! let placement = sink_based(&q, &q.resolve());
+//! let df = Dataflow::from_baseline(&q, &placement);
+//! let dist = |a: nova_topology::NodeId, b: nova_topology::NodeId| {
+//!     if a == b { 0.0 } else { 5.0 }
+//! };
+//!
+//! let cfg = ExecConfig {
+//!     duration_ms: 500.0,
+//!     window_ms: 100.0,
+//!     time_scale: 8.0,               // 500 virtual ms in ~63 wall ms
+//!     max_queue_ms: f64::INFINITY,   // drop-free ⇒ counts are exact
+//!     ..ExecConfig::default()
+//! };
+//! let threaded = execute(&t, dist, &df, &cfg);
+//! assert!(threaded.delivered > 0);
+//!
+//! // Same run on the M:N event loop: 4 shard tasks, 2 worker threads.
+//! let async_cfg = ExecConfig {
+//!     backend: BackendKind::Async,
+//!     shards: 4,
+//!     workers: 2,
+//!     ..cfg
+//! };
+//! let cooperative = execute(&t, dist, &df, &async_cfg);
+//! assert_eq!(cooperative.matched, threaded.matched);
+//! assert_eq!(cooperative.delivered, threaded.delivered);
+//! ```
 
+pub mod async_backend;
 pub mod channel;
 pub mod join;
 pub mod metrics;
+pub mod sched;
 pub mod sharded;
 pub mod worker;
 
 use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{NodeId, Topology};
 
+pub use async_backend::{effective_workers, AsyncBackend};
 pub use metrics::{Counters, ExecResult, NodePacer};
 pub use sharded::{key_bucket_of, shard_of, ShardedBackend};
 pub use worker::VirtualClock;
@@ -103,6 +168,59 @@ pub struct ExecConfig {
     /// match/delivery counts: matching requires *equal* sub-keys and
     /// co-keyed tuples always co-locate (see [`sharded::key_bucket_of`]).
     pub key_buckets: usize,
+    /// Which execution engine runs the dataflow.
+    /// [`BackendKind::Auto`] (the default) preserves the historical
+    /// rule — `shards > 1` selects [`ShardedBackend`], else
+    /// [`ThreadedBackend`] — so existing configs behave unchanged;
+    /// [`BackendKind::Async`] must be requested explicitly.
+    pub backend: BackendKind,
+    /// Worker threads of the [`AsyncBackend`] event loop (ignored by
+    /// the thread-per-shard backends, which spawn one thread per
+    /// shard). 0 = one worker per core. Any value is capped at the
+    /// task count (instances × shards) — beyond that workers would
+    /// only park. Invariant: the worker count never changes *what* is
+    /// computed, only how many tasks run concurrently; `workers = 1`
+    /// is count-identical to [`ThreadedBackend`].
+    pub workers: usize,
+    /// Run budget of one cooperative poll: the maximum number of
+    /// input tuples an [`AsyncBackend`] shard task consumes before it
+    /// yields back to the ready queue (ignored by the thread-per-shard
+    /// backends). Bounds the latency skew between shards co-scheduled
+    /// on one worker; small budgets trade throughput (more scheduler
+    /// round-trips) for fairness. Clamped to ≥ 1. Invariant: tasks
+    /// resume exactly where they paused — mid-batch, even mid-window —
+    /// so any budget yields identical counts.
+    pub run_budget: usize,
+}
+
+/// Which [`Backend`] implementation [`backend_for`] resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The historical rule: [`ShardedBackend`] when
+    /// [`ExecConfig::shards`] > 1, [`ThreadedBackend`] otherwise.
+    #[default]
+    Auto,
+    /// Thread-per-operator baseline (ignores `shards`).
+    Threaded,
+    /// One OS thread per shard.
+    Sharded,
+    /// M:N cooperative event loop: shard tasks on
+    /// [`ExecConfig::workers`] threads.
+    Async,
+}
+
+impl BackendKind {
+    /// Parse the `--backend` flag value used by the fig binaries and
+    /// the smoke harness.
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name {
+            "auto" => Some(BackendKind::Auto),
+            "threaded" => Some(BackendKind::Threaded),
+            "sharded" => Some(BackendKind::Sharded),
+            "async" => Some(BackendKind::Async),
+            _ => None,
+        }
+    }
 }
 
 impl Default for ExecConfig {
@@ -122,6 +240,9 @@ impl Default for ExecConfig {
             shards: 1,
             key_space: 1,
             key_buckets: 1,
+            backend: BackendKind::Auto,
+            workers: 0,
+            run_budget: 2048,
         }
     }
 }
@@ -189,15 +310,23 @@ impl Backend for ThreadedBackend {
     }
 }
 
-/// The backend a configuration selects: [`ShardedBackend`] when
-/// `cfg.shards > 1`, the thread-per-operator [`ThreadedBackend`]
-/// otherwise. The single seam through which `execute`,
-/// `nova_bench::run_placement_real` and the examples pick an engine.
+/// The backend a configuration selects — the single seam through which
+/// `execute`, `nova_bench::run_placement_real` and the examples pick an
+/// engine. [`ExecConfig::backend`] decides; its `Auto` default keeps
+/// the historical rule ([`ShardedBackend`] when `cfg.shards > 1`, the
+/// thread-per-operator [`ThreadedBackend`] otherwise).
 pub fn backend_for(cfg: &ExecConfig) -> &'static dyn Backend {
-    if cfg.shards > 1 {
-        &ShardedBackend
-    } else {
-        &ThreadedBackend
+    match cfg.backend {
+        BackendKind::Auto => {
+            if cfg.shards > 1 {
+                &ShardedBackend
+            } else {
+                &ThreadedBackend
+            }
+        }
+        BackendKind::Threaded => &ThreadedBackend,
+        BackendKind::Sharded => &ShardedBackend,
+        BackendKind::Async => &AsyncBackend,
     }
 }
 

@@ -1,0 +1,280 @@
+//! The M:N cooperative scheduler behind [`crate::AsyncBackend`].
+//!
+//! [`Scheduler`] multiplexes S shard *tasks* onto W *worker* OS threads
+//! (W ≤ cores, S ≫ W): a task is a resumable state machine that is
+//! polled until it either finishes, runs out of input, or exhausts its
+//! per-poll run budget. The design is a deliberately small subset of a
+//! production event loop (no timers, no I/O reactor — the executor's
+//! only events are channel readiness):
+//!
+//! * a single shared FIFO **ready queue** of task ids, guarded by one
+//!   mutex + condvar — workers pop, poll, and park when the queue is
+//!   empty;
+//! * a per-task **status word** (`Status`) implementing the classic
+//!   wake protocol: a wake of an `Idle` task enqueues it, a wake of a
+//!   `Running` task marks it `RunningWoken` so the worker re-enqueues it
+//!   after the poll returns (closing the "event arrived while I was
+//!   deciding to sleep" race), and wakes of already-`Queued` tasks
+//!   coalesce into nothing;
+//! * [`Waker`] handles — `(scheduler, task id)` pairs handed to the
+//!   poll-based channels ([`crate::channel::poll_bounded`]), which call
+//!   [`Waker::wake`] under the channel lock whenever the condition a
+//!   task parked on (data available / capacity available) becomes true.
+//!
+//! ## Why lost wake-ups cannot happen
+//!
+//! A task only returns [`Poll::Pending`] after *registering* a waker
+//! with a channel and re-checking the channel's state **under the
+//! channel's own lock** (registration and the state check are one
+//! critical section in `try_recv`/`try_send`). Any state change after
+//! that registration fires the waker. If the waker fires before the
+//! worker has finished the poll, the status word is `Running`, the wake
+//! is recorded as `RunningWoken`, and [`Scheduler::complete`]
+//! re-enqueues the task instead of parking it. Either way the task runs
+//! again after the event — the wake is never dropped.
+//!
+//! Fairness comes from the FIFO queue plus the run budget
+//! ([`crate::ExecConfig::run_budget`]): a task with a deep backlog
+//! yields after a bounded number of tuples and re-joins the *back* of
+//! the queue, so co-scheduled shards make progress at bounded latency
+//! skew instead of one hot shard monopolizing its worker.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a task's `poll` reports back to its worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// The task is blocked on a channel (no input / no sink capacity)
+    /// and has registered a [`Waker`]; park it until the waker fires.
+    Pending,
+    /// The task exhausted its run budget with work still at hand;
+    /// re-enqueue it at the back of the ready queue.
+    Yielded,
+    /// The task finished (sent its Eof downstream); never poll again.
+    Done,
+}
+
+/// Scheduling state of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked: not in the queue, waiting for a wake.
+    Idle,
+    /// In the ready queue (or about to be re-enqueued).
+    Queued,
+    /// A worker is polling it right now.
+    Running,
+    /// A wake arrived *while* a worker was polling it; re-enqueue on
+    /// completion instead of parking.
+    RunningWoken,
+    /// Finished; wakes are no-ops.
+    Done,
+}
+
+struct Inner {
+    ready: VecDeque<usize>,
+    status: Vec<Status>,
+    /// Tasks not yet `Done`; workers exit when it reaches zero.
+    live: usize,
+}
+
+/// Shared state of one event loop: the ready queue and per-task status
+/// words. Cheap to clone through an [`Arc`]; see the module docs for
+/// the wake protocol.
+pub struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    /// A scheduler over `tasks` tasks, all initially ready (every task
+    /// must run at least once to register its first waker).
+    pub fn new(tasks: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            inner: Mutex::new(Inner {
+                ready: (0..tasks).collect(),
+                status: vec![Status::Queued; tasks],
+                live: tasks,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// A wake handle for `task`, to hand to the channels it parks on.
+    pub fn waker(self: &Arc<Self>, task: usize) -> Waker {
+        Waker {
+            sched: Arc::clone(self),
+            task,
+        }
+    }
+
+    /// Pop the next ready task, parking the calling worker while the
+    /// queue is empty. Returns `None` once every task is done — the
+    /// workers' exit signal.
+    pub fn next(&self) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        loop {
+            if inner.live == 0 {
+                return None;
+            }
+            if let Some(id) = inner.ready.pop_front() {
+                debug_assert_eq!(inner.status[id], Status::Queued);
+                inner.status[id] = Status::Running;
+                return Some(id);
+            }
+            inner = self.cv.wait(inner).expect("scheduler poisoned");
+        }
+    }
+
+    /// Record the outcome of polling `task` (which [`Scheduler::next`]
+    /// handed out). Resolves the wake-while-running race: a `Pending`
+    /// task that was woken mid-poll goes straight back into the queue.
+    pub fn complete(&self, task: usize, outcome: Poll) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        let woken = inner.status[task] == Status::RunningWoken;
+        match outcome {
+            Poll::Done => {
+                inner.status[task] = Status::Done;
+                inner.live -= 1;
+                if inner.live == 0 {
+                    // Every parked worker must observe live == 0 and exit.
+                    self.cv.notify_all();
+                }
+            }
+            Poll::Yielded => {
+                inner.status[task] = Status::Queued;
+                inner.ready.push_back(task);
+                self.cv.notify_one();
+            }
+            Poll::Pending => {
+                if woken {
+                    inner.status[task] = Status::Queued;
+                    inner.ready.push_back(task);
+                    self.cv.notify_one();
+                } else {
+                    inner.status[task] = Status::Idle;
+                }
+            }
+        }
+    }
+
+    fn wake(&self, task: usize) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        match inner.status[task] {
+            Status::Idle => {
+                inner.status[task] = Status::Queued;
+                inner.ready.push_back(task);
+                self.cv.notify_one();
+            }
+            Status::Running => inner.status[task] = Status::RunningWoken,
+            // Coalesce: already queued / already marked / finished.
+            Status::Queued | Status::RunningWoken | Status::Done => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Scheduler { .. }")
+    }
+}
+
+/// Wake handle for one task: channels call [`Waker::wake`] when the
+/// condition the task parked on becomes true. Clone-cheap (an [`Arc`]
+/// and an index); firing a stale waker is a harmless no-op.
+#[derive(Clone)]
+pub struct Waker {
+    sched: Arc<Scheduler>,
+    task: usize,
+}
+
+impl Waker {
+    /// Make the task runnable again (see the module docs for the
+    /// Idle/Running/Queued transitions).
+    pub fn wake(&self) {
+        self.sched.wake(self.task);
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Waker({})", self.task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tasks_start_ready_and_drain_to_none() {
+        let s = Scheduler::new(3);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let id = s.next().unwrap();
+            seen.push(id);
+            s.complete(id, Poll::Done);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn yielded_tasks_requeue_fifo() {
+        let s = Scheduler::new(2);
+        let a = s.next().unwrap();
+        s.complete(a, Poll::Yielded);
+        let b = s.next().unwrap();
+        assert_ne!(a, b, "yielded task goes to the back of the queue");
+        s.complete(b, Poll::Done);
+        assert_eq!(s.next(), Some(a));
+        s.complete(a, Poll::Done);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn wake_while_running_requeues_instead_of_parking() {
+        let s = Scheduler::new(1);
+        let id = s.next().unwrap();
+        // Event arrives while the worker is still polling…
+        s.waker(id).wake();
+        // …so a Pending outcome must not park the task.
+        s.complete(id, Poll::Pending);
+        assert_eq!(s.next(), Some(id));
+        s.complete(id, Poll::Done);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn wake_of_idle_task_enqueues_it_once() {
+        let s = Scheduler::new(1);
+        let id = s.next().unwrap();
+        s.complete(id, Poll::Pending); // parks
+        let w = s.waker(id);
+        w.wake();
+        w.wake(); // coalesces
+        assert_eq!(s.next(), Some(id));
+        s.complete(id, Poll::Done);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn workers_park_until_a_wake_and_exit_on_all_done() {
+        let s = Scheduler::new(1);
+        let id = s.next().unwrap();
+        s.complete(id, Poll::Pending);
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            // Parks on the condvar until the main thread wakes task 0,
+            // then drives it to completion.
+            while let Some(id) = s2.next() {
+                s2.complete(id, Poll::Done);
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.waker(id).wake();
+        h.join().unwrap();
+        assert_eq!(s.next(), None);
+    }
+}

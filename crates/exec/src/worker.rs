@@ -16,7 +16,7 @@ use nova_topology::{NodeId, Topology};
 use rand::prelude::*;
 use std::time::Instant;
 
-use crate::channel::{InFlight, JoinMsg, Receiver, Sender, SinkMsg};
+use crate::channel::{InFlight, JoinMsg, MsgReceiver, MsgSender, SinkMsg};
 use crate::metrics::{Counters, NodePacer};
 use crate::sharded::{key_bucket_of, shard_of};
 use crate::ExecConfig;
@@ -252,14 +252,19 @@ pub(crate) fn compile(
 /// no window state — with `key_buckets > 1` even one pair's single
 /// window splits by join sub-key. `shards = 1` is the classic
 /// one-channel-per-instance layout.
+///
+/// Generic over the channel family ([`MsgSender`]): the thread-per-shard
+/// backends hand it blocking MPSC senders, the async backend poll-based
+/// ones — the source's own sends block either way (sources are OS
+/// threads; real backpressure is the point).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_source(
+pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
     src: CompiledSource,
     cfg: &ExecConfig,
     clock: VirtualClock,
     pacers: &[NodePacer],
     counters: &Counters,
-    txs: &[Sender<JoinMsg>],
+    txs: &[T],
     shards: usize,
 ) {
     let mut rng =
@@ -278,7 +283,7 @@ pub(crate) fn run_source(
         }
         let tuples = std::mem::take(&mut batches[which]);
         txs[which]
-            .send(JoinMsg::Batch {
+            .send_msg(JoinMsg::Batch {
                 source: src.index,
                 tuples,
             })
@@ -356,15 +361,18 @@ pub(crate) fn run_source(
     }
     for &target in &src.targets {
         for shard in 0..shards {
-            let _ = txs[target as usize * shards + shard].send(JoinMsg::Eof { source: src.index });
+            let _ =
+                txs[target as usize * shards + shard].send_msg(JoinMsg::Eof { source: src.index });
         }
     }
 }
 
 /// Sink worker: charge the sink's service slot per output and record
-/// the delivered results. Returns them in arrival order.
-pub(crate) fn run_sink(
-    rx: Receiver<SinkMsg>,
+/// the delivered results. Returns them in arrival order. Generic over
+/// the channel family ([`MsgReceiver`]) — the sink is an OS thread and
+/// blocks while idle under every backend.
+pub(crate) fn run_sink<R: MsgReceiver<SinkMsg>>(
+    rx: R,
     sink_node: usize,
     charge_sink: &[bool],
     pacers: &[NodePacer],
@@ -376,7 +384,7 @@ pub(crate) fn run_sink(
     if producers == 0 {
         return records;
     }
-    while let Some(msg) = rx.recv() {
+    while let Some(msg) = rx.recv_msg() {
         match msg {
             SinkMsg::Batch { instance, outputs } => {
                 for o in outputs {

@@ -35,6 +35,7 @@ pub use nova_workloads as workloads;
 // The most common entry points, re-exported flat for convenience.
 pub use nova_core::{evaluate, EvalOptions, JoinQuery, Nova, NovaConfig, Placement, StreamSpec};
 pub use nova_exec::{
-    backend_for, execute, Backend, ExecConfig, ExecResult, ShardedBackend, ThreadedBackend,
+    backend_for, execute, AsyncBackend, Backend, BackendKind, ExecConfig, ExecResult,
+    ShardedBackend, ThreadedBackend,
 };
 pub use nova_topology::{running_example, NodeId, NodeRole, Topology};

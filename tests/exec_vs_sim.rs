@@ -13,8 +13,8 @@ use nova::core::placement::direct_path;
 use nova::core::{PlacedReplica, Placement};
 use nova::runtime::{simulate, Dataflow, SimConfig, SimResult};
 use nova::{
-    execute, Backend, ExecConfig, ExecResult, JoinQuery, NodeId, NodeRole, ShardedBackend,
-    StreamSpec, Topology,
+    execute, AsyncBackend, Backend, BackendKind, ExecConfig, ExecResult, JoinQuery, NodeId,
+    NodeRole, ShardedBackend, StreamSpec, Topology,
 };
 
 /// Uncongested 4-node world: sink(0), left(1), right(2), worker(3).
@@ -402,6 +402,101 @@ fn keyed_skewed_counts_identical_at_every_bucket_count() {
                 sharded.delivered, threaded.delivered,
                 "{tag}: changed the keyed delivery count vs threaded"
             );
+        }
+    }
+}
+
+/// The M:N cooperative backend against all three references — the
+/// simulator, the threaded baseline and the sharded backend — at every
+/// tested (workers × shards × key-buckets) combination, on the keyed
+/// skewed workload (hot pair at 5× the cold pair's rate, sub-keys from
+/// [0, 8)). Multiplexing S shard tasks onto W worker threads must
+/// change *when* tuples are processed, never *what* joins: counts are
+/// pinned identical even at W = 1 (everything time-shares one thread)
+/// and S ≫ W (32 tasks on 2 workers), with a starved run budget
+/// forcing mid-window yields.
+#[test]
+fn async_backend_counts_identical_at_every_worker_shard_bucket_combination() {
+    // Same keyed skewed world as
+    // keyed_skewed_counts_identical_at_every_bucket_count.
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+    let hot_l = t.add_node(NodeRole::Source, 1000.0, "hot_l");
+    let hot_r = t.add_node(NodeRole::Source, 1000.0, "hot_r");
+    let cold_l = t.add_node(NodeRole::Source, 1000.0, "cold_l");
+    let cold_r = t.add_node(NodeRole::Source, 1000.0, "cold_r");
+    let q = JoinQuery::by_key(
+        vec![
+            StreamSpec::keyed(hot_l, 50.0, 0),
+            StreamSpec::keyed(cold_l, 10.0, 1),
+        ],
+        vec![
+            StreamSpec::keyed(hot_r, 50.0, 0),
+            StreamSpec::keyed(cold_r, 10.0, 1),
+        ],
+        sink,
+    );
+    let p = sink_based(&q, &q.resolve());
+    let df = Dataflow::from_baseline(&q, &p);
+    let sim_cfg = SimConfig {
+        duration_ms: 2000.0,
+        window_ms: 200.0,
+        selectivity: 0.8,
+        key_space: 8,
+        // Structurally drop-free so the exact-count asserts hold under
+        // any OS schedule (see delivered_counts_agree_within_tolerance).
+        max_queue_ms: f64::INFINITY,
+        ..SimConfig::default()
+    };
+    let sim = simulate(&t, dist, &df, &sim_cfg);
+    assert!(sim.delivered > 0, "keyed skewed workload must match");
+    let threaded = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    assert_eq!(threaded.dropped, 0);
+    // Engine-vs-sim relationship: never fewer matches than the
+    // simulator, tail-bounded extras (the executor drains in-flight
+    // work past the simulator's cut-off).
+    assert!(threaded.matched >= sim.matched);
+    assert!((threaded.matched - sim.matched) as f64 <= (sim.matched as f64 * 0.10).max(8.0));
+    for workers in [1usize, 2, 4] {
+        for shards in [1usize, 4, 16] {
+            for key_buckets in [1usize, 8] {
+                let cfg = ExecConfig {
+                    backend: BackendKind::Async,
+                    workers,
+                    shards,
+                    key_buckets,
+                    // Starved budget: tasks yield every 64 tuples, so
+                    // the cursor resume path runs constantly.
+                    run_budget: 64,
+                    ..ExecConfig::from_sim(&sim_cfg, 8.0)
+                };
+                let mut d = dist;
+                let res = AsyncBackend.run(&t, &mut d, &df, &cfg);
+                let tag = format!("workers={workers} shards={shards} buckets={key_buckets}");
+                assert_eq!(res.dropped, 0, "{tag}: must stay drop-free");
+                assert_eq!(
+                    res.matched, threaded.matched,
+                    "{tag}: changed the match set vs threaded"
+                );
+                assert_eq!(
+                    res.delivered, threaded.delivered,
+                    "{tag}: changed the delivery count vs threaded"
+                );
+                assert_eq!(res.emitted, threaded.emitted, "{tag}");
+                // The same config on the sharded backend (one thread
+                // per shard) is the third reference — all backends
+                // agree, so the event loop sits exactly on the seam.
+                if workers == 2 {
+                    let sharded_cfg = ExecConfig {
+                        backend: BackendKind::Sharded,
+                        ..cfg
+                    };
+                    let mut d = dist;
+                    let sharded = ShardedBackend.run(&t, &mut d, &df, &sharded_cfg);
+                    assert_eq!(sharded.matched, res.matched, "{tag}: async vs sharded");
+                    assert_eq!(sharded.delivered, res.delivered, "{tag}: async vs sharded");
+                }
+            }
         }
     }
 }
