@@ -19,7 +19,13 @@
 //!   beyond the core count (e.g. 32 shards on 4 cores): the regime
 //!   where one-OS-thread-per-shard stops scaling and the M:N
 //!   event-loop backend (`AsyncBackend`: S shard tasks on W ≤ cores
-//!   worker threads) is supposed to win.
+//!   worker threads) is supposed to win;
+//! * **churn** — live reconfiguration (DESIGN.md §7): three mid-window
+//!   epoch barriers per run (join-host failover + rate shifts) applied
+//!   through `ExecHandle::apply` on every backend, gated
+//!   count-identical to the simulator replaying the same pre/post
+//!   plans (`simulate_reconfigured`) on any host, plus a
+//!   stop-the-world handoff-pause gate on ≥ 4 cores.
 //!
 //! Gates (a failure fails the CI job loudly):
 //!
@@ -41,7 +47,10 @@
 //!   bookkeeping must be nearly free when nothing is oversubscribed —
 //!   and `async(W=cores, S=32)` ≥ 0.95× `sharded(shards=32)` (target
 //!   above 1.0; 5 % runner-noise slack) — where shards ≫ cores, W
-//!   threads must beat 32.
+//!   threads must beat 32;
+//! * on any host, churn: `emitted`/`matched`/`delivered` identical to
+//!   the simulator replay, clean epoch splits, live state migrated;
+//!   on ≥ 4 cores additionally handoff p99 ≤ 250 ms.
 //!
 //! Every scenario writes its tuples/s table to
 //! `BENCH_exec[_<scenario>].json`, uploaded as a workflow artifact on
@@ -50,17 +59,20 @@
 //! Run with: `cargo run --release -p nova-bench --bin bench_exec_smoke`
 //! (`--full` for the benchmark-length 1 s horizon; default 300 ms keeps
 //! the CI job in seconds.
-//! `--scenario uniform|hot-pair|zipf|oversubscribed` selects one
+//! `--scenario uniform|hot-pair|zipf|oversubscribed|churn` selects one
 //! scenario — the CI matrix fans them out — default runs all.)
 
 use nova_bench::{
     hot_pair_cfg, throughput_cfg, throughput_world, throughput_world_rates, zipf_pair_rates,
 };
+use nova_core::baselines::host_based;
+use nova_core::{JoinQuery, StreamSpec};
 use nova_exec::{
-    AsyncBackend, Backend, BackendKind, ExecConfig, ExecResult, ShardedBackend, ThreadedBackend,
+    launch, AsyncBackend, Backend, BackendKind, ExecConfig, ExecResult, ShardedBackend,
+    ThreadedBackend,
 };
-use nova_runtime::Dataflow;
-use nova_topology::Topology;
+use nova_runtime::{percentile, simulate_reconfigured, Dataflow, PlanSwitch};
+use nova_topology::{NodeId, NodeRole, Topology};
 
 /// One measured run of the matrix. `workers` is 0 for the
 /// thread-per-shard backends (they spawn one thread per shard).
@@ -165,7 +177,8 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
         }
         other => {
             eprintln!(
-                "unknown scenario {other:?}: expected uniform | hot-pair | zipf | oversubscribed"
+                "unknown scenario {other:?}: expected uniform | hot-pair | zipf | \
+                 oversubscribed | churn"
             );
             std::process::exit(2);
         }
@@ -496,6 +509,281 @@ fn write_json(sc: &Scenario, runs: &[Run], cores: usize, duration_ms: f64) {
     }
 }
 
+// ---------------------------------------------------------------------
+// churn: live reconfiguration under load (exec-side §3.5)
+// ---------------------------------------------------------------------
+
+/// The churn world: sink + two join-host workers + `rates.len()` source
+/// pairs, every node a pure relay (capacity 0) so runs are structurally
+/// drop-free at any execution speed — the precondition for the
+/// count-identity gates.
+fn churn_world(rates: &[f64]) -> (Topology, JoinQuery, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 0.0, "sink");
+    let w1 = t.add_node(NodeRole::Worker, 0.0, "w1");
+    let w2 = t.add_node(NodeRole::Worker, 0.0, "w2");
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (k, &rate) in rates.iter().enumerate() {
+        let l = t.add_node(NodeRole::Source, 0.0, format!("l{k}"));
+        let r = t.add_node(NodeRole::Source, 0.0, format!("r{k}"));
+        left.push(StreamSpec::keyed(l, rate, k as u32));
+        right.push(StreamSpec::keyed(r, rate, k as u32));
+    }
+    let query = JoinQuery::by_key(left, right, sink);
+    (t, query, w1, w2)
+}
+
+struct ChurnRun {
+    backend: &'static str,
+    workers: usize,
+    shards: usize,
+    res: ExecResult,
+    pause_p99_ms: f64,
+    handoff_p99_ms: f64,
+    migrated_tuples: usize,
+    /// Every epoch barriered ahead of the emission frontier — the
+    /// precondition for the replay-identity gate below.
+    clean_split: bool,
+}
+
+/// Run the live-reconfiguration scenario: mid-run, the join hosts
+/// "fail" (w1 leaves, everything re-places onto w2 and back) while the
+/// source rates double and revert — three epoch barriers per run, none
+/// window-aligned, so every reconfiguration hands off live mid-window
+/// state. Gated on all hosts: every backend's
+/// `emitted`/`matched`/`delivered` must equal the simulator replaying
+/// the *same* pre/post plans (`nova_runtime::simulate_reconfigured`).
+/// On ≥ 4-core hosts additionally gates the stop-the-world handoff p99.
+fn run_churn(duration_ms: f64, cores: usize) {
+    let rate = 50_000.0;
+    let rates_pre = vec![rate; 2];
+    let rates_hot = [2.0 * rate; 2];
+    let (topology, q_pre, w1, w2) = churn_world(&rates_pre);
+    // Same nodes, shifted rates: rebuild the query with the hot rates.
+    let q_hot = {
+        let mut q = q_pre.clone();
+        for s in q.left.iter_mut().chain(q.right.iter_mut()) {
+            s.rate = 2.0 * rate;
+        }
+        q
+    };
+    // Peak demand = the hot phases: 2 sides x the doubled rates.
+    let aggregate_demand = 2.0 * rates_hot.iter().sum::<f64>();
+
+    let base = ExecConfig {
+        key_space: 64,
+        // Real-time pacing (unlike the throughput scenarios' flat-out
+        // time_scale 1000): reconfiguration is armed by wall-clock
+        // control messages racing the virtual emission frontier, so the
+        // epochs need real headroom ahead of the sources. The scenario
+        // gates correctness and the stop-the-world pause, not tuples/s.
+        time_scale: 1.0,
+        ..throughput_cfg(duration_ms, duration_ms / 2.0, 0.02, 1)
+    };
+    // Epochs at 27 % / 55 % / 78 % of the horizon: none aligned to the
+    // two tumbling windows, so each barrier migrates a live window.
+    let epochs = [0.27, 0.55, 0.78].map(|f| f * duration_ms);
+    let p_pre_w1 = host_based(&q_pre, &q_pre.resolve(), w1);
+    let p_hot_w2 = host_based(&q_hot, &q_hot.resolve(), w2);
+    let p_pre_w1_back = host_based(&q_pre, &q_pre.resolve(), w1);
+    let switches = vec![
+        // w1 leaves + rates double: pairs re-place onto w2.
+        PlanSwitch::between(epochs[0], &q_hot, &p_pre_w1, &p_hot_w2, 1.0)
+            .with_capacities(vec![(w1, 0.0)]),
+        // w1 returns, rates revert.
+        PlanSwitch::between(epochs[1], &q_pre, &p_hot_w2, &p_pre_w1_back, 1.0),
+        // And churn once more: w2 takes over again at hot rates.
+        PlanSwitch::between(epochs[2], &q_hot, &p_pre_w1_back, &p_hot_w2, 1.0),
+    ];
+    let df0 = Dataflow::from_baseline(&q_pre, &p_pre_w1);
+
+    // The reference: the simulator replaying the same pre/post plans.
+    let sim_cfg = nova_runtime::SimConfig {
+        duration_ms: base.duration_ms,
+        window_ms: base.window_ms,
+        selectivity: base.selectivity,
+        gc_interval_ms: base.gc_interval_ms,
+        seed: base.seed,
+        max_queue_ms: base.max_queue_ms,
+        key_space: base.key_space,
+        ..nova_runtime::SimConfig::default()
+    };
+    let sim = simulate_reconfigured(&topology, |_, _| 0.0, &df0, &switches, &sim_cfg);
+    assert_eq!(sim.dropped, 0, "churn: the replay must stay drop-free");
+    assert!(sim.delivered > 0, "churn: the replay must deliver");
+
+    let sweep: [(&'static str, BackendKind, usize, usize); 3] = [
+        ("threaded", BackendKind::Threaded, 1, 0),
+        ("sharded", BackendKind::Sharded, 4, 0),
+        ("async", BackendKind::Async, 4, cores.clamp(1, 8)),
+    ];
+    let mut runs = Vec::new();
+    for (name, backend, shards, workers) in sweep {
+        let cfg = ExecConfig {
+            backend,
+            shards,
+            workers,
+            ..base
+        };
+        let mut handle = launch(&topology, |_, _| 0.0, &df0, &cfg).expect("churn config is valid");
+        for sw in &switches {
+            handle
+                .apply(sw, |_, _| 0.0)
+                .unwrap_or_else(|e| panic!("churn: {name} reconfiguration failed: {e}"));
+        }
+        let pauses: Vec<f64> = handle
+            .epoch_stats()
+            .iter()
+            .map(|s| s.pause_wall_ms)
+            .collect();
+        let handoffs: Vec<f64> = handle
+            .epoch_stats()
+            .iter()
+            .map(|s| s.handoff_wall_ms)
+            .collect();
+        let migrated_tuples = handle.epoch_stats().iter().map(|s| s.migrated_tuples).sum();
+        let clean = handle.epoch_stats().iter().all(|s| s.clean_split);
+        let res = handle.join();
+        runs.push(ChurnRun {
+            backend: name,
+            workers,
+            shards,
+            res,
+            pause_p99_ms: percentile(&pauses, 0.99),
+            handoff_p99_ms: percentile(&handoffs, 0.99),
+            migrated_tuples,
+            clean_split: clean,
+        });
+    }
+
+    println!(
+        "\n=== scenario churn ({:.1} M tuples/s peak aggregate demand, 3 epochs/run) ===",
+        aggregate_demand / 1e6
+    );
+    println!(
+        "{:<10} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10} {:>11} {:>12}",
+        "backend",
+        "workers",
+        "shards",
+        "emitted",
+        "matched",
+        "delivered",
+        "migrated",
+        "pause p99",
+        "handoff p99"
+    );
+    println!(
+        "{:<10} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10} {:>11} {:>12}",
+        "sim-replay", "-", "-", sim.emitted, sim.matched, sim.delivered, "-", "-", "-"
+    );
+    for r in &runs {
+        println!(
+            "{:<10} {:>7} {:>7} {:>10} {:>10} {:>10} {:>10} {:>9.1}ms {:>10.2}ms",
+            r.backend,
+            if r.workers == 0 {
+                "-".to_string()
+            } else {
+                r.workers.to_string()
+            },
+            r.shards,
+            r.res.emitted,
+            r.res.matched,
+            r.res.delivered,
+            r.migrated_tuples,
+            r.pause_p99_ms,
+            r.handoff_p99_ms,
+        );
+    }
+
+    // JSON first (the always-uploaded artifact), gates after.
+    write_churn_json(&runs, &sim, cores, duration_ms);
+
+    for r in &runs {
+        let tag = format!("churn: {}(shards={})", r.backend, r.shards);
+        assert_eq!(r.res.dropped, 0, "{tag} must stay drop-free");
+        assert!(
+            r.migrated_tuples > 0,
+            "{tag} must migrate live window state at the epochs"
+        );
+        assert!(
+            r.clean_split,
+            "{tag}: an epoch barrier lost the race against the emission \
+             frontier — the replay-identity gate below would be comparing \
+             different splits"
+        );
+        assert_eq!(
+            r.res.emitted, sim.emitted,
+            "{tag} diverged from the simulator replay on emitted"
+        );
+        assert_eq!(
+            r.res.matched, sim.matched,
+            "{tag} lost or duplicated matches across a reconfiguration"
+        );
+        assert_eq!(
+            r.res.delivered, sim.delivered,
+            "{tag} diverged from the simulator replay on delivered"
+        );
+    }
+    println!("counts identical to the simulator replay across every backend ✓");
+
+    if cores >= 4 {
+        let worst = runs.iter().map(|r| r.handoff_p99_ms).fold(0.0f64, f64::max);
+        assert!(
+            worst <= 250.0,
+            "churn: stop-the-world handoff p99 too high: {worst:.1} ms \
+             (state re-hash + generation spawn should be far below 250 ms)"
+        );
+        println!("handoff p99 {worst:.2} ms ≤ 250 ms ✓");
+    } else {
+        println!("host has {cores} core(s) < 4: pause gates reporting only");
+    }
+}
+
+fn write_churn_json(
+    runs: &[ChurnRun],
+    sim: &nova_runtime::SimResult,
+    cores: usize,
+    duration_ms: f64,
+) {
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"workers\": {}, \"shards\": {}, \
+             \"emitted\": {}, \"matched\": {}, \"delivered\": {}, \"wall_ms\": {:.1}, \
+             \"tuples_per_s\": {:.0}, \"reconfigs\": 3, \"migrated_tuples\": {}, \"clean_split\": {}, \
+             \"pause_p99_ms\": {:.3}, \"handoff_p99_ms\": {:.3}}}",
+            r.backend,
+            r.workers,
+            r.shards,
+            r.res.emitted,
+            r.res.matched,
+            r.res.delivered,
+            r.res.wall_ms,
+            r.res.input_tuples_per_wall_s(),
+            r.migrated_tuples,
+            r.clean_split,
+            r.pause_p99_ms,
+            r.handoff_p99_ms,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"exec_churn_smoke\",\n  \"scenario\": \"churn\",\n  \
+         \"host_cores\": {cores},\n  \"duration_ms\": {duration_ms},\n  \
+         \"sim_replay\": {{\"emitted\": {}, \"matched\": {}, \"delivered\": {}}},\n  \
+         \"runs\": [\n{entries}\n  ]\n}}\n",
+        sim.emitted, sim.matched, sim.delivered,
+    );
+    let path = std::path::Path::new("BENCH_exec_churn.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
@@ -513,9 +801,16 @@ fn main() {
 
     let names: Vec<&str> = match which.as_deref() {
         Some(one) => vec![one],
-        None => vec!["uniform", "hot-pair", "zipf", "oversubscribed"],
+        None => vec!["uniform", "hot-pair", "zipf", "oversubscribed", "churn"],
     };
     for name in names {
+        if name == "churn" {
+            // Live reconfiguration has its own harness: it applies
+            // epoch barriers mid-run through ExecHandle, which the
+            // generic backend matrix cannot express.
+            run_churn(duration_ms, cores);
+            continue;
+        }
         let sc = scenario(name, duration_ms, cores);
         let runs = run_matrix(&sc);
         // JSON first: a failed gate must still leave fresh numbers on

@@ -25,8 +25,12 @@ pub const REAL_FLAGS_USAGE: &str = "  \
                         on W worker threads)
   --shards N            join shards per deployed instance (default 1)
   --workers N           worker threads of the async event loop
-                        (default 0 = one per core; ignored by the
-                        thread-per-shard backends)
+                        (default 0 = one per core; an error on the
+                        thread-per-shard backends, which spawn one
+                        thread per shard)
+  --run-budget N        tuples one async shard task consumes per
+                        cooperative poll (default 2048; an error on
+                        the thread-per-shard backends)
   --key-space N         per-tuple join sub-key cardinality — a workload
                         property, applied to BOTH engines (default 1)
   --key-buckets N       key buckets for shard routing (default 1 =
@@ -34,24 +38,29 @@ pub const REAL_FLAGS_USAGE: &str = "  \
                         by sub-key across shards)";
 
 /// Parse the figure binaries' shared `--real` / `--backend KIND` /
-/// `--shards N` / `--workers N` / `--key-space N` / `--key-buckets N`
-/// flags and build the executor config for the `--real` re-runs: the
-/// simulator settings dilated by `time_scale`, at the requested
-/// backend, shard, worker and key-bucket counts (counts default to 1,
-/// workers to 0 = auto, backend to `auto`; a malformed *count* falls
-/// back to its default, but an unknown `--backend` value exits with an
-/// error — silently benchmarking a different engine than the one the
-/// user typed would be worse than stopping). The sub-key cardinality
-/// is inherited from the
+/// `--shards N` / `--workers N` / `--run-budget N` / `--key-space N` /
+/// `--key-buckets N` flags and build the executor config for the
+/// `--real` re-runs: the simulator settings dilated by `time_scale`,
+/// at the requested backend, shard, worker and key-bucket counts
+/// (counts default to 1, workers to 0 = auto, backend to `auto`; a
+/// malformed *count* falls back to its default, but an unknown
+/// `--backend` value — or an async-only flag combined with a
+/// thread-per-shard backend — is an error: silently benchmarking a
+/// different engine than the one the user typed would be worse than
+/// stopping). The sub-key cardinality is inherited from the
 /// `SimConfig` (patched by [`with_key_space`] so *both* engines'
 /// columns agree on the workload) — with `key_space = 1` every tuple
 /// carries sub-key 0 and `--key-buckets` alone only permutes the
 /// `(window, pair)` shard layout; pass `--key-space N` too to exercise
-/// keyed sub-pair sharding. Returns `None` when `--real` is absent.
-/// [`REAL_FLAGS_USAGE`] documents exactly these flags.
-pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Option<ExecConfig> {
+/// keyed sub-pair sharding. Returns `Ok(None)` when `--real` is
+/// absent. [`REAL_FLAGS_USAGE`] documents exactly these flags.
+pub fn parse_real_exec_cfg(
+    args: &[String],
+    sim: &SimConfig,
+    time_scale: f64,
+) -> Result<Option<ExecConfig>, String> {
     if !args.iter().any(|a| a == "--real") {
-        return None;
+        return Ok(None);
     }
     let value_of = |name: &str| {
         args.iter()
@@ -65,17 +74,44 @@ pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Optio
     };
     let backend = match value_of("--backend") {
         None => BackendKind::Auto,
-        Some(v) => BackendKind::parse(v).unwrap_or_else(|| {
-            eprintln!("unknown --backend {v:?}: expected threaded | sharded | async (or auto)");
-            std::process::exit(2)
-        }),
+        Some(v) => BackendKind::parse(v).ok_or_else(|| {
+            format!("unknown --backend {v:?}: expected threaded | sharded | async (or auto)")
+        })?,
     };
-    Some(ExecConfig {
+    // Regression (bug sweep): --workers / --run-budget only drive the
+    // async event loop. The parser used to accept them with any
+    // backend and the thread-per-shard engines silently ignored them —
+    // the benchmark then measured something other than what the
+    // command line said.
+    if backend != BackendKind::Async {
+        for flag in ["--workers", "--run-budget"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(format!(
+                    "{flag} only applies to the async event loop; pass --backend async \
+                     (the thread-per-shard backends spawn one thread per shard and \
+                     would silently ignore it)"
+                ));
+            }
+        }
+    }
+    let mut cfg = ExecConfig {
         backend,
         shards: count("--shards", 1),
         workers: count("--workers", 0),
         key_buckets: count("--key-buckets", 1),
         ..ExecConfig::from_sim(sim, time_scale)
+    };
+    cfg.run_budget = count("--run-budget", cfg.run_budget);
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(Some(cfg))
+}
+
+/// [`parse_real_exec_cfg`] for the fig binaries' `main`s: prints the
+/// error and exits with status 2 instead of returning it.
+pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Option<ExecConfig> {
+    parse_real_exec_cfg(args, sim, time_scale).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
     })
 }
 
@@ -139,6 +175,24 @@ pub fn run_placement_real(
     let df = Dataflow::build(query, placement, |_| sigma);
     let mut dist = |a, b| provider.rtt(a, b);
     backend_for(cfg).run(topology, &mut dist, &df, cfg)
+}
+
+/// Deploy `placement` for `query` and *launch* it reconfigurable —
+/// the live counterpart of [`run_placement_real`]: the returned
+/// [`nova_exec::ExecHandle`] absorbs `PlanSwitch`es mid-stream
+/// (`handle.apply(..)`) and yields the final counts on
+/// `handle.join()`. Used by the `churn` smoke scenario and any
+/// experiment that reconfigures a running placement.
+pub fn launch_placement_real(
+    topology: &Topology,
+    provider: &impl LatencyProvider,
+    query: &JoinQuery,
+    placement: &Placement,
+    sigma: f64,
+    cfg: &ExecConfig,
+) -> Result<nova_exec::ExecHandle, nova_exec::ExecConfigError> {
+    let df = Dataflow::build(query, placement, |_| sigma);
+    nova_exec::launch(topology, |a, b| provider.rtt(a, b), &df, cfg)
 }
 
 /// Execute an already-deployed dataflow on a caller-chosen backend —
@@ -257,6 +311,62 @@ mod tests {
     use nova_core::baselines::sink_based;
     use nova_core::StreamSpec;
     use nova_topology::{DenseRtt, NodeRole};
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_accepts_async_only_flags_with_the_async_backend_only() {
+        let sim = SimConfig::default();
+        // Without --real: no config, flags irrelevant.
+        assert!(matches!(
+            parse_real_exec_cfg(&args(&["--workers", "4"]), &sim, 8.0),
+            Ok(None)
+        ));
+        // Async backend: both flags apply.
+        let cfg = parse_real_exec_cfg(
+            &args(&[
+                "--real",
+                "--backend",
+                "async",
+                "--workers",
+                "4",
+                "--run-budget",
+                "64",
+            ]),
+            &sim,
+            8.0,
+        )
+        .expect("valid combination")
+        .expect("--real present");
+        assert_eq!(cfg.backend, BackendKind::Async);
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.run_budget, 64);
+
+        // Regression: thread-per-shard backends used to silently
+        // ignore --workers / --run-budget; the combination is now an
+        // explicit error naming the flag.
+        for backend in [&["--backend", "sharded"][..], &[][..]] {
+            for flag in [&["--workers", "4"][..], &["--run-budget", "64"][..]] {
+                let mut a = args(&["--real", "--shards", "4"]);
+                a.extend(args(backend));
+                a.extend(args(flag));
+                let err = parse_real_exec_cfg(&a, &sim, 8.0).unwrap_err();
+                assert!(err.contains(flag[0]), "error must name the flag: {err}");
+                assert!(err.contains("async"), "error must point at the fix: {err}");
+            }
+        }
+
+        // Unknown backend is an error, not a silent fallback.
+        let err =
+            parse_real_exec_cfg(&args(&["--real", "--backend", "turbo"]), &sim, 8.0).unwrap_err();
+        assert!(err.contains("turbo"));
+
+        // Zero-knob values flow into ExecConfig::validate.
+        let err = parse_real_exec_cfg(&args(&["--real", "--shards", "0"]), &sim, 8.0).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+    }
 
     #[test]
     fn run_placement_real_executes_end_to_end() {

@@ -9,7 +9,7 @@
 //! | Cl-SF     | LEACH-SF clustering \[64\] | fuzzy clustering, join at the common cluster head, else the sink |
 //! | Cl-Tree-SF| hybrid | cluster heads linked by an MST, join at head-path intersections |
 //!
-//! All baselines emit the same [`Placement`](crate::Placement) representation as Nova so
+//! All baselines emit the same [`Placement`] representation as Nova so
 //! the evaluator compares them uniformly. Except for Top-c they are
 //! resource-agnostic — exactly the property the overload experiment
 //! (Fig. 6) exposes. The tree-based methods record their multi-hop
@@ -33,9 +33,25 @@ pub use tree::tree_based;
 
 use nova_topology::NodeId;
 
-use crate::placement::{direct_path, PlacedReplica};
-use crate::plan::JoinQuery;
+use crate::placement::{direct_path, PlacedReplica, Placement};
+use crate::plan::{JoinQuery, ResolvedPlan};
 use crate::types::JoinPair;
+
+/// Every pair's single replica pinned on one `host` with direct
+/// routing legs — the "run everything here" placement. Not one of the
+/// paper's baselines, but the shape the live-reconfiguration tests and
+/// the churn benchmark build their pre/post plans from (pin on host A,
+/// switch to host B), shared here so they cannot drift apart.
+pub fn host_based(query: &JoinQuery, plan: &ResolvedPlan, host: NodeId) -> Placement {
+    let mut placement = Placement::new("host");
+    placement.replicas.reserve(plan.len());
+    for pair in &plan.pairs {
+        placement
+            .replicas
+            .push(whole_pair_replica(query, pair, host));
+    }
+    placement
+}
 
 /// Build an *unpartitioned* replica of `pair` at `node` with direct
 /// routing legs — the shape all non-tree baselines share.

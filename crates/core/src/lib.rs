@@ -72,6 +72,6 @@ pub use optimizer::{Nova, NovaConfig};
 pub use partitioning::{p_max, partition_rates, sigma_for_bandwidth, PartitionedJoin};
 pub use placement::{Availability, OverflowPolicy, PhaseThreeConfig, PlacedReplica, Placement};
 pub use plan::{JoinQuery, ResolvedPlan};
-pub use reopt::{ReoptError, ReoptOutcome};
+pub use reopt::{ReoptError, ReoptOutcome, ReoptStep};
 pub use types::{JoinPair, PairId, Side, StreamSpec};
 pub use virtual_placement::{compute_optima, virtual_position};

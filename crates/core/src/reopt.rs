@@ -56,6 +56,101 @@ pub struct ReoptOutcome {
     pub new_node: Option<NodeId>,
 }
 
+/// One §3.5 adaptation event **as data** — the unit a control plane
+/// ships around. [`Nova::apply_step`] dispatches a step to the
+/// corresponding imperative method; representing the event as a value
+/// is what lets the executor's live-reconfiguration path (and any
+/// future external controller) log, queue and replay the same change
+/// the optimizer absorbed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReoptStep {
+    /// Add an idle worker ([`Nova::add_worker`]).
+    AddWorker {
+        /// Capacity in tuples/s.
+        capacity: f64,
+        /// Human-readable node label.
+        label: String,
+    },
+    /// Add a source stream ([`Nova::add_source`]).
+    AddSource {
+        /// Side of the join the stream feeds.
+        side: Side,
+        /// Data rate in tuples/s.
+        rate: f64,
+        /// Join key (region id).
+        key: u32,
+        /// Node capacity in tuples/s.
+        capacity: f64,
+        /// Human-readable node label.
+        label: String,
+    },
+    /// Remove a node of any role ([`Nova::remove_node`]).
+    RemoveNode {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// Change a stream's data rate ([`Nova::change_rate`]).
+    ChangeRate {
+        /// Side of the join.
+        side: Side,
+        /// Stream index on that side.
+        stream: u32,
+        /// New rate in tuples/s.
+        new_rate: f64,
+    },
+    /// Change a worker's capacity ([`Nova::change_capacity`]).
+    ChangeCapacity {
+        /// The resized node.
+        node: NodeId,
+        /// New capacity in tuples/s.
+        new_capacity: f64,
+    },
+    /// Re-embed a drifted node ([`Nova::update_coordinates`]).
+    UpdateCoordinates {
+        /// The node whose latency profile changed.
+        node: NodeId,
+    },
+}
+
+impl Nova {
+    /// Apply one [`ReoptStep`] — the data-driven face of the §3.5 API.
+    /// Exactly equivalent to calling the step's imperative method;
+    /// `provider` is consulted only by the steps that embed a
+    /// coordinate (worker/source addition, coordinate update).
+    pub fn apply_step(
+        &mut self,
+        provider: &impl LatencyProvider,
+        step: &ReoptStep,
+    ) -> Result<ReoptOutcome, ReoptError> {
+        match step {
+            ReoptStep::AddWorker { capacity, label } => {
+                let id = self.add_worker(provider, *capacity, label.clone());
+                Ok(ReoptOutcome {
+                    new_node: Some(id),
+                    ..Default::default()
+                })
+            }
+            ReoptStep::AddSource {
+                side,
+                rate,
+                key,
+                capacity,
+                label,
+            } => self.add_source(provider, *side, *rate, *key, *capacity, label.clone()),
+            ReoptStep::RemoveNode { node } => self.remove_node(*node),
+            ReoptStep::ChangeRate {
+                side,
+                stream,
+                new_rate,
+            } => self.change_rate(*side, *stream, *new_rate),
+            ReoptStep::ChangeCapacity { node, new_capacity } => {
+                self.change_capacity(*node, *new_capacity)
+            }
+            ReoptStep::UpdateCoordinates { node } => self.update_coordinates(provider, *node),
+        }
+    }
+}
+
 impl Nova {
     /// Add an idle worker node (§3.5 "topology changes"). Embeds its
     /// coordinate against a fixed-size neighbor set via `provider` and
@@ -602,6 +697,68 @@ mod tests {
         let pairs: std::collections::HashSet<_> =
             w.nova.placement().replicas.iter().map(|r| r.pair).collect();
         assert_eq!(pairs.len(), 2, "all pairs still placed after drift");
+    }
+
+    #[test]
+    fn apply_step_dispatches_to_the_imperative_api() {
+        // Two worlds, same seed: the data-driven step sequence must
+        // leave the optimizer in the same externally observable state
+        // as the imperative calls.
+        let mut a = world();
+        let mut b = world();
+        let grown = grow_rtt(&a.rtt, Coord::xy(5.0, 0.0));
+
+        let wa = a.nova.add_worker(&grown, 50.0, "w-new");
+        let out = b
+            .nova
+            .apply_step(
+                &grown,
+                &ReoptStep::AddWorker {
+                    capacity: 50.0,
+                    label: "w-new".into(),
+                },
+            )
+            .expect("add worker step");
+        assert_eq!(out.new_node, Some(wa));
+
+        let ra = a.nova.change_rate(Side::Left, 0, 60.0).expect("rate");
+        let rb = b
+            .nova
+            .apply_step(
+                &grown,
+                &ReoptStep::ChangeRate {
+                    side: Side::Left,
+                    stream: 0,
+                    new_rate: 60.0,
+                },
+            )
+            .expect("rate step");
+        assert_eq!(ra.replaced_pairs, rb.replaced_pairs);
+        assert_eq!(a.nova.placement().replicas, b.nova.placement().replicas);
+
+        let victim = a.nova.placement().nodes_used()[0];
+        let na = a.nova.remove_node(victim).expect("remove");
+        let nb = b
+            .nova
+            .apply_step(&grown, &ReoptStep::RemoveNode { node: victim })
+            .expect("remove step");
+        assert_eq!(na.replaced_pairs, nb.replaced_pairs);
+        assert_eq!(a.nova.placement().replicas, b.nova.placement().replicas);
+
+        // Errors propagate unchanged.
+        assert_eq!(
+            b.nova
+                .apply_step(
+                    &grown,
+                    &ReoptStep::ChangeRate {
+                        side: Side::Right,
+                        stream: 99,
+                        new_rate: 1.0
+                    }
+                )
+                .unwrap_err(),
+            ReoptError::UnknownStream(Side::Right, 99)
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! before yielding back to the FIFO ready queue, bounding the latency
 //! skew between co-scheduled shards.
 //!
+//! The bootstrap itself lives in [`crate::control`] (shared with the
+//! thread-per-shard backends), which also gives this backend live
+//! reconfiguration: an epoch barrier retires the task generation
+//! through the same `JoinCore::on_barrier`/`export_state` seam, and the
+//! replacement generation is registered with the *same* scheduler and
+//! worker pool ([`crate::sched::Scheduler::reserve`]).
+//!
 //! ## Why count identity survives cooperative scheduling
 //!
 //! The scheduler changes *when* a shard's tuples are processed, never
@@ -42,13 +49,11 @@
 use nova_runtime::Dataflow;
 use nova_topology::{NodeId, Topology};
 
-use crate::channel::{
-    poll_bounded, JoinMsg, OutFlight, PollReceiver, PollRecv, PollSend, PollSender, SinkMsg,
-};
+use crate::channel::{JoinMsg, OutFlight, PollReceiver, PollRecv, PollSend, PollSender, SinkMsg};
+use crate::control::Quiesced;
 use crate::join::JoinCore;
 use crate::metrics::{Counters, ExecResult, NodePacer};
-use crate::sched::{Poll, Scheduler, Waker};
-use crate::worker::{self, VirtualClock};
+use crate::sched::{Poll, Waker};
 use crate::{Backend, ExecConfig};
 
 /// Event-loop backend: `shards` cooperative join tasks per deployed
@@ -69,7 +74,7 @@ impl Backend for AsyncBackend {
         dataflow: &Dataflow,
         cfg: &ExecConfig,
     ) -> ExecResult {
-        run_async(topology, dist, dataflow, cfg)
+        crate::control::launch_tasks(topology, dist, dataflow, cfg).finish()
     }
 }
 
@@ -100,8 +105,11 @@ struct BatchCursor {
 /// One shard of one join instance as a cooperative task — the same
 /// [`JoinCore`] the thread-per-shard backends drive, wrapped in the
 /// resumable state a poll-based loop needs.
-struct JoinTask {
+pub(crate) struct JoinTask {
     core: JoinCore,
+    /// Flat index within this task's generation (the control plane's
+    /// quiesce bookkeeping is per generation).
+    flat: usize,
     /// `None` once the task retired (or its worker panicked): dropping
     /// the endpoint eagerly lets blocked sources observe the hang-up
     /// instead of parking on a channel nobody will ever drain.
@@ -111,6 +119,7 @@ struct JoinTask {
     /// dies without its Eof still cannot hang the run.
     sink_tx: Option<PollSender<SinkMsg>>,
     waker: Waker,
+    ctrl_up: std::sync::mpsc::Sender<Quiesced>,
     out_batch: Vec<OutFlight>,
     /// A sink batch that found the sink channel full; retried first on
     /// the next poll (output order to the sink stays per-task FIFO).
@@ -118,11 +127,46 @@ struct JoinTask {
     cur: Option<BatchCursor>,
     /// All producers have signalled Eof; drain outputs, then Eof.
     finishing: bool,
+    /// Epoch-barrier quorum complete (live reconfiguration): drain
+    /// outputs, export state up the control channel, retire without a
+    /// sink Eof.
+    quiesce: Option<u64>,
 }
 
 impl JoinTask {
+    pub(crate) fn new(
+        core: JoinCore,
+        flat: usize,
+        rx: PollReceiver<JoinMsg>,
+        sink_tx: PollSender<SinkMsg>,
+        waker: Waker,
+        ctrl_up: std::sync::mpsc::Sender<Quiesced>,
+    ) -> JoinTask {
+        // Instances nobody feeds skip straight to the Eof handshake
+        // (the zero-producer quorum is vacuously met).
+        let finishing = core.inst.producers == 0;
+        JoinTask {
+            core,
+            flat,
+            rx: Some(rx),
+            sink_tx: Some(sink_tx),
+            waker,
+            ctrl_up,
+            out_batch: Vec::new(),
+            pending: None,
+            cur: None,
+            finishing,
+            quiesce: None,
+        }
+    }
+
     /// Run this shard until it blocks, exhausts its budget or finishes.
-    fn poll(&mut self, cfg: &ExecConfig, pacers: &[NodePacer], counters: &Counters) -> Poll {
+    pub(crate) fn poll(
+        &mut self,
+        cfg: &ExecConfig,
+        pacers: &[NodePacer],
+        counters: &Counters,
+    ) -> Poll {
         let mut budget = cfg.run_budget.max(1);
         'steps: loop {
             // 1. A stashed sink message goes out before anything else.
@@ -165,7 +209,22 @@ impl JoinTask {
                 continue;
             }
 
-            // 3. Winding down: everything is flushed; Eof is last.
+            // 3. Quiescing (epoch barrier): everything is flushed; ship
+            // the window state to the control plane and retire — no
+            // sink Eof, the sink is re-based on the new generation.
+            if let Some(epoch) = self.quiesce {
+                debug_assert!(self.out_batch.is_empty() && self.pending.is_none());
+                let groups = self.core.export_state();
+                let _ = self.ctrl_up.send(Quiesced {
+                    flat: self.flat,
+                    epoch,
+                    late: self.core.late_split(),
+                    groups,
+                });
+                return self.retire(counters);
+            }
+
+            // 4. Winding down: everything is flushed; Eof is last.
             if self.finishing {
                 debug_assert!(self.out_batch.is_empty() && self.pending.is_none());
                 let send = self.sink().try_send(
@@ -180,7 +239,7 @@ impl JoinTask {
                 };
             }
 
-            // 4. Next input message.
+            // 5. Next input message.
             if budget == 0 {
                 return Poll::Yielded;
             }
@@ -202,6 +261,20 @@ impl JoinTask {
                 PollRecv::Item(JoinMsg::Eof { source }) => {
                     if self.core.on_eof(source) {
                         self.begin_finishing();
+                    } else if let Some(epoch) = self.core.quiesce_ready() {
+                        // A stream that ended during the arm closes the
+                        // quiesce quorum with its Eof (the barriered
+                        // producers already reported).
+                        self.begin_quiescing(epoch);
+                    }
+                }
+                PollRecv::Item(JoinMsg::Barrier {
+                    source,
+                    epoch,
+                    late,
+                }) => {
+                    if self.core.on_barrier(source, epoch, late) {
+                        self.begin_quiescing(epoch);
                     }
                 }
                 PollRecv::Empty => return Poll::Pending,
@@ -214,6 +287,13 @@ impl JoinTask {
 
     fn begin_finishing(&mut self) {
         self.finishing = true;
+        if !self.out_batch.is_empty() {
+            self.stash_out_batch();
+        }
+    }
+
+    fn begin_quiescing(&mut self, epoch: u64) {
+        self.quiesce = Some(epoch);
         if !self.out_batch.is_empty() {
             self.stash_out_batch();
         }
@@ -248,126 +328,9 @@ impl JoinTask {
     /// is suspect). Called by the worker with the poisoned lock
     /// recovered — the sink then terminates by sender hang-up instead
     /// of waiting forever on this task's Eof.
-    fn abandon(&mut self) {
+    pub(crate) fn abandon(&mut self) {
         self.rx = None;
         self.sink_tx = None;
-    }
-}
-
-/// The async bootstrap: compile the dataflow, wire poll channels, park
-/// S tasks behind the scheduler and let W workers drain them while the
-/// source/sink OS threads stream against the virtual clock.
-pub(crate) fn run_async(
-    topology: &Topology,
-    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
-    dataflow: &Dataflow,
-    cfg: &ExecConfig,
-) -> ExecResult {
-    let plan = worker::compile(topology, dist, dataflow);
-    let pacers: Vec<NodePacer> = topology
-        .nodes()
-        .iter()
-        .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
-        .collect();
-    let counters = Counters::default();
-    let shards = cfg.shards.max(1);
-    let n_instances = plan.instances.len();
-    let n_tasks = n_instances * shards;
-    let workers = effective_workers(cfg.workers, n_tasks);
-    let threads = plan.sources.len() + workers + 1;
-
-    // Channels: one poll link per shard task (flat index
-    // `instance × shards + shard`, same layout as the sharded backend),
-    // one into the sink.
-    let scheduler = Scheduler::new(n_tasks);
-    let (sink_tx, sink_rx) = poll_bounded::<SinkMsg>(cfg.channel_capacity);
-    let mut join_txs = Vec::with_capacity(n_tasks);
-    let mut tasks: Vec<std::sync::Mutex<JoinTask>> = Vec::with_capacity(n_tasks);
-    for flat in 0..n_tasks {
-        let (tx, rx) = poll_bounded::<JoinMsg>(cfg.channel_capacity);
-        join_txs.push(tx);
-        tasks.push(std::sync::Mutex::new(JoinTask {
-            core: JoinCore::new(plan.instances[flat / shards].clone()),
-            rx: Some(rx),
-            sink_tx: Some(sink_tx.clone()),
-            waker: scheduler.waker(flat),
-            out_batch: Vec::new(),
-            pending: None,
-            cur: None,
-            // Instances nobody feeds skip straight to the Eof handshake
-            // (the zero-producer quorum is vacuously met).
-            finishing: plan.instances[flat / shards].producers == 0,
-        }));
-    }
-    // Tasks hold clones; drop the original so the sink's sender count
-    // reflects live shards only.
-    drop(sink_tx);
-    let charge_sink: Vec<bool> = plan.instances.iter().map(|i| i.charge_sink).collect();
-    let sink_node = dataflow.sink.idx();
-
-    let clock = VirtualClock::start(cfg.time_scale);
-    let outputs = std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (tasks, scheduler, pacers, counters) = (&tasks, &scheduler, &pacers, &counters);
-            scope.spawn(move || {
-                while let Some(id) = scheduler.next() {
-                    // The scheduler hands a Running task to exactly one
-                    // worker, so this lock is uncontended by design.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        tasks[id]
-                            .lock()
-                            .expect("join task poisoned")
-                            .poll(cfg, pacers, counters)
-                    }));
-                    match outcome {
-                        Ok(outcome) => scheduler.complete(id, outcome),
-                        Err(payload) => {
-                            // A panicked poll must not hang the run
-                            // (the thread-per-shard backends unwind via
-                            // channel hang-ups; match that): drop the
-                            // dead task's endpoints so blocked sources
-                            // and the sink observe closure, retire it
-                            // in the scheduler, then re-raise so the
-                            // run fails with the original panic.
-                            let mut task = match tasks[id].lock() {
-                                Ok(guard) => guard,
-                                Err(poisoned) => poisoned.into_inner(),
-                            };
-                            task.abandon();
-                            drop(task);
-                            scheduler.complete(id, Poll::Done);
-                            std::panic::resume_unwind(payload);
-                        }
-                    }
-                }
-            });
-        }
-        for src in plan.sources {
-            let (pacers, counters, join_txs) = (&pacers, &counters, &join_txs);
-            scope.spawn(move || {
-                worker::run_source(src, cfg, clock, pacers, counters, join_txs, shards)
-            });
-        }
-        let sink = {
-            let (pacers, counters, charge_sink) = (&pacers, &counters, &charge_sink);
-            scope.spawn(move || {
-                worker::run_sink(sink_rx, sink_node, charge_sink, pacers, counters, n_tasks)
-            })
-        };
-        sink.join().expect("sink worker panicked")
-    });
-
-    use std::sync::atomic::Ordering;
-    let delivered = outputs.len() as u64;
-    ExecResult {
-        outputs,
-        emitted: counters.emitted.load(Ordering::Relaxed),
-        matched: counters.matched.load(Ordering::Relaxed),
-        delivered,
-        node_busy_ms: pacers.iter().map(|p| p.busy_ms()).collect(),
-        dropped: counters.dropped.load(Ordering::Relaxed),
-        wall_ms: clock.wall_ms(),
-        threads,
     }
 }
 

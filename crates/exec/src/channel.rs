@@ -71,6 +71,23 @@ pub enum JoinMsg {
         /// Index of the finished source task.
         source: u32,
     },
+    /// Epoch barrier (live reconfiguration): the source has emitted its
+    /// last *pre-epoch* tuple on this channel. FIFO order makes the
+    /// barrier a watertight separator — everything this source sent
+    /// before the epoch precedes it. A shard that has collected a
+    /// barrier or Eof from every producer has seen its complete
+    /// pre-epoch input and quiesces (exports state, retires).
+    Barrier {
+        /// Index of the barriering source task.
+        source: u32,
+        /// Reconfiguration epoch this barrier belongs to.
+        epoch: u64,
+        /// True when the source had already emitted past the epoch by
+        /// the time the arm reached it (the pre/post split then falls
+        /// at the source's actual position, not at the epoch — counts
+        /// stay exact but no longer mirror a replay at the epoch).
+        late: bool,
+    },
 }
 
 /// Message on a join-instance → sink channel.
@@ -87,6 +104,20 @@ pub enum SinkMsg {
     Eof {
         /// Index of the finished instance.
         instance: u32,
+    },
+    /// Live reconfiguration: a new generation of shard workers replaces
+    /// the old one. Sent by the control plane *after* every old shard
+    /// quiesced (so all old-generation batches precede it) and *before*
+    /// the new generation can produce, so the sink's accounting flips
+    /// exactly at the epoch.
+    Epoch {
+        /// Eof quorum of the new generation (its shard-worker count);
+        /// the sink's Eof counter restarts at zero.
+        producers: usize,
+        /// Per-instance "charge the sink's service slot" table of the
+        /// new plan (old shards never retire via Eof, so indices in
+        /// later batches always refer to the new plan's instances).
+        charge_sink: Vec<bool>,
     },
 }
 

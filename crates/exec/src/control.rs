@@ -1,0 +1,1157 @@
+//! Live plan reconfiguration: the executor-side control plane (§3.5).
+//!
+//! The simulator has replayed re-optimization steps since the `reopt`
+//! module landed; this module closes the sim/exec asymmetry by letting
+//! a *running* placement absorb a [`PlanSwitch`] mid-stream. The run is
+//! started through [`launch`], which returns an [`ExecHandle`]; each
+//! [`ExecHandle::apply`] executes one **epoch-barrier protocol** over
+//! whatever backend the config selected:
+//!
+//! 1. **Arm** — every source worker receives `Reconfigure { epoch,
+//!    epoch_ms }` on its control mailbox. Sources keep emitting until
+//!    their next emission time reaches the epoch, so the pre/post split
+//!    is exactly `t < epoch_ms` / `t >= epoch_ms` — a property of the
+//!    *plan*, not of scheduling.
+//! 2. **Barrier** — at the epoch each source flushes its batches, fans
+//!    a [`crate::channel::JoinMsg::Barrier`] to every shard it feeds
+//!    (the same fan-out as its Eofs) and parks on the mailbox.
+//!    Per-producer FIFO channels make the barrier a watertight
+//!    separator: a shard that has a barrier (or Eof) from every
+//!    producer has seen its complete pre-epoch input.
+//! 3. **Quiesce & handoff** — each shard then flushes its outputs,
+//!    publishes its match count, exports its live window state
+//!    ([`nova_runtime::WindowGroup`]s) up the control channel and
+//!    retires. This is identical across backends because the logic
+//!    lives in the shared `JoinCore` (`on_barrier` / `export_state`).
+//! 4. **Switch** — the control plane compiles the post plan, re-bases
+//!    the sink's Eof quorum ([`crate::channel::SinkMsg::Epoch`]),
+//!    spawns a *fresh generation* of shard workers (threads or
+//!    cooperative tasks, per backend) whose `JoinCore`s are pre-seeded
+//!    with the migrated `(window, pair, key bucket)` groups re-hashed
+//!    under the new layout, and finally resumes every source with the
+//!    new routing tables and senders.
+//!
+//! ## Why counts are preserved
+//!
+//! *Pre/pre* matches were produced by the old shards before the barrier
+//! (FIFO exhaustiveness). *Post/post* matches are produced by the new
+//! shards. *Pre/post* matches cross the epoch: the pre tuple's buffered
+//! state migrates — without re-probing, so nothing is double-counted —
+//! to exactly the shard that the post tuple's `(window, pair, key
+//! bucket)` routes to, **before** any post tuple can be processed
+//! (sources are parked until the handoff completes). So no match is
+//! lost and none is duplicated, at any epoch position — window-aligned
+//! or mid-window. The simulator's
+//! [`nova_runtime::simulate_reconfigured`] implements the same
+//! semantics over the same [`PlanSwitch`], which is what the
+//! reconfiguration consistency tests pin: identical
+//! `emitted`/`matched`/`delivered` on drop-free runs, on all three
+//! backends (DESIGN.md §7).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use nova_runtime::{Dataflow, OutputRecord, PlanSwitch, WindowGroup};
+use nova_topology::{NodeId, Topology};
+
+use crate::async_backend::{effective_workers, JoinTask};
+use crate::channel::{bounded, poll_bounded, JoinMsg, MsgSender, PollSender, Sender, SinkMsg};
+use crate::join::JoinCore;
+use crate::metrics::{Counters, ExecResult, NodePacer};
+use crate::sched::{Poll, Scheduler};
+use crate::sharded::{key_bucket_of, shard_of};
+use crate::worker::{self, CompiledInstance, CompiledSource, VirtualClock};
+use crate::{ExecConfig, ExecConfigError};
+
+/// Control message to one source worker (its private mailbox).
+pub(crate) enum SourceCtrl<T> {
+    /// Arm an epoch: barrier once the next emission time reaches
+    /// `epoch_ms`.
+    Reconfigure {
+        /// Epoch identifier (monotonic per run).
+        epoch: u64,
+        /// Virtual time of the boundary.
+        epoch_ms: f64,
+    },
+    /// Post-epoch routing: a freshly compiled source (new rates, feeds
+    /// and targets) and the new shard generation's senders.
+    Resume {
+        /// The post-plan source task.
+        src: CompiledSource,
+        /// Senders of the new generation, flat `instance × shards +
+        /// shard` layout.
+        txs: Vec<T>,
+        /// Total source count (for the shared resume-grid rule).
+        n_sources: usize,
+    },
+}
+
+/// A quiesced shard's report: its flat index in the retiring
+/// generation and its exported window state.
+pub(crate) struct Quiesced {
+    /// Flat `instance × shards + shard` index within the old layout.
+    pub flat: usize,
+    /// Epoch the barrier belonged to (stale reports — from an epoch
+    /// that timed out — are dropped by the collector).
+    pub epoch: u64,
+    /// Whether any producer barriered after already emitting past the
+    /// epoch (see [`EpochStats::clean_split`]).
+    pub late: bool,
+    /// The shard's live `(window, key)` groups, handed off to the new
+    /// generation.
+    pub groups: Vec<WindowGroup>,
+}
+
+/// Measurements of one applied reconfiguration.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch identifier (1 for the first `apply`).
+    pub epoch: u64,
+    /// Virtual time of the boundary.
+    pub epoch_ms: f64,
+    /// Wall time of the whole `apply` call: arming the sources through
+    /// resuming them. Includes the time sources naturally take to
+    /// *reach* the epoch, so it is workload-dependent.
+    pub pause_wall_ms: f64,
+    /// Wall time of the stop-the-world part only: last shard quiesced
+    /// → sources resumed (state re-hash, new-generation spawn, sink
+    /// re-base). This is the protocol's own overhead.
+    pub handoff_wall_ms: f64,
+    /// `(window, key)` groups migrated to the new generation.
+    pub migrated_groups: usize,
+    /// Buffered tuples inside those groups.
+    pub migrated_tuples: usize,
+    /// Shard workers in the new generation.
+    pub shard_workers: usize,
+    /// True when every source barriered *before* emitting past the
+    /// epoch — the clean `t < epoch_ms` split that makes the run
+    /// mirror [`nova_runtime::simulate_reconfigured`] exactly. False
+    /// means the arm lost the race against the emission frontier
+    /// (epoch too close to the sources' current position, e.g. in
+    /// flat-out `time_scale` runs): counts are still internally exact
+    /// and no state is lost, but they need not equal a replay that
+    /// splits at the epoch.
+    pub clean_split: bool,
+}
+
+/// Why an [`ExecHandle::apply`] was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// Every source worker has already finished — nothing left to
+    /// reconfigure.
+    RunFinished,
+    /// The post plan's source count differs from the running plan's
+    /// (adding/removing streams is not replayed live).
+    SourceCountMismatch {
+        /// Sources in the running plan.
+        running: usize,
+        /// Sources in the post plan.
+        post: usize,
+    },
+    /// `succ` does not cover exactly the old instance set.
+    SuccessorLengthMismatch {
+        /// Old instances in the running plan.
+        running: usize,
+        /// Entries in the switch's succession map.
+        got: usize,
+    },
+    /// A successor index points past the post plan's instance list.
+    SuccessorOutOfRange {
+        /// The offending successor index.
+        index: u32,
+        /// Instances in the post plan.
+        instances: usize,
+    },
+    /// The old generation did not quiesce within the grace period
+    /// (e.g. the epoch was armed after the run drained).
+    QuiesceTimeout,
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::RunFinished => write!(f, "run already finished; nothing to reconfigure"),
+            ReconfigError::SourceCountMismatch { running, post } => write!(
+                f,
+                "post plan has {post} sources but the running plan has {running}; \
+                 live reconfiguration preserves the source set"
+            ),
+            ReconfigError::SuccessorLengthMismatch { running, got } => write!(
+                f,
+                "succession map covers {got} instances but the running plan has {running}"
+            ),
+            ReconfigError::SuccessorOutOfRange { index, instances } => write!(
+                f,
+                "successor instance {index} out of range (post plan has {instances} instances)"
+            ),
+            ReconfigError::QuiesceTimeout => write!(
+                f,
+                "old shard generation did not quiesce in time (was the epoch armed \
+                 after the stream ended?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// How long `apply` waits for the old generation to quiesce before
+/// giving up. Generous: quiescing is bounded by the time sources need
+/// to *reach* the epoch, which is the run's own pacing.
+const QUIESCE_GRACE: Duration = Duration::from_secs(60);
+
+/// Per-backend mechanism for materializing one generation of shard
+/// workers. Everything protocol-level lives in [`Plane`]; a fleet only
+/// knows how to wire channels and spawn its execution vehicles.
+pub(crate) trait Fleet {
+    /// The join-channel sender family this fleet's sources use.
+    type Tx: MsgSender<JoinMsg> + Clone + Send + 'static;
+
+    /// Spawn shard workers for `cores` (flat `instance × shards +
+    /// shard` order) and return their input senders in the same order.
+    fn spawn_generation(&mut self, cores: Vec<JoinCore>) -> Vec<Self::Tx>;
+
+    /// Enqueue a message to the sink (the fleet owns a sink sender for
+    /// the whole run, which also keeps the channel open across
+    /// generation turnover).
+    fn send_sink(&mut self, msg: SinkMsg);
+
+    /// OS threads this fleet has spawned so far (for
+    /// [`ExecResult::threads`] accounting).
+    fn worker_threads(&self) -> usize;
+
+    /// Release the sink sender and join every spawned worker. Called
+    /// once, after the sources finished.
+    fn finish(&mut self);
+}
+
+/// Thread-per-shard fleet: one OS thread per `JoinCore`, blocking MPSC
+/// channels — the vehicle of [`crate::ThreadedBackend`] (1 shard) and
+/// [`crate::ShardedBackend`] (N shards).
+pub(crate) struct ThreadFleet {
+    cfg: ExecConfig,
+    pacers: Arc<Vec<NodePacer>>,
+    counters: Arc<Counters>,
+    sink_tx: Option<Sender<SinkMsg>>,
+    ctrl_up: mpsc::Sender<Quiesced>,
+    handles: Vec<JoinHandle<()>>,
+    spawned: usize,
+}
+
+impl Fleet for ThreadFleet {
+    type Tx = Sender<JoinMsg>;
+
+    fn spawn_generation(&mut self, cores: Vec<JoinCore>) -> Vec<Sender<JoinMsg>> {
+        let mut txs = Vec::with_capacity(cores.len());
+        for (flat, core) in cores.into_iter().enumerate() {
+            let (tx, rx) = bounded::<JoinMsg>(self.cfg.channel_capacity);
+            txs.push(tx);
+            let cfg = self.cfg;
+            let pacers = Arc::clone(&self.pacers);
+            let counters = Arc::clone(&self.counters);
+            let sink_tx = self.sink_tx.clone().expect("fleet finished");
+            let ctrl_up = self.ctrl_up.clone();
+            self.spawned += 1;
+            self.handles.push(std::thread::spawn(move || {
+                crate::join::run_join(core, flat, &cfg, &pacers, &counters, rx, sink_tx, ctrl_up)
+            }));
+        }
+        txs
+    }
+
+    fn send_sink(&mut self, msg: SinkMsg) {
+        if let Some(tx) = &self.sink_tx {
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn worker_threads(&self) -> usize {
+        self.spawned
+    }
+
+    fn finish(&mut self) {
+        self.sink_tx = None;
+        for h in self.handles.drain(..) {
+            h.join().expect("join worker panicked");
+        }
+    }
+}
+
+/// Cooperative-task fleet: shard tasks on the M:N event loop — the
+/// vehicle of [`crate::AsyncBackend`]. Generations add tasks to one
+/// long-lived scheduler; the worker thread count is fixed at launch.
+pub(crate) struct TaskFleet {
+    cfg: ExecConfig,
+    sink_tx: Option<PollSender<SinkMsg>>,
+    ctrl_up: mpsc::Sender<Quiesced>,
+    scheduler: Arc<Scheduler>,
+    /// All tasks ever registered, indexed by scheduler id. Workers
+    /// clone the `Arc` out under a short lock; the per-task mutex is
+    /// uncontended by design (the scheduler hands a task to one worker
+    /// at a time).
+    table: Arc<Mutex<Vec<Arc<Mutex<JoinTask>>>>>,
+    workers: Vec<JoinHandle<()>>,
+    spawned: usize,
+}
+
+impl TaskFleet {
+    /// Spawn the fixed worker pool (gen-0 setup).
+    fn start_workers(
+        &mut self,
+        count: usize,
+        pacers: &Arc<Vec<NodePacer>>,
+        counters: &Arc<Counters>,
+    ) {
+        self.spawned += count;
+        for _ in 0..count {
+            let scheduler = Arc::clone(&self.scheduler);
+            let table = Arc::clone(&self.table);
+            let cfg = self.cfg;
+            let pacers = Arc::clone(pacers);
+            let counters = Arc::clone(counters);
+            self.workers.push(std::thread::spawn(move || {
+                while let Some(id) = scheduler.next() {
+                    let task = {
+                        let table = table.lock().expect("task table poisoned");
+                        Arc::clone(&table[id])
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        task.lock()
+                            .expect("join task poisoned")
+                            .poll(&cfg, &pacers, &counters)
+                    }));
+                    match outcome {
+                        Ok(outcome) => scheduler.complete(id, outcome),
+                        Err(payload) => {
+                            // A panicked poll must not hang the run:
+                            // drop the dead task's endpoints so blocked
+                            // sources and the sink observe closure,
+                            // retire it in the scheduler, then re-raise.
+                            let mut task = match task.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            task.abandon();
+                            drop(task);
+                            scheduler.complete(id, Poll::Done);
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+            }));
+        }
+    }
+}
+
+impl Fleet for TaskFleet {
+    type Tx = PollSender<JoinMsg>;
+
+    fn spawn_generation(&mut self, cores: Vec<JoinCore>) -> Vec<PollSender<JoinMsg>> {
+        let mut txs = Vec::with_capacity(cores.len());
+        for (flat, core) in cores.into_iter().enumerate() {
+            let (tx, rx) = poll_bounded::<JoinMsg>(self.cfg.channel_capacity);
+            txs.push(tx);
+            // Reserve first (task starts Idle), publish the task, then
+            // wake it — a worker can never pop an unpublished id.
+            let id = self.scheduler.reserve();
+            let task = JoinTask::new(
+                core,
+                flat,
+                rx,
+                self.sink_tx.clone().expect("fleet finished"),
+                self.scheduler.waker(id),
+                self.ctrl_up.clone(),
+            );
+            {
+                let mut table = self.table.lock().expect("task table poisoned");
+                debug_assert_eq!(table.len(), id);
+                table.push(Arc::new(Mutex::new(task)));
+            }
+            self.scheduler.waker(id).wake();
+        }
+        txs
+    }
+
+    fn send_sink(&mut self, msg: SinkMsg) {
+        if let Some(tx) = &self.sink_tx {
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn worker_threads(&self) -> usize {
+        self.spawned
+    }
+
+    fn finish(&mut self) {
+        self.sink_tx = None;
+        self.scheduler.release();
+        for h in self.workers.drain(..) {
+            h.join().expect("event-loop worker panicked");
+        }
+    }
+}
+
+/// The running execution: sources, one fleet of shard workers, the
+/// sink, and the control channels between them. Generic over the fleet
+/// so the epoch protocol is written exactly once.
+pub(crate) struct Plane<F: Fleet> {
+    fleet: F,
+    cfg: ExecConfig,
+    clock: VirtualClock,
+    topology: Topology,
+    pacers: Arc<Vec<NodePacer>>,
+    counters: Arc<Counters>,
+    shards: usize,
+    epoch: u64,
+    /// Current generation's instances (flat layout divides by
+    /// `shards`).
+    instances: Vec<CompiledInstance>,
+    join_txs: Vec<F::Tx>,
+    src_ctrl: Vec<mpsc::Sender<SourceCtrl<F::Tx>>>,
+    src_handles: Vec<JoinHandle<()>>,
+    ctrl_up_rx: mpsc::Receiver<Quiesced>,
+    sink_handle: Option<JoinHandle<Vec<OutputRecord>>>,
+    n_sources: usize,
+    stats: Vec<EpochStats>,
+}
+
+impl<F: Fleet> Plane<F> {
+    /// Execute one epoch-barrier reconfiguration. Blocks until the
+    /// sources are resumed on the new plan.
+    pub(crate) fn reconfigure(
+        &mut self,
+        switch: &PlanSwitch,
+        dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<EpochStats, ReconfigError> {
+        let t0 = Instant::now();
+        let n_sources = self.src_ctrl.len();
+        if switch.dataflow.sources.len() != n_sources {
+            return Err(ReconfigError::SourceCountMismatch {
+                running: n_sources,
+                post: switch.dataflow.sources.len(),
+            });
+        }
+        if switch.succ.len() != self.instances.len() {
+            return Err(ReconfigError::SuccessorLengthMismatch {
+                running: self.instances.len(),
+                got: switch.succ.len(),
+            });
+        }
+        for s in switch.succ.iter().flatten() {
+            if *s as usize >= switch.dataflow.instances.len() {
+                return Err(ReconfigError::SuccessorOutOfRange {
+                    index: *s,
+                    instances: switch.dataflow.instances.len(),
+                });
+            }
+        }
+
+        // 1. Arm every (still living) source.
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let alive: Vec<bool> = self
+            .src_ctrl
+            .iter()
+            .map(|c| {
+                c.send(SourceCtrl::Reconfigure {
+                    epoch,
+                    epoch_ms: switch.epoch_ms,
+                })
+                .is_ok()
+            })
+            .collect();
+        if !alive.iter().any(|&a| a) {
+            return Err(ReconfigError::RunFinished);
+        }
+
+        // 2.–3. Collect the quiesce quorum: every old shard whose
+        // instance has producers (zero-producer shards retired with an
+        // Eof at spawn and own no state).
+        let expected: Vec<usize> = (0..self.join_txs.len())
+            .filter(|flat| self.instances[flat / self.shards].producers > 0)
+            .collect();
+        let mut exported: Vec<Vec<WindowGroup>> = vec![Vec::new(); self.join_txs.len()];
+        let deadline = Instant::now() + QUIESCE_GRACE;
+        let mut drained_grace: Option<Instant> = None;
+        let mut received = 0usize;
+        let mut clean_split = true;
+        while received < expected.len() {
+            match self.ctrl_up_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(q) => {
+                    if q.epoch != epoch {
+                        // A straggler from an epoch that timed out: its
+                        // generation's handoff window is gone — drop the
+                        // report (and its state) instead of counting it
+                        // toward this epoch's quorum and re-hashing it
+                        // under the wrong layout.
+                        continue;
+                    }
+                    clean_split &= !q.late;
+                    exported[q.flat] = q.groups;
+                    received += 1;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ReconfigError::QuiesceTimeout)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        return Err(ReconfigError::QuiesceTimeout);
+                    }
+                    // If every source thread has exited, none of them
+                    // barriered (a barriered source parks on its
+                    // mailbox): the Reconfigure raced the stream end
+                    // and the old shards retired through their Eofs.
+                    // Give stragglers a short grace, then report the
+                    // run as finished instead of stalling out the full
+                    // deadline.
+                    if self.src_handles.iter().all(|h| h.is_finished()) {
+                        match drained_grace {
+                            None => drained_grace = Some(Instant::now() + Duration::from_secs(2)),
+                            Some(g) if Instant::now() >= g => {
+                                return Err(ReconfigError::RunFinished)
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+        let quiesced_at = Instant::now();
+
+        // 4a. Capacity updates take effect at the epoch (old backlogs
+        // keep their already-reserved completion times, exactly like
+        // the simulator's replay).
+        for &(node, cap) in &switch.node_capacity {
+            self.pacers[node.idx()].set_capacity(cap);
+        }
+
+        // 4b. Compile the post plan (the caller re-supplies the latency
+        // oracle; routes are resolved once, workers stay oracle-free).
+        let post = worker::compile(&self.topology, dist, &switch.dataflow);
+
+        // 4c. Re-base the sink on the new generation. Ordering: every
+        // old-generation batch was enqueued before its shard's
+        // Quiesced report (which we have), so the Epoch lands after
+        // all old output and before anything the new generation sends.
+        let n_new = post.instances.len() * self.shards;
+        self.fleet.send_sink(SinkMsg::Epoch {
+            producers: n_new,
+            charge_sink: post.instances.iter().map(|i| i.charge_sink).collect(),
+        });
+
+        // 4d. Re-hash the migrated state under the new layout and spawn
+        // the new generation pre-seeded with it.
+        let mut migrated_groups = 0usize;
+        let mut migrated_tuples = 0usize;
+        let mut per_flat: Vec<Vec<WindowGroup>> = (0..n_new).map(|_| Vec::new()).collect();
+        for (old_flat, groups) in exported.into_iter().enumerate() {
+            let old_inst = old_flat / self.shards;
+            let Some(new_inst) = switch.succ[old_inst] else {
+                continue; // pair gone: its state dies with it
+            };
+            let pair = post.instances[new_inst as usize].pair;
+            for g in groups {
+                migrated_groups += 1;
+                migrated_tuples += g.left.len() + g.right.len();
+                let bucket = key_bucket_of(g.key, self.cfg.key_buckets.max(1));
+                let shard = shard_of(g.window, pair, bucket, self.shards);
+                per_flat[new_inst as usize * self.shards + shard].push(g);
+            }
+        }
+        let cores: Vec<JoinCore> = per_flat
+            .into_iter()
+            .enumerate()
+            .map(|(flat, mut groups)| {
+                // Deterministic merge order regardless of which old
+                // shard exported what (stable: equal keys keep old-flat
+                // order).
+                groups.sort_by_key(|g| (g.window, g.key));
+                JoinCore::new_with_state(post.instances[flat / self.shards].clone(), groups)
+            })
+            .collect();
+        let new_txs = self.fleet.spawn_generation(cores);
+
+        // 4e. Resume the sources on the new routing; sources that
+        // already finished get their Eofs sent on their behalf so the
+        // new generation's quorum still closes.
+        for (i, ctrl) in self.src_ctrl.iter().enumerate() {
+            let src = post.sources[i].clone();
+            let targets = src.targets.clone();
+            let resumed = alive[i]
+                && ctrl
+                    .send(SourceCtrl::Resume {
+                        src,
+                        txs: new_txs.clone(),
+                        n_sources,
+                    })
+                    .is_ok();
+            if !resumed {
+                for &target in &targets {
+                    for shard in 0..self.shards {
+                        let _ = new_txs[target as usize * self.shards + shard]
+                            .send_msg(JoinMsg::Eof { source: i as u32 });
+                    }
+                }
+            }
+        }
+        self.join_txs = new_txs;
+        self.instances = post.instances;
+
+        let stats = EpochStats {
+            epoch,
+            epoch_ms: switch.epoch_ms,
+            pause_wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            handoff_wall_ms: quiesced_at.elapsed().as_secs_f64() * 1000.0,
+            migrated_groups,
+            migrated_tuples,
+            shard_workers: n_new,
+            clean_split,
+        };
+        self.stats.push(stats);
+        Ok(stats)
+    }
+
+    /// Wait for the stream to end and assemble the run's results.
+    pub(crate) fn finish(mut self) -> ExecResult {
+        // No more reconfigurations: parked sources would observe the
+        // hang-up, running ones simply never barrier again.
+        drop(std::mem::take(&mut self.src_ctrl));
+        for h in self.src_handles.drain(..) {
+            h.join().expect("source worker panicked");
+        }
+        // Every source thread has exited, so the coordinator's clones
+        // are the last senders into the current generation. Drop them
+        // *before* joining the fleet: a shard that is still waiting on
+        // a producer that died without delivering its Eof — e.g. a
+        // source whose stream ended in the race window between an
+        // epoch's Resume being sent and its mailbox being read — then
+        // observes the hang-up and winds down instead of deadlocking
+        // the join below.
+        self.join_txs.clear();
+        self.fleet.finish();
+        let outputs = self
+            .sink_handle
+            .take()
+            .expect("sink already joined")
+            .join()
+            .expect("sink worker panicked");
+
+        use std::sync::atomic::Ordering;
+        let delivered = outputs.len() as u64;
+        ExecResult {
+            outputs,
+            emitted: self.counters.emitted.load(Ordering::Relaxed),
+            matched: self.counters.matched.load(Ordering::Relaxed),
+            delivered,
+            node_busy_ms: self.pacers.iter().map(|p| p.busy_ms()).collect(),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            wall_ms: self.clock.wall_ms(),
+            threads: self.n_sources + self.fleet.worker_threads() + 1,
+        }
+    }
+}
+
+/// Shared launch pre-work: compiled plan, pacer table, counters.
+struct Prep {
+    plan: worker::CompiledPlan,
+    pacers: Arc<Vec<NodePacer>>,
+    counters: Arc<Counters>,
+    charge_sink: Vec<bool>,
+    sink_node: usize,
+}
+
+fn prep(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> Prep {
+    let plan = worker::compile(topology, dist, dataflow);
+    let pacers: Arc<Vec<NodePacer>> = Arc::new(
+        topology
+            .nodes()
+            .iter()
+            .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
+            .collect(),
+    );
+    let charge_sink = plan.instances.iter().map(|i| i.charge_sink).collect();
+    Prep {
+        plan,
+        pacers,
+        counters: Arc::new(Counters::default()),
+        charge_sink,
+        sink_node: dataflow.sink.idx(),
+    }
+}
+
+/// Spawn the source workers (shared by both fleets).
+#[allow(clippy::type_complexity)]
+fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
+    sources: Vec<CompiledSource>,
+    cfg: &ExecConfig,
+    clock: VirtualClock,
+    pacers: &Arc<Vec<NodePacer>>,
+    counters: &Arc<Counters>,
+    join_txs: &[T],
+    shards: usize,
+) -> (Vec<mpsc::Sender<SourceCtrl<T>>>, Vec<JoinHandle<()>>) {
+    let mut ctrls = Vec::with_capacity(sources.len());
+    let mut handles = Vec::with_capacity(sources.len());
+    for src in sources {
+        let (ctrl_tx, ctrl_rx) = mpsc::channel::<SourceCtrl<T>>();
+        ctrls.push(ctrl_tx);
+        let cfg = *cfg;
+        let pacers = Arc::clone(pacers);
+        let counters = Arc::clone(counters);
+        let txs: Vec<T> = join_txs.to_vec();
+        handles.push(std::thread::spawn(move || {
+            worker::run_source(src, &cfg, clock, &pacers, &counters, txs, shards, &ctrl_rx)
+        }));
+    }
+    (ctrls, handles)
+}
+
+/// Launch on the thread-per-shard vehicle (`shards = 1` is the classic
+/// thread-per-operator layout — one bootstrap for both backends, so
+/// they cannot drift).
+pub(crate) fn launch_threads(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+    shards: usize,
+) -> Plane<ThreadFleet> {
+    let p = prep(topology, dist, dataflow, cfg);
+    let (ctrl_up_tx, ctrl_up_rx) = mpsc::channel::<Quiesced>();
+    let (sink_tx, sink_rx) = bounded::<SinkMsg>(cfg.channel_capacity);
+    let mut fleet = ThreadFleet {
+        cfg: *cfg,
+        pacers: Arc::clone(&p.pacers),
+        counters: Arc::clone(&p.counters),
+        sink_tx: Some(sink_tx),
+        ctrl_up: ctrl_up_tx,
+        handles: Vec::new(),
+        spawned: 0,
+    };
+    let cores: Vec<JoinCore> = (0..p.plan.instances.len() * shards)
+        .map(|flat| JoinCore::new(p.plan.instances[flat / shards].clone()))
+        .collect();
+    let n_workers = cores.len();
+    let join_txs = fleet.spawn_generation(cores);
+
+    let sink_handle = {
+        let pacers = Arc::clone(&p.pacers);
+        let counters = Arc::clone(&p.counters);
+        let (charge, node) = (p.charge_sink.clone(), p.sink_node);
+        std::thread::spawn(move || {
+            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_workers)
+        })
+    };
+
+    let clock = VirtualClock::start(cfg.time_scale);
+    let n_sources = p.plan.sources.len();
+    let (src_ctrl, src_handles) = spawn_sources(
+        p.plan.sources,
+        cfg,
+        clock,
+        &p.pacers,
+        &p.counters,
+        &join_txs,
+        shards,
+    );
+
+    Plane {
+        fleet,
+        cfg: *cfg,
+        clock,
+        topology: topology.clone(),
+        pacers: p.pacers,
+        counters: p.counters,
+        shards,
+        epoch: 0,
+        instances: p.plan.instances,
+        join_txs,
+        src_ctrl,
+        src_handles,
+        ctrl_up_rx,
+        sink_handle: Some(sink_handle),
+        n_sources,
+        stats: Vec::new(),
+    }
+}
+
+/// Launch on the M:N event-loop vehicle.
+pub(crate) fn launch_tasks(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> Plane<TaskFleet> {
+    let shards = cfg.shards.max(1);
+    let p = prep(topology, dist, dataflow, cfg);
+    let (ctrl_up_tx, ctrl_up_rx) = mpsc::channel::<Quiesced>();
+    let (sink_tx, sink_rx) = poll_bounded::<SinkMsg>(cfg.channel_capacity);
+    let n_tasks = p.plan.instances.len() * shards;
+    let workers = effective_workers(cfg.workers, n_tasks);
+
+    let scheduler = Scheduler::new(0);
+    // Run guard: keeps the workers alive across the task-less moment
+    // between generations; released in `TaskFleet::finish`.
+    scheduler.hold();
+    let mut fleet = TaskFleet {
+        cfg: *cfg,
+        sink_tx: Some(sink_tx),
+        ctrl_up: ctrl_up_tx,
+        scheduler,
+        table: Arc::new(Mutex::new(Vec::new())),
+        workers: Vec::new(),
+        spawned: 0,
+    };
+    fleet.start_workers(workers, &p.pacers, &p.counters);
+    let cores: Vec<JoinCore> = (0..n_tasks)
+        .map(|flat| JoinCore::new(p.plan.instances[flat / shards].clone()))
+        .collect();
+    let join_txs = fleet.spawn_generation(cores);
+
+    let sink_handle = {
+        let pacers = Arc::clone(&p.pacers);
+        let counters = Arc::clone(&p.counters);
+        let (charge, node) = (p.charge_sink.clone(), p.sink_node);
+        std::thread::spawn(move || {
+            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_tasks)
+        })
+    };
+
+    let clock = VirtualClock::start(cfg.time_scale);
+    let n_sources = p.plan.sources.len();
+    let (src_ctrl, src_handles) = spawn_sources(
+        p.plan.sources,
+        cfg,
+        clock,
+        &p.pacers,
+        &p.counters,
+        &join_txs,
+        shards,
+    );
+
+    Plane {
+        fleet,
+        cfg: *cfg,
+        clock,
+        topology: topology.clone(),
+        pacers: p.pacers,
+        counters: p.counters,
+        shards,
+        epoch: 0,
+        instances: p.plan.instances,
+        join_txs,
+        src_ctrl,
+        src_handles,
+        ctrl_up_rx,
+        sink_handle: Some(sink_handle),
+        n_sources,
+        stats: Vec::new(),
+    }
+}
+
+enum AnyPlane {
+    Threads(Plane<ThreadFleet>),
+    Tasks(Plane<TaskFleet>),
+}
+
+/// A running, reconfigurable execution — the executor-side §3.5
+/// surface. Obtained from [`launch`]; [`ExecHandle::apply`] absorbs
+/// one [`PlanSwitch`] mid-stream (any number may be applied in
+/// sequence), [`ExecHandle::join`] waits for the stream to end and
+/// returns the run's [`ExecResult`].
+pub struct ExecHandle {
+    plane: AnyPlane,
+}
+
+impl ExecHandle {
+    /// Apply one plan switch through the epoch-barrier protocol,
+    /// blocking until the sources are streaming on the new plan.
+    /// `dist` is the latency oracle for compiling the post plan's
+    /// routes (the handle does not retain the one used at launch).
+    ///
+    /// The epoch must be armed while the sources are still *ahead* of
+    /// it: choose `switch.epoch_ms` comfortably beyond the emission
+    /// frontier (paced runs: beyond [`ExecHandle::now_ms`] plus a few
+    /// emission intervals; flat-out `time_scale` runs: beyond the
+    /// emission times the sources can reach before the control message
+    /// lands). A late arm is not an error — the source barriers at its
+    /// actual position, counts stay exact and no state is lost — but
+    /// the pre/post split then falls past the epoch, so the run no
+    /// longer mirrors [`nova_runtime::simulate_reconfigured`] at that
+    /// epoch; the returned [`EpochStats::clean_split`] reports which
+    /// case occurred (and the churn smoke gate asserts it stays true).
+    pub fn apply(
+        &mut self,
+        switch: &PlanSwitch,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<EpochStats, ReconfigError> {
+        match &mut self.plane {
+            AnyPlane::Threads(p) => p.reconfigure(switch, &mut dist),
+            AnyPlane::Tasks(p) => p.reconfigure(switch, &mut dist),
+        }
+    }
+
+    /// Current virtual time of the run (ms).
+    pub fn now_ms(&self) -> f64 {
+        match &self.plane {
+            AnyPlane::Threads(p) => p.clock.now_ms(),
+            AnyPlane::Tasks(p) => p.clock.now_ms(),
+        }
+    }
+
+    /// Stats of every reconfiguration applied so far.
+    pub fn epoch_stats(&self) -> &[EpochStats] {
+        match &self.plane {
+            AnyPlane::Threads(p) => &p.stats,
+            AnyPlane::Tasks(p) => &p.stats,
+        }
+    }
+
+    /// Wait for the stream to end and collect the measurements.
+    pub fn join(self) -> ExecResult {
+        match self.plane {
+            AnyPlane::Threads(p) => p.finish(),
+            AnyPlane::Tasks(p) => p.finish(),
+        }
+    }
+}
+
+/// Start a reconfigurable execution of `dataflow` on the backend the
+/// config selects — the live counterpart of [`crate::execute`]. The
+/// returned [`ExecHandle`] must be [`ExecHandle::join`]ed to collect
+/// results (the run proceeds on its own threads either way).
+pub fn launch(
+    topology: &Topology,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> Result<ExecHandle, ExecConfigError> {
+    cfg.validate()?;
+    Ok(launch_unchecked(topology, &mut dist, dataflow, cfg))
+}
+
+/// [`launch`] minus the config validation — the seam `Backend::run`
+/// impls use (they keep the historical lenient clamping for direct
+/// calls).
+pub(crate) fn launch_unchecked(
+    topology: &Topology,
+    dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+) -> ExecHandle {
+    use crate::BackendKind;
+    let plane = match cfg.backend {
+        BackendKind::Async => AnyPlane::Tasks(launch_tasks(topology, dist, dataflow, cfg)),
+        BackendKind::Threaded => {
+            AnyPlane::Threads(launch_threads(topology, dist, dataflow, cfg, 1))
+        }
+        BackendKind::Sharded => AnyPlane::Threads(launch_threads(
+            topology,
+            dist,
+            dataflow,
+            cfg,
+            cfg.shards.max(1),
+        )),
+        BackendKind::Auto => {
+            if cfg.shards > 1 {
+                AnyPlane::Threads(launch_threads(topology, dist, dataflow, cfg, cfg.shards))
+            } else {
+                AnyPlane::Threads(launch_threads(topology, dist, dataflow, cfg, 1))
+            }
+        }
+    };
+    ExecHandle { plane }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BackendKind;
+    use nova_core::baselines::{sink_based, source_based};
+    use nova_core::{JoinQuery, StreamSpec};
+    use nova_topology::NodeRole;
+
+    /// sink(0), l(1), r(2), worker(3) — the cross-validation world.
+    fn world() -> (Topology, JoinQuery) {
+        let mut t = Topology::new();
+        let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+        let l = t.add_node(NodeRole::Source, 1000.0, "l");
+        let r = t.add_node(NodeRole::Source, 1000.0, "r");
+        t.add_node(NodeRole::Worker, 1000.0, "w");
+        let q = JoinQuery::by_key(
+            vec![StreamSpec::keyed(l, 40.0, 1)],
+            vec![StreamSpec::keyed(r, 40.0, 1)],
+            sink,
+        );
+        (t, q)
+    }
+
+    fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            10.0
+        }
+    }
+
+    /// Drop-free paced config (see the backend tests for the
+    /// unbounded-queue rationale).
+    fn cfg(backend: BackendKind) -> ExecConfig {
+        ExecConfig {
+            duration_ms: 2400.0,
+            window_ms: 200.0,
+            selectivity: 0.7,
+            time_scale: 8.0,
+            max_queue_ms: f64::INFINITY,
+            backend,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn route_only_reconfiguration_is_count_transparent_on_every_backend() {
+        // Move the join from the sink to the sources mid-window
+        // (epoch 1100 straddles [1000, 1200)): counts must equal the
+        // never-reconfigured run on every backend, because routing
+        // never decides *what* matches and the straddling window's
+        // state migrates with the instance.
+        let (t, q) = world();
+        let plan = q.resolve();
+        let pre = sink_based(&q, &plan);
+        let post = source_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &pre);
+        for (backend, shards, workers) in [
+            (BackendKind::Threaded, 1usize, 0usize),
+            (BackendKind::Sharded, 4, 0),
+            (BackendKind::Async, 4, 2),
+        ] {
+            let cfg = ExecConfig {
+                shards,
+                workers,
+                ..cfg(backend)
+            };
+            let baseline = crate::execute(&t, flat_dist, &df, &cfg).expect("valid config");
+            assert_eq!(baseline.dropped, 0);
+            assert!(baseline.delivered > 0);
+
+            let sw = PlanSwitch::between(1100.0, &q, &pre, &post, 1.0);
+            let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+            let stats = handle.apply(&sw, flat_dist).expect("reconfigure");
+            assert_eq!(stats.epoch, 1);
+            assert!(
+                stats.migrated_tuples > 0,
+                "{backend:?}: the straddling window must migrate state"
+            );
+            let res = handle.join();
+            let tag = format!("{backend:?}");
+            assert_eq!(res.dropped, 0, "{tag}");
+            assert_eq!(res.emitted, baseline.emitted, "{tag}");
+            assert_eq!(res.matched, baseline.matched, "{tag}");
+            assert_eq!(res.delivered, baseline.delivered, "{tag}");
+        }
+    }
+
+    #[test]
+    fn consecutive_reconfigurations_compose() {
+        // sink -> source -> sink again; two epochs, both mid-window.
+        let (t, q) = world();
+        let plan = q.resolve();
+        let a = sink_based(&q, &plan);
+        let b = source_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &a);
+        let cfg = cfg(BackendKind::Sharded);
+        let cfg = ExecConfig { shards: 2, ..cfg };
+        let baseline = crate::execute(&t, flat_dist, &df, &cfg).expect("valid config");
+        assert_eq!(baseline.dropped, 0);
+
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+        let s1 = PlanSwitch::between(700.0, &q, &a, &b, 1.0);
+        let s2 = PlanSwitch::between(1500.0, &q, &b, &a, 1.0);
+        handle.apply(&s1, flat_dist).expect("epoch 1");
+        handle.apply(&s2, flat_dist).expect("epoch 2");
+        assert_eq!(handle.epoch_stats().len(), 2);
+        let res = handle.join();
+        assert_eq!(res.dropped, 0);
+        assert_eq!(res.emitted, baseline.emitted);
+        assert_eq!(res.matched, baseline.matched);
+        assert_eq!(res.delivered, baseline.delivered);
+    }
+
+    #[test]
+    fn malformed_switches_are_rejected_before_arming() {
+        let (t, q) = world();
+        let plan = q.resolve();
+        let pre = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &pre);
+        let cfg = cfg(BackendKind::Threaded);
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+
+        // Source count change is refused.
+        let q2 = JoinQuery::by_key(
+            vec![
+                StreamSpec::keyed(nova_topology::NodeId(1), 40.0, 1),
+                StreamSpec::keyed(nova_topology::NodeId(3), 10.0, 1),
+            ],
+            vec![StreamSpec::keyed(nova_topology::NodeId(2), 40.0, 1)],
+            nova_topology::NodeId(0),
+        );
+        let p2 = sink_based(&q2, &q2.resolve());
+        let sw = PlanSwitch::between(1000.0, &q2, &pre, &p2, 1.0);
+        assert!(matches!(
+            handle.apply(&sw, flat_dist),
+            Err(ReconfigError::SourceCountMismatch { .. })
+        ));
+
+        // Succession map of the wrong length is refused.
+        let mut sw = PlanSwitch::between(1000.0, &q, &pre, &pre, 1.0);
+        sw.succ.push(Some(0));
+        assert!(matches!(
+            handle.apply(&sw, flat_dist),
+            Err(ReconfigError::SuccessorLengthMismatch { .. })
+        ));
+
+        // Out-of-range successor is refused.
+        let mut sw = PlanSwitch::between(1000.0, &q, &pre, &pre, 1.0);
+        sw.succ[0] = Some(99);
+        assert!(matches!(
+            handle.apply(&sw, flat_dist),
+            Err(ReconfigError::SuccessorOutOfRange { .. })
+        ));
+
+        // The run is untouched by refused switches.
+        let res = handle.join();
+        assert!(res.delivered > 0);
+        assert_eq!(res.dropped, 0);
+    }
+
+    #[test]
+    fn node_capacity_update_takes_effect_at_the_epoch() {
+        // Shrink the sink's capacity mid-run under a *bounded* queue:
+        // the post-epoch regime must shed (the pre-epoch one did not).
+        let (t, q) = world();
+        let plan = q.resolve();
+        let pre = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &pre);
+        let cfg = ExecConfig {
+            duration_ms: 4000.0,
+            max_queue_ms: 250.0,
+            ..cfg(BackendKind::Threaded)
+        };
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+        let sw = PlanSwitch::between(2000.0, &q, &pre, &pre, 1.0)
+            .with_capacities(vec![(nova_topology::NodeId(0), 15.0)]);
+        handle.apply(&sw, flat_dist).expect("reconfigure");
+        let res = handle.join();
+        assert!(
+            res.dropped > 0,
+            "a 15 t/s sink under 80 t/s input must shed after the epoch"
+        );
+    }
+}

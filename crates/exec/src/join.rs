@@ -20,9 +20,10 @@
 
 use std::collections::HashMap;
 
-use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers};
+use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers, WindowGroup};
 
 use crate::channel::{InFlight, JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
+use crate::control::Quiesced;
 use crate::metrics::{Counters, NodePacer};
 use crate::worker::CompiledInstance;
 use crate::ExecConfig;
@@ -37,6 +38,15 @@ pub(crate) struct JoinCore {
     buffers: WindowBuffers,
     frontiers: HashMap<u32, f64>,
     eofs: usize,
+    /// Epoch barriers received (live reconfiguration); a producer
+    /// contributes to the quiesce quorum via a barrier *or* its Eof.
+    barriers: usize,
+    /// The epoch the received barriers belong to (at most one epoch is
+    /// in flight per generation — the control plane serializes them).
+    epoch: Option<u64>,
+    /// Whether any producer reported barriering late (see
+    /// [`JoinCore::late_split`]).
+    late_split: bool,
     /// Matches produced so far; the caller publishes this into the
     /// shared [`Counters`] exactly once, when the shard retires.
     pub matched: u64,
@@ -45,11 +55,24 @@ pub(crate) struct JoinCore {
 
 impl JoinCore {
     pub fn new(inst: CompiledInstance) -> Self {
+        JoinCore::new_with_state(inst, Vec::new())
+    }
+
+    /// A core pre-seeded with migrated window state (live
+    /// reconfiguration): the groups become probe partners for tuples
+    /// that arrive afterwards, but are never re-probed against each
+    /// other — their mutual matches were produced before the handoff.
+    pub fn new_with_state(inst: CompiledInstance, groups: Vec<WindowGroup>) -> Self {
+        let mut buffers = WindowBuffers::new();
+        buffers.import_groups(groups);
         JoinCore {
             inst,
-            buffers: WindowBuffers::new(),
+            buffers,
             frontiers: HashMap::new(),
             eofs: 0,
+            barriers: 0,
+            epoch: None,
+            late_split: false,
             matched: 0,
             last_gc_watermark: 0.0,
         }
@@ -58,6 +81,43 @@ impl JoinCore {
     /// Whether every producing source has signalled Eof.
     pub fn finished(&self) -> bool {
         self.eofs == self.inst.producers
+    }
+
+    /// Record a source's epoch barrier. Returns true once the quiesce
+    /// quorum is complete — see [`JoinCore::quiesce_ready`].
+    pub fn on_barrier(&mut self, _source: u32, epoch: u64, late: bool) -> bool {
+        self.barriers += 1;
+        self.epoch = Some(epoch);
+        self.late_split |= late;
+        self.quiesce_ready().is_some()
+    }
+
+    /// The quiesce quorum: at least one producer barriered and every
+    /// producer has delivered a barrier *or* an Eof — the shard has
+    /// then seen its complete pre-epoch input (per-producer FIFO) and
+    /// must quiesce (flush, export state, retire without a sink Eof).
+    /// Returns the epoch to report. Checked after barriers **and**
+    /// after Eofs: a source whose stream ends while an epoch is being
+    /// armed contributes its Eof to the quorum, and that Eof may well
+    /// be the closing message.
+    pub fn quiesce_ready(&self) -> Option<u64> {
+        let epoch = self.epoch?;
+        (self.barriers + self.eofs >= self.inst.producers).then_some(epoch)
+    }
+
+    /// Whether any producer barriered *after* already emitting past the
+    /// epoch (the arm lost the race against the emission frontier) —
+    /// surfaced so callers learn their split is not the clean
+    /// `t < epoch` one the simulator replay assumes.
+    pub fn late_split(&self) -> bool {
+        self.late_split
+    }
+
+    /// Drain the shard's live window state for handoff to its successor
+    /// (deterministically ordered, see
+    /// [`WindowBuffers::export_groups`]).
+    pub fn export_state(&mut self) -> Vec<WindowGroup> {
+        self.buffers.export_groups()
     }
 
     /// Probe-and-insert one routed tuple: surviving matches are
@@ -158,17 +218,23 @@ impl JoinCore {
 }
 
 /// Blocking join worker loop for one shard (thread-per-shard backends).
-/// Consumes input batches until all producing sources signalled Eof,
-/// then flushes and closes its side of the sink channel.
+/// Consumes input batches until all producing sources signalled Eof —
+/// then flushes and sends its sink Eof — or until an epoch barrier
+/// completes, in which case the shard *quiesces*: flushes, publishes
+/// its match count, ships its window state up the control channel and
+/// retires **without** a sink Eof (the control plane re-bases the
+/// sink's quorum on the new generation).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_join(
-    inst: CompiledInstance,
+    mut core: JoinCore,
+    flat: usize,
     cfg: &ExecConfig,
     pacers: &[NodePacer],
     counters: &Counters,
     rx: Receiver<JoinMsg>,
     sink_tx: Sender<SinkMsg>,
+    ctrl_up: std::sync::mpsc::Sender<Quiesced>,
 ) {
-    let mut core = JoinCore::new(inst);
     let mut out_batch: Vec<OutFlight> = Vec::new();
 
     if core.inst.producers == 0 {
@@ -177,6 +243,21 @@ pub(crate) fn run_join(
         });
         return;
     }
+
+    // Quiesce: every pre-epoch tuple is behind us. The flush *precedes*
+    // the Quiesced send, so by the time the control plane re-bases the
+    // sink, all of this shard's output is already enqueued there. No
+    // sink Eof — the control plane re-bases the quorum.
+    let quiesce = |core: &mut JoinCore, out_batch: &mut Vec<OutFlight>, epoch: u64| {
+        let _ = flush(&sink_tx, core.inst.index, out_batch);
+        Counters::bump(&counters.matched, core.matched);
+        let _ = ctrl_up.send(Quiesced {
+            flat,
+            epoch,
+            late: core.late_split(),
+            groups: core.export_state(),
+        });
+    };
 
     'consume: while let Some(msg) = rx.recv() {
         match msg {
@@ -200,6 +281,24 @@ pub(crate) fn run_join(
                 if core.on_eof(source) {
                     break;
                 }
+                // A producer whose stream ended during the arm counts
+                // toward the quiesce quorum via its Eof — which may be
+                // the closing message (the barriered producers already
+                // reported and will send nothing more).
+                if let Some(epoch) = core.quiesce_ready() {
+                    quiesce(&mut core, &mut out_batch, epoch);
+                    return;
+                }
+            }
+            JoinMsg::Barrier {
+                source,
+                epoch,
+                late,
+            } => {
+                if core.on_barrier(source, epoch, late) {
+                    quiesce(&mut core, &mut out_batch, epoch);
+                    return;
+                }
             }
         }
     }
@@ -217,4 +316,58 @@ fn flush(sink_tx: &Sender<SinkMsg>, instance: u32, batch: &mut Vec<OutFlight>) -
     }
     let outputs = std::mem::take(batch);
     sink_tx.send(SinkMsg::Batch { instance, outputs }).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(producers: usize) -> JoinCore {
+        JoinCore::new(CompiledInstance {
+            index: 0,
+            pair: nova_core::PairId(0),
+            out_relays: Vec::new(),
+            out_final_link_ms: 0.0,
+            charge_sink: false,
+            producers,
+        })
+    }
+
+    #[test]
+    fn quiesce_quorum_closes_on_barriers_alone() {
+        let mut c = core(2);
+        assert!(!c.on_barrier(0, 7, false));
+        assert_eq!(c.quiesce_ready(), None);
+        assert!(c.on_barrier(1, 7, false));
+        assert_eq!(c.quiesce_ready(), Some(7));
+        assert!(!c.late_split());
+    }
+
+    #[test]
+    fn eof_after_barrier_closes_the_quiesce_quorum() {
+        // Regression: a producer whose stream ends during the arm
+        // contributes its Eof to the quorum, and that Eof can be the
+        // *closing* message — `on_eof` alone (eofs == producers) never
+        // fires here, and before the fix the shard waited forever
+        // (apply() then stalled out its grace period and the final
+        // join() deadlocked on the stuck shard thread).
+        let mut c = core(2);
+        assert!(!c.on_barrier(0, 3, true));
+        assert!(!c.on_eof(1), "only one Eof, not the full Eof quorum");
+        assert_eq!(c.quiesce_ready(), Some(3), "barrier + Eof = quorum");
+        assert!(c.late_split(), "lateness flag must survive the mix");
+        // The reverse order closes through on_barrier as before.
+        let mut c = core(2);
+        assert!(!c.on_eof(0));
+        assert!(c.on_barrier(1, 3, false));
+    }
+
+    #[test]
+    fn all_eofs_finish_normally_without_an_epoch() {
+        let mut c = core(2);
+        assert!(!c.on_eof(0));
+        assert_eq!(c.quiesce_ready(), None, "no barrier, no quiesce");
+        assert!(c.on_eof(1));
+        assert!(c.finished());
+    }
 }

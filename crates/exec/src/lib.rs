@@ -88,7 +88,7 @@
 //!     max_queue_ms: f64::INFINITY,   // drop-free ⇒ counts are exact
 //!     ..ExecConfig::default()
 //! };
-//! let threaded = execute(&t, dist, &df, &cfg);
+//! let threaded = execute(&t, dist, &df, &cfg).expect("config is valid");
 //! assert!(threaded.delivered > 0);
 //!
 //! // Same run on the M:N event loop: 4 shard tasks, 2 worker threads.
@@ -98,13 +98,14 @@
 //!     workers: 2,
 //!     ..cfg
 //! };
-//! let cooperative = execute(&t, dist, &df, &async_cfg);
+//! let cooperative = execute(&t, dist, &df, &async_cfg).expect("config is valid");
 //! assert_eq!(cooperative.matched, threaded.matched);
 //! assert_eq!(cooperative.delivered, threaded.delivered);
 //! ```
 
 pub mod async_backend;
 pub mod channel;
+pub mod control;
 pub mod join;
 pub mod metrics;
 pub mod sched;
@@ -115,7 +116,9 @@ use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{NodeId, Topology};
 
 pub use async_backend::{effective_workers, AsyncBackend};
+pub use control::{launch, EpochStats, ExecHandle, ReconfigError};
 pub use metrics::{Counters, ExecResult, NodePacer};
+pub use nova_runtime::PlanSwitch;
 pub use sharded::{key_bucket_of, shard_of, ShardedBackend};
 pub use worker::VirtualClock;
 
@@ -263,7 +266,75 @@ impl ExecConfig {
             ..ExecConfig::default()
         }
     }
+
+    /// Reject configurations whose zero-valued knobs would otherwise be
+    /// clamped silently deep in the hot path (or, for a hand-rolled
+    /// router calling [`shard_of`]-style arithmetic directly, divide by
+    /// zero). [`execute`] and [`launch`] run this at entry so a typo'd
+    /// `--shards 0` fails loudly at the boundary instead of producing a
+    /// quietly different engine. `workers: 0` stays legal — it is the
+    /// documented "one per core" auto value.
+    pub fn validate(&self) -> Result<(), ExecConfigError> {
+        if self.shards == 0 {
+            return Err(ExecConfigError::ZeroShards);
+        }
+        if self.key_buckets == 0 {
+            return Err(ExecConfigError::ZeroKeyBuckets);
+        }
+        if self.key_space == 0 {
+            return Err(ExecConfigError::ZeroKeySpace);
+        }
+        if self.run_budget == 0 {
+            return Err(ExecConfigError::ZeroRunBudget);
+        }
+        Ok(())
+    }
 }
+
+/// A rejected [`ExecConfig`] — see [`ExecConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecConfigError {
+    /// `shards == 0`: there is no zero-shard layout; the historical
+    /// behavior silently clamped to 1.
+    ZeroShards,
+    /// `key_buckets == 0`: bucket routing needs at least one bucket
+    /// (1 = the unkeyed `(window, pair)` layout).
+    ZeroKeyBuckets,
+    /// `key_space == 0`: the sub-key space is a workload property with
+    /// minimum cardinality 1 (= unkeyed).
+    ZeroKeySpace,
+    /// `run_budget == 0`: a zero-budget poll cannot make progress; the
+    /// async scheduler would spin through yields forever without it
+    /// being clamped.
+    ZeroRunBudget,
+}
+
+impl std::fmt::Display for ExecConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecConfigError::ZeroShards => {
+                write!(
+                    f,
+                    "ExecConfig::shards must be >= 1 (1 = thread-per-operator)"
+                )
+            }
+            ExecConfigError::ZeroKeyBuckets => write!(
+                f,
+                "ExecConfig::key_buckets must be >= 1 (1 = unkeyed (window, pair) routing)"
+            ),
+            ExecConfigError::ZeroKeySpace => write!(
+                f,
+                "ExecConfig::key_space must be >= 1 (1 = unkeyed workload, sub-key 0)"
+            ),
+            ExecConfigError::ZeroRunBudget => write!(
+                f,
+                "ExecConfig::run_budget must be >= 1 tuple per cooperative poll"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
 
 /// An execution engine for deployed dataflows.
 ///
@@ -332,13 +403,19 @@ pub fn backend_for(cfg: &ExecConfig) -> &'static dyn Backend {
 
 /// Execute a dataflow on the backend selected by [`backend_for`] — the
 /// executor-side counterpart of [`nova_runtime::simulate`].
+///
+/// The configuration is validated at entry: zero-valued knobs
+/// (`shards`, `key_buckets`, `key_space`, `run_budget`) return a
+/// descriptive [`ExecConfigError`] instead of being clamped silently —
+/// or worse, panicking or spinning deep inside a worker.
 pub fn execute(
     topology: &Topology,
     mut dist: impl FnMut(NodeId, NodeId) -> f64,
     dataflow: &Dataflow,
     cfg: &ExecConfig,
-) -> ExecResult {
-    backend_for(cfg).run(topology, &mut dist, dataflow, cfg)
+) -> Result<ExecResult, ExecConfigError> {
+    cfg.validate()?;
+    Ok(backend_for(cfg).run(topology, &mut dist, dataflow, cfg))
 }
 
 #[cfg(test)]
@@ -394,7 +471,7 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let res = execute(&t, flat_dist, &df, &fast_cfg(2000.0));
+        let res = execute(&t, flat_dist, &df, &fast_cfg(2000.0)).expect("valid config");
         assert!(res.delivered > 0, "no outputs: {res:?}");
         // One network hop (10 ms) lower-bounds latency; an uncongested
         // run stays well under the window + a few hops.
@@ -410,7 +487,7 @@ mod tests {
         let plan = q.resolve();
         let p = sink_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let res = execute(&t, flat_dist, &df, &fast_cfg(5000.0));
+        let res = execute(&t, flat_dist, &df, &fast_cfg(5000.0)).expect("valid config");
         // 2 sources × 20 tuples/s × 5 s = 200 (±1 boundary tuple each).
         assert!(
             (res.emitted as i64 - 200).abs() <= 2,
@@ -427,7 +504,7 @@ mod tests {
         let plan = q.resolve();
         let p = source_based(&q, &plan);
         let df = Dataflow::from_baseline(&q, &p);
-        let res = execute(&t, flat_dist, &df, &fast_cfg(2000.0));
+        let res = execute(&t, flat_dist, &df, &fast_cfg(2000.0)).expect("valid config");
         assert!(res.delivered > 0);
         // Each source ingests 20 t/s at 20 ms/tuple; the join host pays
         // double duty, so some node's busy time exceeds ingest-only.
@@ -445,7 +522,7 @@ mod tests {
             max_queue_ms: ExecConfig::default().max_queue_ms,
             ..fast_cfg(10_000.0)
         };
-        let res = execute(&t, flat_dist, &df, &cfg);
+        let res = execute(&t, flat_dist, &df, &cfg).expect("valid config");
         assert!(res.dropped > 0, "bounded queues must shed load: {res:?}");
         // The queue cap bounds model-domain latency.
         assert!(
@@ -453,6 +530,62 @@ mod tests {
             "p100 {}",
             res.latency_percentile(1.0)
         );
+    }
+
+    #[test]
+    fn zero_knob_configs_error_instead_of_panicking_or_hanging() {
+        // Regression (bug sweep): shards/key_buckets/key_space/
+        // run_budget of 0 used to be clamped silently inside the
+        // backends — and a hand-rolled caller doing `x % shards`
+        // arithmetic would panic. Each zero knob must now fail loudly
+        // at the `execute` boundary with a descriptive error.
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let base = fast_cfg(100.0);
+        for (cfg, want) in [
+            (
+                ExecConfig { shards: 0, ..base },
+                ExecConfigError::ZeroShards,
+            ),
+            (
+                ExecConfig {
+                    key_buckets: 0,
+                    ..base
+                },
+                ExecConfigError::ZeroKeyBuckets,
+            ),
+            (
+                ExecConfig {
+                    key_space: 0,
+                    ..base
+                },
+                ExecConfigError::ZeroKeySpace,
+            ),
+            (
+                ExecConfig {
+                    run_budget: 0,
+                    backend: BackendKind::Async,
+                    ..base
+                },
+                ExecConfigError::ZeroRunBudget,
+            ),
+        ] {
+            assert_eq!(cfg.validate(), Err(want));
+            assert_eq!(execute(&t, flat_dist, &df, &cfg).unwrap_err(), want);
+            assert!(launch(&t, flat_dist, &df, &cfg).is_err());
+            // The message names the knob — "descriptive error".
+            assert!(format!("{want}").contains("must be >= 1"), "{want}");
+        }
+        // workers: 0 stays legal (documented auto value).
+        let auto_workers = ExecConfig {
+            workers: 0,
+            backend: BackendKind::Async,
+            ..base
+        };
+        assert_eq!(auto_workers.validate(), Ok(()));
+        assert!(execute(&t, flat_dist, &df, &auto_workers).is_ok());
     }
 
     #[test]
@@ -465,8 +598,8 @@ mod tests {
             selectivity: 0.5,
             ..fast_cfg(3000.0)
         };
-        let a = execute(&t, flat_dist, &df, &cfg);
-        let b = execute(&t, flat_dist, &df, &cfg);
+        let a = execute(&t, flat_dist, &df, &cfg).expect("valid config");
+        let b = execute(&t, flat_dist, &df, &cfg).expect("valid config");
         assert_eq!(a.emitted, b.emitted);
         assert_eq!(a.matched, b.matched);
         assert_eq!(a.delivered, b.delivered);

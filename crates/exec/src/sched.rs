@@ -158,6 +158,38 @@ impl Scheduler {
         }
     }
 
+    /// Register a new task mid-run (live reconfiguration spawns a fresh
+    /// generation of shard tasks). The task starts `Idle` — *not* in
+    /// the ready queue — so the caller can finish publishing the task's
+    /// state (e.g. push it into the shared task table) before making it
+    /// runnable with a [`Waker::wake`]; a worker can therefore never
+    /// pop an id whose task it cannot look up.
+    pub fn reserve(&self) -> usize {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        let id = inner.status.len();
+        inner.status.push(Status::Idle);
+        inner.live += 1;
+        id
+    }
+
+    /// Take a run guard: a phantom live task that keeps the workers
+    /// from exiting while the task set is momentarily empty — between
+    /// an old generation retiring at an epoch barrier and the new one
+    /// being registered. Balance with [`Scheduler::release`].
+    pub fn hold(&self) {
+        self.inner.lock().expect("scheduler poisoned").live += 1;
+    }
+
+    /// Release a [`Scheduler::hold`] guard; once the real tasks are
+    /// done too, every parked worker observes `live == 0` and exits.
+    pub fn release(&self) {
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        inner.live -= 1;
+        if inner.live == 0 {
+            self.cv.notify_all();
+        }
+    }
+
     fn wake(&self, task: usize) {
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         match inner.status[task] {
@@ -256,6 +288,33 @@ mod tests {
         w.wake(); // coalesces
         assert_eq!(s.next(), Some(id));
         s.complete(id, Poll::Done);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn reserved_tasks_are_idle_until_woken_and_guards_keep_workers_alive() {
+        let s = Scheduler::new(0);
+        s.hold();
+        // No tasks yet, but the guard keeps next() from returning None:
+        // nothing to pop, so a worker would park — verify via a thread.
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.next());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let id = s.reserve();
+        assert_eq!(id, 0);
+        s.waker(id).wake(); // publishes the reserved task
+        assert_eq!(h.join().unwrap(), Some(id));
+        s.complete(id, Poll::Done);
+        // Guard still held: workers must not exit...
+        let s3 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s3.next());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let late = s.reserve();
+        s.waker(late).wake();
+        assert_eq!(h.join().unwrap(), Some(late));
+        s.complete(late, Poll::Done);
+        // ...until it is released.
+        s.release();
         assert_eq!(s.next(), None);
     }
 

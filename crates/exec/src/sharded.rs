@@ -45,17 +45,16 @@
 //! The model-domain numbers are also unchanged: ingest/relay service
 //! slots are charged by the source worker and out-path relays by the
 //! shard that produced the output, against the same shared
-//! [`NodePacer`]s, so the sharding is invisible to the virtual-time
+//! [`crate::metrics::NodePacer`]s, so the sharding is invisible to the
+//! virtual-time
 //! resource model.
 
 use nova_core::PairId;
 use nova_runtime::Dataflow;
 use nova_topology::{NodeId, Topology};
 
-use crate::channel::{bounded, JoinMsg, SinkMsg};
-use crate::metrics::{Counters, ExecResult, NodePacer};
-use crate::worker::{self, VirtualClock};
-use crate::{join, Backend, ExecConfig};
+use crate::metrics::ExecResult;
+use crate::{Backend, ExecConfig};
 
 /// Shard owning the `(window, pair, key bucket)` slice, for `shards`
 /// shards.
@@ -128,7 +127,11 @@ impl Backend for ShardedBackend {
 /// `shards = 1` is exactly the classic thread-per-operator layout, so
 /// [`crate::ThreadedBackend`] delegates here too — one copy of the
 /// channel wiring, spawn loops, sink quorum and result assembly to keep
-/// correct, with no possibility of the backends drifting apart.
+/// correct, with no possibility of the backends drifting apart. Since
+/// the control plane landed, that one copy is
+/// `crate::control::launch_threads` (shared further with the live
+/// reconfiguration path — a plain run is a reconfigurable run that
+/// never reconfigures).
 pub(crate) fn run_with_shards(
     topology: &Topology,
     dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
@@ -136,72 +139,7 @@ pub(crate) fn run_with_shards(
     cfg: &ExecConfig,
     shards: usize,
 ) -> ExecResult {
-    let plan = worker::compile(topology, dist, dataflow);
-    let pacers: Vec<NodePacer> = topology
-        .nodes()
-        .iter()
-        .map(|n| NodePacer::new(n.capacity, cfg.max_queue_ms))
-        .collect();
-    let counters = Counters::default();
-    let n_instances = plan.instances.len();
-    let n_workers = n_instances * shards;
-    let threads = plan.sources.len() + n_workers + 1;
-
-    // Channels: `shards` per join instance (flat index
-    // `instance × shards + shard`), one into the sink.
-    let mut join_txs = Vec::with_capacity(n_workers);
-    let mut join_rxs = Vec::with_capacity(n_workers);
-    for _ in 0..n_workers {
-        let (tx, rx) = bounded::<JoinMsg>(cfg.channel_capacity);
-        join_txs.push(tx);
-        join_rxs.push(rx);
-    }
-    let (sink_tx, sink_rx) = bounded::<SinkMsg>(cfg.channel_capacity);
-    let charge_sink: Vec<bool> = plan.instances.iter().map(|i| i.charge_sink).collect();
-    let sink_node = dataflow.sink.idx();
-
-    let clock = VirtualClock::start(cfg.time_scale);
-    let outputs = std::thread::scope(|scope| {
-        for (flat, rx) in join_rxs.into_iter().enumerate() {
-            // Every shard runs the full join worker loop over its
-            // slice of the instance's tuples; `SinkMsg`s carry the
-            // *instance* index, so sink-side accounting is
-            // shard-oblivious.
-            let inst = plan.instances[flat / shards].clone();
-            let sink_tx = sink_tx.clone();
-            let (pacers, counters) = (&pacers, &counters);
-            scope.spawn(move || join::run_join(inst, cfg, pacers, counters, rx, sink_tx));
-        }
-        for src in plan.sources {
-            let (pacers, counters, join_txs) = (&pacers, &counters, &join_txs);
-            scope.spawn(move || {
-                worker::run_source(src, cfg, clock, pacers, counters, join_txs, shards)
-            });
-        }
-        // The spawners above hold clones; drop the original so the
-        // sink terminates once every shard worker hangs up.
-        drop(sink_tx);
-        let sink = {
-            let (pacers, counters, charge_sink) = (&pacers, &counters, &charge_sink);
-            scope.spawn(move || {
-                worker::run_sink(sink_rx, sink_node, charge_sink, pacers, counters, n_workers)
-            })
-        };
-        sink.join().expect("sink worker panicked")
-    });
-
-    use std::sync::atomic::Ordering;
-    let delivered = outputs.len() as u64;
-    ExecResult {
-        outputs,
-        emitted: counters.emitted.load(Ordering::Relaxed),
-        matched: counters.matched.load(Ordering::Relaxed),
-        delivered,
-        node_busy_ms: pacers.iter().map(|p| p.busy_ms()).collect(),
-        dropped: counters.dropped.load(Ordering::Relaxed),
-        wall_ms: clock.wall_ms(),
-        threads,
-    }
+    crate::control::launch_threads(topology, dist, dataflow, cfg, shards).finish()
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use rand::prelude::*;
 use std::time::Instant;
 
 use crate::channel::{InFlight, JoinMsg, MsgReceiver, MsgSender, SinkMsg};
+use crate::control::SourceCtrl;
 use crate::metrics::{Counters, NodePacer};
 use crate::sharded::{key_bucket_of, shard_of};
 use crate::ExecConfig;
@@ -243,6 +244,22 @@ pub(crate) fn compile(
     CompiledPlan { sources, instances }
 }
 
+/// Send one non-empty batch downstream; true while the receiver lives.
+fn flush_batch<T: MsgSender<JoinMsg>>(
+    txs: &[T],
+    source: u32,
+    batches: &mut [Vec<InFlight>],
+    which: usize,
+) -> bool {
+    if batches[which].is_empty() {
+        return true;
+    }
+    let tuples = std::mem::take(&mut batches[which]);
+    txs[which]
+        .send_msg(JoinMsg::Batch { source, tuples })
+        .is_ok()
+}
+
 /// Source worker: emit the stream, pay ingest + relay charges, batch
 /// tuples toward the instances.
 ///
@@ -257,108 +274,175 @@ pub(crate) fn compile(
 /// backends hand it blocking MPSC senders, the async backend poll-based
 /// ones — the source's own sends block either way (sources are OS
 /// threads; real backpressure is the point).
+///
+/// ## Live reconfiguration
+///
+/// `ctrl` is the source's control mailbox, polled once per emission
+/// step. A [`SourceCtrl::Reconfigure`] arms an epoch: when the next
+/// emission time reaches the epoch (or the stream ends first), the
+/// source flushes, fans a [`JoinMsg::Barrier`] to every shard it feeds
+/// and *parks* on the mailbox until [`SourceCtrl::Resume`] delivers the
+/// post-epoch routing (a fresh [`CompiledSource`] + the new
+/// generation's senders). The pre/post emission split is therefore
+/// exactly `t < epoch` / `t >= epoch`, and the resumed grid follows
+/// [`nova_runtime::resume_time`] — the same rule the simulator's
+/// replay applies, which is what keeps the two engines count-identical
+/// across a reconfiguration.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
-    src: CompiledSource,
+    mut src: CompiledSource,
     cfg: &ExecConfig,
     clock: VirtualClock,
     pacers: &[NodePacer],
     counters: &Counters,
-    txs: &[T],
+    mut txs: Vec<T>,
     shards: usize,
+    ctrl: &std::sync::mpsc::Receiver<SourceCtrl<T>>,
 ) {
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (src.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    let mut batches: Vec<Vec<InFlight>> = vec![Vec::new(); txs.len()];
-    // How far ahead of the wall clock a source may run (virtual ms):
-    // enough to fill a batch at high rates, but tightly bounded —
-    // sources reserve service slots on shared pacers as they emit, so
-    // inter-source schedule skew inflates measured queueing latency by
-    // up to this slack.
-    let slack_ms = (src.interval_ms * cfg.batch_size as f64 * 0.25).clamp(0.5, 4.0);
-
-    let flush = |batches: &mut Vec<Vec<InFlight>>, which: usize| -> bool {
-        if batches[which].is_empty() {
-            return true;
-        }
-        let tuples = std::mem::take(&mut batches[which]);
-        txs[which]
-            .send_msg(JoinMsg::Batch {
-                source: src.index,
-                tuples,
-            })
-            .is_ok()
-    };
-
-    let mut t = src.first_at_ms;
     let mut seq = 0u64;
-    'emit: while t <= cfg.duration_ms && seq < cfg.max_tuples_per_source {
-        let now = clock.now_ms();
-        if t > now + slack_ms {
-            for which in 0..batches.len() {
-                if !flush(&mut batches, which) {
+    let mut pending_epoch: Option<(u64, f64)> = None;
+    let mut t = src.first_at_ms;
+
+    'generations: loop {
+        let mut batches: Vec<Vec<InFlight>> = vec![Vec::new(); txs.len()];
+        // How far ahead of the wall clock a source may run (virtual
+        // ms): enough to fill a batch at high rates, but tightly
+        // bounded — sources reserve service slots on shared pacers as
+        // they emit, so inter-source schedule skew inflates measured
+        // queueing latency by up to this slack.
+        let slack_ms = (src.interval_ms * cfg.batch_size as f64 * 0.25).clamp(0.5, 4.0);
+
+        'emit: while t <= cfg.duration_ms && seq < cfg.max_tuples_per_source {
+            if pending_epoch.is_none() {
+                if let Ok(SourceCtrl::Reconfigure { epoch, epoch_ms }) = ctrl.try_recv() {
+                    pending_epoch = Some((epoch, epoch_ms));
+                }
+            }
+            if let Some((_, epoch_ms)) = pending_epoch {
+                if t >= epoch_ms {
                     break 'emit;
                 }
             }
-            clock.sleep_until(t - slack_ms * 0.5);
-            continue;
-        }
-        seq += 1;
-        Counters::bump(&counters.emitted, 1);
-        // Ingestion costs one service slot on the source node; a
-        // saturated source sheds the sample.
-        let Some(ingest_done) = pacers[src.node].serve(t) else {
-            Counters::bump(&counters.dropped, 1);
-            t += src.interval_ms;
-            continue;
-        };
-        let window = WindowBuffers::window_of(t, cfg.window_ms);
-        // Same pure sub-key the simulator stamps on this (stream, seq):
-        // both engines key and bucket identically.
-        let subkey = subkey_of(cfg.seed, src.index, seq, cfg.key_space);
-        let bucket = key_bucket_of(subkey, cfg.key_buckets);
-        for feed in &src.feeds {
-            let partition = pick_partition(&feed.partition_rates, &mut rng);
-            let shard = shard_of(window, feed.pair, bucket, shards);
-            let tuple = Tuple {
-                pair: feed.pair,
-                side: src.side,
-                partition: partition as u32,
-                key: src.key,
-                subkey,
-                seq,
-                event_time: t,
-            };
-            for route in &feed.routes[partition] {
-                // Walk the relay chain: wire delay, then a service slot
-                // per hop (the last hop is the instance's ingest).
-                let mut deliver_at = ingest_done;
-                let mut delivered = true;
-                for seg in &route.segments {
-                    deliver_at += seg.link_ms;
-                    match pacers[seg.node].serve(deliver_at) {
-                        Some(done) => deliver_at = done,
-                        None => {
-                            Counters::bump(&counters.dropped, 1);
-                            delivered = false;
-                            break;
-                        }
-                    }
-                }
-                if delivered {
-                    let which = route.instance as usize * shards + shard;
-                    batches[which].push(InFlight { tuple, deliver_at });
-                    if batches[which].len() >= cfg.batch_size && !flush(&mut batches, which) {
+            let now = clock.now_ms();
+            if t > now + slack_ms {
+                for which in 0..batches.len() {
+                    if !flush_batch(&txs, src.index, &mut batches, which) {
                         break 'emit;
                     }
                 }
+                clock.sleep_until(t - slack_ms * 0.5);
+                continue;
+            }
+            seq += 1;
+            Counters::bump(&counters.emitted, 1);
+            // Ingestion costs one service slot on the source node; a
+            // saturated source sheds the sample.
+            let Some(ingest_done) = pacers[src.node].serve(t) else {
+                Counters::bump(&counters.dropped, 1);
+                t += src.interval_ms;
+                continue;
+            };
+            let window = WindowBuffers::window_of(t, cfg.window_ms);
+            // Same pure sub-key the simulator stamps on this
+            // (stream, seq): both engines key and bucket identically.
+            let subkey = subkey_of(cfg.seed, src.index, seq, cfg.key_space);
+            let bucket = key_bucket_of(subkey, cfg.key_buckets);
+            for feed in &src.feeds {
+                let partition = pick_partition(&feed.partition_rates, &mut rng);
+                let shard = shard_of(window, feed.pair, bucket, shards);
+                let tuple = Tuple {
+                    pair: feed.pair,
+                    side: src.side,
+                    partition: partition as u32,
+                    key: src.key,
+                    subkey,
+                    seq,
+                    event_time: t,
+                };
+                for route in &feed.routes[partition] {
+                    // Walk the relay chain: wire delay, then a service
+                    // slot per hop (the last hop is the instance's
+                    // ingest).
+                    let mut deliver_at = ingest_done;
+                    let mut delivered = true;
+                    for seg in &route.segments {
+                        deliver_at += seg.link_ms;
+                        match pacers[seg.node].serve(deliver_at) {
+                            Some(done) => deliver_at = done,
+                            None => {
+                                Counters::bump(&counters.dropped, 1);
+                                delivered = false;
+                                break;
+                            }
+                        }
+                    }
+                    if delivered {
+                        let which = route.instance as usize * shards + shard;
+                        batches[which].push(InFlight { tuple, deliver_at });
+                        if batches[which].len() >= cfg.batch_size
+                            && !flush_batch(&txs, src.index, &mut batches, which)
+                        {
+                            break 'emit;
+                        }
+                    }
+                }
+            }
+            t += src.interval_ms;
+        }
+        for which in 0..batches.len() {
+            let _ = flush_batch(&txs, src.index, &mut batches, which);
+        }
+
+        // An armed epoch always resolves through the barrier handshake,
+        // even when the stream ended first — the shards' quiesce quorum
+        // counts this barrier, and the control plane decides what (if
+        // anything) this source emits afterwards.
+        let Some((epoch, epoch_ms)) = pending_epoch.take() else {
+            break 'generations;
+        };
+        // An on-time arm barriers at the first grid point >= epoch, so
+        // t < epoch + interval; anything beyond means emissions already
+        // crossed the epoch under the old plan — flag the dirty split.
+        let late = t >= epoch_ms + src.interval_ms;
+        for &target in &src.targets {
+            for shard in 0..shards {
+                let _ = txs[target as usize * shards + shard].send_msg(JoinMsg::Barrier {
+                    source: src.index,
+                    epoch,
+                    late,
+                });
             }
         }
-        t += src.interval_ms;
+        match ctrl.recv() {
+            Ok(SourceCtrl::Resume {
+                src: new_src,
+                txs: new_txs,
+                n_sources,
+            }) => {
+                // Post-epoch grid: continue the old grid on an
+                // unchanged rate, restart staggered from the epoch on a
+                // changed one — the exact rule the simulator's replay
+                // applies, shared as `nova_runtime::resume_time`.
+                t = nova_runtime::resume_time(
+                    t,
+                    src.interval_ms,
+                    new_src.interval_ms,
+                    epoch_ms,
+                    new_src.index as usize,
+                    n_sources,
+                );
+                src = new_src;
+                txs = new_txs;
+            }
+            // The handle is gone mid-epoch: the old shards already
+            // quiesced, so there is nobody left to feed — wind down
+            // without Eofs (the sink terminates by sender hang-up).
+            Ok(SourceCtrl::Reconfigure { .. }) | Err(_) => return,
+        }
     }
-    for which in 0..batches.len() {
-        let _ = flush(&mut batches, which);
-    }
+
     for &target in &src.targets {
         for shard in 0..shards {
             let _ =
@@ -371,13 +455,19 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
 /// the delivered results. Returns them in arrival order. Generic over
 /// the channel family ([`MsgReceiver`]) — the sink is an OS thread and
 /// blocks while idle under every backend.
+///
+/// A [`SinkMsg::Epoch`] (live reconfiguration) re-bases the Eof quorum
+/// and the per-instance charge table onto the new shard generation: old
+/// shards retire *without* Eofs, and the control plane orders the Epoch
+/// message after every old-generation batch and before any
+/// new-generation one.
 pub(crate) fn run_sink<R: MsgReceiver<SinkMsg>>(
     rx: R,
     sink_node: usize,
-    charge_sink: &[bool],
+    mut charge_sink: Vec<bool>,
     pacers: &[NodePacer],
     counters: &Counters,
-    producers: usize,
+    mut producers: usize,
 ) -> Vec<OutputRecord> {
     let mut records: Vec<OutputRecord> = Vec::new();
     let mut eofs = 0usize;
@@ -409,6 +499,17 @@ pub(crate) fn run_sink<R: MsgReceiver<SinkMsg>>(
             SinkMsg::Eof { .. } => {
                 eofs += 1;
                 if eofs == producers {
+                    break;
+                }
+            }
+            SinkMsg::Epoch {
+                producers: new_producers,
+                charge_sink: table,
+            } => {
+                producers = new_producers;
+                charge_sink = table;
+                eofs = 0;
+                if producers == 0 {
                     break;
                 }
             }

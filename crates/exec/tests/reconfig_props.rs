@@ -1,0 +1,142 @@
+//! Property test for live reconfiguration (the §3.5 control plane).
+//!
+//! The strongest statement the epoch-barrier/state-handoff protocol
+//! makes is *count transparency*: a reconfiguration that changes only
+//! **where** work runs — here, a full instance permutation, which
+//! migrates every live `(window, pair, key_bucket)` group to a
+//! different shard worker — must leave `emitted`/`matched`/`delivered`
+//! exactly equal to a run that never reconfigured. The property is
+//! sampled across (backend × workers × shards × key-buckets) and
+//! across epoch positions (deliberately including mid-window epochs,
+//! where pre/post tuples of the straddling window must still match
+//! each other through the handoff), on a keyed, pair-skewed workload.
+
+use std::sync::OnceLock;
+
+use nova_core::baselines::{host_based, sink_based};
+use nova_core::{JoinQuery, StreamSpec};
+use nova_exec::{execute, launch, BackendKind, ExecConfig};
+use nova_runtime::{Dataflow, PlanSwitch};
+use nova_topology::{NodeId, NodeRole, Topology};
+use proptest::prelude::*;
+
+const DURATION_MS: f64 = 1200.0;
+
+/// Keyed, pair-skewed world: hot pair at 5× the cold pair's rate, both
+/// intervals dividing 1000 exactly.
+fn world() -> (Topology, JoinQuery) {
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+    let w1 = t.add_node(NodeRole::Worker, 1000.0, "w1");
+    let w2 = t.add_node(NodeRole::Worker, 1000.0, "w2");
+    let _ = (w1, w2);
+    let hot_l = t.add_node(NodeRole::Source, 1000.0, "hot_l");
+    let hot_r = t.add_node(NodeRole::Source, 1000.0, "hot_r");
+    let cold_l = t.add_node(NodeRole::Source, 1000.0, "cold_l");
+    let cold_r = t.add_node(NodeRole::Source, 1000.0, "cold_r");
+    let q = JoinQuery::by_key(
+        vec![
+            StreamSpec::keyed(hot_l, 50.0, 0),
+            StreamSpec::keyed(cold_l, 10.0, 1),
+        ],
+        vec![
+            StreamSpec::keyed(hot_r, 50.0, 0),
+            StreamSpec::keyed(cold_r, 10.0, 1),
+        ],
+        sink,
+    );
+    (t, q)
+}
+
+fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+    if a == b {
+        0.0
+    } else {
+        10.0
+    }
+}
+
+fn base_cfg() -> ExecConfig {
+    ExecConfig {
+        duration_ms: DURATION_MS,
+        window_ms: 200.0,
+        selectivity: 0.8,
+        key_space: 8,
+        time_scale: 16.0,
+        // Drop-free by construction: count identity only holds without
+        // shedding, and a bounded queue could shed spuriously when the
+        // OS stalls a thread.
+        max_queue_ms: f64::INFINITY,
+        ..ExecConfig::default()
+    }
+}
+
+/// The never-reconfigured reference counts — computed once; count
+/// identity across backends/shards/buckets is already pinned by the
+/// exec_vs_sim suite, so one threaded run is the whole reference.
+fn baseline() -> &'static (u64, u64, u64) {
+    static BASELINE: OnceLock<(u64, u64, u64)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let (t, q) = world();
+        let p = sink_based(&q, &q.resolve());
+        let df = Dataflow::from_baseline(&q, &p);
+        let res = execute(&t, flat_dist, &df, &base_cfg()).expect("valid config");
+        assert_eq!(res.dropped, 0, "baseline must stay uncongested");
+        assert!(res.delivered > 0, "baseline must deliver");
+        (res.emitted, res.matched, res.delivered)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Migrating every live group to a different shard — an instance
+    /// permutation away from the sink host and onto a worker, with the
+    /// two pairs' instance slots swapped — preserves all three counts
+    /// exactly, at sampled (backend × workers × shards × buckets)
+    /// combinations and epoch positions, under keyed pair skew.
+    #[test]
+    fn full_group_migration_preserves_counts_exactly(
+        backend_pick in 0usize..3,
+        workers in 1usize..=3,
+        shards in 1usize..=4,
+        bucket_pick in 0usize..3,
+        epoch_frac in 0.3f64..0.7,
+    ) {
+        let backend = [BackendKind::Threaded, BackendKind::Sharded, BackendKind::Async][backend_pick];
+        let key_buckets = [1usize, 2, 8][bucket_pick];
+        let (t, q) = world();
+        let pre = sink_based(&q, &q.resolve());
+        // Post plan: both instances move (sink host -> worker) and
+        // their slots swap, so every (window, pair, bucket) group's
+        // flat shard index changes — total migration.
+        let mut post = host_based(&q, &q.resolve(), nova_topology::NodeId(1));
+        post.replicas.reverse();
+        let df = Dataflow::from_baseline(&q, &pre);
+        let cfg = ExecConfig {
+            backend,
+            workers,
+            shards,
+            key_buckets,
+            ..base_cfg()
+        };
+        let epoch_ms = epoch_frac * DURATION_MS;
+        let switch = PlanSwitch::between(epoch_ms, &q, &pre, &post, 1.0);
+        // The permutation really is one: pair 0's state goes to the
+        // slot that now holds pair 0 (index 1 after the reverse).
+        prop_assert_eq!(switch.succ.clone(), vec![Some(1), Some(0)]);
+
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+        let stats = handle.apply(&switch, flat_dist).expect("reconfigure");
+        prop_assert!(stats.migrated_tuples > 0, "live state must migrate");
+        let res = handle.join();
+        let (emitted, matched, delivered) = *baseline();
+        let tag = format!(
+            "{backend:?} workers={workers} shards={shards} buckets={key_buckets} epoch={epoch_ms:.1}"
+        );
+        prop_assert_eq!(res.dropped, 0, "{}: must stay drop-free", tag);
+        prop_assert_eq!(res.emitted, emitted, "{}: emitted moved", tag);
+        prop_assert_eq!(res.matched, matched, "{}: matched moved", tag);
+        prop_assert_eq!(res.delivered, delivered, "{}: delivered moved", tag);
+    }
+}

@@ -183,6 +183,94 @@ impl Dataflow {
     }
 }
 
+/// One live plan reconfiguration (§3.5 on a *running* dataflow): at
+/// virtual time [`PlanSwitch::epoch_ms`] the engine stops routing by
+/// the old plan and adopts [`PlanSwitch::dataflow`], migrating each old
+/// instance's live window state to its successor under
+/// [`PlanSwitch::succ`].
+///
+/// The same value drives both engines — the simulator's
+/// [`crate::simulate_reconfigured`] replay and the executor's
+/// `ExecHandle::apply` — which is what makes "exec counts across a
+/// reconfiguration are identical to the simulator replaying the same
+/// pre/post plans" a testable statement rather than a metaphor.
+#[derive(Debug, Clone)]
+pub struct PlanSwitch {
+    /// Virtual time of the epoch boundary: tuples emitted at
+    /// `t < epoch_ms` play against the old plan, `t >= epoch_ms`
+    /// against the new one. Need *not* be window-aligned — the window
+    /// straddling the epoch is carried across by state handoff.
+    pub epoch_ms: f64,
+    /// The post-epoch plan. Source count must equal the running plan's
+    /// (topology/workload events that add or drop streams are not
+    /// replayed live; rates, routes, hosts and instance sets may all
+    /// change).
+    pub dataflow: Dataflow,
+    /// For each *old* instance index: the new instance inheriting its
+    /// window state, or `None` to drop the state (its pair is gone).
+    pub succ: Vec<Option<u32>>,
+    /// Per-node capacity updates (tuples/s) taking effect at the epoch;
+    /// `<= 0` means "pure relay", matching both engines' convention.
+    pub node_capacity: Vec<(NodeId, f64)>,
+}
+
+impl PlanSwitch {
+    /// Build the switch between two placements of the *same* pair set:
+    /// the post dataflow from `(query_post, post)` under partition
+    /// scale `sigma` (1.0 for unpartitioned baselines, the Phase III σ
+    /// for Nova placements), and the succession map by matching each
+    /// pre replica to the same-ordinal replica of its pair in `post`
+    /// (falling back to the pair's first replica when the replica count
+    /// shrank, and to `None` when the pair is gone).
+    pub fn between(
+        epoch_ms: f64,
+        query_post: &JoinQuery,
+        pre: &Placement,
+        post: &Placement,
+        sigma: f64,
+    ) -> PlanSwitch {
+        let dataflow = Dataflow::build(query_post, post, |_| sigma);
+        let ordinal_in = |placement: &Placement, idx: usize| {
+            let pair = placement.replicas[idx].pair;
+            placement.replicas[..idx]
+                .iter()
+                .filter(|r| r.pair == pair)
+                .count()
+        };
+        let succ = (0..pre.replicas.len())
+            .map(|i| {
+                let pair = pre.replicas[i].pair;
+                let ordinal = ordinal_in(pre, i);
+                let mut first = None;
+                for (j, rep) in post.replicas.iter().enumerate() {
+                    if rep.pair != pair {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some(j as u32);
+                    }
+                    if ordinal_in(post, j) == ordinal {
+                        return Some(j as u32);
+                    }
+                }
+                first
+            })
+            .collect();
+        PlanSwitch {
+            epoch_ms,
+            dataflow,
+            succ,
+            node_capacity: Vec::new(),
+        }
+    }
+
+    /// Attach per-node capacity updates (builder style).
+    pub fn with_capacities(mut self, caps: Vec<(NodeId, f64)>) -> PlanSwitch {
+        self.node_capacity = caps;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +315,28 @@ mod tests {
             assert_eq!(s.feeds[0].routes[0].len(), 1);
         }
         assert_eq!(df.total_source_rate(), 60.0);
+    }
+
+    #[test]
+    fn plan_switch_succession_matches_replicas_by_pair_and_ordinal() {
+        let (_, _, q) = world();
+        let plan = q.resolve();
+        let pre = sink_based(&q, &plan);
+        // Same pair set, different host structure: the successor is the
+        // pair's same-ordinal replica.
+        let post = sink_based(&q, &plan);
+        let sw = PlanSwitch::between(500.0, &q, &pre, &post, 1.0);
+        assert_eq!(sw.epoch_ms, 500.0);
+        assert_eq!(sw.succ.len(), pre.replicas.len());
+        for (i, s) in sw.succ.iter().enumerate() {
+            let s = s.expect("pair still placed");
+            assert_eq!(post.replicas[s as usize].pair, pre.replicas[i].pair);
+        }
+        // A pair that disappears maps to None.
+        let mut gone = post.clone();
+        gone.replicas.clear();
+        let sw = PlanSwitch::between(500.0, &q, &pre, &gone, 1.0);
+        assert!(sw.succ.iter().all(|s| s.is_none()));
     }
 
     #[test]

@@ -118,14 +118,10 @@ impl SimResult {
     }
 
     /// Latency percentile (q in [0, 1], e.g. 0.9999 for the paper's
-    /// 99.99th percentile).
+    /// 99.99th percentile), nearest-rank semantics — see [`percentile`].
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        if self.outputs.is_empty() {
-            return 0.0;
-        }
-        let mut v: Vec<f64> = self.outputs.iter().map(|o| o.latency_ms).collect();
-        v.sort_unstable_by(f64::total_cmp);
-        v[((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize]
+        let v: Vec<f64> = self.outputs.iter().map(|o| o.latency_ms).collect();
+        percentile(&v, q)
     }
 
     /// Utilization of a node over the run: busy time / duration.
@@ -484,6 +480,475 @@ pub fn simulate(
         dropped,
         truncated,
     }
+}
+
+/// First post-epoch emission time of a source — the emission-grid
+/// continuation rule shared verbatim by the executor's sources and the
+/// simulator's plan-switch replay (one definition, so the two engines
+/// cannot disagree on the post-epoch workload):
+///
+/// * an **unchanged** rate continues the old grid — the emission the
+///   barrier pre-empted (`pending_ms`) fires as scheduled, so a
+///   route-only reconfiguration is count-transparent;
+/// * a **changed** rate starts a fresh grid at the epoch, staggered by
+///   source index exactly like the initial grid (`epoch + interval ·
+///   i/n`).
+///
+/// Interval equality is exact (`f64 ==`): both engines derive intervals
+/// as `1000.0 / rate` from the same plan values, so equal rates give
+/// bit-equal intervals.
+pub fn resume_time(
+    pending_ms: f64,
+    old_interval_ms: f64,
+    new_interval_ms: f64,
+    epoch_ms: f64,
+    source: usize,
+    n_sources: usize,
+) -> f64 {
+    if new_interval_ms == old_interval_ms {
+        pending_ms
+    } else {
+        epoch_ms + new_interval_ms * (source as f64 / n_sources.max(1) as f64)
+    }
+}
+
+/// Replay a dataflow through a sequence of live
+/// [`PlanSwitch`](crate::dataflow::PlanSwitch)es — the
+/// simulator half of the reconfiguration count-identity contract.
+///
+/// Differences from [`simulate`], all chosen to mirror the executor's
+/// epoch-barrier semantics exactly:
+///
+/// * emissions of phase *k* satisfy `t < epoch_{k+1}` (and
+///   `t <= duration_ms`); the post-epoch grid per source follows
+///   [`resume_time`];
+/// * each phase's event heap is **drained completely** before the
+///   switch — every pre-epoch tuple probes and lands in pre-epoch
+///   window state, exactly as the executor's shards quiesce at the
+///   barrier after consuming their FIFO backlog — and outputs are
+///   recorded without the duration cut-off (the executor drains
+///   in-flight work too, so on drop-free runs
+///   `emitted`/`matched`/`delivered` are *identical* between this
+///   replay and a reconfigured executor run);
+/// * at the switch, every live `(window, key)` group migrates from its
+///   old instance to `succ[old]`'s buffers (dropped when `None`)
+///   without re-probing — pre/pre matches were already counted; post
+///   tuples probe the migrated state;
+/// * node capacity updates take effect at the switch (backlogs carry
+///   over at their old service charge, as in the executor's pacers).
+///
+/// With `switches` empty this is [`simulate`] minus the duration
+/// truncation (it drains), which is exactly the executor's semantics.
+pub fn simulate_reconfigured(
+    topology: &Topology,
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    dataflow: &Dataflow,
+    switches: &[crate::dataflow::PlanSwitch],
+    cfg: &SimConfig,
+) -> SimResult {
+    fn serve_at(
+        service_ms: &[f64],
+        busy_until: &mut [f64],
+        busy_ms: &mut [f64],
+        max_queue_ms: f64,
+        node: usize,
+        now: f64,
+    ) -> Option<f64> {
+        let s = service_ms[node];
+        if s == 0.0 {
+            return Some(now);
+        }
+        if busy_until[node] - now > max_queue_ms {
+            return None;
+        }
+        let start = busy_until[node].max(now);
+        let done = start + s;
+        busy_until[node] = done;
+        busy_ms[node] += s;
+        Some(done)
+    }
+
+    let n = topology.len();
+    let mut busy_until = vec![0.0f64; n];
+    let mut busy_ms = vec![0.0f64; n];
+    let mut capacities: Vec<f64> = topology.nodes().iter().map(|nd| nd.capacity).collect();
+    let service_of = |caps: &[f64]| -> Vec<f64> {
+        caps.iter()
+            .map(|&c| if c > 0.0 { 1000.0 / c } else { 0.0 })
+            .collect()
+    };
+    let mut service_ms = service_of(&capacities);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
+        *seq += 1;
+        heap.push(Event {
+            time,
+            seq: *seq,
+            kind,
+        });
+    };
+
+    let n_sources = dataflow.sources.len();
+    let mut per_stream_seq: Vec<u64> = vec![0; n_sources];
+    let mut buffers: Vec<WindowBuffers> = (0..dataflow.instances.len())
+        .map(|_| WindowBuffers::new())
+        .collect();
+    // Per source: the next emission time the previous phase stashed
+    // (pre-empted by an epoch boundary or the duration horizon).
+    let mut pending: Vec<f64> = Vec::new();
+
+    let mut outputs = Vec::new();
+    let mut emitted = 0u64;
+    let mut matched = 0u64;
+    let mut dropped = 0u64;
+    let mut processed_events = 0u64;
+    let mut truncated = false;
+
+    'phases: for phase in 0..=switches.len() {
+        let df: &Dataflow = if phase == 0 {
+            dataflow
+        } else {
+            &switches[phase - 1].dataflow
+        };
+        assert_eq!(
+            df.sources.len(),
+            n_sources,
+            "plan switches must preserve the source set"
+        );
+        let phase_end = switches
+            .get(phase)
+            .map(|s| s.epoch_ms)
+            .unwrap_or(f64::INFINITY);
+        // Seed this phase's emission grid.
+        if phase == 0 {
+            pending = df
+                .sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (1000.0 / s.rate) * (i as f64 / n_sources as f64))
+                .collect();
+        } else {
+            let epoch = switches[phase - 1].epoch_ms;
+            let prev_df: &Dataflow = if phase == 1 {
+                dataflow
+            } else {
+                &switches[phase - 2].dataflow
+            };
+            for (i, p) in pending.iter_mut().enumerate() {
+                *p = resume_time(
+                    *p,
+                    1000.0 / prev_df.sources[i].rate,
+                    1000.0 / df.sources[i].rate,
+                    epoch,
+                    i,
+                    n_sources,
+                );
+            }
+        }
+        for (i, &t0) in pending.iter().enumerate() {
+            if t0 < phase_end && t0 <= cfg.duration_ms && df.sources[i].rate > 0.0 {
+                push(
+                    &mut heap,
+                    &mut seq,
+                    t0,
+                    EventKind::Emit { source: i as u32 },
+                );
+            }
+        }
+        let gc0 = if phase == 0 {
+            cfg.gc_interval_ms
+        } else {
+            switches[phase - 1].epoch_ms + cfg.gc_interval_ms
+        };
+        if gc0 < phase_end && gc0 <= cfg.duration_ms {
+            push(&mut heap, &mut seq, gc0, EventKind::Gc);
+        }
+
+        // Drain the phase completely (no duration cut-off: the executor
+        // drains in-flight work too). The per-event handling below must
+        // stay in lockstep with `simulate`'s match arms — it is kept as
+        // a separate loop because the reference engine's truncation
+        // semantics are pinned by many tests, and the zero-switch
+        // equivalence test (`reconfigured_replay_without_switches_…`)
+        // trips if the two drift on emissions or matching.
+        while let Some(ev) = heap.pop() {
+            processed_events += 1;
+            if processed_events > cfg.max_events {
+                truncated = true;
+                break 'phases;
+            }
+            let now = ev.time;
+            match ev.kind {
+                EventKind::Emit { source } => {
+                    let s = &df.sources[source as usize];
+                    let interval = 1000.0 / s.rate;
+                    let next = now + interval;
+                    if next < phase_end && next <= cfg.duration_ms {
+                        push(&mut heap, &mut seq, next, EventKind::Emit { source });
+                    } else {
+                        pending[source as usize] = next;
+                    }
+                    emitted += 1;
+                    per_stream_seq[source as usize] += 1;
+                    let tuple_seq = per_stream_seq[source as usize];
+                    let Some(ingest_done) = serve_at(
+                        &service_ms,
+                        &mut busy_until,
+                        &mut busy_ms,
+                        cfg.max_queue_ms,
+                        s.node.idx(),
+                        now,
+                    ) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    let subkey = subkey_of(cfg.seed, source, tuple_seq, cfg.key_space);
+                    for feed in &s.feeds {
+                        let partition = pick_partition(&feed.partition_rates, &mut rng);
+                        let tuple = Tuple {
+                            pair: feed.pair,
+                            side: s.side,
+                            partition: partition as u32,
+                            key: s.key,
+                            subkey,
+                            seq: tuple_seq,
+                            event_time: now,
+                        };
+                        for route in &feed.routes[partition] {
+                            if route.path.len() >= 2 {
+                                let t_arr = ingest_done + dist(route.path[0], route.path[1]);
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    t_arr,
+                                    EventKind::InputArrive {
+                                        path: Arc::clone(&route.path),
+                                        hop: 1,
+                                        instance: route.instance,
+                                        tuple,
+                                    },
+                                );
+                            } else {
+                                match serve_at(
+                                    &service_ms,
+                                    &mut busy_until,
+                                    &mut busy_ms,
+                                    cfg.max_queue_ms,
+                                    s.node.idx(),
+                                    ingest_done,
+                                ) {
+                                    Some(done) => push(
+                                        &mut heap,
+                                        &mut seq,
+                                        done,
+                                        EventKind::InputReady {
+                                            instance: route.instance,
+                                            tuple,
+                                        },
+                                    ),
+                                    None => dropped += 1,
+                                }
+                            }
+                        }
+                    }
+                }
+                EventKind::InputArrive {
+                    path,
+                    hop,
+                    instance,
+                    tuple,
+                } => {
+                    let node = path[hop as usize];
+                    let Some(done) = serve_at(
+                        &service_ms,
+                        &mut busy_until,
+                        &mut busy_ms,
+                        cfg.max_queue_ms,
+                        node.idx(),
+                        now,
+                    ) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    if hop as usize == path.len() - 1 {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            done,
+                            EventKind::InputReady { instance, tuple },
+                        );
+                    } else {
+                        let next = path[hop as usize + 1];
+                        let t_arr = done + dist(node, next);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t_arr,
+                            EventKind::InputArrive {
+                                path,
+                                hop: hop + 1,
+                                instance,
+                                tuple,
+                            },
+                        );
+                    }
+                }
+                EventKind::InputReady { instance, tuple } => {
+                    let inst = &df.instances[instance as usize];
+                    let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
+                    buffers[instance as usize].insert_and_probe_with(
+                        window,
+                        tuple.subkey,
+                        tuple.side,
+                        BufferedTuple {
+                            seq: tuple.seq,
+                            event_time: tuple.event_time,
+                        },
+                        |partner| {
+                            if !match_survives(
+                                tuple.seq,
+                                partner.seq,
+                                tuple.side,
+                                cfg.selectivity,
+                                cfg.seed,
+                            ) {
+                                return;
+                            }
+                            matched += 1;
+                            let out = OutputTuple {
+                                pair: inst.pair,
+                                key: tuple.key,
+                                event_time: tuple.event_time.max(partner.event_time),
+                            };
+                            if inst.out_path.len() <= 1 {
+                                outputs.push(OutputRecord {
+                                    arrival_ms: now,
+                                    latency_ms: now - out.event_time,
+                                    pair: out.pair,
+                                });
+                            } else {
+                                let t_arr = now + dist(inst.out_path[0], inst.out_path[1]);
+                                push(
+                                    &mut heap,
+                                    &mut seq,
+                                    t_arr,
+                                    EventKind::OutputArrive {
+                                        path: Arc::clone(&inst.out_path),
+                                        hop: 1,
+                                        out,
+                                    },
+                                );
+                            }
+                        },
+                    );
+                }
+                EventKind::OutputArrive { path, hop, out } => {
+                    let node = path[hop as usize];
+                    let Some(done) = serve_at(
+                        &service_ms,
+                        &mut busy_until,
+                        &mut busy_ms,
+                        cfg.max_queue_ms,
+                        node.idx(),
+                        now,
+                    ) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    if hop as usize == path.len() - 1 {
+                        outputs.push(OutputRecord {
+                            arrival_ms: done,
+                            latency_ms: done - out.event_time,
+                            pair: out.pair,
+                        });
+                    } else {
+                        let next = path[hop as usize + 1];
+                        let t_arr = done + dist(node, next);
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t_arr,
+                            EventKind::OutputArrive {
+                                path,
+                                hop: hop + 1,
+                                out,
+                            },
+                        );
+                    }
+                }
+                EventKind::Gc => {
+                    let watermark = now - cfg.window_ms;
+                    for b in &mut buffers {
+                        b.gc(watermark, cfg.window_ms);
+                    }
+                    let next = now + cfg.gc_interval_ms;
+                    if next < phase_end && next <= cfg.duration_ms {
+                        push(&mut heap, &mut seq, next, EventKind::Gc);
+                    }
+                }
+            }
+        }
+
+        // The epoch: migrate window state to each instance's successor
+        // and apply capacity updates.
+        if let Some(sw) = switches.get(phase) {
+            assert_eq!(
+                sw.succ.len(),
+                buffers.len(),
+                "succession map must cover every old instance"
+            );
+            let mut next_buffers: Vec<WindowBuffers> = (0..sw.dataflow.instances.len())
+                .map(|_| WindowBuffers::new())
+                .collect();
+            for (old, mut b) in buffers.drain(..).enumerate() {
+                if let Some(new) = sw.succ[old] {
+                    next_buffers[new as usize].import_groups(b.export_groups());
+                }
+            }
+            buffers = next_buffers;
+            for &(node, cap) in &sw.node_capacity {
+                capacities[node.idx()] = cap;
+            }
+            service_ms = service_of(&capacities);
+        }
+    }
+
+    outputs.sort_unstable_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms));
+    let delivered = outputs.len() as u64;
+    SimResult {
+        outputs,
+        emitted,
+        matched,
+        delivered,
+        node_busy_ms: busy_ms,
+        dropped,
+        truncated,
+    }
+}
+
+/// Nearest-rank percentile of a sample: the value at rank
+/// `ceil(q · n)` (1-indexed, clamped to `[1, n]`) of the sorted data —
+/// the paper-standard definition, shared by [`SimResult`] and the
+/// executor's `ExecResult` so the two engines' tail numbers can never
+/// disagree on semantics.
+///
+/// The previous copy-pasted implementations used `round((n−1)·q)`
+/// nearest-*index*, which under-reports the tail: p99.99 over n = 200
+/// picked rank 199 instead of 200. Nearest-rank pins `q = 1` to the
+/// maximum and never rounds a tail quantile downward. Empty samples
+/// yield 0.0.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable_by(f64::total_cmp);
+    let n = v.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    v[rank - 1]
 }
 
 /// Weighted random partition choice proportional to partition rates.
@@ -849,6 +1314,111 @@ mod tests {
             keyed.matched,
             unkeyed.matched
         );
+    }
+
+    #[test]
+    fn percentile_uses_ceil_nearest_rank() {
+        // Known vector 1..=200: nearest-rank pins the tail exactly.
+        let v: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.5), 100.0, "p50 = rank ceil(100)");
+        // Regression: round((n-1)·q) picked rank 199 here — the
+        // under-reported tail the shared helper exists to fix.
+        assert_eq!(percentile(&v, 0.9999), 200.0, "p99.99 = rank ceil(199.98)");
+        assert_eq!(percentile(&v, 1.0), 200.0, "p100 = max");
+        assert_eq!(percentile(&v, 0.0), 1.0, "q=0 clamps to rank 1");
+        // Small-n sanity + unsorted input.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0, 4.0], 0.5), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn reconfigured_replay_without_switches_matches_plain_sim_modulo_drain() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig {
+            duration_ms: 3000.0,
+            window_ms: 100.0,
+            selectivity: 0.6,
+            max_queue_ms: f64::INFINITY,
+            ..Default::default()
+        };
+        let plain = simulate(&t, flat_dist, &df, &cfg);
+        let replay = simulate_reconfigured(&t, flat_dist, &df, &[], &cfg);
+        assert_eq!(replay.emitted, plain.emitted);
+        // The replay drains in-flight work past the horizon (executor
+        // semantics), so it may see a small tail of extra matches —
+        // never fewer.
+        assert!(replay.matched >= plain.matched);
+        assert!((replay.matched - plain.matched) as f64 <= (plain.matched as f64 * 0.10).max(8.0));
+        assert_eq!(
+            replay.delivered, replay.matched,
+            "drop-free drain delivers all"
+        );
+        assert_eq!(replay.dropped, 0);
+        // And the replay itself is deterministic.
+        let again = simulate_reconfigured(&t, flat_dist, &df, &[], &cfg);
+        assert_eq!(again.matched, replay.matched);
+        assert_eq!(again.delivered, replay.delivered);
+    }
+
+    #[test]
+    fn rate_preserving_switch_is_count_transparent() {
+        // Re-placing the join (sink -> worker) mid-run without touching
+        // rates must not change what is emitted or matched: the
+        // emission grid continues (resume_time) and the straddling
+        // window's state migrates to the new instance.
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let sink_p = sink_based(&q, &plan);
+        let src_p = source_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &sink_p);
+        let cfg = SimConfig {
+            duration_ms: 3000.0,
+            window_ms: 200.0,
+            selectivity: 0.7,
+            max_queue_ms: f64::INFINITY,
+            ..Default::default()
+        };
+        let unreconfigured = simulate_reconfigured(&t, flat_dist, &df, &[], &cfg);
+        // Epoch deliberately *not* window-aligned: 1250 straddles the
+        // [1200, 1400) window, so pre/post matching spans the handoff.
+        let sw = crate::dataflow::PlanSwitch::between(1250.0, &q, &sink_p, &src_p, 1.0);
+        let switched = simulate_reconfigured(&t, flat_dist, &df, &[sw], &cfg);
+        assert_eq!(switched.dropped, 0);
+        assert_eq!(switched.emitted, unreconfigured.emitted);
+        assert_eq!(switched.matched, unreconfigured.matched);
+        assert_eq!(switched.delivered, unreconfigured.delivered);
+    }
+
+    #[test]
+    fn rate_change_switch_restarts_the_grid_at_the_epoch() {
+        let (t, q) = world(1000.0, 1000.0, 1000.0);
+        let plan = q.resolve();
+        let p = sink_based(&q, &plan);
+        let df = Dataflow::from_baseline(&q, &p);
+        let cfg = SimConfig {
+            duration_ms: 4000.0,
+            window_ms: 100.0,
+            max_queue_ms: f64::INFINITY,
+            ..Default::default()
+        };
+        // Double both rates at t = 2000: emitted ≈ 2·40·2 + 2·80·2.
+        let mut q2 = q.clone();
+        q2.left[0].rate = 40.0;
+        q2.right[0].rate = 40.0;
+        let p2 = sink_based(&q2, &q2.resolve());
+        let sw = crate::dataflow::PlanSwitch::between(2000.0, &q2, &p, &p2, 1.0);
+        let res = simulate_reconfigured(&t, flat_dist, &df, &[sw], &cfg);
+        assert_eq!(res.dropped, 0);
+        let expected = 2.0 * 20.0 * 2.0 + 2.0 * 40.0 * 2.0;
+        assert!(
+            (res.emitted as f64 - expected).abs() <= 4.0,
+            "emitted {} vs expected {expected}",
+            res.emitted
+        );
+        assert!(res.delivered > 0);
     }
 
     #[test]

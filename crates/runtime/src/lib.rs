@@ -72,10 +72,11 @@ pub mod testbed;
 pub mod tuple;
 pub mod window;
 
-pub use dataflow::{Dataflow, FeedSpec, JoinInstance, Route, SourceTask};
+pub use dataflow::{Dataflow, FeedSpec, JoinInstance, PlanSwitch, Route, SourceTask};
 pub use engine::{
-    match_survives, pick_partition, simulate, subkey_of, OutputRecord, SimConfig, SimResult,
+    match_survives, percentile, pick_partition, resume_time, simulate, simulate_reconfigured,
+    subkey_of, OutputRecord, SimConfig, SimResult,
 };
 pub use testbed::{run_placement, with_stress};
 pub use tuple::{OutputTuple, Tuple};
-pub use window::{BufferedTuple, WindowBuffers};
+pub use window::{BufferedTuple, WindowBuffers, WindowGroup};

@@ -28,6 +28,22 @@ pub struct BufferedTuple {
     pub event_time: f64,
 }
 
+/// One exported `(window, key)` group of buffered state — the portable
+/// unit of window-state handoff during live reconfiguration. Produced
+/// by [`WindowBuffers::export_groups`], absorbed by
+/// [`WindowBuffers::import_groups`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowGroup {
+    /// Tumbling window id ([`WindowBuffers::window_of`]).
+    pub window: u64,
+    /// Join sub-key of the group (0 for unkeyed workloads).
+    pub key: u32,
+    /// Buffered left-side tuples, in insertion order.
+    pub left: Vec<BufferedTuple>,
+    /// Buffered right-side tuples, in insertion order.
+    pub right: Vec<BufferedTuple>,
+}
+
 /// Symmetric per-`(window, key)` hash join state of one instance.
 #[derive(Debug, Clone, Default)]
 pub struct WindowBuffers {
@@ -114,6 +130,41 @@ impl WindowBuffers {
             }
         });
         evicted
+    }
+
+    /// Drain the entire state into portable [`WindowGroup`]s, sorted by
+    /// `(window, key)` so the export is deterministic regardless of hash
+    /// iteration order — the state-handoff half of live reconfiguration
+    /// (`nova-exec` ships these groups to a migrating group's new
+    /// shard; the simulator's plan-switch replay moves them between
+    /// instance buffers).
+    pub fn export_groups(&mut self) -> Vec<WindowGroup> {
+        let mut groups: Vec<WindowGroup> = self
+            .groups
+            .drain()
+            .map(|((window, key), (left, right))| WindowGroup {
+                window,
+                key,
+                left,
+                right,
+            })
+            .collect();
+        groups.sort_unstable_by_key(|g| (g.window, g.key));
+        groups
+    }
+
+    /// Import previously exported groups, appending to any state already
+    /// present for the same `(window, key)` — several migrating shards
+    /// may fold into one. Imported tuples are *not* probed against each
+    /// other: every match among them was already produced where they
+    /// lived before the handoff. They become visible as partners to
+    /// tuples inserted afterwards.
+    pub fn import_groups(&mut self, groups: Vec<WindowGroup>) {
+        for g in groups {
+            let entry = self.groups.entry((g.window, g.key)).or_default();
+            entry.0.extend(g.left);
+            entry.1.extend(g.right);
+        }
     }
 
     /// Number of currently buffered tuples (both sides, all windows and
@@ -231,6 +282,31 @@ mod tests {
             });
             assert_eq!(n, 0);
         }
+    }
+
+    #[test]
+    fn export_import_round_trips_state_without_self_probing() {
+        let mut a = WindowBuffers::new();
+        a.insert_and_probe(3, 1, Side::Left, bt(1, 310.0));
+        a.insert_and_probe(3, 1, Side::Right, bt(2, 320.0));
+        a.insert_and_probe(0, 0, Side::Left, bt(3, 10.0));
+        let groups = a.export_groups();
+        assert_eq!(a.buffered(), 0, "export drains the source");
+        // Deterministic (window, key) order.
+        assert_eq!(groups[0].window, 0);
+        assert_eq!(groups[1].window, 3);
+        let mut b = WindowBuffers::new();
+        b.import_groups(groups);
+        assert_eq!(b.buffered(), 3);
+        // Migrated partners are visible to post-handoff probes...
+        let matches = b.insert_and_probe(3, 1, Side::Left, bt(4, 330.0));
+        assert_eq!(matches, vec![bt(2, 320.0)]);
+        // ...and imports merge with pre-existing state.
+        let mut extra = WindowBuffers::new();
+        extra.insert_and_probe(3, 1, Side::Right, bt(5, 340.0));
+        b.import_groups(extra.export_groups());
+        let matches = b.insert_and_probe(3, 1, Side::Left, bt(6, 350.0));
+        assert_eq!(matches.len(), 2);
     }
 
     #[test]

@@ -121,8 +121,8 @@ fn executor_is_count_identical_across_runs() {
         max_queue_ms: f64::INFINITY,
         ..ExecConfig::default()
     };
-    let a = execute(&t, flat_dist, &df, &cfg);
-    let b = execute(&t, flat_dist, &df, &cfg);
+    let a = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
+    let b = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
     assert!(
         a.delivered > 0,
         "the comparison must be about something: {a:?}"
@@ -169,8 +169,8 @@ fn async_executor_is_count_identical_across_runs() {
         max_queue_ms: f64::INFINITY,
         ..nova::ExecConfig::default()
     };
-    let a = execute(&t, flat_dist, &df, &cfg);
-    let b = execute(&t, flat_dist, &df, &cfg);
+    let a = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
+    let b = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
     assert!(a.delivered > 0, "async run must deliver: {a:?}");
     assert_eq!(a.dropped, 0, "scenario must stay uncongested: {a:?}");
     assert_eq!(b.dropped, 0);
@@ -206,8 +206,8 @@ fn keyed_sharded_executor_is_count_identical_across_runs() {
         max_queue_ms: f64::INFINITY,
         ..ExecConfig::default()
     };
-    let a = execute(&t, flat_dist, &df, &cfg);
-    let b = execute(&t, flat_dist, &df, &cfg);
+    let a = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
+    let b = execute(&t, flat_dist, &df, &cfg).expect("valid exec config");
     assert!(a.delivered > 0, "keyed run must deliver: {a:?}");
     assert_eq!(a.dropped, 0, "scenario must stay uncongested: {a:?}");
     assert_eq!(b.dropped, 0);

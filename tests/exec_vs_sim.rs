@@ -85,7 +85,7 @@ fn worker_based(query: &JoinQuery, topology: &Topology) -> Placement {
 fn run_both(t: &Topology, df: &Dataflow, sim_cfg: &SimConfig) -> (SimResult, ExecResult) {
     let sim = simulate(t, dist, df, sim_cfg);
     let exec_cfg = ExecConfig::from_sim(sim_cfg, 8.0);
-    let exec = execute(t, dist, df, &exec_cfg);
+    let exec = execute(t, dist, df, &exec_cfg).expect("valid exec config");
     (sim, exec)
 }
 
@@ -298,7 +298,8 @@ fn sharded_backend_match_counts_identical_to_sim_and_threaded() {
         ..SimConfig::default()
     };
     let sim = simulate(&t, dist, &df, &sim_cfg);
-    let threaded = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    let threaded =
+        execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0)).expect("valid exec config");
     assert_eq!(threaded.dropped, 0);
     for shards in [2usize, 4, 8] {
         let cfg = ExecConfig {
@@ -371,7 +372,8 @@ fn keyed_skewed_counts_identical_at_every_bucket_count() {
     };
     let sim = simulate(&t, dist, &df, &sim_cfg);
     assert!(sim.delivered > 0, "keyed skewed workload must match");
-    let threaded = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    let threaded =
+        execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0)).expect("valid exec config");
     assert_eq!(threaded.dropped, 0);
     // Engine-vs-sim relationship (same as the unkeyed tests): never
     // fewer matches than the simulator, tail-bounded extras.
@@ -450,7 +452,8 @@ fn async_backend_counts_identical_at_every_worker_shard_bucket_combination() {
     };
     let sim = simulate(&t, dist, &df, &sim_cfg);
     assert!(sim.delivered > 0, "keyed skewed workload must match");
-    let threaded = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    let threaded =
+        execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0)).expect("valid exec config");
     assert_eq!(threaded.dropped, 0);
     // Engine-vs-sim relationship: never fewer matches than the
     // simulator, tail-bounded extras (the executor drains in-flight
@@ -520,7 +523,8 @@ fn matched_sets_are_identical_with_shared_selectivity() {
         ..SimConfig::default()
     };
     let sim = simulate(&t, dist, &df, &sim_cfg);
-    let exec = execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0));
+    let exec =
+        execute(&t, dist, &df, &ExecConfig::from_sim(&sim_cfg, 8.0)).expect("valid exec config");
     assert_eq!(exec.dropped, 0);
     // Every pair the simulator matched is matched by the executor (same
     // windows, same selectivity hash). The executor additionally drains

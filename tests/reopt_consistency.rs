@@ -1,16 +1,26 @@
 //! Integration test: bookkeeping stays exact through re-optimization
-//! batteries.
+//! batteries — and, since the executor grew a control plane, that a
+//! *live* reconfiguration applied to a running execution is
+//! count-identical to the simulator replaying the same pre/post plans.
 //!
 //! Applies long randomized sequences of §3.5 events (add/remove sources
 //! and workers, rate changes, capacity changes, coordinate drift) and
 //! validates after every step that the optimizer's availability tracking
 //! matches a from-scratch recomputation and that every live pair remains
-//! placed.
+//! placed. The exec-side tests then pin the §3.5 sim/exec contract: a
+//! mid-run `PlanSwitch` through `ExecHandle::apply` yields
+//! `emitted`/`matched`/`delivered` identical to
+//! `simulate_reconfigured`, on all three backends.
 
-use nova::core::{Nova, NovaConfig, Side};
+use nova::core::baselines::host_based;
+use nova::core::{Nova, NovaConfig, ReoptStep, Side};
 use nova::netcoord::{Vivaldi, VivaldiConfig};
+use nova::runtime::{simulate_reconfigured, Dataflow, SimConfig};
 use nova::topology::{LatencyProvider, NodeId, SyntheticParams, SyntheticTopology};
 use nova::workloads::{synthetic_opp, OppParams};
+use nova::{
+    launch, BackendKind, ExecConfig, JoinQuery, NodeRole, PlanSwitch, StreamSpec, Topology,
+};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -111,6 +121,225 @@ fn random_event_battery_keeps_accounting_exact() {
         }
         nova.validate_accounting()
             .unwrap_or_else(|e| panic!("accounting drifted after step {step}: {e}"));
+    }
+}
+
+/// sink(0), hot l/r, cold l/r sources, two join-host workers. Rates
+/// divide 1000 exactly so both engines produce identical float
+/// event-time sequences.
+fn exec_world() -> (Topology, JoinQuery, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+    let w1 = t.add_node(NodeRole::Worker, 1000.0, "w1");
+    let w2 = t.add_node(NodeRole::Worker, 1000.0, "w2");
+    let hot_l = t.add_node(NodeRole::Source, 1000.0, "hot_l");
+    let hot_r = t.add_node(NodeRole::Source, 1000.0, "hot_r");
+    let cold_l = t.add_node(NodeRole::Source, 1000.0, "cold_l");
+    let cold_r = t.add_node(NodeRole::Source, 1000.0, "cold_r");
+    let q = JoinQuery::by_key(
+        vec![
+            StreamSpec::keyed(hot_l, 50.0, 0),
+            StreamSpec::keyed(cold_l, 10.0, 1),
+        ],
+        vec![
+            StreamSpec::keyed(hot_r, 50.0, 0),
+            StreamSpec::keyed(cold_r, 10.0, 1),
+        ],
+        sink,
+    );
+    (t, q, w1, w2)
+}
+
+fn flat_dist(a: NodeId, b: NodeId) -> f64 {
+    if a == b {
+        0.0
+    } else {
+        10.0
+    }
+}
+
+/// The §3.5 acceptance bar (exec side): a mid-run `PlanSwitch` —
+/// a *rate shift plus node removal*, the churn scenario's event pair —
+/// applied through `ExecHandle::apply` yields counts identical to the
+/// simulator replaying the same pre/post plans, on all three backends,
+/// with the epoch deliberately mid-window so live state crosses the
+/// handoff. Keyed + skewed so the bucket routing path is exercised.
+#[test]
+fn mid_run_reconfiguration_matches_simulator_replay_on_all_backends() {
+    let (t, q_pre, w1, w2) = exec_world();
+    // Post plan: w1 leaves, pairs re-place onto w2, hot rate shifts
+    // 50 -> 40 t/s (both intervals divide 1000 exactly).
+    let mut q_post = q_pre.clone();
+    q_post.left[0].rate = 40.0;
+    q_post.right[0].rate = 40.0;
+    let p_pre = host_based(&q_pre, &q_pre.resolve(), w1);
+    let p_post = host_based(&q_post, &q_post.resolve(), w2);
+    let df = Dataflow::from_baseline(&q_pre, &p_pre);
+    let sim_cfg = SimConfig {
+        duration_ms: 2400.0,
+        window_ms: 200.0,
+        selectivity: 0.8,
+        key_space: 8,
+        // Structurally drop-free: count identity holds only without
+        // shedding (see tests/exec_vs_sim.rs for the full rationale).
+        max_queue_ms: f64::INFINITY,
+        ..SimConfig::default()
+    };
+    // Epoch 1050 straddles the [1000, 1200) window: pre- and
+    // post-epoch tuples of that window must still match each other
+    // through the state handoff.
+    let switch =
+        PlanSwitch::between(1050.0, &q_post, &p_pre, &p_post, 1.0).with_capacities(vec![(w1, 0.0)]);
+
+    let sim = simulate_reconfigured(&t, flat_dist, &df, std::slice::from_ref(&switch), &sim_cfg);
+    assert_eq!(sim.dropped, 0, "replay must stay drop-free");
+    assert!(sim.delivered > 0, "replay must deliver");
+
+    for (backend, shards, workers, key_buckets) in [
+        (BackendKind::Threaded, 1usize, 0usize, 1usize),
+        (BackendKind::Sharded, 4, 0, 4),
+        (BackendKind::Async, 4, 2, 4),
+    ] {
+        let cfg = ExecConfig {
+            backend,
+            shards,
+            workers,
+            key_buckets,
+            ..ExecConfig::from_sim(&sim_cfg, 8.0)
+        };
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid exec config");
+        let stats = handle.apply(&switch, flat_dist).expect("reconfigure");
+        assert!(
+            stats.migrated_tuples > 0,
+            "{backend:?}: live window state must cross the epoch"
+        );
+        let res = handle.join();
+        let tag = format!("{backend:?}(shards={shards}, workers={workers})");
+        assert_eq!(res.dropped, 0, "{tag}: must stay drop-free");
+        assert_eq!(res.emitted, sim.emitted, "{tag}: emitted diverged");
+        assert_eq!(res.matched, sim.matched, "{tag}: matched diverged");
+        assert_eq!(res.delivered, sim.delivered, "{tag}: delivered diverged");
+    }
+}
+
+/// The full §3.5 loop: a topology/workload event expressed as a
+/// `core::ReoptStep` drives the optimizer's incremental re-placement
+/// (`Nova::apply_step`), the resulting pre/post placements become a
+/// `PlanSwitch`, and the *running executor* absorbs it — with counts
+/// identical to the simulator replaying the same plans.
+#[test]
+fn nova_reopt_steps_drive_live_executor_reconfiguration() {
+    // A controlled world (same layout as the reopt unit tests): ground
+    // truth coordinates, RTT = coordinate distance. sigma = 1.0 keeps
+    // every pair single-partition, which is the regime where simulator
+    // and executor draw no partition randomness and counts are exact.
+    use nova::geom::Coord;
+    use nova::netcoord::CostSpace;
+    let mut t = Topology::new();
+    let mut coords = Vec::new();
+    let sink = t.add_node(NodeRole::Sink, 1000.0, "sink");
+    coords.push(Coord::xy(0.0, 0.0));
+    let l1 = t.add_node(NodeRole::Source, 1000.0, "l1");
+    coords.push(Coord::xy(20.0, 10.0));
+    let r1 = t.add_node(NodeRole::Source, 1000.0, "r1");
+    coords.push(Coord::xy(20.0, -10.0));
+    let l2 = t.add_node(NodeRole::Source, 1000.0, "l2");
+    coords.push(Coord::xy(-20.0, 10.0));
+    let r2 = t.add_node(NodeRole::Source, 1000.0, "r2");
+    coords.push(Coord::xy(-20.0, -10.0));
+    for i in 0..6 {
+        t.add_node(NodeRole::Worker, 500.0, format!("w{i}"));
+        let x = if i % 2 == 0 { 12.0 } else { -12.0 };
+        coords.push(Coord::xy(x, (i as f64 - 2.5) * 2.0));
+    }
+    let rtt =
+        nova::topology::DenseRtt::from_fn(coords.len(), |i, j| coords[i].dist(&coords[j]).max(0.1));
+    let space = CostSpace::new(coords);
+    let mut nova = Nova::with_cost_space(
+        t.clone(),
+        space,
+        NovaConfig {
+            sigma: 1.0,
+            ..NovaConfig::default()
+        },
+    );
+    let query = JoinQuery::by_key(
+        vec![
+            StreamSpec::keyed(l1, 25.0, 1),
+            StreamSpec::keyed(l2, 25.0, 2),
+        ],
+        vec![
+            StreamSpec::keyed(r1, 25.0, 1),
+            StreamSpec::keyed(r2, 25.0, 2),
+        ],
+        sink,
+    );
+    nova.optimize(query.clone());
+    let pre_placement = nova.placement().clone();
+    let df = Dataflow::build(&query, &pre_placement, |_| 1.0);
+
+    // The churn events, as data: the hot stream's rate shifts and a
+    // join host leaves the cluster. Phase III re-runs only for the
+    // affected pairs; the executor absorbs the result live.
+    let victim = pre_placement.nodes_used()[0];
+    nova.apply_step(
+        &rtt,
+        &ReoptStep::ChangeRate {
+            side: Side::Left,
+            stream: 0,
+            new_rate: 50.0,
+        },
+    )
+    .expect("rate step");
+    nova.apply_step(&rtt, &ReoptStep::RemoveNode { node: victim })
+        .expect("removal step");
+    nova.validate_accounting().expect("optimizer stays exact");
+    let post_query = nova.query().expect("query present").clone();
+    let post_placement = nova.placement().clone();
+    assert!(
+        post_placement.replicas.iter().all(|r| r.node != victim),
+        "victim must be evacuated"
+    );
+
+    let switch = PlanSwitch::between(1050.0, &post_query, &pre_placement, &post_placement, 1.0)
+        .with_capacities(vec![(victim, 0.0)]);
+    let sim_cfg = SimConfig {
+        duration_ms: 2400.0,
+        window_ms: 200.0,
+        selectivity: 0.7,
+        max_queue_ms: f64::INFINITY,
+        ..SimConfig::default()
+    };
+    let mut dist = |a: NodeId, b: NodeId| rtt.rtt(a, b);
+    let sim = simulate_reconfigured(&t, &mut dist, &df, std::slice::from_ref(&switch), &sim_cfg);
+    assert_eq!(sim.dropped, 0);
+    assert!(sim.delivered > 0);
+
+    for backend in [
+        BackendKind::Threaded,
+        BackendKind::Sharded,
+        BackendKind::Async,
+    ] {
+        let cfg = ExecConfig {
+            backend,
+            shards: if backend == BackendKind::Threaded {
+                1
+            } else {
+                2
+            },
+            workers: 2,
+            ..ExecConfig::from_sim(&sim_cfg, 8.0)
+        };
+        let mut handle = launch(&t, |a, b| rtt.rtt(a, b), &df, &cfg).expect("valid exec config");
+        handle
+            .apply(&switch, |a, b| rtt.rtt(a, b))
+            .expect("reconfigure");
+        let res = handle.join();
+        let tag = format!("{backend:?}");
+        assert_eq!(res.dropped, 0, "{tag}");
+        assert_eq!(res.emitted, sim.emitted, "{tag}: emitted diverged");
+        assert_eq!(res.matched, sim.matched, "{tag}: matched diverged");
+        assert_eq!(res.delivered, sim.delivered, "{tag}: delivered diverged");
     }
 }
 
