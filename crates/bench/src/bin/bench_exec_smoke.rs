@@ -50,7 +50,10 @@
 //!   threads must beat 32;
 //! * on any host, churn: `emitted`/`matched`/`delivered` identical to
 //!   the simulator replay, clean epoch splits, live state migrated;
-//!   on ≥ 4 cores additionally handoff p99 ≤ 250 ms.
+//!   on ≥ 4 cores additionally handoff p99 ≤ 250 ms;
+//! * on hosts with ≥ 4 cores, uniform: the telemetry plane's hot-path
+//!   instruments cost ≤ 3 % — the instrumented threaded run holds
+//!   ≥ 0.97× the `threaded-notm` (telemetry-off) row's throughput.
 //!
 //! Every scenario writes its tuples/s table to
 //! `BENCH_exec[_<scenario>].json`, uploaded as a workflow artifact on
@@ -60,7 +63,15 @@
 //! (`--full` for the benchmark-length 1 s horizon; default 300 ms keeps
 //! the CI job in seconds.
 //! `--scenario uniform|hot-pair|zipf|oversubscribed|churn` selects one
-//! scenario — the CI matrix fans them out — default runs all.)
+//! scenario — the CI matrix fans them out — default runs all.
+//! `--metrics-out <path>` streams every row's live telemetry snapshots
+//! to `<path>` as JSON lines (one `MetricsSnapshot` per line, tagged
+//! with its scenario and row) — the CI matrix uploads these as
+//! artifacts. `--prom-out <path>` renders the last row's final
+//! snapshot as a Prometheus text exposition.)
+
+use std::io::Write as _;
+use std::time::Duration;
 
 use nova_bench::{
     hot_pair_cfg, throughput_cfg, throughput_world, throughput_world_rates, zipf_pair_rates,
@@ -68,11 +79,84 @@ use nova_bench::{
 use nova_core::baselines::host_based;
 use nova_core::{JoinQuery, StreamSpec};
 use nova_exec::{
-    launch, AsyncBackend, Backend, BackendKind, ExecConfig, ExecResult, ShardedBackend,
-    ThreadedBackend,
+    launch, Backend, BackendKind, ExecConfig, ExecResult, MetricsSnapshot, ThreadedBackend,
 };
 use nova_runtime::{percentile, simulate_reconfigured, Dataflow, PlanSwitch};
 use nova_topology::{NodeId, NodeRole, Topology};
+
+/// Telemetry artifact sinks (`--metrics-out` / `--prom-out`). When
+/// either is set, every measured row runs with a live
+/// [`nova_exec::ExecHandle::subscribe`] stream; each snapshot becomes
+/// one JSON line tagged with its scenario/row, and the last row's final
+/// snapshot is rendered as a Prometheus text exposition.
+struct Capture {
+    metrics: Option<std::fs::File>,
+    prom: Option<String>,
+}
+
+impl Capture {
+    fn open(metrics_out: Option<&str>, prom_out: Option<&str>) -> Capture {
+        let metrics = metrics_out.map(|p| {
+            std::fs::File::create(p)
+                .unwrap_or_else(|e| panic!("--metrics-out: cannot create {p}: {e}"))
+        });
+        Capture {
+            metrics,
+            prom: prom_out.map(str::to_string),
+        }
+    }
+
+    fn wants(&self) -> bool {
+        self.metrics.is_some() || self.prom.is_some()
+    }
+
+    fn record(&mut self, scenario: &str, row: &str, snap: &MetricsSnapshot) {
+        if let Some(file) = &mut self.metrics {
+            // Splice the tags into the snapshot's own JSON object.
+            let line = snap.to_json_line();
+            let _ = writeln!(
+                file,
+                "{{\"scenario\": \"{scenario}\", \"row\": \"{row}\", {}",
+                &line[1..]
+            );
+        }
+    }
+
+    fn finish_row(&mut self, snap: Option<&MetricsSnapshot>) {
+        if let (Some(path), Some(snap)) = (&self.prom, snap) {
+            if let Err(e) = std::fs::write(path, snap.to_prometheus()) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// One measured run: launch, optionally stream snapshots into the
+/// capture sinks, join. All matrix rows go through here so the
+/// telemetry capture and the plain run measure the same code path.
+fn measure(
+    topology: &Topology,
+    dataflow: &Dataflow,
+    cfg: &ExecConfig,
+    scenario: &str,
+    row: &str,
+    cap: &mut Capture,
+) -> ExecResult {
+    let handle = launch(topology, |_, _| 0.0, dataflow, cfg).expect("bench config is valid");
+    let rx = cap
+        .wants()
+        .then(|| handle.subscribe(Duration::from_millis(25)));
+    let res = handle.join();
+    if let Some(rx) = rx {
+        let mut last = None;
+        for snap in rx.iter() {
+            cap.record(scenario, row, &snap);
+            last = Some(snap);
+        }
+        cap.finish_row(last.as_ref());
+    }
+    res
+}
 
 /// One measured run of the matrix. `workers` is 0 for the
 /// thread-per-shard backends (they spawn one thread per shard).
@@ -98,6 +182,9 @@ struct Scenario {
     /// The core-count-sized row pair the oversubscription gates
     /// compare (recorded so the gates and the sweep cannot drift).
     cores_sized: usize,
+    /// Add a `threaded-notm` row (telemetry disabled) next to the
+    /// threaded baseline — the pair the metrics-overhead gate divides.
+    telemetry_baseline: bool,
 }
 
 fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
@@ -117,6 +204,7 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
                 async_sweep: vec![],
                 aggregate_demand: 4.0 * rate,
                 cores_sized: 0,
+                telemetry_baseline: true,
             }
         }
         // One pair, one giant window, 128 sub-keys: under (window, pair)
@@ -133,6 +221,7 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
                 async_sweep: vec![],
                 aggregate_demand: 2.0 * rate,
                 cores_sized: 0,
+                telemetry_baseline: false,
             }
         }
         // 4 pairs, Zipfian rates (head pair ~54 % of traffic), keyed
@@ -154,6 +243,7 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
                 async_sweep: vec![],
                 aggregate_demand,
                 cores_sized: 0,
+                telemetry_baseline: false,
             }
         }
         // The uniform workload pushed past the core count: sharded at
@@ -173,6 +263,7 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
                 async_sweep: vec![(w, w), (w, 32)],
                 aggregate_demand: 4.0 * rate,
                 cores_sized: w,
+                telemetry_baseline: false,
             }
         }
         other => {
@@ -185,7 +276,7 @@ fn scenario(name: &str, duration_ms: f64, cores: usize) -> Scenario {
     }
 }
 
-fn run_matrix(sc: &Scenario) -> Vec<Run> {
+fn run_matrix(sc: &Scenario, cap: &mut Capture) -> Vec<Run> {
     // Discarded warmup pass: page in the binary, warm the allocator and
     // let the scheduler settle, so the first measured run — the threaded
     // baseline the perf gates divide by — is not systematically cold
@@ -195,49 +286,92 @@ fn run_matrix(sc: &Scenario) -> Vec<Run> {
         let _ = ThreadedBackend.run(&sc.topology, &mut dist, &sc.dataflow, &sc.base);
     }
     let mut runs = Vec::new();
-    {
-        let mut dist = |_a, _b| 0.0;
-        let res = ThreadedBackend.run(&sc.topology, &mut dist, &sc.dataflow, &sc.base);
+    let row = |runs: &mut Vec<Run>, cap: &mut Capture, backend, workers, cfg: ExecConfig| {
+        let label = format!(
+            "{backend}-w{workers}-s{}-b{}",
+            cfg.shards.max(1),
+            cfg.key_buckets
+        );
+        let res = measure(&sc.topology, &sc.dataflow, &cfg, sc.name, &label, cap);
         runs.push(Run {
-            backend: "threaded",
-            workers: 0,
-            shards: 1,
-            key_buckets: 1,
+            backend,
+            workers,
+            shards: cfg.shards.max(1),
+            key_buckets: cfg.key_buckets,
             res,
         });
+    };
+    row(
+        &mut runs,
+        cap,
+        "threaded",
+        0,
+        ExecConfig {
+            backend: BackendKind::Threaded,
+            ..sc.base
+        },
+    );
+    if sc.telemetry_baseline {
+        // Same workload, instruments left unwired: the denominator of
+        // the metrics-overhead gate (and a telemetry-off sanity row —
+        // counts must not move either way). The pair is interleaved
+        // 3× and the gate compares best-vs-best: noise only ever
+        // slows a run down, so each side's max throughput estimates
+        // its intrinsic speed and the ratio isolates the instrument
+        // cost from scheduler jitter.
+        for rep in 0..3 {
+            row(
+                &mut runs,
+                cap,
+                "threaded-notm",
+                0,
+                ExecConfig {
+                    backend: BackendKind::Threaded,
+                    telemetry: false,
+                    ..sc.base
+                },
+            );
+            if rep < 2 {
+                row(
+                    &mut runs,
+                    cap,
+                    "threaded",
+                    0,
+                    ExecConfig {
+                        backend: BackendKind::Threaded,
+                        ..sc.base
+                    },
+                );
+            }
+        }
     }
     for &(shards, key_buckets) in &sc.sweep {
-        let cfg = ExecConfig {
-            shards,
-            key_buckets,
-            ..sc.base
-        };
-        let mut dist = |_a, _b| 0.0;
-        let res = ShardedBackend.run(&sc.topology, &mut dist, &sc.dataflow, &cfg);
-        runs.push(Run {
-            backend: "sharded",
-            workers: 0,
-            shards,
-            key_buckets,
-            res,
-        });
+        row(
+            &mut runs,
+            cap,
+            "sharded",
+            0,
+            ExecConfig {
+                backend: BackendKind::Sharded,
+                shards,
+                key_buckets,
+                ..sc.base
+            },
+        );
     }
     for &(workers, shards) in &sc.async_sweep {
-        let cfg = ExecConfig {
-            backend: BackendKind::Async,
+        row(
+            &mut runs,
+            cap,
+            "async",
             workers,
-            shards,
-            ..sc.base
-        };
-        let mut dist = |_a, _b| 0.0;
-        let res = AsyncBackend.run(&sc.topology, &mut dist, &sc.dataflow, &cfg);
-        runs.push(Run {
-            backend: "async",
-            workers,
-            shards,
-            key_buckets: 1,
-            res,
-        });
+            ExecConfig {
+                backend: BackendKind::Async,
+                workers,
+                shards,
+                ..sc.base
+            },
+        );
     }
     runs
 }
@@ -352,11 +486,33 @@ fn check_scenario(sc: &Scenario, runs: &[Run], cores: usize) {
                  bucket-permuted layout(4,4)/sharded(4,1) = {:.2} on {cores} cores",
                 layout4 / sharded4.max(1.0)
             );
+            // Metrics-overhead gate: the telemetry plane's hot-path
+            // cost is one relaxed atomic bump per event, so the
+            // instrumented threaded run must hold ≥ 97 % of the
+            // telemetry-off throughput. Best-of-3 on each side (the
+            // rows are interleaved in the sweep): max throughput is
+            // robust to scheduler noise, which only slows runs down.
+            let best = |name: &str| {
+                runs.iter()
+                    .filter(|r| r.backend == name)
+                    .map(|r| r.res.input_tuples_per_wall_s())
+                    .fold(0.0f64, f64::max)
+            };
+            let tm_ratio = best("threaded") / best("threaded-notm").max(1.0);
+            println!(
+                "uniform: telemetry-on/telemetry-off = {tm_ratio:.3} \
+                 (gate ≥ 0.97 on ≥ 4 cores)"
+            );
             if cores >= 4 {
                 assert!(
                     speedup >= 1.5,
                     "backend perf regression: 4-shard backend only {speedup:.2}× \
                      the threaded baseline on a {cores}-core host"
+                );
+                assert!(
+                    tm_ratio >= 0.97,
+                    "telemetry overhead too high: instrumented threaded run at \
+                     {tm_ratio:.3}× the telemetry-off baseline on a {cores}-core host"
                 );
             } else {
                 println!("host has {cores} core(s) < 4: reporting only");
@@ -555,7 +711,7 @@ struct ChurnRun {
 /// `emitted`/`matched`/`delivered` must equal the simulator replaying
 /// the *same* pre/post plans (`nova_runtime::simulate_reconfigured`).
 /// On ≥ 4-core hosts additionally gates the stop-the-world handoff p99.
-fn run_churn(duration_ms: f64, cores: usize) {
+fn run_churn(duration_ms: f64, cores: usize, cap: &mut Capture) {
     let rate = 50_000.0;
     let rates_pre = vec![rate; 2];
     let rates_hot = [2.0 * rate; 2];
@@ -627,24 +783,35 @@ fn run_churn(duration_ms: f64, cores: usize) {
             ..base
         };
         let mut handle = launch(&topology, |_, _| 0.0, &df0, &cfg).expect("churn config is valid");
+        let rx = cap
+            .wants()
+            .then(|| handle.subscribe(Duration::from_millis(25)));
         for sw in &switches {
             handle
                 .apply(sw, |_, _| 0.0)
                 .unwrap_or_else(|e| panic!("churn: {name} reconfiguration failed: {e}"));
         }
-        let pauses: Vec<f64> = handle
-            .epoch_stats()
-            .iter()
-            .map(|s| s.pause_wall_ms)
-            .collect();
-        let handoffs: Vec<f64> = handle
-            .epoch_stats()
-            .iter()
-            .map(|s| s.handoff_wall_ms)
-            .collect();
-        let migrated_tuples = handle.epoch_stats().iter().map(|s| s.migrated_tuples).sum();
-        let clean = handle.epoch_stats().iter().all(|s| s.clean_split);
         let res = handle.join();
+        if let Some(rx) = rx {
+            let row = format!("{name}-w{workers}-s{shards}");
+            let mut last = None;
+            for snap in rx.iter() {
+                cap.record("churn", &row, &snap);
+                last = Some(snap);
+            }
+            cap.finish_row(last.as_ref());
+        }
+        // Epoch stats are read off the ExecResult — they must survive
+        // the join, which is exactly what the JSON rows rely on.
+        let pauses: Vec<f64> = res.epochs.iter().map(|s| s.pause_wall_ms).collect();
+        let handoffs: Vec<f64> = res.epochs.iter().map(|s| s.handoff_wall_ms).collect();
+        let migrated_tuples = res.epochs.iter().map(|s| s.migrated_tuples).sum();
+        let clean = res.epochs.iter().all(|s| s.clean_split);
+        assert_eq!(
+            res.epochs.len(),
+            switches.len(),
+            "churn: {name} lost epoch stats across join"
+        );
         runs.push(ChurnRun {
             backend: name,
             workers,
@@ -751,11 +918,32 @@ fn write_churn_json(
         if i > 0 {
             entries.push_str(",\n");
         }
+        // Per-epoch rows (satellite: EpochStats survive the join and
+        // land in the artifact, one entry per applied switch).
+        let epochs: Vec<String> = r
+            .res
+            .epochs
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"epoch_ms\": {:.1}, \"pause_wall_ms\": {:.3}, \
+                     \"handoff_wall_ms\": {:.3}, \"migrated_groups\": {}, \
+                     \"migrated_tuples\": {}, \"shard_workers\": {}, \"clean_split\": {}}}",
+                    e.epoch_ms,
+                    e.pause_wall_ms,
+                    e.handoff_wall_ms,
+                    e.migrated_groups,
+                    e.migrated_tuples,
+                    e.shard_workers,
+                    e.clean_split,
+                )
+            })
+            .collect();
         entries.push_str(&format!(
             "    {{\"backend\": \"{}\", \"workers\": {}, \"shards\": {}, \
              \"emitted\": {}, \"matched\": {}, \"delivered\": {}, \"wall_ms\": {:.1}, \
              \"tuples_per_s\": {:.0}, \"reconfigs\": 3, \"migrated_tuples\": {}, \"clean_split\": {}, \
-             \"pause_p99_ms\": {:.3}, \"handoff_p99_ms\": {:.3}}}",
+             \"pause_p99_ms\": {:.3}, \"handoff_p99_ms\": {:.3}, \"epochs\": [{}]}}",
             r.backend,
             r.workers,
             r.shards,
@@ -768,6 +956,7 @@ fn write_churn_json(
             r.clean_split,
             r.pause_p99_ms,
             r.handoff_p99_ms,
+            epochs.join(", "),
         ));
     }
     let json = format!(
@@ -788,16 +977,24 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let duration_ms = if full { 1000.0 } else { 300.0 };
-    let which = args
-        .iter()
-        .position(|a| a == "--scenario")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let which = flag("--scenario");
+    let metrics_out = flag("--metrics-out");
+    let prom_out = flag("--prom-out");
+    let mut cap = Capture::open(metrics_out.as_deref(), prom_out.as_deref());
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("bench_exec_smoke: {cores}-core host, {duration_ms} ms virtual horizon");
+    if let Some(p) = &metrics_out {
+        println!("streaming per-row telemetry snapshots to {p} (JSON lines)");
+    }
 
     let names: Vec<&str> = match which.as_deref() {
         Some(one) => vec![one],
@@ -808,11 +1005,11 @@ fn main() {
             // Live reconfiguration has its own harness: it applies
             // epoch barriers mid-run through ExecHandle, which the
             // generic backend matrix cannot express.
-            run_churn(duration_ms, cores);
+            run_churn(duration_ms, cores, &mut cap);
             continue;
         }
         let sc = scenario(name, duration_ms, cores);
-        let runs = run_matrix(&sc);
+        let runs = run_matrix(&sc, &mut cap);
         // JSON first: a failed gate must still leave fresh numbers on
         // disk for the always-uploaded CI artifact.
         write_json(&sc, &runs, cores, duration_ms);

@@ -21,8 +21,8 @@
 //! [`nova_bench::REAL_FLAGS_USAGE`]).
 
 use nova_bench::{
-    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, with_key_space, write_csv,
-    Table, REAL_FLAGS_USAGE,
+    default_sim, end_to_end_runs, end_to_end_runs_real, metrics_out_path, real_exec_cfg,
+    with_key_space, write_csv, MetricsWriter, Table, REAL_FLAGS_USAGE,
 };
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
@@ -44,6 +44,9 @@ fn main() {
     // 30 s virtual horizon takes ~1.5 s wall per approach.
     let real_cfg = real_exec_cfg(&args, &sim, 20.0);
     let real = real_cfg.is_some();
+    let mut metrics = metrics_out_path(&args)
+        .filter(|_| real)
+        .map(|p| MetricsWriter::create(&p));
 
     println!(
         "== Fig. 11: end-to-end throughput, DEBS workload, {}s run (non-stressed{}) ==\n",
@@ -57,7 +60,7 @@ fn main() {
     let runs = end_to_end_runs(&scenario, &sim, 1.0);
     let real_runs = real_cfg
         .as_ref()
-        .map(|cfg| end_to_end_runs_real(&scenario, cfg, 1.0));
+        .map(|cfg| end_to_end_runs_real(&scenario, cfg, 1.0, metrics.as_mut()));
 
     let mut headers = vec![
         "approach",

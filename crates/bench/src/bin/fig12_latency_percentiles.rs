@@ -18,8 +18,8 @@
 //! [`nova_bench::REAL_FLAGS_USAGE`]).
 
 use nova_bench::{
-    default_sim, end_to_end_runs, end_to_end_runs_real, real_exec_cfg, with_key_space, write_csv,
-    Table, REAL_FLAGS_USAGE, STRESS_FACTOR,
+    default_sim, end_to_end_runs, end_to_end_runs_real, metrics_out_path, real_exec_cfg,
+    with_key_space, write_csv, MetricsWriter, Table, REAL_FLAGS_USAGE, STRESS_FACTOR,
 };
 use nova_workloads::{environmental_scenario, EnvironmentalParams};
 
@@ -41,6 +41,9 @@ fn main() {
     let sim = with_key_space(&args, default_sim(duration_ms, seed));
     let real_cfg = real_exec_cfg(&args, &sim, 20.0);
     let real = real_cfg.is_some();
+    let mut metrics = metrics_out_path(&args)
+        .filter(|_| real)
+        .map(|p| MetricsWriter::create(&p));
 
     for (label, stress) in [("non-stressed", 1.0), ("stressed", STRESS_FACTOR)] {
         println!(
@@ -54,7 +57,7 @@ fn main() {
         let runs = end_to_end_runs(&scenario, &sim, stress);
         let real_runs = real_cfg
             .as_ref()
-            .map(|cfg| end_to_end_runs_real(&scenario, cfg, stress));
+            .map(|cfg| end_to_end_runs_real(&scenario, cfg, stress, metrics.as_mut()));
         let mut headers = vec![
             "approach",
             "delivered",

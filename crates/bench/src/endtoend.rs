@@ -14,7 +14,7 @@ use nova_runtime::{run_placement, with_stress, SimConfig, SimResult};
 use nova_topology::{NodeId, Topology};
 use nova_workloads::EnvironmentalScenario;
 
-use crate::realexec::run_placement_real;
+use crate::realexec::{launch_placement_real, run_placement_real, MetricsWriter};
 
 /// One approach's end-to-end run.
 #[derive(Debug)]
@@ -158,10 +158,19 @@ pub fn end_to_end_runs(
 /// but every tuple physically flows through worker threads
 /// (`cfg.shards > 1` selects the sharded backend). The figure binaries'
 /// `--real` flag goes through here.
+///
+/// With a `metrics` writer (the binaries' `--metrics-out PATH` flag)
+/// each approach additionally runs through the *launch* path and its
+/// final [`nova_exec::MetricsSnapshot`] — the per-shard/per-source
+/// registry state at join time, count-identical to the `ExecResult` —
+/// is appended as one tagged JSON line. The blocking and the launched
+/// run share one bootstrap (`Backend::run` delegates to the same
+/// `launch_*` functions), so the two modes measure the same engine.
 pub fn end_to_end_runs_real(
     scenario: &EnvironmentalScenario,
     cfg: &ExecConfig,
     stress: f64,
+    mut metrics: Option<&mut MetricsWriter>,
 ) -> Vec<E2ERunReal> {
     let setup = build_setup(scenario, stress);
     let provider = &scenario.cluster.rtt;
@@ -169,14 +178,43 @@ pub fn end_to_end_runs_real(
         .placements
         .into_iter()
         .map(|(name, placement, sigma)| {
-            let result = run_placement_real(
-                &setup.run_topology,
-                provider,
-                &scenario.query,
-                &placement,
-                sigma,
-                cfg,
-            );
+            let result = match metrics.as_deref_mut() {
+                None => run_placement_real(
+                    &setup.run_topology,
+                    provider,
+                    &scenario.query,
+                    &placement,
+                    sigma,
+                    cfg,
+                ),
+                Some(writer) => {
+                    let handle = launch_placement_real(
+                        &setup.run_topology,
+                        provider,
+                        &scenario.query,
+                        &placement,
+                        sigma,
+                        cfg,
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2)
+                    });
+                    // The subscription's final snapshot is sent after
+                    // every worker has joined, so the last drained
+                    // element equals the run's end state.
+                    let rx = handle.subscribe(std::time::Duration::from_millis(50));
+                    let result = handle.join();
+                    let mut last = None;
+                    while let Ok(snap) = rx.recv() {
+                        last = Some(snap);
+                    }
+                    if let Some(snap) = last {
+                        writer.record(name, &snap);
+                    }
+                    result
+                }
+            };
             E2ERunReal {
                 name,
                 placement,

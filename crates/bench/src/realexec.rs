@@ -35,7 +35,11 @@ pub const REAL_FLAGS_USAGE: &str = "  \
                         property, applied to BOTH engines (default 1)
   --key-buckets N       key buckets for shard routing (default 1 =
                         (window, pair) routing; >1 splits hot windows
-                        by sub-key across shards)";
+                        by sub-key across shards)
+  --metrics-out PATH    append one JSON-lines telemetry snapshot per
+                        --real re-run (tagged with the approach name;
+                        the executor's final per-shard/per-source
+                        registry state — ignored without --real)";
 
 /// Parse the figure binaries' shared `--real` / `--backend KIND` /
 /// `--shards N` / `--workers N` / `--run-budget N` / `--key-space N` /
@@ -113,6 +117,50 @@ pub fn real_exec_cfg(args: &[String], sim: &SimConfig, time_scale: f64) -> Optio
         eprintln!("{e}");
         std::process::exit(2)
     })
+}
+
+/// Value of the figure binaries' `--metrics-out PATH` flag, if
+/// present. Only meaningful together with `--real`: the simulator
+/// columns have no telemetry plane, so without `--real` the flag is
+/// accepted but nothing is written.
+pub fn metrics_out_path(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// JSON-lines sink for the fig binaries' `--metrics-out` flag: one
+/// [`nova_exec::MetricsSnapshot`] per `--real` re-run, tagged with the
+/// approach label so a single file holds the whole side-by-side sweep.
+/// The bench smoke binary has its own richer capture (it also streams
+/// intermediate snapshots); this writer records only each run's final
+/// registry state, which is what the figures' per-approach comparisons
+/// need.
+pub struct MetricsWriter {
+    file: std::fs::File,
+}
+
+impl MetricsWriter {
+    /// Create (truncate) the output file, exiting with status 2 on I/O
+    /// errors — same contract as the flag parser: a misspelt path
+    /// should stop the run, not silently drop the artifact.
+    pub fn create(path: &str) -> MetricsWriter {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("--metrics-out: cannot create {path}: {e}");
+            std::process::exit(2)
+        });
+        MetricsWriter { file }
+    }
+
+    /// Append one snapshot, spliced with an `"approach"` tag: the
+    /// snapshot's own serialization starts with `{`, so the tag is
+    /// injected by replacing that brace.
+    pub fn record(&mut self, approach: &str, snap: &nova_exec::MetricsSnapshot) {
+        use std::io::Write;
+        let line = snap.to_json_line();
+        let _ = writeln!(self.file, "{{\"approach\": \"{approach}\", {}", &line[1..]);
+    }
 }
 
 /// Apply the figure binaries' `--key-space N` flag to a simulator

@@ -100,6 +100,10 @@ struct BatchCursor {
     /// [`JoinCore::end_batch`] when the batch completes (survives
     /// pauses, so the frontier bookkeeping stays once-per-batch).
     frontier: f64,
+    /// Wall-clock service time accumulated across this batch's poll
+    /// segments (a batch can span many polls), recorded into the
+    /// telemetry service histogram when the batch completes.
+    service: std::time::Duration,
 }
 
 /// One shard of one join instance as a cooperative task — the same
@@ -185,14 +189,22 @@ impl JoinTask {
 
             // 2. Resume the input batch in progress.
             if let Some(mut cur) = self.cur.take() {
+                let t0 = self.core.service_timer();
                 while cur.pos < cur.tuples.len() {
                     if self.out_batch.len() >= cfg.batch_size {
+                        if let Some(t0) = t0 {
+                            cur.service += t0.elapsed();
+                        }
                         self.cur = Some(cur);
                         self.stash_out_batch();
                         continue 'steps;
                     }
                     if budget == 0 {
+                        if let Some(t0) = t0 {
+                            cur.service += t0.elapsed();
+                        }
                         self.cur = Some(cur);
+                        self.core.publish_matched();
                         return Poll::Yielded;
                     }
                     let inflight = cur.tuples[cur.pos];
@@ -203,6 +215,10 @@ impl JoinTask {
                         .on_tuple(&inflight, cfg, pacers, counters, &mut self.out_batch);
                 }
                 self.core.end_batch(cur.source, cur.frontier, cfg);
+                self.core.publish_matched();
+                if let Some(t0) = t0 {
+                    self.core.note_service(cur.service + t0.elapsed());
+                }
                 if !self.out_batch.is_empty() {
                     self.stash_out_batch();
                 }
@@ -251,11 +267,13 @@ impl JoinTask {
                 .try_recv(&self.waker);
             match recv {
                 PollRecv::Item(JoinMsg::Batch { source, tuples }) => {
+                    self.core.note_recv(tuples.len());
                     self.cur = Some(BatchCursor {
                         source,
                         tuples,
                         pos: 0,
                         frontier: 0.0,
+                        service: std::time::Duration::ZERO,
                     });
                 }
                 PollRecv::Item(JoinMsg::Eof { source }) => {
@@ -303,9 +321,13 @@ impl JoinTask {
     /// flushes it on the next trip around the loop).
     fn stash_out_batch(&mut self) {
         debug_assert!(self.pending.is_none());
+        let outputs = std::mem::take(&mut self.out_batch);
+        if let Some(i) = self.core.shard_instr() {
+            i.on_out(outputs.len());
+        }
         self.pending = Some(SinkMsg::Batch {
             instance: self.core.inst.index,
-            outputs: std::mem::take(&mut self.out_batch),
+            outputs,
         });
     }
 
@@ -317,6 +339,9 @@ impl JoinTask {
     /// endpoints (sources blocked on a full input channel observe the
     /// hang-up; the sink's sender count drops) and finish.
     fn retire(&mut self, counters: &Counters) -> Poll {
+        // Instrument flush first: `mark_retired` publishes the match
+        // delta, which must happen before the take zeroes the count.
+        self.core.mark_retired();
         Counters::bump(&counters.matched, std::mem::take(&mut self.core.matched));
         self.rx = None;
         self.sink_tx = None;

@@ -27,6 +27,22 @@
 //!   [`PollReceiver::recv`], so backpressure on sources is still a real
 //!   park, and every state transition wakes whichever flavour of peer
 //!   is waiting.
+//!
+//! ## Observability
+//!
+//! Neither family exposes its buffer occupancy — [`std::sync::mpsc`]
+//! hides its queue entirely, and reaching into `poll_bounded`'s mutex
+//! from a sampler would add contention to the hot path. The telemetry
+//! plane therefore observes queue depth from the *endpoints* instead:
+//! senders and receivers bump per-channel monotonic counters
+//! (messages/tuples sent, messages/tuples received) in their
+//! pre-resolved [`crate::metrics::MetricsRegistry`] instruments, and a
+//! snapshot derives depth as `sent − received` (saturating — the two
+//! counters are read at slightly different instants). The channel code
+//! itself stays instrument-free: batching already bounds the counter
+//! update rate to once per batch, and a depth gauge derived from two
+//! Relaxed counters is exactly as fresh as one read from inside the
+//! lock would be by the time the sampler publishes it.
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{sync_channel, Receiver as MpscReceiver, SyncSender, TrySendError};

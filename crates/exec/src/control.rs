@@ -59,7 +59,10 @@ use nova_topology::{NodeId, Topology};
 use crate::async_backend::{effective_workers, JoinTask};
 use crate::channel::{bounded, poll_bounded, JoinMsg, MsgSender, PollSender, Sender, SinkMsg};
 use crate::join::JoinCore;
-use crate::metrics::{Counters, ExecResult, NodePacer};
+use crate::metrics::{
+    Counters, ExecResult, MetricsRegistry, MetricsSnapshot, NodePacer, ShardInstr, ShardTelemetry,
+    SinkTelemetry, SourceTelemetry, TraceKind,
+};
 use crate::sched::{Poll, Scheduler};
 use crate::sharded::{key_bucket_of, shard_of};
 use crate::worker::{self, CompiledInstance, CompiledSource, VirtualClock};
@@ -85,6 +88,9 @@ pub(crate) enum SourceCtrl<T> {
         txs: Vec<T>,
         /// Total source count (for the shared resume-grid rule).
         n_sources: usize,
+        /// Send-side instruments of the new generation, same flat
+        /// layout as `txs` (empty with telemetry disabled).
+        tx_instr: Vec<Arc<ShardInstr>>,
     },
 }
 
@@ -415,6 +421,39 @@ pub(crate) struct Plane<F: Fleet> {
     sink_handle: Option<JoinHandle<Vec<OutputRecord>>>,
     n_sources: usize,
     stats: Vec<EpochStats>,
+    /// The telemetry plane's instrument registry (None with
+    /// `cfg.telemetry == false`).
+    registry: Option<Arc<MetricsRegistry>>,
+    /// Shard generation counter (0 at launch, +1 per reconfiguration)
+    /// — labels each generation's instruments.
+    generation: u64,
+}
+
+/// Register a generation's instruments and attach them to its cores
+/// (no-op without a registry). Returns the send-side handles in flat
+/// order, for the sources feeding this generation.
+fn attach_telemetry(
+    registry: &Option<Arc<MetricsRegistry>>,
+    generation: u64,
+    instances: &[CompiledInstance],
+    shards: usize,
+    cores: &mut [JoinCore],
+) -> Vec<Arc<ShardInstr>> {
+    let Some(r) = registry else {
+        return Vec::new();
+    };
+    let instr = r.register_generation(generation, instances, shards);
+    for (core, i) in cores.iter_mut().zip(&instr) {
+        core.set_telemetry(ShardTelemetry {
+            registry: Arc::clone(r),
+            instr: Arc::clone(i),
+        });
+    }
+    r.trace(TraceKind::GenerationSpawn {
+        generation,
+        shard_workers: cores.len(),
+    });
+    instr
 }
 
 impl<F: Fleet> Plane<F> {
@@ -465,6 +504,12 @@ impl<F: Fleet> Plane<F> {
         if !alive.iter().any(|&a| a) {
             return Err(ReconfigError::RunFinished);
         }
+        if let Some(r) = &self.registry {
+            r.trace(TraceKind::EpochArm {
+                epoch,
+                epoch_ms: switch.epoch_ms,
+            });
+        }
 
         // 2.–3. Collect the quiesce quorum: every old shard whose
         // instance has producers (zero-producer shards retired with an
@@ -489,6 +534,12 @@ impl<F: Fleet> Plane<F> {
                         continue;
                     }
                     clean_split &= !q.late;
+                    if let Some(r) = &self.registry {
+                        r.trace(TraceKind::ShardQuiesced {
+                            flat: q.flat,
+                            epoch,
+                        });
+                    }
                     exported[q.flat] = q.groups;
                     received += 1;
                 }
@@ -560,7 +611,7 @@ impl<F: Fleet> Plane<F> {
                 per_flat[new_inst as usize * self.shards + shard].push(g);
             }
         }
-        let cores: Vec<JoinCore> = per_flat
+        let mut cores: Vec<JoinCore> = per_flat
             .into_iter()
             .enumerate()
             .map(|(flat, mut groups)| {
@@ -571,6 +622,14 @@ impl<F: Fleet> Plane<F> {
                 JoinCore::new_with_state(post.instances[flat / self.shards].clone(), groups)
             })
             .collect();
+        self.generation += 1;
+        let tx_instr = attach_telemetry(
+            &self.registry,
+            self.generation,
+            &post.instances,
+            self.shards,
+            &mut cores,
+        );
         let new_txs = self.fleet.spawn_generation(cores);
 
         // 4e. Resume the sources on the new routing; sources that
@@ -585,6 +644,7 @@ impl<F: Fleet> Plane<F> {
                         src,
                         txs: new_txs.clone(),
                         n_sources,
+                        tx_instr: tx_instr.clone(),
                     })
                     .is_ok();
             if !resumed {
@@ -609,8 +669,38 @@ impl<F: Fleet> Plane<F> {
             shard_workers: n_new,
             clean_split,
         };
+        if let Some(r) = &self.registry {
+            r.trace(TraceKind::EpochResume {
+                epoch,
+                migrated_groups,
+                migrated_tuples,
+                handoff_wall_ms: stats.handoff_wall_ms,
+            });
+            r.push_epoch(stats);
+        }
         self.stats.push(stats);
         Ok(stats)
+    }
+
+    /// A monotonic snapshot of the run's instruments (see
+    /// [`MetricsRegistry::snapshot`]); degraded to run-wide counters
+    /// and node gauges when telemetry is off.
+    pub(crate) fn metrics(&self) -> MetricsSnapshot {
+        match &self.registry {
+            Some(r) => r.snapshot(),
+            None => {
+                MetricsSnapshot::degraded(&self.clock, &self.counters, &self.pacers, &self.stats)
+            }
+        }
+    }
+
+    /// Periodic snapshot stream (see [`ExecHandle::subscribe`]); with
+    /// telemetry off the receiver yields nothing.
+    pub(crate) fn subscribe(&self, interval: Duration) -> mpsc::Receiver<MetricsSnapshot> {
+        match &self.registry {
+            Some(r) => crate::metrics::subscribe(Arc::clone(r), interval),
+            None => mpsc::channel().1,
+        }
     }
 
     /// Wait for the stream to end and assemble the run's results.
@@ -638,6 +728,13 @@ impl<F: Fleet> Plane<F> {
             .join()
             .expect("sink worker panicked");
 
+        // All workers have joined: every count is final. Release the
+        // subscription samplers — their last snapshot equals this
+        // result's counts.
+        if let Some(r) = &self.registry {
+            r.finish();
+        }
+
         use std::sync::atomic::Ordering;
         let delivered = outputs.len() as u64;
         ExecResult {
@@ -649,6 +746,7 @@ impl<F: Fleet> Plane<F> {
             dropped: self.counters.dropped.load(Ordering::Relaxed),
             wall_ms: self.clock.wall_ms(),
             threads: self.n_sources + self.fleet.worker_threads() + 1,
+            epochs: std::mem::take(&mut self.stats),
         }
     }
 }
@@ -688,6 +786,7 @@ fn prep(
 
 /// Spawn the source workers (shared by both fleets).
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
     sources: Vec<CompiledSource>,
     cfg: &ExecConfig,
@@ -696,6 +795,8 @@ fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
     counters: &Arc<Counters>,
     join_txs: &[T],
     shards: usize,
+    registry: &Option<Arc<MetricsRegistry>>,
+    tx_instr: &[Arc<ShardInstr>],
 ) -> (Vec<mpsc::Sender<SourceCtrl<T>>>, Vec<JoinHandle<()>>) {
     let mut ctrls = Vec::with_capacity(sources.len());
     let mut handles = Vec::with_capacity(sources.len());
@@ -706,8 +807,18 @@ fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
         let pacers = Arc::clone(pacers);
         let counters = Arc::clone(counters);
         let txs: Vec<T> = join_txs.to_vec();
+        let tele = match registry {
+            Some(r) => SourceTelemetry::new(
+                Arc::clone(r),
+                r.register_source(src.index, src.node),
+                tx_instr.to_vec(),
+            ),
+            None => SourceTelemetry::disabled(),
+        };
         handles.push(std::thread::spawn(move || {
-            worker::run_source(src, &cfg, clock, &pacers, &counters, txs, shards, &ctrl_rx)
+            worker::run_source(
+                src, &cfg, clock, &pacers, &counters, txs, shards, &ctrl_rx, tele,
+            )
         }));
     }
     (ctrls, handles)
@@ -724,6 +835,13 @@ pub(crate) fn launch_threads(
     shards: usize,
 ) -> Plane<ThreadFleet> {
     let p = prep(topology, dist, dataflow, cfg);
+    // The clock starts before the fleet spawns so the registry can
+    // timestamp spawn-time trace events; sources still emit at the
+    // same virtual times (their grid is absolute).
+    let clock = VirtualClock::start(cfg.time_scale);
+    let registry = cfg
+        .telemetry
+        .then(|| MetricsRegistry::new(clock, Arc::clone(&p.counters), Arc::clone(&p.pacers)));
     let (ctrl_up_tx, ctrl_up_rx) = mpsc::channel::<Quiesced>();
     let (sink_tx, sink_rx) = bounded::<SinkMsg>(cfg.channel_capacity);
     let mut fleet = ThreadFleet {
@@ -735,9 +853,10 @@ pub(crate) fn launch_threads(
         handles: Vec::new(),
         spawned: 0,
     };
-    let cores: Vec<JoinCore> = (0..p.plan.instances.len() * shards)
+    let mut cores: Vec<JoinCore> = (0..p.plan.instances.len() * shards)
         .map(|flat| JoinCore::new(p.plan.instances[flat / shards].clone()))
         .collect();
+    let tx_instr = attach_telemetry(&registry, 0, &p.plan.instances, shards, &mut cores);
     let n_workers = cores.len();
     let join_txs = fleet.spawn_generation(cores);
 
@@ -745,12 +864,15 @@ pub(crate) fn launch_threads(
         let pacers = Arc::clone(&p.pacers);
         let counters = Arc::clone(&p.counters);
         let (charge, node) = (p.charge_sink.clone(), p.sink_node);
+        let tele = registry.as_ref().map(|r| SinkTelemetry {
+            registry: Arc::clone(r),
+            instr: r.sink_instr(),
+        });
         std::thread::spawn(move || {
-            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_workers)
+            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_workers, tele)
         })
     };
 
-    let clock = VirtualClock::start(cfg.time_scale);
     let n_sources = p.plan.sources.len();
     let (src_ctrl, src_handles) = spawn_sources(
         p.plan.sources,
@@ -760,6 +882,8 @@ pub(crate) fn launch_threads(
         &p.counters,
         &join_txs,
         shards,
+        &registry,
+        &tx_instr,
     );
 
     Plane {
@@ -779,6 +903,8 @@ pub(crate) fn launch_threads(
         sink_handle: Some(sink_handle),
         n_sources,
         stats: Vec::new(),
+        registry,
+        generation: 0,
     }
 }
 
@@ -791,6 +917,10 @@ pub(crate) fn launch_tasks(
 ) -> Plane<TaskFleet> {
     let shards = cfg.shards.max(1);
     let p = prep(topology, dist, dataflow, cfg);
+    let clock = VirtualClock::start(cfg.time_scale);
+    let registry = cfg
+        .telemetry
+        .then(|| MetricsRegistry::new(clock, Arc::clone(&p.counters), Arc::clone(&p.pacers)));
     let (ctrl_up_tx, ctrl_up_rx) = mpsc::channel::<Quiesced>();
     let (sink_tx, sink_rx) = poll_bounded::<SinkMsg>(cfg.channel_capacity);
     let n_tasks = p.plan.instances.len() * shards;
@@ -809,22 +939,29 @@ pub(crate) fn launch_tasks(
         workers: Vec::new(),
         spawned: 0,
     };
+    if let Some(r) = &registry {
+        r.attach_scheduler(Arc::clone(&fleet.scheduler));
+    }
     fleet.start_workers(workers, &p.pacers, &p.counters);
-    let cores: Vec<JoinCore> = (0..n_tasks)
+    let mut cores: Vec<JoinCore> = (0..n_tasks)
         .map(|flat| JoinCore::new(p.plan.instances[flat / shards].clone()))
         .collect();
+    let tx_instr = attach_telemetry(&registry, 0, &p.plan.instances, shards, &mut cores);
     let join_txs = fleet.spawn_generation(cores);
 
     let sink_handle = {
         let pacers = Arc::clone(&p.pacers);
         let counters = Arc::clone(&p.counters);
         let (charge, node) = (p.charge_sink.clone(), p.sink_node);
+        let tele = registry.as_ref().map(|r| SinkTelemetry {
+            registry: Arc::clone(r),
+            instr: r.sink_instr(),
+        });
         std::thread::spawn(move || {
-            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_tasks)
+            worker::run_sink(sink_rx, node, charge, &pacers, &counters, n_tasks, tele)
         })
     };
 
-    let clock = VirtualClock::start(cfg.time_scale);
     let n_sources = p.plan.sources.len();
     let (src_ctrl, src_handles) = spawn_sources(
         p.plan.sources,
@@ -834,6 +971,8 @@ pub(crate) fn launch_tasks(
         &p.counters,
         &join_txs,
         shards,
+        &registry,
+        &tx_instr,
     );
 
     Plane {
@@ -853,6 +992,8 @@ pub(crate) fn launch_tasks(
         sink_handle: Some(sink_handle),
         n_sources,
         stats: Vec::new(),
+        registry,
+        generation: 0,
     }
 }
 
@@ -911,6 +1052,39 @@ impl ExecHandle {
         match &self.plane {
             AnyPlane::Threads(p) => &p.stats,
             AnyPlane::Tasks(p) => &p.stats,
+        }
+    }
+
+    /// Take a live [`MetricsSnapshot`] of the running executor.
+    ///
+    /// Safe to call at any rate (each call is a handful of relaxed
+    /// atomic loads per instrument — ~10 Hz polling is far below
+    /// measurable cost) and from any thread holding the handle.
+    /// Consistency contract: every cumulative counter in a later
+    /// snapshot is `>=` its value in an earlier one, and the snapshot
+    /// taken after [`ExecHandle::join`] would have returned equals the
+    /// corresponding [`ExecResult`] totals. With
+    /// [`crate::ExecConfig::telemetry`] disabled this degrades to the
+    /// coarse shared counters (no per-shard rows, empty histograms).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.plane {
+            AnyPlane::Threads(p) => p.metrics(),
+            AnyPlane::Tasks(p) => p.metrics(),
+        }
+    }
+
+    /// Subscribe to periodic [`MetricsSnapshot`]s, one every
+    /// `interval`, delivered on a standard `mpsc` receiver.
+    ///
+    /// A detached sampler thread drives the stream; it sends one final
+    /// snapshot after the run finishes (so the last value received
+    /// matches the [`ExecResult`]) and exits when the run ends or the
+    /// receiver is dropped, whichever comes first. With telemetry
+    /// disabled the receiver is already disconnected.
+    pub fn subscribe(&self, interval: std::time::Duration) -> mpsc::Receiver<MetricsSnapshot> {
+        match &self.plane {
+            AnyPlane::Threads(p) => p.subscribe(interval),
+            AnyPlane::Tasks(p) => p.subscribe(interval),
         }
     }
 

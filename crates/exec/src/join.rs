@@ -24,7 +24,7 @@ use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers, Wi
 
 use crate::channel::{InFlight, JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
 use crate::control::Quiesced;
-use crate::metrics::{Counters, NodePacer};
+use crate::metrics::{count_drop, Counters, NodePacer, ShardInstr, ShardTelemetry};
 use crate::worker::CompiledInstance;
 use crate::ExecConfig;
 
@@ -50,7 +50,15 @@ pub(crate) struct JoinCore {
     /// Matches produced so far; the caller publishes this into the
     /// shared [`Counters`] exactly once, when the shard retires.
     pub matched: u64,
+    /// How much of `matched` has been flushed to the shard instrument
+    /// ([`JoinCore::publish_matched`]) — the per-match hot path stays
+    /// free of atomics; the live gauge advances once per batch.
+    matched_published: u64,
     last_gc_watermark: f64,
+    /// Pre-resolved telemetry handles (None with `telemetry: false`);
+    /// set once at spawn by the control plane, so every backend's
+    /// driver loop shares the same instrumentation points.
+    telemetry: Option<ShardTelemetry>,
 }
 
 impl JoinCore {
@@ -74,7 +82,65 @@ impl JoinCore {
             epoch: None,
             late_split: false,
             matched: 0,
+            matched_published: 0,
             last_gc_watermark: 0.0,
+            telemetry: None,
+        }
+    }
+
+    /// Attach the shard's pre-resolved instruments (control plane, at
+    /// spawn — before the core is handed to its worker/task).
+    pub fn set_telemetry(&mut self, tele: ShardTelemetry) {
+        self.telemetry = Some(tele);
+    }
+
+    /// This shard's instrument, for send/flush accounting.
+    pub fn shard_instr(&self) -> Option<&ShardInstr> {
+        self.telemetry.as_ref().map(|t| &*t.instr)
+    }
+
+    /// Record a dequeued input batch.
+    #[inline]
+    pub fn note_recv(&self, tuples: usize) {
+        if let Some(t) = &self.telemetry {
+            t.instr.on_recv(tuples);
+        }
+    }
+
+    /// Start a service-time measurement iff telemetry is attached (so
+    /// the disabled path never touches the clock).
+    #[inline]
+    pub fn service_timer(&self) -> Option<std::time::Instant> {
+        self.telemetry.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Record one batch's accumulated wall-clock service time.
+    #[inline]
+    pub fn note_service(&self, spent: std::time::Duration) {
+        if let Some(t) = &self.telemetry {
+            t.registry.record_service_ms(spent.as_secs_f64() * 1000.0);
+        }
+    }
+
+    /// Flush the locally-accumulated match count into the shard
+    /// instrument — called once per input batch (and at retire), so
+    /// the per-match path carries no atomics at all.
+    #[inline]
+    pub fn publish_matched(&mut self) {
+        if let Some(t) = &self.telemetry {
+            let delta = self.matched - self.matched_published;
+            if delta > 0 {
+                t.instr.on_matched(delta);
+            }
+            self.matched_published = self.matched;
+        }
+    }
+
+    /// Mark the shard's instrument retired (Eof or epoch quiesce).
+    pub fn mark_retired(&mut self) {
+        self.publish_matched();
+        if let Some(t) = &self.telemetry {
+            t.instr.retire();
         }
     }
 
@@ -138,6 +204,7 @@ impl JoinCore {
         let tuple = inflight.tuple;
         let window = WindowBuffers::window_of(tuple.event_time, cfg.window_ms);
         let (inst, matched) = (&self.inst, &mut self.matched);
+        let tele = self.telemetry.as_ref();
         // Zero-copy keyed probe: partners are visited in place — no
         // per-probe Vec of the opposite buffer — and only within the
         // tuple's (window, subkey) group, so keyed workloads never walk
@@ -171,7 +238,7 @@ impl JoinCore {
                     match pacers[seg.node].serve(deliver_at) {
                         Some(done) => deliver_at = done,
                         None => {
-                            Counters::bump(&counters.dropped, 1);
+                            count_drop(counters, tele.map(|t| &*t.registry));
                             return;
                         }
                     }
@@ -238,6 +305,7 @@ pub(crate) fn run_join(
     let mut out_batch: Vec<OutFlight> = Vec::new();
 
     if core.inst.producers == 0 {
+        core.mark_retired();
         let _ = sink_tx.send(SinkMsg::Eof {
             instance: core.inst.index,
         });
@@ -249,8 +317,9 @@ pub(crate) fn run_join(
     // sink, all of this shard's output is already enqueued there. No
     // sink Eof — the control plane re-bases the quorum.
     let quiesce = |core: &mut JoinCore, out_batch: &mut Vec<OutFlight>, epoch: u64| {
-        let _ = flush(&sink_tx, core.inst.index, out_batch);
+        let _ = flush(&sink_tx, core.inst.index, out_batch, core.shard_instr());
         Counters::bump(&counters.matched, core.matched);
+        core.mark_retired();
         let _ = ctrl_up.send(Quiesced {
             flat,
             epoch,
@@ -262,18 +331,36 @@ pub(crate) fn run_join(
     'consume: while let Some(msg) = rx.recv() {
         match msg {
             JoinMsg::Batch { source, tuples } => {
+                core.note_recv(tuples.len());
+                let t0 = core.service_timer();
                 let mut batch_frontier = 0.0f64;
                 for inflight in &tuples {
                     batch_frontier = batch_frontier.max(inflight.tuple.event_time);
                     core.on_tuple(inflight, cfg, pacers, counters, &mut out_batch);
                     if out_batch.len() >= cfg.batch_size
-                        && !flush(&sink_tx, core.inst.index, &mut out_batch)
+                        && !flush(
+                            &sink_tx,
+                            core.inst.index,
+                            &mut out_batch,
+                            core.shard_instr(),
+                        )
                     {
                         break 'consume;
                     }
                 }
                 core.end_batch(source, batch_frontier, cfg);
-                if !out_batch.is_empty() && !flush(&sink_tx, core.inst.index, &mut out_batch) {
+                core.publish_matched();
+                if let Some(t0) = t0 {
+                    core.note_service(t0.elapsed());
+                }
+                if !out_batch.is_empty()
+                    && !flush(
+                        &sink_tx,
+                        core.inst.index,
+                        &mut out_batch,
+                        core.shard_instr(),
+                    )
+                {
                     break 'consume;
                 }
             }
@@ -303,19 +390,37 @@ pub(crate) fn run_join(
         }
     }
 
-    let _ = flush(&sink_tx, core.inst.index, &mut out_batch);
+    let _ = flush(
+        &sink_tx,
+        core.inst.index,
+        &mut out_batch,
+        core.shard_instr(),
+    );
     Counters::bump(&counters.matched, core.matched);
+    core.mark_retired();
     let _ = sink_tx.send(SinkMsg::Eof {
         instance: core.inst.index,
     });
 }
 
-fn flush(sink_tx: &Sender<SinkMsg>, instance: u32, batch: &mut Vec<OutFlight>) -> bool {
+fn flush(
+    sink_tx: &Sender<SinkMsg>,
+    instance: u32,
+    batch: &mut Vec<OutFlight>,
+    instr: Option<&ShardInstr>,
+) -> bool {
     if batch.is_empty() {
         return true;
     }
     let outputs = std::mem::take(batch);
-    sink_tx.send(SinkMsg::Batch { instance, outputs }).is_ok()
+    let n = outputs.len();
+    let ok = sink_tx.send(SinkMsg::Batch { instance, outputs }).is_ok();
+    if ok {
+        if let Some(i) = instr {
+            i.on_out(n);
+        }
+    }
+    ok
 }
 
 #[cfg(test)]

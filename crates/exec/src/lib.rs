@@ -117,7 +117,10 @@ use nova_topology::{NodeId, Topology};
 
 pub use async_backend::{effective_workers, AsyncBackend};
 pub use control::{launch, EpochStats, ExecHandle, ReconfigError};
-pub use metrics::{Counters, ExecResult, NodePacer};
+pub use metrics::{
+    Counters, ExecResult, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, NodePacer,
+    NodeSnapshot, ShardSnapshot, SourceSnapshot, TraceEvent, TraceKind,
+};
 pub use nova_runtime::PlanSwitch;
 pub use sharded::{key_bucket_of, shard_of, ShardedBackend};
 pub use worker::VirtualClock;
@@ -194,6 +197,16 @@ pub struct ExecConfig {
     /// resume exactly where they paused — mid-batch, even mid-window —
     /// so any budget yields identical counts.
     pub run_budget: usize,
+    /// Telemetry plane switch. `true` (the default) wires the
+    /// [`MetricsRegistry`] into every worker at launch — per-shard
+    /// instruments, latency/service histograms and the trace ring —
+    /// making [`ExecHandle::metrics`]/[`ExecHandle::subscribe`] live.
+    /// The hot-path cost is one relaxed atomic increment per event
+    /// (measured ≤ 3% on the uniform bench scenario; the CI smoke
+    /// gate pins it). `false` skips registration entirely: workers
+    /// carry no instrument handles and snapshots degrade to the coarse
+    /// shared [`Counters`].
+    pub telemetry: bool,
 }
 
 /// Which [`Backend`] implementation [`backend_for`] resolves to.
@@ -246,6 +259,7 @@ impl Default for ExecConfig {
             backend: BackendKind::Auto,
             workers: 0,
             run_budget: 2048,
+            telemetry: true,
         }
     }
 }

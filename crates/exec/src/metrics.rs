@@ -1,4 +1,5 @@
-//! Shared accounting: per-node service pacing and run results.
+//! Shared accounting: per-node service pacing, run results, and the
+//! live telemetry plane.
 //!
 //! The executor keeps the simulator's resource model — every node is a
 //! single-server queue with a tuple/s capacity — but enforces it with
@@ -11,11 +12,45 @@
 //! touches the node, co-located operators contend for the same capacity
 //! — the ingestion-vs-join contention the paper's source-placement
 //! experiments hinge on.
+//!
+//! ## The telemetry plane
+//!
+//! Everything above was historically observable only *after*
+//! [`crate::ExecHandle::join`] returned. The [`MetricsRegistry`] turns
+//! it into a live feed: per-shard / per-source / per-node instruments
+//! that every backend updates on the hot path through **pre-resolved
+//! handles** — each worker holds an `Arc` to its own instrument struct,
+//! resolved once at spawn, so a hot-path update is a single
+//! `fetch_add(_, Ordering::Relaxed)` on an uncontended cache line (no
+//! map lookups, no locks). Gauges (channel queue depth, pacer backlog)
+//! are *derived at read time* from pairs of monotonic counters and the
+//! pacers' `busy_until`, so they cost the hot path nothing at all.
+//! Latency and per-batch service time go into fixed-bucket log-scale
+//! histograms ([`HistogramSnapshot`]); control-plane milestones (epoch
+//! arm → quiesce → resume, generation spawns, sampled shed events) go
+//! into a bounded trace ring ([`TraceEvent`]) with monotonic virtual +
+//! wall timestamps.
+//!
+//! Reads are wait-free for writers: [`MetricsRegistry::snapshot`] loads
+//! each atomic individually (`Relaxed`), so a snapshot is a consistent
+//! *monotonic* view — every counter in a later snapshot is ≥ its value
+//! in an earlier one, and the final snapshot equals the
+//! [`ExecResult`] counts — rather than a point-in-time atomic cut
+//! (which would require stopping the world). That is exactly the
+//! contract a sampling controller needs, and what the telemetry tests
+//! pin across live reconfigurations on all three backends.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use nova_runtime::OutputRecord;
 use nova_topology::NodeId;
+
+use crate::control::EpochStats;
+use crate::sched::Scheduler;
+use crate::worker::{CompiledInstance, VirtualClock};
 
 /// Lock-free single-server queue clock for one node.
 #[derive(Debug)]
@@ -118,6 +153,13 @@ impl NodePacer {
     pub fn busy_ms(&self) -> f64 {
         f64::from_bits(self.busy_ms.load(Ordering::Relaxed))
     }
+
+    /// Virtual time (ms) until which the node is busy — the front of
+    /// its single-server queue. `busy_until_ms() − now` is the node's
+    /// backlog gauge in the telemetry plane.
+    pub fn busy_until_ms(&self) -> f64 {
+        f64::from_bits(self.busy_until.load(Ordering::Relaxed))
+    }
 }
 
 /// Run-wide atomic counters shared by all workers.
@@ -159,11 +201,21 @@ pub struct ExecResult {
     pub wall_ms: f64,
     /// Number of OS threads the run used (sources + joins + sink).
     pub threads: usize,
+    /// Per-epoch reconfiguration stats (pause/handoff wall times,
+    /// migrated state), in epoch order — the same records
+    /// [`crate::ExecHandle::epoch_stats`] reports live, surviving
+    /// `join()` so post-run reports can include them.
+    pub epochs: Vec<EpochStats>,
 }
 
 impl ExecResult {
-    /// Delivered outputs per second of virtual time.
+    /// Delivered outputs per second of virtual time. Zero-or-negative
+    /// durations yield 0.0 (matching
+    /// [`ExecResult::input_tuples_per_wall_s`]) rather than `inf`/`NaN`.
     pub fn throughput_per_s(&self, duration_ms: f64) -> f64 {
+        if duration_ms <= 0.0 {
+            return 0.0;
+        }
         self.delivered as f64 / (duration_ms / 1000.0)
     }
 
@@ -203,9 +255,987 @@ impl ExecResult {
             .count() as u64
     }
 
-    /// Utilization of a node: busy time / duration.
+    /// Utilization of a node: busy time / duration. Zero-or-negative
+    /// durations yield 0.0 rather than `inf`/`NaN`.
     pub fn utilization(&self, node: NodeId, duration_ms: f64) -> f64 {
+        if duration_ms <= 0.0 {
+            return 0.0;
+        }
         self.node_busy_ms.get(node.idx()).copied().unwrap_or(0.0) / duration_ms
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: instruments, histograms, trace ring, registry.
+// ---------------------------------------------------------------------------
+
+/// Number of log₂ buckets in a `LogHistogram`. Bucket `i` covers
+/// `[2^i, 2^{i+1})` microseconds; 40 buckets reach ≈ 6 days — far past
+/// any latency this executor can produce.
+pub const HIST_BUCKETS: usize = 40;
+
+/// Fixed-bucket log₂-scale histogram over microseconds. Recording is a
+/// single `Relaxed` `fetch_add` on a pre-computed bucket index — cheap
+/// enough for the per-output hot path.
+#[derive(Debug)]
+pub(crate) struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    /// Sum of recorded values in integer microseconds (for the
+    /// Prometheus `_sum` series).
+    sum_us: AtomicU64,
+}
+
+impl LogHistogram {
+    fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_ms(&self, ms: f64) {
+        let us = value_us(ms);
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Fold a locally-accumulated [`LatencyBatch`] in: one `fetch_add`
+    /// per *occupied* bucket plus one for the sum, instead of two per
+    /// recorded value.
+    pub(crate) fn merge(&self, batch: &LatencyBatch) {
+        for (i, &c) in batch.counts.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        if batch.sum_us > 0 {
+            self.sum_us.fetch_add(batch.sum_us, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_ms: self.sum_us.load(Ordering::Relaxed) as f64 / 1000.0,
+        }
+    }
+}
+
+#[inline]
+fn value_us(ms: f64) -> u64 {
+    if ms.is_finite() && ms > 0.0 {
+        (ms * 1000.0) as u64
+    } else {
+        0
+    }
+}
+
+/// `(us | 1).ilog2()` maps `[2^i, 2^{i+1})` µs to bucket i, sub-µs to 0.
+#[inline]
+fn bucket_of(us: u64) -> usize {
+    ((us | 1).ilog2() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Stack-local histogram accumulator: the sink fills one per output
+/// batch and [`LogHistogram::merge`]s it in a handful of atomics,
+/// keeping the per-output path allocation- and atomics-free.
+#[derive(Debug)]
+pub(crate) struct LatencyBatch {
+    counts: [u64; HIST_BUCKETS],
+    sum_us: u64,
+    n: u64,
+}
+
+impl LatencyBatch {
+    pub(crate) fn new() -> Self {
+        LatencyBatch {
+            counts: [0; HIST_BUCKETS],
+            sum_us: 0,
+            n: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_ms(&mut self, ms: f64) {
+        let us = value_us(ms);
+        self.counts[bucket_of(us)] += 1;
+        self.sum_us += us;
+        self.n += 1;
+    }
+}
+
+/// Read-side view of a `LogHistogram` (the crate-private write side):
+/// per-bucket counts plus the
+/// value sum, with quantile estimation by bucket upper bound.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Count per log₂ bucket; bucket `i` covers `[2^i, 2^{i+1})` µs.
+    pub counts: Vec<u64>,
+    /// Sum of recorded values in milliseconds.
+    pub sum_ms: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` in milliseconds.
+    pub fn bucket_upper_ms(i: usize) -> f64 {
+        // Bucket i covers up to (but excluding) 2^{i+1} µs.
+        (1u64 << (i + 1).min(63)) as f64 / 1000.0
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`): the upper bound of the
+    /// first bucket whose cumulative count reaches `q × total`.
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper_ms(i);
+            }
+        }
+        Self::bucket_upper_ms(self.counts.len().saturating_sub(1))
+    }
+}
+
+/// One structured control-plane trace event. Timestamps are monotonic:
+/// `at_ms` is virtual time (the clock the data plane runs on), `wall_ms`
+/// is real time since launch.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Sequence number (monotonic, gap-free until the ring wraps).
+    pub seq: u64,
+    /// Virtual timestamp (ms since launch).
+    pub at_ms: f64,
+    /// Wall-clock timestamp (ms since launch).
+    pub wall_ms: f64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Trace-event taxonomy: epoch lifecycle spans from the control plane,
+/// generation spawn/park, and sampled shed events.
+#[derive(Debug, Clone)]
+pub enum TraceKind {
+    /// An epoch barrier was armed at every source.
+    EpochArm {
+        /// Epoch number (1-based).
+        epoch: u64,
+        /// Virtual time of the barrier.
+        epoch_ms: f64,
+    },
+    /// One shard of the outgoing generation reported quiesced.
+    ShardQuiesced {
+        /// Flat shard index within its generation.
+        flat: usize,
+        /// Epoch it quiesced at.
+        epoch: u64,
+    },
+    /// A new shard generation was spawned (at launch and per epoch).
+    GenerationSpawn {
+        /// Generation number (0 at launch).
+        generation: u64,
+        /// Number of shard workers/tasks in the generation.
+        shard_workers: usize,
+    },
+    /// Sources resumed after a completed reconfiguration.
+    EpochResume {
+        /// Epoch number.
+        epoch: u64,
+        /// Join groups migrated into the new generation.
+        migrated_groups: usize,
+        /// Buffered tuples migrated.
+        migrated_tuples: usize,
+        /// Wall-clock handoff time (quiesce → resume), ms.
+        handoff_wall_ms: f64,
+    },
+    /// Load shedding sampled at power-of-two totals (1, 2, 4, 8, …) so
+    /// a shedding run traces O(log drops) events, not O(drops).
+    Shed {
+        /// Total dropped count at the time of the event.
+        dropped: u64,
+    },
+}
+
+/// Capacity of the trace ring; older events are discarded first.
+const TRACE_RING_CAP: usize = 4096;
+
+/// Per-source instrument: resolved once at source spawn.
+#[derive(Debug)]
+pub(crate) struct SourceInstr {
+    /// Source index in the query.
+    pub index: u32,
+    /// Node the source is pinned to.
+    pub node: usize,
+    emitted: AtomicU64,
+}
+
+impl SourceInstr {
+    #[inline]
+    pub(crate) fn on_emit(&self, n: u64) {
+        self.emitted.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Per-shard instrument: one per shard worker/task per generation,
+/// resolved at spawn and shared with the sources that feed it (the
+/// send-side counters double as the channel-depth gauge inputs).
+#[derive(Debug)]
+pub(crate) struct ShardInstr {
+    generation: u64,
+    instance: u32,
+    shard: u32,
+    pair: u32,
+    /// Batches / tuples pushed into the shard's input channel.
+    sent_msgs: AtomicU64,
+    sent_tuples: AtomicU64,
+    /// Batches / tuples the shard dequeued.
+    recv_msgs: AtomicU64,
+    recv_tuples: AtomicU64,
+    /// Matches produced (post-selectivity), published per input batch —
+    /// unlike the run-wide [`Counters::matched`], which is only
+    /// published when a shard retires.
+    matched: AtomicU64,
+    /// Output tuples flushed toward the sink.
+    out_tuples: AtomicU64,
+    /// Set when the shard retires (end-of-stream or epoch quiesce).
+    retired: AtomicBool,
+}
+
+impl ShardInstr {
+    #[inline]
+    pub(crate) fn on_send(&self, tuples: usize) {
+        self.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.sent_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_recv(&self, tuples: usize) {
+        self.recv_msgs.fetch_add(1, Ordering::Relaxed);
+        self.recv_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    /// Add a batch's worth of matches — the join publishes its local
+    /// count once per input batch, keeping the per-match path free of
+    /// atomics (see [`crate::join::JoinCore::publish_matched`]).
+    #[inline]
+    pub(crate) fn on_matched(&self, n: u64) {
+        self.matched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_out(&self, tuples: usize) {
+        self.out_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn retire(&self) {
+        self.retired.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Sink instrument: delivered outputs and tuples seen (delivered +
+/// shed at the sink node).
+#[derive(Debug, Default)]
+pub(crate) struct SinkInstr {
+    delivered: AtomicU64,
+    seen: AtomicU64,
+}
+
+impl SinkInstr {
+    #[inline]
+    pub(crate) fn on_seen(&self, n: u64) {
+        self.seen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn on_delivered(&self, n: u64) {
+        self.delivered.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Count a shed tuple: bump the run-wide counter and, when a registry
+/// is attached, emit a rate-limited trace event at power-of-two totals
+/// (each total is returned by exactly one `fetch_add`, so concurrent
+/// shedders never double-trace).
+#[inline]
+pub(crate) fn count_drop(counters: &Counters, registry: Option<&MetricsRegistry>) {
+    let total = counters.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(r) = registry {
+        if total.is_power_of_two() {
+            r.trace(TraceKind::Shed { dropped: total });
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for one source worker.
+#[derive(Clone, Default)]
+pub(crate) struct SourceTelemetry {
+    pub registry: Option<Arc<MetricsRegistry>>,
+    pub instr: Option<Arc<SourceInstr>>,
+    /// Send-side instruments of the *current* shard generation, indexed
+    /// by flat shard id; swapped on every `Resume`.
+    pub tx_instr: Vec<Arc<ShardInstr>>,
+    /// Emissions accumulated since the last instrument flush — the
+    /// per-tuple path stays atomics-free; [`SourceTelemetry::flush`]
+    /// publishes at batch/pacing boundaries. (`Cell`: the handle lives
+    /// on one worker thread.)
+    pending_emit: std::cell::Cell<u64>,
+}
+
+impl SourceTelemetry {
+    pub(crate) fn new(
+        registry: Arc<MetricsRegistry>,
+        instr: Arc<SourceInstr>,
+        tx_instr: Vec<Arc<ShardInstr>>,
+    ) -> Self {
+        SourceTelemetry {
+            registry: Some(registry),
+            instr: Some(instr),
+            tx_instr,
+            pending_emit: std::cell::Cell::new(0),
+        }
+    }
+
+    pub(crate) fn disabled() -> Self {
+        SourceTelemetry::default()
+    }
+
+    #[inline]
+    pub(crate) fn on_emit(&self) {
+        if self.instr.is_some() {
+            self.pending_emit.set(self.pending_emit.get() + 1);
+        }
+    }
+
+    /// Publish the locally-accumulated emission count.
+    #[inline]
+    pub(crate) fn flush(&self) {
+        if let Some(i) = &self.instr {
+            let n = self.pending_emit.take();
+            if n > 0 {
+                i.on_emit(n);
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_send(&self, flat: usize, tuples: usize) {
+        if let Some(i) = self.tx_instr.get(flat) {
+            i.on_send(tuples);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on_drop(&self, counters: &Counters) {
+        count_drop(counters, self.registry.as_deref());
+    }
+}
+
+/// Pre-resolved telemetry handles for one shard worker/task (carried by
+/// [`crate::join::JoinCore`] so all three backends share the hooks).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardTelemetry {
+    pub registry: Arc<MetricsRegistry>,
+    pub instr: Arc<ShardInstr>,
+}
+
+/// Pre-resolved telemetry handles for the sink worker.
+#[derive(Clone)]
+pub(crate) struct SinkTelemetry {
+    pub registry: Arc<MetricsRegistry>,
+    pub instr: Arc<SinkInstr>,
+}
+
+impl SinkTelemetry {
+    /// Fold one output batch's delivery accounting in: delivered count
+    /// and latency histogram, a few atomics per *batch*.
+    #[inline]
+    pub(crate) fn flush_batch(&self, batch: &LatencyBatch) {
+        if batch.n > 0 {
+            self.instr.on_delivered(batch.n);
+            self.registry.latency.merge(batch);
+        }
+    }
+}
+
+/// The run-wide instrument registry: the write side is lock-free
+/// pre-resolved handles (see the module docs); the read side derives a
+/// monotonic [`MetricsSnapshot`] on demand. Instrument lists are
+/// append-only across generations, so counters sampled in consecutive
+/// snapshots never decrease.
+pub struct MetricsRegistry {
+    clock: VirtualClock,
+    counters: Arc<Counters>,
+    pacers: Arc<Vec<NodePacer>>,
+    shards: Mutex<Vec<Arc<ShardInstr>>>,
+    sources: Mutex<Vec<Arc<SourceInstr>>>,
+    sink: Arc<SinkInstr>,
+    latency: LogHistogram,
+    service: LogHistogram,
+    trace: Mutex<VecDeque<TraceEvent>>,
+    trace_seq: AtomicU64,
+    epochs: Mutex<Vec<EpochStats>>,
+    /// Scheduler of the async backend, when that backend is running —
+    /// snapshot reads its live-task gauge.
+    sched: Mutex<Option<Arc<Scheduler>>>,
+    /// Set by the control plane once every worker has joined and all
+    /// counts are final; the subscription sampler sends one last
+    /// snapshot (equal to the [`ExecResult`] counts) and exits.
+    finished: AtomicBool,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsRegistry { .. }")
+    }
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new(
+        clock: VirtualClock,
+        counters: Arc<Counters>,
+        pacers: Arc<Vec<NodePacer>>,
+    ) -> Arc<Self> {
+        Arc::new(MetricsRegistry {
+            clock,
+            counters,
+            pacers,
+            shards: Mutex::new(Vec::new()),
+            sources: Mutex::new(Vec::new()),
+            sink: Arc::new(SinkInstr::default()),
+            latency: LogHistogram::new(),
+            service: LogHistogram::new(),
+            trace: Mutex::new(VecDeque::new()),
+            trace_seq: AtomicU64::new(0),
+            epochs: Mutex::new(Vec::new()),
+            sched: Mutex::new(None),
+            finished: AtomicBool::new(false),
+        })
+    }
+
+    /// Register one source's instrument (at spawn).
+    pub(crate) fn register_source(&self, index: u32, node: usize) -> Arc<SourceInstr> {
+        let instr = Arc::new(SourceInstr {
+            index,
+            node,
+            emitted: AtomicU64::new(0),
+        });
+        self.sources
+            .lock()
+            .expect("registry poisoned")
+            .push(Arc::clone(&instr));
+        instr
+    }
+
+    /// Register a full shard generation's instruments: one per flat
+    /// shard index, appended to the (never-truncated) shard list.
+    pub(crate) fn register_generation(
+        &self,
+        generation: u64,
+        instances: &[CompiledInstance],
+        shards: usize,
+    ) -> Vec<Arc<ShardInstr>> {
+        let per: Vec<Arc<ShardInstr>> = (0..instances.len() * shards)
+            .map(|flat| {
+                Arc::new(ShardInstr {
+                    generation,
+                    instance: (flat / shards) as u32,
+                    shard: (flat % shards) as u32,
+                    pair: instances[flat / shards].pair.0,
+                    sent_msgs: AtomicU64::new(0),
+                    sent_tuples: AtomicU64::new(0),
+                    recv_msgs: AtomicU64::new(0),
+                    recv_tuples: AtomicU64::new(0),
+                    matched: AtomicU64::new(0),
+                    out_tuples: AtomicU64::new(0),
+                    retired: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        self.shards
+            .lock()
+            .expect("registry poisoned")
+            .extend(per.iter().cloned());
+        per
+    }
+
+    pub(crate) fn sink_instr(&self) -> Arc<SinkInstr> {
+        Arc::clone(&self.sink)
+    }
+
+    pub(crate) fn attach_scheduler(&self, sched: Arc<Scheduler>) {
+        *self.sched.lock().expect("registry poisoned") = Some(sched);
+    }
+
+    #[inline]
+    pub(crate) fn record_service_ms(&self, ms: f64) {
+        self.service.record_ms(ms);
+    }
+
+    /// Append a trace event (drop-oldest past [`TRACE_RING_CAP`]).
+    pub(crate) fn trace(&self, kind: TraceKind) {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let ev = TraceEvent {
+            seq,
+            at_ms: self.clock.now_ms(),
+            wall_ms: self.clock.wall_ms(),
+            kind,
+        };
+        let mut ring = self.trace.lock().expect("registry poisoned");
+        if ring.len() == TRACE_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    pub(crate) fn push_epoch(&self, stats: EpochStats) {
+        self.epochs.lock().expect("registry poisoned").push(stats);
+    }
+
+    pub(crate) fn finish(&self) {
+        self.finished.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Drain-free copy of the trace ring, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Build a monotonic snapshot of every instrument. Each atomic is
+    /// loaded individually (`Relaxed`) — writers are never blocked, and
+    /// every counter is ≥ its value in any earlier snapshot (instrument
+    /// lists are append-only; counters only grow). `matched` is summed
+    /// over the per-shard instruments, so it is *live* — the run-wide
+    /// [`Counters::matched`] only moves when a shard retires.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let now_ms = self.clock.now_ms();
+        let shards: Vec<ShardSnapshot> = self
+            .shards
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|s| {
+                let sent_msgs = s.sent_msgs.load(Ordering::Relaxed);
+                let sent_tuples = s.sent_tuples.load(Ordering::Relaxed);
+                let recv_msgs = s.recv_msgs.load(Ordering::Relaxed);
+                let recv_tuples = s.recv_tuples.load(Ordering::Relaxed);
+                ShardSnapshot {
+                    generation: s.generation,
+                    instance: s.instance,
+                    shard: s.shard,
+                    pair: s.pair,
+                    live: !s.retired.load(Ordering::Relaxed),
+                    queued_msgs: sent_msgs.saturating_sub(recv_msgs),
+                    queued_tuples: sent_tuples.saturating_sub(recv_tuples),
+                    tuples_in: recv_tuples,
+                    matched: s.matched.load(Ordering::Relaxed),
+                    out_tuples: s.out_tuples.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        let sources: Vec<SourceSnapshot> = self
+            .sources
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|s| SourceSnapshot {
+                source: s.index,
+                node: s.node,
+                emitted: s.emitted.load(Ordering::Relaxed),
+            })
+            .collect();
+        let nodes: Vec<NodeSnapshot> = self
+            .pacers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NodeSnapshot {
+                node: i,
+                busy_ms: p.busy_ms(),
+                backlog_ms: (p.busy_until_ms() - now_ms).max(0.0),
+            })
+            .collect();
+        let matched = shards.iter().map(|s| s.matched).sum();
+        let out_total: u64 = shards.iter().map(|s| s.out_tuples).sum();
+        let sink_seen = self.sink.seen.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            at_ms: now_ms,
+            wall_ms: self.clock.wall_ms(),
+            emitted: self.counters.emitted.load(Ordering::Relaxed),
+            matched,
+            delivered: self.sink.delivered.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            sink_queued_tuples: out_total.saturating_sub(sink_seen),
+            live_tasks: self
+                .sched
+                .lock()
+                .expect("registry poisoned")
+                .as_ref()
+                .map(|s| s.live_tasks()),
+            shards,
+            sources,
+            nodes,
+            latency: self.latency.snapshot(),
+            service: self.service.snapshot(),
+            epochs: self.epochs.lock().expect("registry poisoned").clone(),
+            trace_seq: self.trace_seq.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Spawn the subscription sampler: a detached thread that sends one
+/// [`MetricsSnapshot`] per `interval`, plus a final snapshot (equal to
+/// the [`ExecResult`] counts) once the run finishes; it exits when the
+/// receiver is dropped.
+pub(crate) fn subscribe(
+    registry: Arc<MetricsRegistry>,
+    interval: Duration,
+) -> mpsc::Receiver<MetricsSnapshot> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || loop {
+        // Sleep in short hops so the final snapshot lands promptly
+        // after the run finishes, regardless of the interval.
+        let hop = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+        let mut waited = Duration::ZERO;
+        while waited < interval && !registry.is_finished() {
+            std::thread::sleep(hop);
+            waited += hop;
+        }
+        let finished = registry.is_finished();
+        if tx.send(registry.snapshot()).is_err() || finished {
+            return;
+        }
+    });
+    rx
+}
+
+/// Per-shard view within a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard generation (0 at launch, +1 per reconfiguration).
+    pub generation: u64,
+    /// Join-instance index within the generation.
+    pub instance: u32,
+    /// Shard index within the instance.
+    pub shard: u32,
+    /// Sub-query pair id the instance executes.
+    pub pair: u32,
+    /// False once the shard retired (Eof or epoch quiesce).
+    pub live: bool,
+    /// Input-channel depth in batches (sent − received).
+    pub queued_msgs: u64,
+    /// Input-channel depth in tuples.
+    pub queued_tuples: u64,
+    /// Tuples the shard has dequeued so far.
+    pub tuples_in: u64,
+    /// Matches produced (post-selectivity), live.
+    pub matched: u64,
+    /// Output tuples flushed toward the sink.
+    pub out_tuples: u64,
+}
+
+/// Per-source view within a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SourceSnapshot {
+    /// Source index in the query.
+    pub source: u32,
+    /// Node the source is pinned to.
+    pub node: usize,
+    /// Tuples emitted so far.
+    pub emitted: u64,
+}
+
+/// Per-node view within a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Node index in the topology.
+    pub node: usize,
+    /// Accumulated service time (virtual ms).
+    pub busy_ms: f64,
+    /// Pacer backlog gauge: `busy_until − now`, clamped at 0.
+    pub backlog_ms: f64,
+}
+
+/// A monotonically consistent view of a running (or finished) executor.
+///
+/// Counters never decrease between consecutive snapshots of the same
+/// run, and the final snapshot's totals equal the [`ExecResult`]
+/// counts. Gauges (`queued_*`, `backlog_ms`, `live_tasks`) are derived
+/// from counter pairs at read time.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Virtual timestamp of the read (ms since launch).
+    pub at_ms: f64,
+    /// Wall-clock timestamp of the read (ms since launch).
+    pub wall_ms: f64,
+    /// Tuples emitted by all sources.
+    pub emitted: u64,
+    /// Join matches produced so far (live, summed over shards).
+    pub matched: u64,
+    /// Outputs delivered to the sink.
+    pub delivered: u64,
+    /// Tuples shed by bounded node queues.
+    pub dropped: u64,
+    /// Sink-channel depth in tuples (flushed − seen by the sink).
+    pub sink_queued_tuples: u64,
+    /// Live tasks in the async backend's scheduler (None elsewhere).
+    pub live_tasks: Option<usize>,
+    /// Per-shard instruments, all generations, spawn order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Per-source instruments.
+    pub sources: Vec<SourceSnapshot>,
+    /// Per-node pacer gauges.
+    pub nodes: Vec<NodeSnapshot>,
+    /// End-to-end latency histogram (virtual ms) of delivered outputs.
+    pub latency: HistogramSnapshot,
+    /// Per-batch wall-clock service-time histogram of shard workers.
+    pub service: HistogramSnapshot,
+    /// Completed reconfiguration epochs so far.
+    pub epochs: Vec<EpochStats>,
+    /// Trace-event sequence number (events recorded so far).
+    pub trace_seq: u64,
+}
+
+/// Format a float for export: fixed 3-decimal, non-finite → 0.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Degraded snapshot for runs with `telemetry: false`: only the
+    /// run-wide counters (matched as published at shard retirement) and
+    /// node gauges; per-shard/source vectors, histograms, and
+    /// `delivered` are empty/zero.
+    pub(crate) fn degraded(
+        clock: &VirtualClock,
+        counters: &Counters,
+        pacers: &[NodePacer],
+        epochs: &[EpochStats],
+    ) -> Self {
+        let now_ms = clock.now_ms();
+        MetricsSnapshot {
+            at_ms: now_ms,
+            wall_ms: clock.wall_ms(),
+            emitted: counters.emitted.load(Ordering::Relaxed),
+            matched: counters.matched.load(Ordering::Relaxed),
+            delivered: 0,
+            dropped: counters.dropped.load(Ordering::Relaxed),
+            sink_queued_tuples: 0,
+            live_tasks: None,
+            shards: Vec::new(),
+            sources: Vec::new(),
+            nodes: pacers
+                .iter()
+                .enumerate()
+                .map(|(i, p)| NodeSnapshot {
+                    node: i,
+                    busy_ms: p.busy_ms(),
+                    backlog_ms: (p.busy_until_ms() - now_ms).max(0.0),
+                })
+                .collect(),
+            latency: HistogramSnapshot::default(),
+            service: HistogramSnapshot::default(),
+            epochs: epochs.to_vec(),
+            trace_seq: 0,
+        }
+    }
+
+    /// Render as one JSON object on a single line (JSON-lines record).
+    /// Hand-rolled — the workspace deliberately has no serde dependency.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!(
+            "\"at_ms\":{},\"wall_ms\":{},\"emitted\":{},\"matched\":{},\"delivered\":{},\"dropped\":{},\"sink_queued_tuples\":{}",
+            jnum(self.at_ms),
+            jnum(self.wall_ms),
+            self.emitted,
+            self.matched,
+            self.delivered,
+            self.dropped,
+            self.sink_queued_tuples,
+        ));
+        match self.live_tasks {
+            Some(n) => s.push_str(&format!(",\"live_tasks\":{n}")),
+            None => s.push_str(",\"live_tasks\":null"),
+        }
+        s.push_str(&format!(
+            ",\"latency_p50_ms\":{},\"latency_p99_ms\":{},\"latency_count\":{}",
+            jnum(self.latency.quantile(0.50)),
+            jnum(self.latency.quantile(0.99)),
+            self.latency.count(),
+        ));
+        s.push_str(&format!(
+            ",\"service_p50_ms\":{},\"service_p99_ms\":{},\"service_count\":{}",
+            jnum(self.service.quantile(0.50)),
+            jnum(self.service.quantile(0.99)),
+            self.service.count(),
+        ));
+        s.push_str(&format!(
+            ",\"epochs\":{},\"trace_seq\":{}",
+            self.epochs.len(),
+            self.trace_seq
+        ));
+        s.push_str(",\"shards\":[");
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"gen\":{},\"inst\":{},\"shard\":{},\"pair\":{},\"live\":{},\"queued_msgs\":{},\"queued_tuples\":{},\"tuples_in\":{},\"matched\":{},\"out_tuples\":{}}}",
+                sh.generation,
+                sh.instance,
+                sh.shard,
+                sh.pair,
+                sh.live,
+                sh.queued_msgs,
+                sh.queued_tuples,
+                sh.tuples_in,
+                sh.matched,
+                sh.out_tuples,
+            ));
+        }
+        s.push_str("],\"sources\":[");
+        for (i, src) in self.sources.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"source\":{},\"node\":{},\"emitted\":{}}}",
+                src.source, src.node, src.emitted
+            ));
+        }
+        s.push_str("],\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"node\":{},\"busy_ms\":{},\"backlog_ms\":{}}}",
+                n.node,
+                jnum(n.busy_ms),
+                jnum(n.backlog_ms)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Render in the Prometheus text exposition format (hand-rolled,
+    /// counters as `_total`, histograms with cumulative `le` buckets).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        for (name, v) in [
+            ("nova_emitted_total", self.emitted),
+            ("nova_matched_total", self.matched),
+            ("nova_delivered_total", self.delivered),
+            ("nova_dropped_total", self.dropped),
+        ] {
+            s.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        s.push_str("# TYPE nova_sink_queue_depth_tuples gauge\n");
+        s.push_str(&format!(
+            "nova_sink_queue_depth_tuples {}\n",
+            self.sink_queued_tuples
+        ));
+        if let Some(n) = self.live_tasks {
+            s.push_str("# TYPE nova_sched_live_tasks gauge\n");
+            s.push_str(&format!("nova_sched_live_tasks {n}\n"));
+        }
+        s.push_str("# TYPE nova_source_emitted_total counter\n");
+        for src in &self.sources {
+            s.push_str(&format!(
+                "nova_source_emitted_total{{source=\"{}\",node=\"{}\"}} {}\n",
+                src.source, src.node, src.emitted
+            ));
+        }
+        for (name, kind, get) in [
+            (
+                "nova_shard_tuples_in_total",
+                "counter",
+                (|sh: &ShardSnapshot| sh.tuples_in) as fn(&ShardSnapshot) -> u64,
+            ),
+            ("nova_shard_matched_total", "counter", |sh| sh.matched),
+            ("nova_shard_out_tuples_total", "counter", |sh| sh.out_tuples),
+            ("nova_shard_queue_depth_msgs", "gauge", |sh| sh.queued_msgs),
+            ("nova_shard_queue_depth_tuples", "gauge", |sh| {
+                sh.queued_tuples
+            }),
+            ("nova_shard_live", "gauge", |sh| sh.live as u64),
+        ] {
+            s.push_str(&format!("# TYPE {name} {kind}\n"));
+            for sh in &self.shards {
+                s.push_str(&format!(
+                    "{name}{{generation=\"{}\",instance=\"{}\",shard=\"{}\",pair=\"{}\"}} {}\n",
+                    sh.generation,
+                    sh.instance,
+                    sh.shard,
+                    sh.pair,
+                    get(sh)
+                ));
+            }
+        }
+        s.push_str("# TYPE nova_node_busy_ms_total counter\n");
+        for n in &self.nodes {
+            s.push_str(&format!(
+                "nova_node_busy_ms_total{{node=\"{}\"}} {}\n",
+                n.node,
+                jnum(n.busy_ms)
+            ));
+        }
+        s.push_str("# TYPE nova_node_backlog_ms gauge\n");
+        for n in &self.nodes {
+            s.push_str(&format!(
+                "nova_node_backlog_ms{{node=\"{}\"}} {}\n",
+                n.node,
+                jnum(n.backlog_ms)
+            ));
+        }
+        for (name, h) in [
+            ("nova_latency_ms", &self.latency),
+            ("nova_service_ms", &self.service),
+        ] {
+            s.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            let last_nonzero = h.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            for (i, c) in h.counts.iter().enumerate().take(last_nonzero + 1) {
+                cum += c;
+                s.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    jnum(HistogramSnapshot::bucket_upper_ms(i))
+                ));
+            }
+            s.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            s.push_str(&format!("{name}_sum {}\n", jnum(h.sum_ms)));
+            s.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        s
     }
 }
 
@@ -275,5 +1305,99 @@ mod tests {
         assert!((p.busy_ms() - 400.0).abs() < 1e-6, "busy {}", p.busy_ms());
         let busy_until = f64::from_bits(p.busy_until.load(Ordering::Relaxed));
         assert!((busy_until - 400.0).abs() < 1e-6, "busy_until {busy_until}");
+    }
+
+    fn result_with(delivered: u64, busy: Vec<f64>) -> ExecResult {
+        ExecResult {
+            outputs: Vec::new(),
+            emitted: 0,
+            matched: 0,
+            delivered,
+            node_busy_ms: busy,
+            dropped: 0,
+            wall_ms: 0.0,
+            threads: 0,
+            epochs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_guards_nonpositive_duration() {
+        let r = result_with(100, vec![]);
+        assert_eq!(r.throughput_per_s(0.0), 0.0);
+        assert_eq!(r.throughput_per_s(-5.0), 0.0);
+        assert!(r.throughput_per_s(0.0).is_finite());
+        assert_eq!(r.throughput_per_s(1000.0), 100.0);
+    }
+
+    #[test]
+    fn utilization_guards_nonpositive_duration() {
+        let r = result_with(0, vec![50.0]);
+        let n = NodeId(0);
+        assert_eq!(r.utilization(n, 0.0), 0.0);
+        assert_eq!(r.utilization(n, -1.0), 0.0);
+        assert!(!r.utilization(n, 0.0).is_nan());
+        assert!((r.utilization(n, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.snapshot().quantile(0.99), 0.0, "empty histogram");
+        // 0.001 ms = 1 µs → bucket 0; 1 ms = 1000 µs → bucket 9
+        // ([512, 1024)); 10 ms → bucket 13 ([8192, 16384) µs).
+        h.record_ms(0.001);
+        h.record_ms(1.0);
+        h.record_ms(10.0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[9], 1);
+        assert_eq!(s.counts[13], 1);
+        assert!((s.sum_ms - 11.001).abs() < 1e-9);
+        // p50 lands in the middle bucket, p99 in the top one; both are
+        // the bucket's upper bound.
+        assert_eq!(s.quantile(0.5), HistogramSnapshot::bucket_upper_ms(9));
+        assert_eq!(s.quantile(0.99), HistogramSnapshot::bucket_upper_ms(13));
+        // Out-of-range values are clamped, not lost.
+        h.record_ms(f64::INFINITY);
+        h.record_ms(-3.0);
+        assert_eq!(h.snapshot().count(), 5);
+    }
+
+    #[test]
+    fn exporters_render_without_panicking() {
+        let clock = VirtualClock::start(1000.0);
+        let counters = Arc::new(Counters::default());
+        let pacers = Arc::new(vec![NodePacer::new(100.0, 250.0)]);
+        let reg = MetricsRegistry::new(clock, counters, pacers);
+        reg.register_source(0, 0);
+        reg.trace(TraceKind::GenerationSpawn {
+            generation: 0,
+            shard_workers: 2,
+        });
+        let snap = reg.snapshot();
+        let json = snap.to_json_line();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'), "JSON-lines record must be one line");
+        assert!(json.contains("\"emitted\":0"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE nova_emitted_total counter"));
+        assert!(prom.contains("nova_latency_ms_bucket{le=\"+Inf\"} 0"));
+        assert_eq!(reg.trace_events().len(), 1);
+    }
+
+    #[test]
+    fn shed_traces_sample_power_of_two_totals() {
+        let clock = VirtualClock::start(1000.0);
+        let counters = Arc::new(Counters::default());
+        let pacers = Arc::new(Vec::new());
+        let reg = MetricsRegistry::new(clock, Arc::clone(&counters), pacers);
+        for _ in 0..100 {
+            count_drop(&counters, Some(&reg));
+        }
+        // Totals 1, 2, 4, 8, 16, 32, 64 → 7 events for 100 drops.
+        assert_eq!(reg.trace_events().len(), 7);
+        assert_eq!(counters.dropped.load(Ordering::Relaxed), 100);
     }
 }

@@ -76,6 +76,9 @@ struct Inner {
     status: Vec<Status>,
     /// Tasks not yet `Done`; workers exit when it reaches zero.
     live: usize,
+    /// How many of `live` are phantom [`Scheduler::hold`] guards, so
+    /// the telemetry gauge can report real tasks only.
+    holds: usize,
 }
 
 /// Shared state of one event loop: the ready queue and per-task status
@@ -95,6 +98,7 @@ impl Scheduler {
                 ready: (0..tasks).collect(),
                 status: vec![Status::Queued; tasks],
                 live: tasks,
+                holds: 0,
             }),
             cv: Condvar::new(),
         })
@@ -177,7 +181,9 @@ impl Scheduler {
     /// an old generation retiring at an epoch barrier and the new one
     /// being registered. Balance with [`Scheduler::release`].
     pub fn hold(&self) {
-        self.inner.lock().expect("scheduler poisoned").live += 1;
+        let mut inner = self.inner.lock().expect("scheduler poisoned");
+        inner.live += 1;
+        inner.holds += 1;
     }
 
     /// Release a [`Scheduler::hold`] guard; once the real tasks are
@@ -185,9 +191,17 @@ impl Scheduler {
     pub fn release(&self) {
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         inner.live -= 1;
+        inner.holds -= 1;
         if inner.live == 0 {
             self.cv.notify_all();
         }
+    }
+
+    /// Telemetry gauge: tasks not yet `Done`, excluding phantom
+    /// [`Scheduler::hold`] guards.
+    pub fn live_tasks(&self) -> usize {
+        let inner = self.inner.lock().expect("scheduler poisoned");
+        inner.live - inner.holds
     }
 
     fn wake(&self, task: usize) {

@@ -48,6 +48,13 @@
 //! [`crate::metrics::NodePacer`]s, so the sharding is invisible to the
 //! virtual-time
 //! resource model.
+//!
+//! Each shard is individually visible to the telemetry plane: the
+//! bootstrap registers one [`crate::metrics::MetricsRegistry`]
+//! instrument per `(instance, shard)` at the shard's flat spawn index,
+//! so a [`crate::MetricsSnapshot`] reports tuples-in / matched /
+//! queue depth per shard — the per-worker saturation signal a future
+//! autoscaler needs to tell "one hot shard" from "all shards busy".
 
 use nova_core::PairId;
 use nova_runtime::Dataflow;

@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use crate::channel::{InFlight, JoinMsg, MsgReceiver, MsgSender, SinkMsg};
 use crate::control::SourceCtrl;
-use crate::metrics::{Counters, NodePacer};
+use crate::metrics::{
+    count_drop, Counters, LatencyBatch, NodePacer, SinkTelemetry, SourceTelemetry,
+};
 use crate::sharded::{key_bucket_of, shard_of};
 use crate::ExecConfig;
 
@@ -250,14 +252,22 @@ fn flush_batch<T: MsgSender<JoinMsg>>(
     source: u32,
     batches: &mut [Vec<InFlight>],
     which: usize,
+    tele: &SourceTelemetry,
 ) -> bool {
     if batches[which].is_empty() {
         return true;
     }
     let tuples = std::mem::take(&mut batches[which]);
-    txs[which]
+    let n = tuples.len();
+    let ok = txs[which]
         .send_msg(JoinMsg::Batch { source, tuples })
-        .is_ok()
+        .is_ok();
+    if ok {
+        tele.on_send(which, n);
+        // Batch boundaries double as the emission-gauge flush points.
+        tele.flush();
+    }
+    ok
 }
 
 /// Source worker: emit the stream, pay ingest + relay charges, batch
@@ -298,6 +308,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
     mut txs: Vec<T>,
     shards: usize,
     ctrl: &std::sync::mpsc::Receiver<SourceCtrl<T>>,
+    mut tele: SourceTelemetry,
 ) {
     let mut rng =
         StdRng::seed_from_u64(cfg.seed ^ (src.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
@@ -328,19 +339,23 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             let now = clock.now_ms();
             if t > now + slack_ms {
                 for which in 0..batches.len() {
-                    if !flush_batch(&txs, src.index, &mut batches, which) {
+                    if !flush_batch(&txs, src.index, &mut batches, which, &tele) {
                         break 'emit;
                     }
                 }
+                // Paced sources publish the emission gauge here: their
+                // batches may stay partial for many intervals.
+                tele.flush();
                 clock.sleep_until(t - slack_ms * 0.5);
                 continue;
             }
             seq += 1;
             Counters::bump(&counters.emitted, 1);
+            tele.on_emit();
             // Ingestion costs one service slot on the source node; a
             // saturated source sheds the sample.
             let Some(ingest_done) = pacers[src.node].serve(t) else {
-                Counters::bump(&counters.dropped, 1);
+                tele.on_drop(counters);
                 t += src.interval_ms;
                 continue;
             };
@@ -372,7 +387,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                         match pacers[seg.node].serve(deliver_at) {
                             Some(done) => deliver_at = done,
                             None => {
-                                Counters::bump(&counters.dropped, 1);
+                                tele.on_drop(counters);
                                 delivered = false;
                                 break;
                             }
@@ -382,7 +397,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                         let which = route.instance as usize * shards + shard;
                         batches[which].push(InFlight { tuple, deliver_at });
                         if batches[which].len() >= cfg.batch_size
-                            && !flush_batch(&txs, src.index, &mut batches, which)
+                            && !flush_batch(&txs, src.index, &mut batches, which, &tele)
                         {
                             break 'emit;
                         }
@@ -392,8 +407,9 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             t += src.interval_ms;
         }
         for which in 0..batches.len() {
-            let _ = flush_batch(&txs, src.index, &mut batches, which);
+            let _ = flush_batch(&txs, src.index, &mut batches, which, &tele);
         }
+        tele.flush();
 
         // An armed epoch always resolves through the barrier handshake,
         // even when the stream ended first — the shards' quiesce quorum
@@ -420,7 +436,11 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                 src: new_src,
                 txs: new_txs,
                 n_sources,
+                tx_instr,
             }) => {
+                // Swap in the new generation's pre-resolved send-side
+                // instruments along with its channels.
+                tele.tx_instr = tx_instr;
                 // Post-epoch grid: continue the old grid on an
                 // unchanged rate, restart staggered from the epoch on a
                 // changed one — the exact rule the simulator's replay
@@ -468,32 +488,48 @@ pub(crate) fn run_sink<R: MsgReceiver<SinkMsg>>(
     pacers: &[NodePacer],
     counters: &Counters,
     mut producers: usize,
+    tele: Option<SinkTelemetry>,
 ) -> Vec<OutputRecord> {
     let mut records: Vec<OutputRecord> = Vec::new();
     let mut eofs = 0usize;
     if producers == 0 {
         return records;
     }
+    let registry = tele.as_ref().map(|t| &*t.registry);
     while let Some(msg) = rx.recv_msg() {
         match msg {
             SinkMsg::Batch { instance, outputs } => {
+                // Per-batch accounting: one `seen` bump up front, local
+                // latency accumulation flushed once at the end — the
+                // per-output path stays atomics-free.
+                let mut lat = tele.as_ref().map(|t| {
+                    t.instr.on_seen(outputs.len() as u64);
+                    LatencyBatch::new()
+                });
                 for o in outputs {
                     let arrival = if charge_sink[instance as usize] {
                         match pacers[sink_node].serve(o.deliver_at) {
                             Some(done) => done,
                             None => {
-                                Counters::bump(&counters.dropped, 1);
+                                count_drop(counters, registry);
                                 continue;
                             }
                         }
                     } else {
                         o.deliver_at
                     };
+                    let latency_ms = arrival - o.out.event_time;
+                    if let Some(l) = &mut lat {
+                        l.record_ms(latency_ms);
+                    }
                     records.push(OutputRecord {
                         arrival_ms: arrival,
-                        latency_ms: arrival - o.out.event_time,
+                        latency_ms,
                         pair: o.out.pair,
                     });
+                }
+                if let (Some(t), Some(l)) = (&tele, &lat) {
+                    t.flush_batch(l);
                 }
             }
             SinkMsg::Eof { .. } => {
