@@ -203,7 +203,9 @@ pub fn end_to_end_runs_real(
                     // The subscription's final snapshot is sent after
                     // every worker has joined, so the last drained
                     // element equals the run's end state.
-                    let rx = handle.subscribe(std::time::Duration::from_millis(50));
+                    let rx = handle
+                        .subscribe(std::time::Duration::from_millis(50))
+                        .expect("non-zero interval");
                     let result = handle.join();
                     let mut last = None;
                     while let Ok(snap) = rx.recv() {

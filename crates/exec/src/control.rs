@@ -61,7 +61,7 @@ use crate::channel::{bounded, poll_bounded, JoinMsg, MsgSender, PollSender, Send
 use crate::join::JoinCore;
 use crate::metrics::{
     Counters, ExecResult, MetricsRegistry, MetricsSnapshot, NodePacer, ShardInstr, ShardTelemetry,
-    SinkTelemetry, SourceTelemetry, TraceKind,
+    SinkTelemetry, SourceTelemetry, SubscribeError, TraceKind,
 };
 use crate::sched::{Poll, Scheduler};
 use crate::sharded::{key_bucket_of, shard_of};
@@ -86,8 +86,14 @@ pub(crate) enum SourceCtrl<T> {
         /// Senders of the new generation, flat `instance × shards +
         /// shard` layout.
         txs: Vec<T>,
-        /// Total source count (for the shared resume-grid rule).
+        /// Total post-plan source count (for the shared resume-grid
+        /// rule — admission changes the stagger denominator).
         n_sources: usize,
+        /// Shards per instance in the new generation (the controller
+        /// may scale this across an epoch).
+        shards: usize,
+        /// Key buckets of the new generation's shard routing.
+        key_buckets: usize,
         /// Send-side instruments of the new generation, same flat
         /// layout as `txs` (empty with telemetry disabled).
         tx_instr: Vec<Arc<ShardInstr>>,
@@ -148,13 +154,40 @@ pub enum ReconfigError {
     /// Every source worker has already finished — nothing left to
     /// reconfigure.
     RunFinished,
-    /// The post plan's source count differs from the running plan's
-    /// (adding/removing streams is not replayed live).
+    /// The post plan's source count differs from the running plan's.
+    /// [`ExecHandle::apply`] preserves the source set; admitting new
+    /// streams goes through [`ExecHandle::add_source`], and removing
+    /// streams is not replayed live.
     SourceCountMismatch {
         /// Sources in the running plan.
         running: usize,
         /// Sources in the post plan.
         post: usize,
+    },
+    /// [`ExecHandle::add_source`] requires the post plan to *append*
+    /// at least one new source after the running plan's.
+    NoNewSources {
+        /// Sources in the running plan.
+        running: usize,
+        /// Sources in the post plan.
+        post: usize,
+    },
+    /// A shard-scale override ([`ShardScale`]) with zero shards or
+    /// zero key buckets — there is no zero-shard layout.
+    InvalidScale {
+        /// Requested shards per instance.
+        shards: usize,
+        /// Requested key buckets.
+        key_buckets: usize,
+    },
+    /// A previous epoch is still armed: its quiesce timed out, so the
+    /// sources may still be heading toward (or parked at) that barrier
+    /// and a second arm would corrupt the epoch numbering. The run
+    /// itself keeps streaming and drains normally on
+    /// [`ExecHandle::join`].
+    EpochInFlight {
+        /// The armed epoch's identifier.
+        epoch: u64,
     },
     /// `succ` does not cover exactly the old instance set.
     SuccessorLengthMismatch {
@@ -182,7 +215,25 @@ impl std::fmt::Display for ReconfigError {
             ReconfigError::SourceCountMismatch { running, post } => write!(
                 f,
                 "post plan has {post} sources but the running plan has {running}; \
-                 live reconfiguration preserves the source set"
+                 apply preserves the source set (admit new streams via add_source)"
+            ),
+            ReconfigError::NoNewSources { running, post } => write!(
+                f,
+                "add_source needs a post plan that appends new sources, but it has \
+                 {post} and the running plan already has {running}"
+            ),
+            ReconfigError::InvalidScale {
+                shards,
+                key_buckets,
+            } => write!(
+                f,
+                "shard scale {shards}x{key_buckets} rejected: shards and key_buckets \
+                 must both be >= 1"
+            ),
+            ReconfigError::EpochInFlight { epoch } => write!(
+                f,
+                "epoch {epoch} is still armed (its quiesce timed out); refusing to arm \
+                 another reconfiguration on top of it"
             ),
             ReconfigError::SuccessorLengthMismatch { running, got } => write!(
                 f,
@@ -203,10 +254,21 @@ impl std::fmt::Display for ReconfigError {
 
 impl std::error::Error for ReconfigError {}
 
-/// How long `apply` waits for the old generation to quiesce before
-/// giving up. Generous: quiescing is bounded by the time sources need
-/// to *reach* the epoch, which is the run's own pacing.
-const QUIESCE_GRACE: Duration = Duration::from_secs(60);
+/// A shard-layout override for one reconfiguration epoch — the
+/// executor-side elasticity knob. [`ExecHandle::apply_scaled`] re-hashes
+/// the migrated window state under the new `(shards, key_buckets)`
+/// layout and resumes the sources with the new routing arithmetic, so
+/// a running placement can grow or shrink its worker parallelism
+/// without a restart. Any scale preserves match/delivery counts on
+/// drop-free runs: shard routing decides *where* a tuple is matched,
+/// never *what* matches (see `sharded::shard_of`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardScale {
+    /// Shards per join instance in the new generation (>= 1).
+    pub shards: usize,
+    /// Key buckets of the new generation's shard routing (>= 1).
+    pub key_buckets: usize,
+}
 
 /// Per-backend mechanism for materializing one generation of shard
 /// workers. Everything protocol-level lives in [`Plane`]; a fleet only
@@ -410,6 +472,13 @@ pub(crate) struct Plane<F: Fleet> {
     pacers: Arc<Vec<NodePacer>>,
     counters: Arc<Counters>,
     shards: usize,
+    /// Current key-bucket count of the shard routing (starts at
+    /// `cfg.key_buckets`, changed by scale overrides).
+    key_buckets: usize,
+    /// True while an epoch is armed whose quiesce never completed
+    /// (timeout): arming another on top would corrupt the barrier
+    /// protocol, so reconfigurations are refused until the run drains.
+    armed: bool,
     epoch: u64,
     /// Current generation's instances (flat layout divides by
     /// `shards`).
@@ -459,18 +528,45 @@ fn attach_telemetry(
 impl<F: Fleet> Plane<F> {
     /// Execute one epoch-barrier reconfiguration. Blocks until the
     /// sources are resumed on the new plan.
+    ///
+    /// `scale` optionally re-hashes the new generation under a
+    /// different `(shards, key_buckets)` layout; `admit` switches the
+    /// source-count contract from "preserve" to "append" — new
+    /// sources are spawned parked and join the post-epoch grid at
+    /// [`nova_runtime::admission_time`].
     pub(crate) fn reconfigure(
         &mut self,
         switch: &PlanSwitch,
         dist: &mut dyn FnMut(NodeId, NodeId) -> f64,
+        scale: Option<ShardScale>,
+        admit: bool,
     ) -> Result<EpochStats, ReconfigError> {
         let t0 = Instant::now();
-        let n_sources = self.src_ctrl.len();
-        if switch.dataflow.sources.len() != n_sources {
+        if self.armed {
+            return Err(ReconfigError::EpochInFlight { epoch: self.epoch });
+        }
+        let n_running = self.src_ctrl.len();
+        let n_post = switch.dataflow.sources.len();
+        if admit {
+            if n_post <= n_running {
+                return Err(ReconfigError::NoNewSources {
+                    running: n_running,
+                    post: n_post,
+                });
+            }
+        } else if n_post != n_running {
             return Err(ReconfigError::SourceCountMismatch {
-                running: n_sources,
-                post: switch.dataflow.sources.len(),
+                running: n_running,
+                post: n_post,
             });
+        }
+        if let Some(s) = scale {
+            if s.shards == 0 || s.key_buckets == 0 {
+                return Err(ReconfigError::InvalidScale {
+                    shards: s.shards,
+                    key_buckets: s.key_buckets,
+                });
+            }
         }
         if switch.succ.len() != self.instances.len() {
             return Err(ReconfigError::SuccessorLengthMismatch {
@@ -502,8 +598,10 @@ impl<F: Fleet> Plane<F> {
             })
             .collect();
         if !alive.iter().any(|&a| a) {
+            self.epoch -= 1;
             return Err(ReconfigError::RunFinished);
         }
+        self.armed = true;
         if let Some(r) = &self.registry {
             r.trace(TraceKind::EpochArm {
                 epoch,
@@ -518,7 +616,8 @@ impl<F: Fleet> Plane<F> {
             .filter(|flat| self.instances[flat / self.shards].producers > 0)
             .collect();
         let mut exported: Vec<Vec<WindowGroup>> = vec![Vec::new(); self.join_txs.len()];
-        let deadline = Instant::now() + QUIESCE_GRACE;
+        let grace = Duration::from_secs_f64(self.cfg.quiesce_grace_ms.clamp(1.0, 8.64e7) / 1000.0);
+        let deadline = Instant::now() + grace;
         let mut drained_grace: Option<Instant> = None;
         let mut received = 0usize;
         let mut clean_split = true;
@@ -561,7 +660,10 @@ impl<F: Fleet> Plane<F> {
                         match drained_grace {
                             None => drained_grace = Some(Instant::now() + Duration::from_secs(2)),
                             Some(g) if Instant::now() >= g => {
-                                return Err(ReconfigError::RunFinished)
+                                // No source barriered — the epoch never
+                                // materialized, so nothing stays armed.
+                                self.armed = false;
+                                return Err(ReconfigError::RunFinished);
                             }
                             Some(_) => {}
                         }
@@ -580,13 +682,27 @@ impl<F: Fleet> Plane<F> {
 
         // 4b. Compile the post plan (the caller re-supplies the latency
         // oracle; routes are resolved once, workers stay oracle-free).
-        let post = worker::compile(&self.topology, dist, &switch.dataflow);
+        let mut post = worker::compile(&self.topology, dist, &switch.dataflow);
+        // Admitted sources join the post-epoch emission grid: the same
+        // `epoch + interval · i/n` stagger the simulator's replay
+        // seeds them with (`admission_time` is the shared definition).
+        for i in n_running..n_post {
+            let src = &mut post.sources[i];
+            src.first_at_ms =
+                nova_runtime::admission_time(switch.epoch_ms, src.interval_ms, i, n_post);
+        }
+
+        // The scale override takes effect with the new generation: the
+        // migrated state is re-hashed below under the *new* layout and
+        // the sources resume with the new routing arithmetic.
+        let new_shards = scale.map(|s| s.shards).unwrap_or(self.shards);
+        let new_buckets = scale.map(|s| s.key_buckets).unwrap_or(self.key_buckets);
 
         // 4c. Re-base the sink on the new generation. Ordering: every
         // old-generation batch was enqueued before its shard's
         // Quiesced report (which we have), so the Epoch lands after
         // all old output and before anything the new generation sends.
-        let n_new = post.instances.len() * self.shards;
+        let n_new = post.instances.len() * new_shards;
         self.fleet.send_sink(SinkMsg::Epoch {
             producers: n_new,
             charge_sink: post.instances.iter().map(|i| i.charge_sink).collect(),
@@ -606,9 +722,9 @@ impl<F: Fleet> Plane<F> {
             for g in groups {
                 migrated_groups += 1;
                 migrated_tuples += g.left.len() + g.right.len();
-                let bucket = key_bucket_of(g.key, self.cfg.key_buckets.max(1));
-                let shard = shard_of(g.window, pair, bucket, self.shards);
-                per_flat[new_inst as usize * self.shards + shard].push(g);
+                let bucket = key_bucket_of(g.key, new_buckets);
+                let shard = shard_of(g.window, pair, bucket, new_shards);
+                per_flat[new_inst as usize * new_shards + shard].push(g);
             }
         }
         let mut cores: Vec<JoinCore> = per_flat
@@ -619,7 +735,7 @@ impl<F: Fleet> Plane<F> {
                 // shard exported what (stable: equal keys keep old-flat
                 // order).
                 groups.sort_by_key(|g| (g.window, g.key));
-                JoinCore::new_with_state(post.instances[flat / self.shards].clone(), groups)
+                JoinCore::new_with_state(post.instances[flat / new_shards].clone(), groups)
             })
             .collect();
         self.generation += 1;
@@ -627,10 +743,26 @@ impl<F: Fleet> Plane<F> {
             &self.registry,
             self.generation,
             &post.instances,
-            self.shards,
+            new_shards,
             &mut cores,
         );
         let new_txs = self.fleet.spawn_generation(cores);
+
+        // 4e'. Spawn the admitted sources *parked*: each waits on its
+        // mailbox for the Resume below, which carries its compiled
+        // task already placed on the admission grid.
+        for _ in n_running..n_post {
+            let (ctrl_tx, ctrl_rx) = mpsc::channel::<SourceCtrl<F::Tx>>();
+            self.src_ctrl.push(ctrl_tx);
+            let cfg = self.cfg;
+            let clock = self.clock;
+            let pacers = Arc::clone(&self.pacers);
+            let counters = Arc::clone(&self.counters);
+            let registry = self.registry.clone();
+            self.src_handles.push(std::thread::spawn(move || {
+                worker::run_admitted_source(&cfg, clock, &pacers, &counters, &ctrl_rx, registry)
+            }));
+        }
 
         // 4e. Resume the sources on the new routing; sources that
         // already finished get their Eofs sent on their behalf so the
@@ -638,19 +770,21 @@ impl<F: Fleet> Plane<F> {
         for (i, ctrl) in self.src_ctrl.iter().enumerate() {
             let src = post.sources[i].clone();
             let targets = src.targets.clone();
-            let resumed = alive[i]
+            let resumed = alive.get(i).copied().unwrap_or(true)
                 && ctrl
                     .send(SourceCtrl::Resume {
                         src,
                         txs: new_txs.clone(),
-                        n_sources,
+                        n_sources: n_post,
+                        shards: new_shards,
+                        key_buckets: new_buckets,
                         tx_instr: tx_instr.clone(),
                     })
                     .is_ok();
             if !resumed {
                 for &target in &targets {
-                    for shard in 0..self.shards {
-                        let _ = new_txs[target as usize * self.shards + shard]
+                    for shard in 0..new_shards {
+                        let _ = new_txs[target as usize * new_shards + shard]
                             .send_msg(JoinMsg::Eof { source: i as u32 });
                     }
                 }
@@ -658,6 +792,10 @@ impl<F: Fleet> Plane<F> {
         }
         self.join_txs = new_txs;
         self.instances = post.instances;
+        self.shards = new_shards;
+        self.key_buckets = new_buckets;
+        self.n_sources = n_post;
+        self.armed = false;
 
         let stats = EpochStats {
             epoch,
@@ -695,11 +833,17 @@ impl<F: Fleet> Plane<F> {
     }
 
     /// Periodic snapshot stream (see [`ExecHandle::subscribe`]); with
-    /// telemetry off the receiver yields nothing.
-    pub(crate) fn subscribe(&self, interval: Duration) -> mpsc::Receiver<MetricsSnapshot> {
+    /// telemetry off the receiver yields nothing. The interval is
+    /// validated in both cases — a zero interval is a hot-spinning
+    /// sampler, not a faster one.
+    pub(crate) fn subscribe(
+        &self,
+        interval: Duration,
+    ) -> Result<mpsc::Receiver<MetricsSnapshot>, SubscribeError> {
         match &self.registry {
             Some(r) => crate::metrics::subscribe(Arc::clone(r), interval),
-            None => mpsc::channel().1,
+            None if interval.is_zero() => Err(SubscribeError::ZeroInterval),
+            None => Ok(mpsc::channel().1),
         }
     }
 
@@ -795,6 +939,7 @@ fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
     counters: &Arc<Counters>,
     join_txs: &[T],
     shards: usize,
+    key_buckets: usize,
     registry: &Option<Arc<MetricsRegistry>>,
     tx_instr: &[Arc<ShardInstr>],
 ) -> (Vec<mpsc::Sender<SourceCtrl<T>>>, Vec<JoinHandle<()>>) {
@@ -817,7 +962,16 @@ fn spawn_sources<T: MsgSender<JoinMsg> + Clone + Send + 'static>(
         };
         handles.push(std::thread::spawn(move || {
             worker::run_source(
-                src, &cfg, clock, &pacers, &counters, txs, shards, &ctrl_rx, tele,
+                src,
+                &cfg,
+                clock,
+                &pacers,
+                &counters,
+                txs,
+                shards,
+                key_buckets,
+                &ctrl_rx,
+                tele,
             )
         }));
     }
@@ -874,6 +1028,7 @@ pub(crate) fn launch_threads(
     };
 
     let n_sources = p.plan.sources.len();
+    let key_buckets = cfg.key_buckets.max(1);
     let (src_ctrl, src_handles) = spawn_sources(
         p.plan.sources,
         cfg,
@@ -882,6 +1037,7 @@ pub(crate) fn launch_threads(
         &p.counters,
         &join_txs,
         shards,
+        key_buckets,
         &registry,
         &tx_instr,
     );
@@ -894,6 +1050,8 @@ pub(crate) fn launch_threads(
         pacers: p.pacers,
         counters: p.counters,
         shards,
+        key_buckets,
+        armed: false,
         epoch: 0,
         instances: p.plan.instances,
         join_txs,
@@ -963,6 +1121,7 @@ pub(crate) fn launch_tasks(
     };
 
     let n_sources = p.plan.sources.len();
+    let key_buckets = cfg.key_buckets.max(1);
     let (src_ctrl, src_handles) = spawn_sources(
         p.plan.sources,
         cfg,
@@ -971,6 +1130,7 @@ pub(crate) fn launch_tasks(
         &p.counters,
         &join_txs,
         shards,
+        key_buckets,
         &registry,
         &tx_instr,
     );
@@ -983,6 +1143,8 @@ pub(crate) fn launch_tasks(
         pacers: p.pacers,
         counters: p.counters,
         shards,
+        key_buckets,
+        armed: false,
         epoch: 0,
         instances: p.plan.instances,
         join_txs,
@@ -1034,8 +1196,76 @@ impl ExecHandle {
         mut dist: impl FnMut(NodeId, NodeId) -> f64,
     ) -> Result<EpochStats, ReconfigError> {
         match &mut self.plane {
-            AnyPlane::Threads(p) => p.reconfigure(switch, &mut dist),
-            AnyPlane::Tasks(p) => p.reconfigure(switch, &mut dist),
+            AnyPlane::Threads(p) => p.reconfigure(switch, &mut dist, None, false),
+            AnyPlane::Tasks(p) => p.reconfigure(switch, &mut dist, None, false),
+        }
+    }
+
+    /// [`ExecHandle::apply`] with a shard-layout override: the new
+    /// generation is spawned with `scale.shards` workers per instance
+    /// and routes on `scale.key_buckets` buckets, the migrated window
+    /// state re-hashed under that layout — live scale-up/-down without
+    /// a restart. The switch may otherwise be an identity (same
+    /// dataflow, identity succession): the epoch protocol is the same
+    /// either way, and counts are preserved on drop-free runs because
+    /// shard routing never decides *what* matches.
+    ///
+    /// Scaling applies to the thread-per-shard fleets by spawning a
+    /// differently sized generation; on the async backend it resizes
+    /// the cooperative task set (the worker-thread pool stays as
+    /// launched — M:N scheduling absorbs the new task count).
+    pub fn apply_scaled(
+        &mut self,
+        switch: &PlanSwitch,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+        scale: ShardScale,
+    ) -> Result<EpochStats, ReconfigError> {
+        match &mut self.plane {
+            AnyPlane::Threads(p) => p.reconfigure(switch, &mut dist, Some(scale), false),
+            AnyPlane::Tasks(p) => p.reconfigure(switch, &mut dist, Some(scale), false),
+        }
+    }
+
+    /// Admit new source streams without a restart. The post plan must
+    /// contain the running plan's sources (same order) plus at least
+    /// one appended [`nova_runtime::SourceTask`]; anything else is
+    /// refused with [`ReconfigError::NoNewSources`] or
+    /// [`ReconfigError::SourceCountMismatch`] before the epoch arms.
+    ///
+    /// The admission runs through the same epoch-barrier protocol as
+    /// [`ExecHandle::apply`]: existing sources barrier at
+    /// `switch.epoch_ms`, the quiesced state migrates, and the new
+    /// sources are spawned *parked* and released together with the
+    /// resume — each entering the post-epoch emission grid at
+    /// [`nova_runtime::admission_time`]`(epoch, interval, i, n_post)`,
+    /// exactly where [`nova_runtime::simulate_reconfigured`] seeds
+    /// them in a replay. Existing sources with unchanged rates keep
+    /// their old grid, so admission alone never perturbs the running
+    /// streams' emission times.
+    pub fn add_source(
+        &mut self,
+        switch: &PlanSwitch,
+        mut dist: impl FnMut(NodeId, NodeId) -> f64,
+    ) -> Result<EpochStats, ReconfigError> {
+        match &mut self.plane {
+            AnyPlane::Threads(p) => p.reconfigure(switch, &mut dist, None, true),
+            AnyPlane::Tasks(p) => p.reconfigure(switch, &mut dist, None, true),
+        }
+    }
+
+    /// Shards per join instance in the current generation.
+    pub fn shards(&self) -> usize {
+        match &self.plane {
+            AnyPlane::Threads(p) => p.shards,
+            AnyPlane::Tasks(p) => p.shards,
+        }
+    }
+
+    /// Key buckets of the current generation's shard routing.
+    pub fn key_buckets(&self) -> usize {
+        match &self.plane {
+            AnyPlane::Threads(p) => p.key_buckets,
+            AnyPlane::Tasks(p) => p.key_buckets,
         }
     }
 
@@ -1081,7 +1311,15 @@ impl ExecHandle {
     /// matches the [`ExecResult`]) and exits when the run ends or the
     /// receiver is dropped, whichever comes first. With telemetry
     /// disabled the receiver is already disconnected.
-    pub fn subscribe(&self, interval: std::time::Duration) -> mpsc::Receiver<MetricsSnapshot> {
+    ///
+    /// A zero `interval` is rejected with
+    /// [`SubscribeError::ZeroInterval`] — the sampler sleeps in
+    /// `interval`-bounded hops, so zero would hot-spin a core for the
+    /// whole run instead of sampling faster.
+    pub fn subscribe(
+        &self,
+        interval: std::time::Duration,
+    ) -> Result<mpsc::Receiver<MetricsSnapshot>, SubscribeError> {
         match &self.plane {
             AnyPlane::Threads(p) => p.subscribe(interval),
             AnyPlane::Tasks(p) => p.subscribe(interval),

@@ -104,6 +104,7 @@
 //! ```
 
 pub mod async_backend;
+pub mod autoscale;
 pub mod channel;
 pub mod control;
 pub mod join;
@@ -116,10 +117,14 @@ use nova_runtime::{Dataflow, SimConfig};
 use nova_topology::{NodeId, Topology};
 
 pub use async_backend::{effective_workers, AsyncBackend};
-pub use control::{launch, EpochStats, ExecHandle, ReconfigError};
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleReport, Autoscaler, Decision, DecisionRecord, DistFn, Evaluation,
+    Policy, RecordedSwitch, Relocator,
+};
+pub use control::{launch, EpochStats, ExecHandle, ReconfigError, ShardScale};
 pub use metrics::{
     Counters, ExecResult, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, NodePacer,
-    NodeSnapshot, ShardSnapshot, SourceSnapshot, TraceEvent, TraceKind,
+    NodeSnapshot, ShardSnapshot, SourceSnapshot, SubscribeError, TraceEvent, TraceKind,
 };
 pub use nova_runtime::PlanSwitch;
 pub use sharded::{key_bucket_of, shard_of, ShardedBackend};
@@ -197,6 +202,14 @@ pub struct ExecConfig {
     /// resume exactly where they paused — mid-batch, even mid-window —
     /// so any budget yields identical counts.
     pub run_budget: usize,
+    /// Wall-clock grace (ms) [`ExecHandle::apply`] grants the old
+    /// shard generation to quiesce before giving up with
+    /// [`control::ReconfigError::QuiesceTimeout`]. Quiescing is
+    /// bounded by the time sources need to *reach* the epoch — the
+    /// run's own pacing — so the default (60 s) is generous; tests
+    /// that deliberately arm unreachable epochs shrink it. Must be
+    /// positive and finite.
+    pub quiesce_grace_ms: f64,
     /// Telemetry plane switch. `true` (the default) wires the
     /// [`MetricsRegistry`] into every worker at launch — per-shard
     /// instruments, latency/service histograms and the trace ring —
@@ -259,6 +272,7 @@ impl Default for ExecConfig {
             backend: BackendKind::Auto,
             workers: 0,
             run_budget: 2048,
+            quiesce_grace_ms: 60_000.0,
             telemetry: true,
         }
     }
@@ -301,6 +315,9 @@ impl ExecConfig {
         if self.run_budget == 0 {
             return Err(ExecConfigError::ZeroRunBudget);
         }
+        if !(self.quiesce_grace_ms > 0.0 && self.quiesce_grace_ms.is_finite()) {
+            return Err(ExecConfigError::NonPositiveQuiesceGrace);
+        }
         Ok(())
     }
 }
@@ -321,6 +338,10 @@ pub enum ExecConfigError {
     /// async scheduler would spin through yields forever without it
     /// being clamped.
     ZeroRunBudget,
+    /// `quiesce_grace_ms` is zero, negative, NaN or infinite: the
+    /// reconfiguration deadline must be a positive finite wall-clock
+    /// duration.
+    NonPositiveQuiesceGrace,
 }
 
 impl std::fmt::Display for ExecConfigError {
@@ -343,6 +364,10 @@ impl std::fmt::Display for ExecConfigError {
             ExecConfigError::ZeroRunBudget => write!(
                 f,
                 "ExecConfig::run_budget must be >= 1 tuple per cooperative poll"
+            ),
+            ExecConfigError::NonPositiveQuiesceGrace => write!(
+                f,
+                "ExecConfig::quiesce_grace_ms must be a positive finite wall-clock duration"
             ),
         }
     }

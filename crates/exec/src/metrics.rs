@@ -905,19 +905,46 @@ impl MetricsRegistry {
     }
 }
 
+/// Why a snapshot subscription was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// `Duration::ZERO` sampling interval. The sampler's wait loop
+    /// (`while waited < interval`) never sleeps at zero, so the thread
+    /// would spin flat-out re-snapshotting for the entire run — reject
+    /// instead of burning a core.
+    ZeroInterval,
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscribeError::ZeroInterval => write!(
+                f,
+                "subscription interval must be > 0 (a zero interval hot-spins the sampler)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
 /// Spawn the subscription sampler: a detached thread that sends one
 /// [`MetricsSnapshot`] per `interval`, plus a final snapshot (equal to
 /// the [`ExecResult`] counts) once the run finishes; it exits when the
-/// receiver is dropped.
+/// receiver is dropped. A zero interval is rejected (see
+/// [`SubscribeError::ZeroInterval`]).
 pub(crate) fn subscribe(
     registry: Arc<MetricsRegistry>,
     interval: Duration,
-) -> mpsc::Receiver<MetricsSnapshot> {
+) -> Result<mpsc::Receiver<MetricsSnapshot>, SubscribeError> {
+    if interval.is_zero() {
+        return Err(SubscribeError::ZeroInterval);
+    }
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || loop {
         // Sleep in short hops so the final snapshot lands promptly
         // after the run finishes, regardless of the interval.
-        let hop = Duration::from_millis(10).min(interval.max(Duration::from_millis(1)));
+        let hop = Duration::from_millis(10).min(interval);
         let mut waited = Duration::ZERO;
         while waited < interval && !registry.is_finished() {
             std::thread::sleep(hop);
@@ -928,7 +955,7 @@ pub(crate) fn subscribe(
             return;
         }
     });
-    rx
+    Ok(rx)
 }
 
 /// Per-shard view within a [`MetricsSnapshot`].

@@ -306,7 +306,8 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
     pacers: &[NodePacer],
     counters: &Counters,
     mut txs: Vec<T>,
-    shards: usize,
+    mut shards: usize,
+    mut key_buckets: usize,
     ctrl: &std::sync::mpsc::Receiver<SourceCtrl<T>>,
     mut tele: SourceTelemetry,
 ) {
@@ -363,7 +364,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             // Same pure sub-key the simulator stamps on this
             // (stream, seq): both engines key and bucket identically.
             let subkey = subkey_of(cfg.seed, src.index, seq, cfg.key_space);
-            let bucket = key_bucket_of(subkey, cfg.key_buckets);
+            let bucket = key_bucket_of(subkey, key_buckets);
             for feed in &src.feeds {
                 let partition = pick_partition(&feed.partition_rates, &mut rng);
                 let shard = shard_of(window, feed.pair, bucket, shards);
@@ -436,10 +437,13 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                 src: new_src,
                 txs: new_txs,
                 n_sources,
+                shards: new_shards,
+                key_buckets: new_buckets,
                 tx_instr,
             }) => {
                 // Swap in the new generation's pre-resolved send-side
-                // instruments along with its channels.
+                // instruments along with its channels and shard layout
+                // (the controller may have scaled shards/key-buckets).
                 tele.tx_instr = tx_instr;
                 // Post-epoch grid: continue the old grid on an
                 // unchanged rate, restart staggered from the epoch on a
@@ -455,6 +459,8 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                 );
                 src = new_src;
                 txs = new_txs;
+                shards = new_shards;
+                key_buckets = new_buckets;
             }
             // The handle is gone mid-epoch: the old shards already
             // quiesced, so there is nobody left to feed — wind down
@@ -468,6 +474,56 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             let _ =
                 txs[target as usize * shards + shard].send_msg(JoinMsg::Eof { source: src.index });
         }
+    }
+}
+
+/// A source admitted mid-run (`ExecHandle::add_source`): spawned
+/// *parked* while its admission epoch is in flight, it waits for the
+/// [`SourceCtrl::Resume`] that carries its compiled task — whose
+/// `first_at_ms` the control plane has already placed on the
+/// [`nova_runtime::admission_time`] grid — and only then enters the
+/// normal [`run_source`] loop. A hang-up (or a stray `Reconfigure`)
+/// before the Resume means the run was torn down mid-admission: exit
+/// without Eofs, exactly like a source parked across a dropped handle.
+pub(crate) fn run_admitted_source<T: MsgSender<JoinMsg>>(
+    cfg: &ExecConfig,
+    clock: VirtualClock,
+    pacers: &[NodePacer],
+    counters: &Counters,
+    ctrl: &std::sync::mpsc::Receiver<SourceCtrl<T>>,
+    registry: Option<std::sync::Arc<crate::metrics::MetricsRegistry>>,
+) {
+    match ctrl.recv() {
+        Ok(SourceCtrl::Resume {
+            src,
+            txs,
+            n_sources: _,
+            shards,
+            key_buckets,
+            tx_instr,
+        }) => {
+            let tele = match &registry {
+                Some(r) => SourceTelemetry::new(
+                    std::sync::Arc::clone(r),
+                    r.register_source(src.index, src.node),
+                    tx_instr,
+                ),
+                None => SourceTelemetry::disabled(),
+            };
+            run_source(
+                src,
+                cfg,
+                clock,
+                pacers,
+                counters,
+                txs,
+                shards,
+                key_buckets,
+                ctrl,
+                tele,
+            )
+        }
+        Ok(SourceCtrl::Reconfigure { .. }) | Err(_) => {}
     }
 }
 

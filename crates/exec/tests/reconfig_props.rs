@@ -15,8 +15,8 @@ use std::sync::OnceLock;
 
 use nova_core::baselines::{host_based, sink_based};
 use nova_core::{JoinQuery, StreamSpec};
-use nova_exec::{execute, launch, BackendKind, ExecConfig};
-use nova_runtime::{Dataflow, PlanSwitch};
+use nova_exec::{execute, launch, BackendKind, ExecConfig, ShardScale};
+use nova_runtime::{simulate_reconfigured, Dataflow, PlanSwitch, SimConfig};
 use nova_topology::{NodeId, NodeRole, Topology};
 use proptest::prelude::*;
 
@@ -138,5 +138,81 @@ proptest! {
         prop_assert_eq!(res.emitted, emitted, "{}: emitted moved", tag);
         prop_assert_eq!(res.matched, matched, "{}: matched moved", tag);
         prop_assert_eq!(res.delivered, delivered, "{}: delivered moved", tag);
+    }
+
+    /// Controller-shaped switch sequences — a mid-run **source
+    /// admission** (`add_source`) followed by a **relocating scale-up**
+    /// (`apply_scaled` with a [`ShardScale`] override) — stay
+    /// count-identical to the simulator replaying the same recorded
+    /// switches, across sampled backends, shard layouts and epoch
+    /// positions. This is the property the autoscaler leans on: any
+    /// sequence it synthesizes from telemetry is replayable, so its
+    /// decisions change *where and how wide* work runs, never *what*
+    /// is computed.
+    #[test]
+    fn recorded_controller_sequences_replay_exactly(
+        backend_pick in 0usize..3,
+        workers in 1usize..=2,
+        shards in 1usize..=3,
+        bucket_pick in 0usize..3,
+        admit_frac in 0.3f64..0.5,
+        rescale_frac in 0.65f64..0.85,
+    ) {
+        let backend = [BackendKind::Threaded, BackendKind::Sharded, BackendKind::Async][backend_pick];
+        let key_buckets = [1usize, 2, 8][bucket_pick];
+        let (mut t, q_pre) = world();
+        // Admit a stream keyed against `cold_l` at cold_l's own rate:
+        // equal partner rates keep the new pair single-partition (no
+        // partition randomness), and keying to the *last* left stream
+        // appends the new pair id, leaving existing ids stable.
+        let late_r = t.add_node(NodeRole::Source, 1000.0, "late_r");
+        let mut right = q_pre.right.clone();
+        right.push(StreamSpec::keyed(late_r, 10.0, 1));
+        let q_post = JoinQuery::by_key(q_pre.left.clone(), right, NodeId(0));
+
+        let p_pre = host_based(&q_pre, &q_pre.resolve(), NodeId(1));
+        let p_post = host_based(&q_post, &q_post.resolve(), NodeId(2));
+        let df = Dataflow::from_baseline(&q_pre, &p_pre);
+        let sim_cfg = SimConfig {
+            duration_ms: DURATION_MS,
+            window_ms: 200.0,
+            selectivity: 0.8,
+            key_space: 8,
+            max_queue_ms: f64::INFINITY,
+            ..SimConfig::default()
+        };
+        let admit = PlanSwitch::between(admit_frac * DURATION_MS, &q_post, &p_pre, &p_post, 1.0);
+        let rescale = PlanSwitch::between(rescale_frac * DURATION_MS, &q_post, &p_post, &p_post, 1.0);
+        let switches = [admit.clone(), rescale.clone()];
+        let sim = simulate_reconfigured(&t, flat_dist, &df, &switches, &sim_cfg);
+        prop_assert_eq!(sim.dropped, 0, "replay must stay drop-free");
+
+        let cfg = ExecConfig {
+            backend,
+            workers,
+            shards,
+            key_buckets,
+            ..ExecConfig::from_sim(&sim_cfg, 16.0)
+        };
+        let tag = format!(
+            "{backend:?} workers={workers} shards={shards} buckets={key_buckets} \
+             admit={:.1} rescale={:.1}",
+            admit.epoch_ms, rescale.epoch_ms
+        );
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+        let stats = handle.add_source(&admit, flat_dist).expect("admission");
+        prop_assert!(stats.clean_split, "{}: admission epoch armed late", tag);
+        let scale = ShardScale {
+            shards: shards + 1,
+            key_buckets: (key_buckets * 2).max(2),
+        };
+        let stats = handle.apply_scaled(&rescale, flat_dist, scale).expect("scale-up");
+        prop_assert!(stats.clean_split, "{}: scale epoch armed late", tag);
+        prop_assert_eq!(handle.shards(), shards + 1, "{}: scale not adopted", tag);
+        let res = handle.join();
+        prop_assert_eq!(res.dropped, 0, "{}: must stay drop-free", tag);
+        prop_assert_eq!(res.emitted, sim.emitted, "{}: emitted diverged", tag);
+        prop_assert_eq!(res.matched, sim.matched, "{}: matched diverged", tag);
+        prop_assert_eq!(res.delivered, sim.delivered, "{}: delivered diverged", tag);
     }
 }

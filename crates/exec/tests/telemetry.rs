@@ -125,7 +125,9 @@ fn run_case(backend: BackendKind, shards: usize, workers: usize) {
     let switch = PlanSwitch::between(EPOCH_MS, &q, &pre, &post, 1.0);
 
     let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
-    let rx = handle.subscribe(Duration::from_millis(20));
+    let rx = handle
+        .subscribe(Duration::from_millis(20))
+        .expect("non-zero interval");
     let tag = format!("{backend:?} shards={shards} workers={workers}");
 
     // Poll live before, during-ish and after the reconfiguration.
@@ -202,6 +204,24 @@ fn async_snapshots_stay_consistent_across_reconfig() {
     run_case(BackendKind::Async, 4, 2);
 }
 
+/// Regression: `subscribe(Duration::ZERO)` used to spawn a sampler
+/// whose wait loop (`while waited < interval`) never slept — a thread
+/// hot-spinning snapshots for the whole run. It must be rejected.
+#[test]
+fn zero_interval_subscription_is_rejected_not_hot_spinning() {
+    let (t, q) = world();
+    let pre = sink_based(&q, &q.resolve());
+    let df = Dataflow::from_baseline(&q, &pre);
+    let cfg = cfg_for(BackendKind::Threaded, 1, 0);
+    let handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
+    let err = handle.subscribe(Duration::ZERO).expect_err("zero interval");
+    assert_eq!(err, nova_exec::SubscribeError::ZeroInterval);
+    assert!(err.to_string().contains("interval must be > 0"));
+    // The refusal leaves the run untouched.
+    assert!(handle.subscribe(Duration::from_millis(20)).is_ok());
+    assert!(handle.join().delivered > 0);
+}
+
 #[test]
 fn disabled_telemetry_degrades_but_stays_usable() {
     let (t, q) = world();
@@ -214,7 +234,12 @@ fn disabled_telemetry_degrades_but_stays_usable() {
     let handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
     // Degraded snapshots carry the coarse counters but no per-shard
     // rows, and the subscription receiver is already disconnected.
-    let rx = handle.subscribe(Duration::from_millis(20));
+    let rx = handle
+        .subscribe(Duration::from_millis(20))
+        .expect("non-zero interval");
+    // A zero interval is rejected up front (it would hot-spin the
+    // sampler), telemetry on or off.
+    assert!(handle.subscribe(Duration::ZERO).is_err());
     std::thread::sleep(Duration::from_millis(30));
     let snap = handle.metrics();
     assert!(snap.shards.is_empty());

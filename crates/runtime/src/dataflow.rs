@@ -201,10 +201,13 @@ pub struct PlanSwitch {
     /// against the new one. Need *not* be window-aligned — the window
     /// straddling the epoch is carried across by state handoff.
     pub epoch_ms: f64,
-    /// The post-epoch plan. Source count must equal the running plan's
-    /// (topology/workload events that add or drop streams are not
-    /// replayed live; rates, routes, hosts and instance sets may all
-    /// change).
+    /// The post-epoch plan. The source set may only grow, and only by
+    /// appending: index `i` keeps naming the same stream (rates,
+    /// routes, hosts and instance sets may all change freely). Appended
+    /// sources replay a mid-run stream admission — they start on the
+    /// [`crate::admission_time`] grid of this epoch, mirroring the
+    /// executor's `ExecHandle::add_source`. Removing streams is not
+    /// replayed live.
     pub dataflow: Dataflow,
     /// For each *old* instance index: the new instance inheriting its
     /// window state, or `None` to drop the state (its pair is gone).

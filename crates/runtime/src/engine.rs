@@ -508,8 +508,27 @@ pub fn resume_time(
     if new_interval_ms == old_interval_ms {
         pending_ms
     } else {
-        epoch_ms + new_interval_ms * (source as f64 / n_sources.max(1) as f64)
+        admission_time(epoch_ms, new_interval_ms, source, n_sources)
     }
+}
+
+/// First emission time of a source joining (or re-gridding) at an
+/// epoch: the initial stagger formula re-anchored at the boundary,
+/// `epoch + interval · i/n`. Shared by three call sites that must
+/// agree bit-for-bit for the count-identity contract to hold:
+///
+/// * [`resume_time`]'s changed-rate branch (both engines);
+/// * the executor's `ExecHandle::add_source`, which parks the admitted
+///   source until the epoch and starts it here;
+/// * [`simulate_reconfigured`]'s replay of a mid-run source admission
+///   (a [`PlanSwitch`](crate::dataflow::PlanSwitch) whose post plan
+///   *appends* sources).
+///
+/// `n_sources` is the **post-epoch** source count — admission changes
+/// the stagger denominator for every re-gridded source, so both
+/// engines must derive it from the same (post) plan.
+pub fn admission_time(epoch_ms: f64, interval_ms: f64, source: usize, n_sources: usize) -> f64 {
+    epoch_ms + interval_ms * (source as f64 / n_sources.max(1) as f64)
 }
 
 /// Replay a dataflow through a sequence of live
@@ -522,6 +541,11 @@ pub fn resume_time(
 /// * emissions of phase *k* satisfy `t < epoch_{k+1}` (and
 ///   `t <= duration_ms`); the post-epoch grid per source follows
 ///   [`resume_time`];
+/// * a switch whose post plan **appends** sources replays a mid-run
+///   stream admission (the executor's `ExecHandle::add_source`): the
+///   new sources start on the [`admission_time`] grid of their first
+///   phase and emit nothing before it. Removing sources is not
+///   replayed (the source set may only grow);
 /// * each phase's event heap is **drained completely** before the
 ///   switch — every pre-epoch tuple probes and lands in pre-epoch
 ///   window state, exactly as the executor's shards quiesce at the
@@ -613,16 +637,16 @@ pub fn simulate_reconfigured(
         } else {
             &switches[phase - 1].dataflow
         };
-        assert_eq!(
-            df.sources.len(),
-            n_sources,
-            "plan switches must preserve the source set"
-        );
         let phase_end = switches
             .get(phase)
             .map(|s| s.epoch_ms)
             .unwrap_or(f64::INFINITY);
-        // Seed this phase's emission grid.
+        // Seed this phase's emission grid. The source set may only
+        // grow, and only by appending: index i keeps naming the same
+        // stream across every phase (its per-stream sequence — and
+        // therefore its sub-keys — carries over).
+        let n_now = df.sources.len();
+        per_stream_seq.resize(n_now, 0);
         if phase == 0 {
             pending = df
                 .sources
@@ -637,6 +661,12 @@ pub fn simulate_reconfigured(
             } else {
                 &switches[phase - 2].dataflow
             };
+            let n_prev = prev_df.sources.len();
+            assert!(
+                n_now >= n_prev,
+                "plan switches may append sources (mid-run admission) but never remove them \
+                 ({n_prev} -> {n_now})"
+            );
             for (i, p) in pending.iter_mut().enumerate() {
                 *p = resume_time(
                     *p,
@@ -644,8 +674,14 @@ pub fn simulate_reconfigured(
                     1000.0 / df.sources[i].rate,
                     epoch,
                     i,
-                    n_sources,
+                    n_now,
                 );
+            }
+            // Admitted sources join the post-epoch grid, staggered by
+            // the post-plan source count — the same grid the executor's
+            // `add_source` parks its new source threads on.
+            for i in pending.len()..n_now {
+                pending.push(admission_time(epoch, 1000.0 / df.sources[i].rate, i, n_now));
             }
         }
         for (i, &t0) in pending.iter().enumerate() {

@@ -74,8 +74,8 @@ pub mod window;
 
 pub use dataflow::{Dataflow, FeedSpec, JoinInstance, PlanSwitch, Route, SourceTask};
 pub use engine::{
-    match_survives, percentile, pick_partition, resume_time, simulate, simulate_reconfigured,
-    subkey_of, OutputRecord, SimConfig, SimResult,
+    admission_time, match_survives, percentile, pick_partition, resume_time, simulate,
+    simulate_reconfigured, subkey_of, OutputRecord, SimConfig, SimResult,
 };
 pub use testbed::{run_placement, with_stress};
 pub use tuple::{OutputTuple, Tuple};

@@ -222,6 +222,99 @@ fn mid_run_reconfiguration_matches_simulator_replay_on_all_backends() {
     }
 }
 
+/// The closed-loop acceptance gate: a controller-shaped switch
+/// sequence — a mid-run **source admission** (`ExecHandle::add_source`)
+/// followed by a **shard scale-up** (`ExecHandle::apply_scaled`) — is
+/// count-identical to the simulator replaying the same recorded
+/// switches on all three backends. The appended stream keys against
+/// `cold_l`, which appends a *new pair* (row-major pair ids keep the
+/// existing ones stable) and a new join instance; the scale override
+/// does not exist in the simulator at all, pinning that shard layout
+/// is an executor concept that never changes counts.
+#[test]
+fn recorded_admission_and_scale_sequence_matches_simulator_replay() {
+    let (mut t, q_pre, w1, w2) = exec_world();
+    let late_r = t.add_node(NodeRole::Source, 1000.0, "late_r");
+    let mut right = q_pre.right.clone();
+    // 10 t/s, equal to its join partner `cold_l`: `p_max = σ·½·(10+10)
+    // = 10` keeps the admitted pair single-partition, the regime where
+    // neither engine draws partition randomness and counts are exact
+    // (an unequal rate would split the stream into phantom partitions
+    // the host placement never routes).
+    right.push(StreamSpec::keyed(late_r, 10.0, 1));
+    let q_post = JoinQuery::by_key(q_pre.left.clone(), right, NodeId(0));
+
+    let p_pre = host_based(&q_pre, &q_pre.resolve(), w1);
+    let p_post = host_based(&q_post, &q_post.resolve(), w2);
+    let df = Dataflow::from_baseline(&q_pre, &p_pre);
+    let sim_cfg = SimConfig {
+        duration_ms: 2400.0,
+        window_ms: 200.0,
+        selectivity: 0.8,
+        key_space: 8,
+        max_queue_ms: f64::INFINITY,
+        ..SimConfig::default()
+    };
+    // Epoch 1050 straddles [1000, 1200): the admitted stream's first
+    // window overlaps state migrated from the old generation.
+    let admit = PlanSwitch::between(1050.0, &q_post, &p_pre, &p_post, 1.0);
+    assert_eq!(admit.dataflow.sources.len(), df.sources.len() + 1);
+    // Identity switch at 1700 carrying only the executor-side scale.
+    let rescale = PlanSwitch::between(1700.0, &q_post, &p_post, &p_post, 1.0);
+    let switches = [admit.clone(), rescale.clone()];
+
+    let sim = simulate_reconfigured(&t, flat_dist, &df, &switches, &sim_cfg);
+    assert_eq!(sim.dropped, 0, "replay must stay drop-free");
+    assert!(sim.delivered > 0, "replay must deliver");
+
+    for (backend, shards, workers, key_buckets) in [
+        (BackendKind::Threaded, 1usize, 0usize, 1usize),
+        (BackendKind::Sharded, 4, 0, 4),
+        (BackendKind::Async, 4, 2, 4),
+    ] {
+        let cfg = ExecConfig {
+            backend,
+            shards,
+            workers,
+            key_buckets,
+            ..ExecConfig::from_sim(&sim_cfg, 8.0)
+        };
+        let tag = format!("{backend:?}(shards={shards}, workers={workers})");
+        let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid exec config");
+        let stats = handle.apply(&admit, flat_dist);
+        assert!(
+            matches!(
+                stats,
+                Err(nova::exec::ReconfigError::SourceCountMismatch { .. })
+            ),
+            "{tag}: apply must refuse a source-set change (admission is add_source's job)"
+        );
+        let stats = handle.add_source(&admit, flat_dist).expect("admission");
+        assert!(stats.clean_split, "{tag}: admission epoch armed late");
+        assert!(
+            stats.migrated_tuples > 0,
+            "{tag}: live window state must cross the admission epoch"
+        );
+        let stats = handle
+            .apply_scaled(
+                &rescale,
+                flat_dist,
+                nova::exec::ShardScale {
+                    shards: shards * 2,
+                    key_buckets: (key_buckets * 2).max(2),
+                },
+            )
+            .expect("scale-up");
+        assert!(stats.clean_split, "{tag}: scale epoch armed late");
+        assert_eq!(handle.shards(), shards * 2, "{tag}: scale not adopted");
+        let res = handle.join();
+        assert_eq!(res.dropped, 0, "{tag}: must stay drop-free");
+        assert_eq!(res.emitted, sim.emitted, "{tag}: emitted diverged");
+        assert_eq!(res.matched, sim.matched, "{tag}: matched diverged");
+        assert_eq!(res.delivered, sim.delivered, "{tag}: delivered diverged");
+    }
+}
+
 /// The full §3.5 loop: a topology/workload event expressed as a
 /// `core::ReoptStep` drives the optimizer's incremental re-placement
 /// (`Nova::apply_step`), the resulting pre/post placements become a
