@@ -108,8 +108,37 @@ fn bench_exec_throughput(c: &mut Criterion) {
         );
     }
 
+    // Batch-size sweep on the same uniform workload: the hot path
+    // carries fixed-size tuple frames, so the sweep isolates pure
+    // framing cost — per-tuple channel sends and wakeups at batch 1 vs
+    // amortized frames at 64/1024. Counts are pinned to the probe at
+    // every size: framing must never change *what* joins.
+    for batch_size in [1usize, 2, 7, 64, 1024] {
+        let cfg = ExecConfig { batch_size, ..base };
+        let res = run(&ThreadedBackend, &t, &df, &cfg);
+        println!(
+            "exec_throughput[threaded, batch {batch_size:>4}]: {} tuples + {} matches \
+             in {:>5.0} ms wall -> {:>9.0} tuples/s aggregate",
+            res.emitted,
+            res.matched,
+            res.wall_ms,
+            res.input_tuples_per_wall_s(),
+        );
+        assert_eq!(
+            res.matched, probe.matched,
+            "batch framing changed the match set at batch {batch_size}"
+        );
+    }
+
     group.bench_function("threaded_keyed_join_1.2M", |b| {
         b.iter(|| run(&ThreadedBackend, &t, &df, std::hint::black_box(&base)))
+    });
+    let unbatched = ExecConfig {
+        batch_size: 1,
+        ..base
+    };
+    group.bench_function("threaded_batch1_keyed_join_1.2M", |b| {
+        b.iter(|| run(&ThreadedBackend, &t, &df, std::hint::black_box(&unbatched)))
     });
     for shards in [4usize, 8] {
         let cfg = ExecConfig { shards, ..base };

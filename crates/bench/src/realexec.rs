@@ -28,9 +28,16 @@ pub const REAL_FLAGS_USAGE: &str = "  \
                         (default 0 = one per core; an error on the
                         thread-per-shard backends, which spawn one
                         thread per shard)
-  --run-budget N        tuples one async shard task consumes per
-                        cooperative poll (default 2048; an error on
-                        the thread-per-shard backends)
+  --run-budget N        input messages one async shard task consumes
+                        per cooperative poll (default 2048; an error
+                        on the thread-per-shard backends)
+  --batch-size N        tuples per hot-path batch frame: sources
+                        accumulate N tuples before handing the frame
+                        to the join (default 256; 1 = tuple-at-a-time;
+                        0 is rejected)
+  --pin-workers         pin shard/worker threads round-robin onto
+                        cores (Linux only, silently a no-op elsewhere;
+                        a performance hint — never changes counts)
   --key-space N         per-tuple join sub-key cardinality — a workload
                         property, applied to BOTH engines (default 1)
   --key-buckets N       key buckets for shard routing (default 1 =
@@ -42,7 +49,8 @@ pub const REAL_FLAGS_USAGE: &str = "  \
                         registry state — ignored without --real)";
 
 /// Parse the figure binaries' shared `--real` / `--backend KIND` /
-/// `--shards N` / `--workers N` / `--run-budget N` / `--key-space N` /
+/// `--shards N` / `--workers N` / `--run-budget N` / `--batch-size N` /
+/// `--pin-workers` / `--key-space N` /
 /// `--key-buckets N` flags and build the executor config for the
 /// `--real` re-runs: the simulator settings dilated by `time_scale`,
 /// at the requested backend, shard, worker and key-bucket counts
@@ -103,9 +111,11 @@ pub fn parse_real_exec_cfg(
         shards: count("--shards", 1),
         workers: count("--workers", 0),
         key_buckets: count("--key-buckets", 1),
+        pin_workers: args.iter().any(|a| a == "--pin-workers"),
         ..ExecConfig::from_sim(sim, time_scale)
     };
     cfg.run_budget = count("--run-budget", cfg.run_budget);
+    cfg.batch_size = count("--batch-size", cfg.batch_size);
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(Some(cfg))
 }
@@ -414,6 +424,35 @@ mod tests {
         // Zero-knob values flow into ExecConfig::validate.
         let err = parse_real_exec_cfg(&args(&["--real", "--shards", "0"]), &sim, 8.0).unwrap_err();
         assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn parser_applies_batching_and_pinning_flags() {
+        let sim = SimConfig::default();
+        // Defaults: inherited batch size, pinning off.
+        let cfg = parse_real_exec_cfg(&args(&["--real"]), &sim, 8.0)
+            .expect("valid")
+            .expect("--real present");
+        assert_eq!(cfg.batch_size, ExecConfig::default().batch_size);
+        assert!(!cfg.pin_workers);
+
+        // Both flags work on every backend (batching is the hot-path
+        // framing of all three engines, pinning a per-thread hint).
+        let cfg = parse_real_exec_cfg(
+            &args(&["--real", "--batch-size", "7", "--pin-workers"]),
+            &sim,
+            8.0,
+        )
+        .expect("valid")
+        .expect("--real present");
+        assert_eq!(cfg.batch_size, 7);
+        assert!(cfg.pin_workers);
+
+        // batch_size = 0 flows into ExecConfig::validate and is an
+        // error, not a silent fallback to the default.
+        let err =
+            parse_real_exec_cfg(&args(&["--real", "--batch-size", "0"]), &sim, 8.0).unwrap_err();
+        assert!(err.contains("batch"), "{err}");
     }
 
     #[test]

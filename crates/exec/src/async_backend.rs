@@ -19,9 +19,14 @@
 //! [`crate::channel::poll_bounded`] links: the task-side endpoints
 //! never park (a would-block registers the task's waker and returns),
 //! while the OS-thread side keeps real blocking backpressure. Each
-//! task's poll consumes at most [`ExecConfig::run_budget`] tuples
-//! before yielding back to the FIFO ready queue, bounding the latency
-//! skew between co-scheduled shards.
+//! task's poll consumes at most [`ExecConfig::run_budget`] input
+//! messages before yielding back to the FIFO ready queue, bounding the
+//! latency skew between co-scheduled shards. The
+//! [`crate::channel::TupleBatch`] is the atomic unit of work: a whole
+//! batch is probed per state-machine step
+//! (`crate::join::JoinCore::on_batch`), and pauses — budget
+//! exhaustion, a full sink — land only *between* batches, never inside
+//! one.
 //!
 //! The bootstrap itself lives in [`crate::control`] (shared with the
 //! thread-per-shard backends), which also gives this backend live
@@ -35,9 +40,10 @@
 //! The scheduler changes *when* a shard's tuples are processed, never
 //! *which* tuples it sees or *in what order*: routing happens at the
 //! source by the same pure `shard_of` hash, each poll drains the
-//! shard's FIFO channel in arrival order, and a yield or park resumes
-//! exactly where the cursor stopped — mid-batch, even mid-window. All
-//! match decisions ([`nova_runtime::match_survives`]), window
+//! shard's FIFO channel in arrival order, and a yield or park falls
+//! only between whole input batches, so resumption re-enters the state
+//! machine at a batch boundary. All match decisions
+//! ([`nova_runtime::match_survives`]), window
 //! assignment and sub-keys are pure functions of the config seed and
 //! event times, and the watermark argument is per-shard FIFO order
 //! (see `crate::join::JoinCore`), so delaying a task only delays its
@@ -90,25 +96,11 @@ pub fn effective_workers(cfg_workers: usize, tasks: usize) -> usize {
     requested.clamp(1, tasks.max(1))
 }
 
-/// Resumable cursor into one input batch: poll can pause between any
-/// two tuples (budget exhausted / sink full) and pick up at `pos`.
-struct BatchCursor {
-    source: u32,
-    tuples: Vec<crate::channel::InFlight>,
-    pos: usize,
-    /// Event-time maximum over the processed prefix, handed to
-    /// [`JoinCore::end_batch`] when the batch completes (survives
-    /// pauses, so the frontier bookkeeping stays once-per-batch).
-    frontier: f64,
-    /// Wall-clock service time accumulated across this batch's poll
-    /// segments (a batch can span many polls), recorded into the
-    /// telemetry service histogram when the batch completes.
-    service: std::time::Duration,
-}
-
 /// One shard of one join instance as a cooperative task — the same
 /// [`JoinCore`] the thread-per-shard backends drive, wrapped in the
-/// resumable state a poll-based loop needs.
+/// resumable state a poll-based loop needs. Pauses land at batch
+/// granularity: a poll either completes a whole
+/// [`crate::channel::TupleBatch`] step or hasn't started it.
 pub(crate) struct JoinTask {
     core: JoinCore,
     /// Flat index within this task's generation (the control plane's
@@ -125,10 +117,11 @@ pub(crate) struct JoinTask {
     waker: Waker,
     ctrl_up: std::sync::mpsc::Sender<Quiesced>,
     out_batch: Vec<OutFlight>,
-    /// A sink batch that found the sink channel full; retried first on
-    /// the next poll (output order to the sink stays per-task FIFO).
-    pending: Option<SinkMsg>,
-    cur: Option<BatchCursor>,
+    /// Sink frames (one probe batch can fan out to several
+    /// `batch_size` chunks) awaiting a sink slot; drained front-first
+    /// on every poll, so output order to the sink stays per-task FIFO
+    /// even when `try_send` reports Full mid-drain.
+    pending: std::collections::VecDeque<SinkMsg>,
     /// All producers have signalled Eof; drain outputs, then Eof.
     finishing: bool,
     /// Epoch-barrier quorum complete (live reconfiguration): drain
@@ -157,8 +150,7 @@ impl JoinTask {
             waker,
             ctrl_up,
             out_batch: Vec::new(),
-            pending: None,
-            cur: None,
+            pending: std::collections::VecDeque::new(),
             finishing,
             quiesce: None,
         }
@@ -172,14 +164,13 @@ impl JoinTask {
         counters: &Counters,
     ) -> Poll {
         let mut budget = cfg.run_budget.max(1);
-        'steps: loop {
-            // 1. A stashed sink message goes out before anything else.
-            if let Some(msg) = self.pending.take() {
-                let send = self.sink().try_send(msg, &self.waker);
-                match send {
+        loop {
+            // 1. Stashed sink frames go out (FIFO) before anything else.
+            while let Some(msg) = self.pending.pop_front() {
+                match self.sink().try_send(msg, &self.waker) {
                     PollSend::Sent => {}
                     PollSend::Full(msg) => {
-                        self.pending = Some(msg);
+                        self.pending.push_front(msg);
                         return Poll::Pending;
                     }
                     // Sink hung up: the run is being torn down; retire.
@@ -187,49 +178,11 @@ impl JoinTask {
                 }
             }
 
-            // 2. Resume the input batch in progress.
-            if let Some(mut cur) = self.cur.take() {
-                let t0 = self.core.service_timer();
-                while cur.pos < cur.tuples.len() {
-                    if self.out_batch.len() >= cfg.batch_size {
-                        if let Some(t0) = t0 {
-                            cur.service += t0.elapsed();
-                        }
-                        self.cur = Some(cur);
-                        self.stash_out_batch();
-                        continue 'steps;
-                    }
-                    if budget == 0 {
-                        if let Some(t0) = t0 {
-                            cur.service += t0.elapsed();
-                        }
-                        self.cur = Some(cur);
-                        self.core.publish_matched();
-                        return Poll::Yielded;
-                    }
-                    let inflight = cur.tuples[cur.pos];
-                    cur.pos += 1;
-                    budget -= 1;
-                    cur.frontier = cur.frontier.max(inflight.tuple.event_time);
-                    self.core
-                        .on_tuple(&inflight, cfg, pacers, counters, &mut self.out_batch);
-                }
-                self.core.end_batch(cur.source, cur.frontier, cfg);
-                self.core.publish_matched();
-                if let Some(t0) = t0 {
-                    self.core.note_service(cur.service + t0.elapsed());
-                }
-                if !self.out_batch.is_empty() {
-                    self.stash_out_batch();
-                }
-                continue;
-            }
-
-            // 3. Quiescing (epoch barrier): everything is flushed; ship
+            // 2. Quiescing (epoch barrier): everything is flushed; ship
             // the window state to the control plane and retire — no
             // sink Eof, the sink is re-based on the new generation.
             if let Some(epoch) = self.quiesce {
-                debug_assert!(self.out_batch.is_empty() && self.pending.is_none());
+                debug_assert!(self.out_batch.is_empty() && self.pending.is_empty());
                 let groups = self.core.export_state();
                 let _ = self.ctrl_up.send(Quiesced {
                     flat: self.flat,
@@ -240,9 +193,9 @@ impl JoinTask {
                 return self.retire(counters);
             }
 
-            // 4. Winding down: everything is flushed; Eof is last.
+            // 3. Winding down: everything is flushed; Eof is last.
             if self.finishing {
-                debug_assert!(self.out_batch.is_empty() && self.pending.is_none());
+                debug_assert!(self.out_batch.is_empty() && self.pending.is_empty());
                 let send = self.sink().try_send(
                     SinkMsg::Eof {
                         instance: self.core.inst.index,
@@ -255,7 +208,10 @@ impl JoinTask {
                 };
             }
 
-            // 5. Next input message.
+            // 4. Next input message. The budget counts whole messages:
+            // a received batch is probed start-to-finish in this step
+            // ([`JoinCore::on_batch`]), so pauses — `run_budget`
+            // exhaustion included — only ever land between batches.
             if budget == 0 {
                 return Poll::Yielded;
             }
@@ -266,15 +222,12 @@ impl JoinTask {
                 .expect("retired task polled")
                 .try_recv(&self.waker);
             match recv {
-                PollRecv::Item(JoinMsg::Batch { source, tuples }) => {
-                    self.core.note_recv(tuples.len());
-                    self.cur = Some(BatchCursor {
-                        source,
-                        tuples,
-                        pos: 0,
-                        frontier: 0.0,
-                        service: std::time::Duration::ZERO,
-                    });
+                PollRecv::Item(JoinMsg::Batch(batch)) => {
+                    self.core
+                        .on_batch(&batch, cfg, pacers, counters, &mut self.out_batch);
+                    if !self.out_batch.is_empty() {
+                        self.stash_out_batch(cfg.batch_size);
+                    }
                 }
                 PollRecv::Item(JoinMsg::Eof { source }) => {
                     if self.core.on_eof(source) {
@@ -305,30 +258,33 @@ impl JoinTask {
 
     fn begin_finishing(&mut self) {
         self.finishing = true;
-        if !self.out_batch.is_empty() {
-            self.stash_out_batch();
-        }
+        debug_assert!(self.out_batch.is_empty(), "outputs stash per batch step");
     }
 
     fn begin_quiescing(&mut self, epoch: u64) {
         self.quiesce = Some(epoch);
-        if !self.out_batch.is_empty() {
-            self.stash_out_batch();
-        }
+        debug_assert!(self.out_batch.is_empty(), "outputs stash per batch step");
     }
 
-    /// Move the accumulated outputs into the pending slot (step 1
-    /// flushes it on the next trip around the loop).
-    fn stash_out_batch(&mut self) {
-        debug_assert!(self.pending.is_none());
-        let outputs = std::mem::take(&mut self.out_batch);
+    /// Queue the step's accumulated outputs as `batch_size`-framed sink
+    /// messages (step 1 drains them FIFO on the next trip around the
+    /// loop — one probe batch can fan out to several frames).
+    fn stash_out_batch(&mut self, batch_size: usize) {
+        let frame = batch_size.max(1);
+        let mut outputs = std::mem::take(&mut self.out_batch);
         if let Some(i) = self.core.shard_instr() {
             i.on_out(outputs.len());
         }
-        self.pending = Some(SinkMsg::Batch {
-            instance: self.core.inst.index,
-            outputs,
-        });
+        let instance = self.core.inst.index;
+        while outputs.len() > frame {
+            let rest = outputs.split_off(frame);
+            let chunk = std::mem::replace(&mut outputs, rest);
+            self.pending.push_back(SinkMsg::Batch {
+                instance,
+                outputs: chunk,
+            });
+        }
+        self.pending.push_back(SinkMsg::Batch { instance, outputs });
     }
 
     fn sink(&self) -> &PollSender<SinkMsg> {
@@ -476,11 +432,12 @@ mod tests {
 
     #[test]
     fn starved_run_budget_preserves_counts() {
-        // run_budget = 1: every poll processes at most one tuple, so
-        // tasks yield mid-batch and mid-window thousands of times —
-        // maximum stress on the cursor resume path. Counts must not
-        // move. Windows span many emission intervals so state is live
-        // across yields; keyed so the bucket path is exercised too.
+        // run_budget = 1: every poll consumes at most one input
+        // message, so tasks yield between every pair of batches and
+        // park mid-window thousands of times — maximum stress on the
+        // batch-granularity pause/resume path. Counts must not move.
+        // Windows span many emission intervals so state is live across
+        // yields; keyed so the bucket path is exercised too.
         let (t, df) = world(2);
         let base = ExecConfig {
             window_ms: 500.0,

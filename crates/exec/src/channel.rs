@@ -72,16 +72,71 @@ pub struct OutFlight {
     pub deliver_at: f64,
 }
 
+/// A fixed-size batch of in-flight tuples — the unit every source →
+/// join-instance channel actually carries. Sources accumulate one
+/// `TupleBatch` per downstream shard on the emission grid and flush it
+/// when it reaches `ExecConfig::batch_size` (or at a pacing stall,
+/// barrier, or Eof, so a partial batch is never stranded). The batch
+/// carries its own event-time frontier, maintained incrementally on
+/// [`TupleBatch::push`], so the receiving `crate::join::JoinCore`
+/// advances watermarks without re-scanning the tuples.
+#[derive(Debug)]
+pub struct TupleBatch {
+    /// Index of the producing source task.
+    source: u32,
+    /// The tuples, in emission order.
+    tuples: Vec<InFlight>,
+    /// Max event time over `tuples` (−∞ when empty).
+    frontier: f64,
+}
+
+impl TupleBatch {
+    /// Empty batch from `source`, with room for `capacity` tuples.
+    pub fn with_capacity(source: u32, capacity: usize) -> Self {
+        TupleBatch {
+            source,
+            tuples: Vec::with_capacity(capacity),
+            frontier: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Append one tuple, folding its event time into the frontier.
+    pub fn push(&mut self, t: InFlight) {
+        self.frontier = self.frontier.max(t.tuple.event_time);
+        self.tuples.push(t);
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in emission order.
+    pub fn tuples(&self) -> &[InFlight] {
+        &self.tuples
+    }
+
+    /// Index of the producing source task.
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// Max event time over the batch (−∞ when empty).
+    pub fn frontier(&self) -> f64 {
+        self.frontier
+    }
+}
+
 /// Message on a source → join-instance channel.
 #[derive(Debug)]
 pub enum JoinMsg {
     /// A batch of tuples from one source task.
-    Batch {
-        /// Index of the producing source task.
-        source: u32,
-        /// The tuples, in emission order.
-        tuples: Vec<InFlight>,
-    },
+    Batch(TupleBatch),
     /// The source has emitted its last tuple.
     Eof {
         /// Index of the finished source task.
@@ -205,6 +260,22 @@ pub(crate) trait MsgSender<T> {
 impl<T> MsgSender<T> for Sender<T> {
     fn send_msg(&self, msg: T) -> Result<(), Closed> {
         self.send(msg)
+    }
+}
+
+/// The batch lane: shipping a whole [`TupleBatch`] downstream in one
+/// channel operation. Blanket-implemented over every
+/// [`MsgSender<JoinMsg>`], so the blocking ([`bounded`]) and
+/// poll-bounded families share one batch framing — a source flushes
+/// identically whichever backend sits downstream.
+pub(crate) trait BatchLane {
+    /// Blocking batch send; `Err` when the receiving worker is gone.
+    fn send_batch(&self, batch: TupleBatch) -> Result<(), Closed>;
+}
+
+impl<S: MsgSender<JoinMsg>> BatchLane for S {
+    fn send_batch(&self, batch: TupleBatch) -> Result<(), Closed> {
+        self.send_msg(JoinMsg::Batch(batch))
     }
 }
 
@@ -534,6 +605,62 @@ mod tests {
         // Receiver hang-up is reported, message handed back.
         drop(rx);
         assert!(matches!(tx.try_send(9, &waker), PollSend::Closed(9)));
+    }
+
+    fn inflight(seq: u64, event_time: f64) -> InFlight {
+        use nova_core::{PairId, Side};
+        InFlight {
+            tuple: Tuple {
+                pair: PairId(0),
+                side: Side::Left,
+                partition: 0,
+                key: 0,
+                subkey: 0,
+                seq,
+                event_time,
+            },
+            deliver_at: event_time,
+        }
+    }
+
+    #[test]
+    fn tuple_batch_tracks_its_frontier_incrementally() {
+        let mut b = TupleBatch::with_capacity(3, 8);
+        assert!(b.is_empty());
+        assert_eq!(b.frontier(), f64::NEG_INFINITY);
+        // Out-of-order event times: the frontier is the max, not the last.
+        b.push(inflight(1, 10.0));
+        b.push(inflight(2, 30.0));
+        b.push(inflight(3, 20.0));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.source(), 3);
+        assert_eq!(b.frontier(), 30.0);
+        let seqs: Vec<u64> = b.tuples().iter().map(|t| t.tuple.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "emission order preserved");
+    }
+
+    #[test]
+    fn batch_lane_frames_identically_on_both_channel_families() {
+        // One send_batch per family; both receivers must see the same
+        // JoinMsg::Batch framing with payload and frontier intact.
+        let (tx, rx) = bounded::<JoinMsg>(2);
+        let (ptx, prx) = poll_bounded::<JoinMsg>(2);
+        for lane in [&tx as &dyn BatchLane, &ptx as &dyn BatchLane] {
+            let mut b = TupleBatch::with_capacity(7, 2);
+            b.push(inflight(1, 5.0));
+            b.push(inflight(2, 15.0));
+            lane.send_batch(b).unwrap();
+        }
+        drop(tx);
+        drop(ptx);
+        for msg in [rx.recv().unwrap(), prx.recv().unwrap()] {
+            let JoinMsg::Batch(got) = msg else {
+                panic!("batch lane must frame as JoinMsg::Batch");
+            };
+            assert_eq!(got.source(), 7);
+            assert_eq!(got.len(), 2);
+            assert_eq!(got.frontier(), 15.0);
+        }
     }
 
     #[test]

@@ -321,8 +321,17 @@ impl Fleet for ThreadFleet {
             let counters = Arc::clone(&self.counters);
             let sink_tx = self.sink_tx.clone().expect("fleet finished");
             let ctrl_up = self.ctrl_up.clone();
+            // Optional affinity: shard `flat` lives on core `flat mod
+            // cores`, so its window arena stays in one cache hierarchy.
+            let pin = self
+                .cfg
+                .pin_workers
+                .then(|| flat % crate::affinity::machine_cores());
             self.spawned += 1;
             self.handles.push(std::thread::spawn(move || {
+                if let Some(cpu) = pin {
+                    let _ = crate::affinity::pin_current_thread(cpu);
+                }
                 crate::join::run_join(core, flat, &cfg, &pacers, &counters, rx, sink_tx, ctrl_up)
             }));
         }
@@ -373,13 +382,21 @@ impl TaskFleet {
         counters: &Arc<Counters>,
     ) {
         self.spawned += count;
-        for _ in 0..count {
+        for i in 0..count {
             let scheduler = Arc::clone(&self.scheduler);
             let table = Arc::clone(&self.table);
             let cfg = self.cfg;
             let pacers = Arc::clone(pacers);
             let counters = Arc::clone(counters);
+            // Optional affinity: pool worker `i` on core `i mod cores`.
+            let pin = self
+                .cfg
+                .pin_workers
+                .then(|| i % crate::affinity::machine_cores());
             self.workers.push(std::thread::spawn(move || {
+                if let Some(cpu) = pin {
+                    let _ = crate::affinity::pin_current_thread(cpu);
+                }
                 while let Some(id) = scheduler.next() {
                     let task = {
                         let table = table.lock().expect("task table poisoned");

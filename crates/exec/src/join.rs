@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use nova_runtime::{match_survives, BufferedTuple, OutputTuple, WindowBuffers, WindowGroup};
 
-use crate::channel::{InFlight, JoinMsg, OutFlight, Receiver, Sender, SinkMsg};
+use crate::channel::{InFlight, JoinMsg, OutFlight, Receiver, Sender, SinkMsg, TupleBatch};
 use crate::control::Quiesced;
 use crate::metrics::{count_drop, Counters, NodePacer, ShardInstr, ShardTelemetry};
 use crate::worker::CompiledInstance;
@@ -255,6 +255,35 @@ impl JoinCore {
         );
     }
 
+    /// Probe one whole input batch per state-machine step: every tuple
+    /// through [`Self::on_tuple`], then the once-per-batch bookkeeping
+    /// — frontier/watermark/GC via [`Self::end_batch`] (the batch
+    /// carries its own event-time frontier, so no re-scan), match-count
+    /// publication and the service-time sample. Surviving outputs
+    /// append to `out`; the caller ships them downstream after the step
+    /// (re-framed to its own batch size), which makes the batch the
+    /// executor's atomic unit of work — a barrier, Eof or cooperative
+    /// budget pause can only ever fall *between* batches.
+    pub fn on_batch(
+        &mut self,
+        batch: &TupleBatch,
+        cfg: &ExecConfig,
+        pacers: &[NodePacer],
+        counters: &Counters,
+        out: &mut Vec<OutFlight>,
+    ) {
+        self.note_recv(batch.len());
+        let t0 = self.service_timer();
+        for inflight in batch.tuples() {
+            self.on_tuple(inflight, cfg, pacers, counters, out);
+        }
+        self.end_batch(batch.source(), batch.frontier(), cfg);
+        self.publish_matched();
+        if let Some(t0) = t0 {
+            self.note_service(t0.elapsed());
+        }
+    }
+
     /// Close out an input batch from `source`: record the batch's
     /// event-time maximum as the source's frontier (one map touch per
     /// batch, not per tuple), re-derive the watermark (nothing older
@@ -330,37 +359,15 @@ pub(crate) fn run_join(
 
     'consume: while let Some(msg) = rx.recv() {
         match msg {
-            JoinMsg::Batch { source, tuples } => {
-                core.note_recv(tuples.len());
-                let t0 = core.service_timer();
-                let mut batch_frontier = 0.0f64;
-                for inflight in &tuples {
-                    batch_frontier = batch_frontier.max(inflight.tuple.event_time);
-                    core.on_tuple(inflight, cfg, pacers, counters, &mut out_batch);
-                    if out_batch.len() >= cfg.batch_size
-                        && !flush(
-                            &sink_tx,
-                            core.inst.index,
-                            &mut out_batch,
-                            core.shard_instr(),
-                        )
-                    {
-                        break 'consume;
-                    }
-                }
-                core.end_batch(source, batch_frontier, cfg);
-                core.publish_matched();
-                if let Some(t0) = t0 {
-                    core.note_service(t0.elapsed());
-                }
-                if !out_batch.is_empty()
-                    && !flush(
-                        &sink_tx,
-                        core.inst.index,
-                        &mut out_batch,
-                        core.shard_instr(),
-                    )
-                {
+            JoinMsg::Batch(batch) => {
+                core.on_batch(&batch, cfg, pacers, counters, &mut out_batch);
+                if !flush_chunked(
+                    &sink_tx,
+                    core.inst.index,
+                    &mut out_batch,
+                    cfg.batch_size,
+                    core.shard_instr(),
+                ) {
                     break 'consume;
                 }
             }
@@ -401,6 +408,27 @@ pub(crate) fn run_join(
     let _ = sink_tx.send(SinkMsg::Eof {
         instance: core.inst.index,
     });
+}
+
+/// Ship a step's accumulated outputs to the sink re-framed into
+/// `batch_size` chunks (one probe batch can fan out to more matches
+/// than one frame holds); `false` once the sink hung up.
+fn flush_chunked(
+    sink_tx: &Sender<SinkMsg>,
+    instance: u32,
+    batch: &mut Vec<OutFlight>,
+    batch_size: usize,
+    instr: Option<&ShardInstr>,
+) -> bool {
+    let frame = batch_size.max(1);
+    while batch.len() > frame {
+        let rest = batch.split_off(frame);
+        let mut chunk = std::mem::replace(batch, rest);
+        if !flush(sink_tx, instance, &mut chunk, instr) {
+            return false;
+        }
+    }
+    flush(sink_tx, instance, batch, instr)
 }
 
 fn flush(

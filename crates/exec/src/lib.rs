@@ -103,6 +103,7 @@
 //! assert_eq!(cooperative.delivered, threaded.delivered);
 //! ```
 
+pub(crate) mod affinity;
 pub mod async_backend;
 pub mod autoscale;
 pub mod channel;
@@ -152,7 +153,15 @@ pub struct ExecConfig {
     /// Virtual ms per wall ms: 1.0 = real time, 4.0 runs a 2 s virtual
     /// experiment in 0.5 s of wall time.
     pub time_scale: f64,
-    /// Tuples per channel message.
+    /// Tuples per channel message: sources accumulate a
+    /// [`channel::TupleBatch`] per downstream shard and flush it at
+    /// this size (or at a pacing stall / barrier / Eof, so partial
+    /// batches are never stranded); join workers probe one whole batch
+    /// per state-machine step and re-frame their outputs to the same
+    /// size. Purely a throughput/latency knob — batch size is
+    /// *unobservable* in the counts (the batch-equivalence property
+    /// suite pins emitted/matched/delivered identical across batch
+    /// sizes and to the simulator). Must be ≥ 1.
     pub batch_size: usize,
     /// Channel depth in messages (backpressure window).
     pub channel_capacity: usize,
@@ -194,13 +203,16 @@ pub struct ExecConfig {
     /// is count-identical to [`ThreadedBackend`].
     pub workers: usize,
     /// Run budget of one cooperative poll: the maximum number of
-    /// input tuples an [`AsyncBackend`] shard task consumes before it
-    /// yields back to the ready queue (ignored by the thread-per-shard
-    /// backends). Bounds the latency skew between shards co-scheduled
-    /// on one worker; small budgets trade throughput (more scheduler
-    /// round-trips) for fairness. Clamped to ≥ 1. Invariant: tasks
-    /// resume exactly where they paused — mid-batch, even mid-window —
-    /// so any budget yields identical counts.
+    /// input messages (tuple batches, Eofs, barriers) an
+    /// [`AsyncBackend`] shard task consumes before it yields back to
+    /// the ready queue (ignored by the thread-per-shard backends).
+    /// Bounds the latency skew between shards co-scheduled on one
+    /// worker; small budgets trade throughput (more scheduler
+    /// round-trips) for fairness. Clamped to ≥ 1. Invariant: pauses
+    /// land only *between* batches — the batch is the atomic unit of
+    /// work — and tasks resume at the next message, so any budget
+    /// yields identical counts (`run_budget = 1` processes exactly one
+    /// message per poll).
     pub run_budget: usize,
     /// Wall-clock grace (ms) [`ExecHandle::apply`] grants the old
     /// shard generation to quiesce before giving up with
@@ -210,6 +222,14 @@ pub struct ExecConfig {
     /// that deliberately arm unreachable epochs shrink it. Must be
     /// positive and finite.
     pub quiesce_grace_ms: f64,
+    /// Pin join workers to cores. `true` pins each thread-per-shard
+    /// worker — and each [`AsyncBackend`] pool worker — to one core,
+    /// round-robin over the machine's cores (`false`, the default,
+    /// leaves placement to the OS scheduler). Sources and the sink stay
+    /// unpinned either way. A performance hint only: pinning is
+    /// silently skipped where unsupported (non-Linux, cpuset-restricted
+    /// containers) and never affects counts.
+    pub pin_workers: bool,
     /// Telemetry plane switch. `true` (the default) wires the
     /// [`MetricsRegistry`] into every worker at launch — per-shard
     /// instruments, latency/service histograms and the trace ring —
@@ -273,6 +293,7 @@ impl Default for ExecConfig {
             workers: 0,
             run_budget: 2048,
             quiesce_grace_ms: 60_000.0,
+            pin_workers: false,
             telemetry: true,
         }
     }
@@ -315,6 +336,9 @@ impl ExecConfig {
         if self.run_budget == 0 {
             return Err(ExecConfigError::ZeroRunBudget);
         }
+        if self.batch_size == 0 {
+            return Err(ExecConfigError::ZeroBatchSize);
+        }
         if !(self.quiesce_grace_ms > 0.0 && self.quiesce_grace_ms.is_finite()) {
             return Err(ExecConfigError::NonPositiveQuiesceGrace);
         }
@@ -338,6 +362,9 @@ pub enum ExecConfigError {
     /// async scheduler would spin through yields forever without it
     /// being clamped.
     ZeroRunBudget,
+    /// `batch_size == 0`: a zero-capacity batch can never fill, so
+    /// sources would buffer forever and flush nothing.
+    ZeroBatchSize,
     /// `quiesce_grace_ms` is zero, negative, NaN or infinite: the
     /// reconfiguration deadline must be a positive finite wall-clock
     /// duration.
@@ -363,7 +390,11 @@ impl std::fmt::Display for ExecConfigError {
             ),
             ExecConfigError::ZeroRunBudget => write!(
                 f,
-                "ExecConfig::run_budget must be >= 1 tuple per cooperative poll"
+                "ExecConfig::run_budget must be >= 1 message per cooperative poll"
+            ),
+            ExecConfigError::ZeroBatchSize => write!(
+                f,
+                "ExecConfig::batch_size must be >= 1 tuple per channel batch"
             ),
             ExecConfigError::NonPositiveQuiesceGrace => write!(
                 f,
@@ -444,9 +475,9 @@ pub fn backend_for(cfg: &ExecConfig) -> &'static dyn Backend {
 /// executor-side counterpart of [`nova_runtime::simulate`].
 ///
 /// The configuration is validated at entry: zero-valued knobs
-/// (`shards`, `key_buckets`, `key_space`, `run_budget`) return a
-/// descriptive [`ExecConfigError`] instead of being clamped silently —
-/// or worse, panicking or spinning deep inside a worker.
+/// (`shards`, `key_buckets`, `key_space`, `run_budget`, `batch_size`)
+/// return a descriptive [`ExecConfigError`] instead of being clamped
+/// silently — or worse, panicking or spinning deep inside a worker.
 pub fn execute(
     topology: &Topology,
     mut dist: impl FnMut(NodeId, NodeId) -> f64,
@@ -609,6 +640,13 @@ mod tests {
                     ..base
                 },
                 ExecConfigError::ZeroRunBudget,
+            ),
+            (
+                ExecConfig {
+                    batch_size: 0,
+                    ..base
+                },
+                ExecConfigError::ZeroBatchSize,
             ),
         ] {
             assert_eq!(cfg.validate(), Err(want));

@@ -16,7 +16,7 @@ use nova_topology::{NodeId, Topology};
 use rand::prelude::*;
 use std::time::Instant;
 
-use crate::channel::{InFlight, JoinMsg, MsgReceiver, MsgSender, SinkMsg};
+use crate::channel::{BatchLane, InFlight, JoinMsg, MsgReceiver, MsgSender, SinkMsg, TupleBatch};
 use crate::control::SourceCtrl;
 use crate::metrics::{
     count_drop, Counters, LatencyBatch, NodePacer, SinkTelemetry, SourceTelemetry,
@@ -246,22 +246,24 @@ pub(crate) fn compile(
     CompiledPlan { sources, instances }
 }
 
-/// Send one non-empty batch downstream; true while the receiver lives.
+/// Ship one non-empty [`TupleBatch`] down the channel's batch lane,
+/// leaving a fresh batch of the same fixed capacity in its slot (the
+/// allocation travels with the message — the receiver frees it, the
+/// sender never re-touches it). True while the receiver lives.
 fn flush_batch<T: MsgSender<JoinMsg>>(
     txs: &[T],
-    source: u32,
-    batches: &mut [Vec<InFlight>],
+    batches: &mut [TupleBatch],
     which: usize,
+    cap: usize,
     tele: &SourceTelemetry,
 ) -> bool {
     if batches[which].is_empty() {
         return true;
     }
-    let tuples = std::mem::take(&mut batches[which]);
-    let n = tuples.len();
-    let ok = txs[which]
-        .send_msg(JoinMsg::Batch { source, tuples })
-        .is_ok();
+    let source = batches[which].source();
+    let batch = std::mem::replace(&mut batches[which], TupleBatch::with_capacity(source, cap));
+    let n = batch.len();
+    let ok = txs[which].send_batch(batch).is_ok();
     if ok {
         tele.on_send(which, n);
         // Batch boundaries double as the emission-gauge flush points.
@@ -318,7 +320,9 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
     let mut t = src.first_at_ms;
 
     'generations: loop {
-        let mut batches: Vec<Vec<InFlight>> = vec![Vec::new(); txs.len()];
+        let mut batches: Vec<TupleBatch> = (0..txs.len())
+            .map(|_| TupleBatch::with_capacity(src.index, cfg.batch_size))
+            .collect();
         // How far ahead of the wall clock a source may run (virtual
         // ms): enough to fill a batch at high rates, but tightly
         // bounded — sources reserve service slots on shared pacers as
@@ -340,7 +344,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             let now = clock.now_ms();
             if t > now + slack_ms {
                 for which in 0..batches.len() {
-                    if !flush_batch(&txs, src.index, &mut batches, which, &tele) {
+                    if !flush_batch(&txs, &mut batches, which, cfg.batch_size, &tele) {
                         break 'emit;
                     }
                 }
@@ -398,7 +402,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
                         let which = route.instance as usize * shards + shard;
                         batches[which].push(InFlight { tuple, deliver_at });
                         if batches[which].len() >= cfg.batch_size
-                            && !flush_batch(&txs, src.index, &mut batches, which, &tele)
+                            && !flush_batch(&txs, &mut batches, which, cfg.batch_size, &tele)
                         {
                             break 'emit;
                         }
@@ -408,7 +412,7 @@ pub(crate) fn run_source<T: MsgSender<JoinMsg>>(
             t += src.interval_ms;
         }
         for which in 0..batches.len() {
-            let _ = flush_batch(&txs, src.index, &mut batches, which, &tele);
+            let _ = flush_batch(&txs, &mut batches, which, cfg.batch_size, &tele);
         }
         tele.flush();
 

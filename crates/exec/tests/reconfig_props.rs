@@ -6,8 +6,9 @@
 //! migrates every live `(window, pair, key_bucket)` group to a
 //! different shard worker — must leave `emitted`/`matched`/`delivered`
 //! exactly equal to a run that never reconfigured. The property is
-//! sampled across (backend × workers × shards × key-buckets) and
-//! across epoch positions (deliberately including mid-window epochs,
+//! sampled across (backend × workers × shards × key-buckets ×
+//! batch-size) and across epoch positions (deliberately including
+//! mid-window — and therefore mid-batch — epochs,
 //! where pre/post tuples of the straddling window must still match
 //! each other through the handoff), on a keyed, pair-skewed workload.
 
@@ -93,18 +94,24 @@ proptest! {
     /// Migrating every live group to a different shard — an instance
     /// permutation away from the sink host and onto a worker, with the
     /// two pairs' instance slots swapped — preserves all three counts
-    /// exactly, at sampled (backend × workers × shards × buckets)
-    /// combinations and epoch positions, under keyed pair skew.
+    /// exactly, at sampled (backend × workers × shards × buckets ×
+    /// batch) combinations and epoch positions, under keyed pair skew.
+    /// The sampled epoch almost never lands on a batch boundary, so the
+    /// sources' epoch split routinely flushes a partially filled
+    /// `TupleBatch` at the barrier — and `clean_split` asserts the
+    /// protocol bisected it exactly at `t < epoch`.
     #[test]
     fn full_group_migration_preserves_counts_exactly(
         backend_pick in 0usize..3,
         workers in 1usize..=3,
         shards in 1usize..=4,
         bucket_pick in 0usize..3,
+        batch_pick in 0usize..4,
         epoch_frac in 0.3f64..0.7,
     ) {
         let backend = [BackendKind::Threaded, BackendKind::Sharded, BackendKind::Async][backend_pick];
         let key_buckets = [1usize, 2, 8][bucket_pick];
+        let batch_size = [1usize, 2, 7, 64][batch_pick];
         let (t, q) = world();
         let pre = sink_based(&q, &q.resolve());
         // Post plan: both instances move (sink host -> worker) and
@@ -118,6 +125,7 @@ proptest! {
             workers,
             shards,
             key_buckets,
+            batch_size,
             ..base_cfg()
         };
         let epoch_ms = epoch_frac * DURATION_MS;
@@ -132,8 +140,10 @@ proptest! {
         let res = handle.join();
         let (emitted, matched, delivered) = *baseline();
         let tag = format!(
-            "{backend:?} workers={workers} shards={shards} buckets={key_buckets} epoch={epoch_ms:.1}"
+            "{backend:?} workers={workers} shards={shards} buckets={key_buckets} \
+             batch={batch_size} epoch={epoch_ms:.1}"
         );
+        prop_assert!(stats.clean_split, "{}: epoch must bisect the batch", tag);
         prop_assert_eq!(res.dropped, 0, "{}: must stay drop-free", tag);
         prop_assert_eq!(res.emitted, emitted, "{}: emitted moved", tag);
         prop_assert_eq!(res.matched, matched, "{}: matched moved", tag);
@@ -155,11 +165,13 @@ proptest! {
         workers in 1usize..=2,
         shards in 1usize..=3,
         bucket_pick in 0usize..3,
+        batch_pick in 0usize..4,
         admit_frac in 0.3f64..0.5,
         rescale_frac in 0.65f64..0.85,
     ) {
         let backend = [BackendKind::Threaded, BackendKind::Sharded, BackendKind::Async][backend_pick];
         let key_buckets = [1usize, 2, 8][bucket_pick];
+        let batch_size = [1usize, 2, 7, 64][batch_pick];
         let (mut t, q_pre) = world();
         // Admit a stream keyed against `cold_l` at cold_l's own rate:
         // equal partner rates keep the new pair single-partition (no
@@ -192,11 +204,12 @@ proptest! {
             workers,
             shards,
             key_buckets,
+            batch_size,
             ..ExecConfig::from_sim(&sim_cfg, 16.0)
         };
         let tag = format!(
             "{backend:?} workers={workers} shards={shards} buckets={key_buckets} \
-             admit={:.1} rescale={:.1}",
+             batch={batch_size} admit={:.1} rescale={:.1}",
             admit.epoch_ms, rescale.epoch_ms
         );
         let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");

@@ -117,18 +117,31 @@ fn assert_monotonic(prev: &MetricsSnapshot, next: &MetricsSnapshot, tag: &str) {
 }
 
 fn run_case(backend: BackendKind, shards: usize, workers: usize) {
+    run_case_batched(backend, shards, workers, ExecConfig::default().batch_size);
+}
+
+/// The telemetry contract is batch-size independent: sources account
+/// whole [`nova_exec::ExecConfig::batch_size`] frames at flush time and
+/// shards at receive time, so snapshots must stay monotonic — and the
+/// final one exactly equal to the `ExecResult` — no matter how tuples
+/// are framed. `run_case` pins the default framing; the batched
+/// variants below pin small odd and large frames.
+fn run_case_batched(backend: BackendKind, shards: usize, workers: usize, batch_size: usize) {
     let (t, q) = world();
     let pre = sink_based(&q, &q.resolve());
     let post = host_based(&q, &q.resolve(), NodeId(3));
     let df = Dataflow::from_baseline(&q, &pre);
-    let cfg = cfg_for(backend, shards, workers);
+    let cfg = ExecConfig {
+        batch_size,
+        ..cfg_for(backend, shards, workers)
+    };
     let switch = PlanSwitch::between(EPOCH_MS, &q, &pre, &post, 1.0);
 
     let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid config");
     let rx = handle
         .subscribe(Duration::from_millis(20))
         .expect("non-zero interval");
-    let tag = format!("{backend:?} shards={shards} workers={workers}");
+    let tag = format!("{backend:?} shards={shards} workers={workers} batch={batch_size}");
 
     // Poll live before, during-ish and after the reconfiguration.
     let mut polled: Vec<MetricsSnapshot> = vec![handle.metrics()];
@@ -202,6 +215,25 @@ fn sharded_snapshots_stay_consistent_across_reconfig() {
 #[test]
 fn async_snapshots_stay_consistent_across_reconfig() {
     run_case(BackendKind::Async, 4, 2);
+}
+
+/// Batch framing never double- or under-counts: a small odd batch (7,
+/// co-prime with the emission grid, so the epoch splits a partially
+/// filled frame) keeps every snapshot monotonic and the final one
+/// equal to the `ExecResult`, on the backends with real concurrency.
+#[test]
+fn snapshots_stay_consistent_at_small_odd_batches() {
+    run_case_batched(BackendKind::Sharded, 4, 0, 7);
+    run_case_batched(BackendKind::Async, 4, 2, 7);
+}
+
+/// Large frames (64 tuples — several windows per batch at this rate)
+/// move accounting to rare, bursty flushes; monotonicity and the final
+/// snapshot ≡ `ExecResult` identity must survive the burstiness.
+#[test]
+fn snapshots_stay_consistent_at_large_batches() {
+    run_case_batched(BackendKind::Threaded, 1, 0, 64);
+    run_case_batched(BackendKind::Async, 4, 2, 64);
 }
 
 /// Regression: `subscribe(Duration::ZERO)` used to spawn a sampler

@@ -79,4 +79,4 @@ pub use engine::{
 };
 pub use testbed::{run_placement, with_stress};
 pub use tuple::{OutputTuple, Tuple};
-pub use window::{BufferedTuple, WindowBuffers, WindowGroup};
+pub use window::{BufferedTuple, VecWindowBuffers, WindowBuffers, WindowGroup};

@@ -14,6 +14,21 @@
 //! partners it could actually join with. Unkeyed workloads put every
 //! tuple in key group 0 and behave exactly like the flat per-window
 //! buffers they replaced.
+//!
+//! ## Arena layout
+//!
+//! [`WindowBuffers`] stores tuples in fixed-size chunks drawn from one
+//! shared arena (a `Vec<Chunk>` plus a free list), with each `(window,
+//! key)` side holding a chunk *chain* instead of its own `Vec`. Probes
+//! walk 32-tuple blocks that sit contiguously in one allocation, GC
+//! recycles whole chains onto the free list without returning memory
+//! to the allocator, and steady-state insertion allocates nothing once
+//! the arena has grown to the live-window footprint — the per-group
+//! `Vec` churn (grow, reallocate, free every window) that the flat
+//! layout paid is gone. The original `Vec`-backed implementation
+//! survives as [`VecWindowBuffers`], the reference model the
+//! differential property suite in
+//! `crates/runtime/tests/window_props.rs` pins the arena against.
 
 use std::collections::HashMap;
 
@@ -27,6 +42,11 @@ pub struct BufferedTuple {
     /// Event time in ms.
     pub event_time: f64,
 }
+
+const ZERO_TUPLE: BufferedTuple = BufferedTuple {
+    seq: 0,
+    event_time: 0.0,
+};
 
 /// One exported `(window, key)` group of buffered state — the portable
 /// unit of window-state handoff during live reconfiguration. Produced
@@ -44,10 +64,122 @@ pub struct WindowGroup {
     pub right: Vec<BufferedTuple>,
 }
 
-/// Symmetric per-`(window, key)` hash join state of one instance.
+/// Tuples per arena chunk. 32 × 16 B = 512 B per block: large enough
+/// that probe loops stride contiguous memory, small enough that sparse
+/// workloads (many near-empty key groups) waste little.
+const CHUNK_TUPLES: usize = 32;
+
+/// Chain terminator / "no chunk" sentinel for the `u32` indices.
+const NONE: u32 = u32::MAX;
+
+/// One fixed-size tuple block in the shared arena.
+#[derive(Debug, Clone)]
+struct Chunk {
+    tuples: [BufferedTuple; CHUNK_TUPLES],
+    len: u32,
+    /// Next chunk of the same side chain (`NONE` terminates).
+    next: u32,
+}
+
+impl Chunk {
+    fn fresh() -> Chunk {
+        Chunk {
+            tuples: [ZERO_TUPLE; CHUNK_TUPLES],
+            len: 0,
+            next: NONE,
+        }
+    }
+}
+
+/// One side of a group: a chunk chain plus its cached tuple count.
+#[derive(Debug, Clone, Copy)]
+struct SideChain {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl SideChain {
+    const EMPTY: SideChain = SideChain {
+        head: NONE,
+        tail: NONE,
+        len: 0,
+    };
+}
+
+/// One `(window, key)` group's slot in the slab.
+#[derive(Debug, Clone, Copy)]
+struct GroupSlot {
+    left: SideChain,
+    right: SideChain,
+}
+
+impl GroupSlot {
+    const EMPTY: GroupSlot = GroupSlot {
+        left: SideChain::EMPTY,
+        right: SideChain::EMPTY,
+    };
+}
+
+/// Append one tuple to a side chain, growing it from the free list (or
+/// the arena's tail) when the tail chunk is full.
+fn push_tuple(
+    chunks: &mut Vec<Chunk>,
+    free_chunks: &mut Vec<u32>,
+    chain: &mut SideChain,
+    tuple: BufferedTuple,
+) {
+    let need_chunk = chain.tail == NONE || chunks[chain.tail as usize].len as usize == CHUNK_TUPLES;
+    if need_chunk {
+        let idx = match free_chunks.pop() {
+            Some(i) => {
+                let c = &mut chunks[i as usize];
+                c.len = 0;
+                c.next = NONE;
+                i
+            }
+            None => {
+                chunks.push(Chunk::fresh());
+                (chunks.len() - 1) as u32
+            }
+        };
+        if chain.tail == NONE {
+            chain.head = idx;
+        } else {
+            chunks[chain.tail as usize].next = idx;
+        }
+        chain.tail = idx;
+    }
+    let c = &mut chunks[chain.tail as usize];
+    c.tuples[c.len as usize] = tuple;
+    c.len += 1;
+    chain.len += 1;
+}
+
+/// Visit every tuple of a side chain in insertion order.
+fn visit_chain<F: FnMut(&BufferedTuple)>(chunks: &[Chunk], head: u32, visit: &mut F) {
+    let mut idx = head;
+    while idx != NONE {
+        let c = &chunks[idx as usize];
+        for t in &c.tuples[..c.len as usize] {
+            visit(t);
+        }
+        idx = c.next;
+    }
+}
+
+/// Symmetric per-`(window, key)` hash join state of one instance,
+/// backed by a slab of group slots and a chunked tuple arena (see the
+/// module docs for the layout, [`VecWindowBuffers`] for the reference
+/// semantics it must match).
 #[derive(Debug, Clone, Default)]
 pub struct WindowBuffers {
-    groups: HashMap<(u64, u32), (Vec<BufferedTuple>, Vec<BufferedTuple>)>,
+    /// `(window, key)` → slot index into `slots`.
+    groups: HashMap<(u64, u32), u32>,
+    slots: Vec<GroupSlot>,
+    free_slots: Vec<u32>,
+    chunks: Vec<Chunk>,
+    free_chunks: Vec<u32>,
 }
 
 impl WindowBuffers {
@@ -62,15 +194,230 @@ impl WindowBuffers {
         (event_time / window_ms).floor().max(0.0) as u64
     }
 
+    /// Slot index of `(window, key)`, allocating slab-style (free list
+    /// first) when the group is new.
+    fn slot_of(&mut self, window: u64, key: u32) -> u32 {
+        if let Some(&idx) = self.groups.get(&(window, key)) {
+            return idx;
+        }
+        let idx = match self.free_slots.pop() {
+            Some(i) => {
+                self.slots[i as usize] = GroupSlot::EMPTY;
+                i
+            }
+            None => {
+                self.slots.push(GroupSlot::EMPTY);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.groups.insert((window, key), idx);
+        idx
+    }
+
     /// Insert a tuple on `side` of key group `(window, key)` and visit
     /// every opposite-side tuple it can join with (same window, same
     /// key), in insertion order. Returns the number of partners visited.
     ///
-    /// This is the hot-path probe API: no allocation, no copy of the
-    /// opposite buffer — the visitor borrows each partner in place. Both
-    /// engines (the simulator's `InputReady` handler and the executor's
-    /// join workers) go through here. Unkeyed workloads pass `key = 0`
-    /// everywhere, collapsing to the classic flat per-window probe.
+    /// This is the hot-path probe API: no allocation in steady state
+    /// (chunks recycle through the free list), no copy of the opposite
+    /// buffer — the visitor borrows each partner in place, one
+    /// contiguous chunk at a time. Both engines (the simulator's
+    /// `InputReady` handler and the executor's join workers) go through
+    /// here. Unkeyed workloads pass `key = 0` everywhere, collapsing to
+    /// the classic flat per-window probe.
+    pub fn insert_and_probe_with<F>(
+        &mut self,
+        window: u64,
+        key: u32,
+        side: Side,
+        tuple: BufferedTuple,
+        mut visit: F,
+    ) -> usize
+    where
+        F: FnMut(&BufferedTuple),
+    {
+        let slot_idx = self.slot_of(window, key) as usize;
+        let mut own = match side {
+            Side::Left => self.slots[slot_idx].left,
+            Side::Right => self.slots[slot_idx].right,
+        };
+        push_tuple(&mut self.chunks, &mut self.free_chunks, &mut own, tuple);
+        let slot = &mut self.slots[slot_idx];
+        let other = match side {
+            Side::Left => {
+                slot.left = own;
+                slot.right
+            }
+            Side::Right => {
+                slot.right = own;
+                slot.left
+            }
+        };
+        visit_chain(&self.chunks, other.head, &mut visit);
+        other.len as usize
+    }
+
+    /// Insert a tuple on `side` of key group `(window, key)` and return
+    /// the opposite-side tuples it can join with.
+    ///
+    /// Convenience wrapper over [`Self::insert_and_probe_with`] that
+    /// materializes the partner set. It allocates a `Vec` per probe, so
+    /// it is kept for tests and one-off inspection only — hot paths use
+    /// the visitor API.
+    pub fn insert_and_probe(
+        &mut self,
+        window: u64,
+        key: u32,
+        side: Side,
+        tuple: BufferedTuple,
+    ) -> Vec<BufferedTuple> {
+        let mut partners = Vec::new();
+        self.insert_and_probe_with(window, key, side, tuple, |p| partners.push(*p));
+        partners
+    }
+
+    /// Recycle a chain's chunks onto the free list; returns its length.
+    fn recycle_chain(&mut self, chain: SideChain) -> usize {
+        let mut idx = chain.head;
+        while idx != NONE {
+            self.free_chunks.push(idx);
+            idx = self.chunks[idx as usize].next;
+        }
+        chain.len as usize
+    }
+
+    /// Drop every window that ends strictly before `watermark_ms`
+    /// (tumbling windows of `window_ms`), across all key groups.
+    /// Returns the number of evicted tuples. Evicted chunks and slots
+    /// go onto the free lists — the arena never shrinks, so a stream in
+    /// steady state stops allocating entirely.
+    pub fn gc(&mut self, watermark_ms: f64, window_ms: f64) -> usize {
+        // Window w covers [w·len, (w+1)·len); it is complete once the
+        // watermark reaches its end.
+        let keep_from = Self::window_of(watermark_ms, window_ms);
+        let dead: Vec<(u64, u32)> = self
+            .groups
+            .keys()
+            .filter(|(w, _)| *w < keep_from)
+            .copied()
+            .collect();
+        let mut evicted = 0;
+        for k in dead {
+            let slot_idx = self.groups.remove(&k).expect("key collected above");
+            let slot = self.slots[slot_idx as usize];
+            evicted += self.recycle_chain(slot.left);
+            evicted += self.recycle_chain(slot.right);
+            self.free_slots.push(slot_idx);
+        }
+        evicted
+    }
+
+    /// Materialize one chain into a `Vec`, insertion order.
+    fn collect_chain(&self, chain: SideChain) -> Vec<BufferedTuple> {
+        let mut out = Vec::with_capacity(chain.len as usize);
+        visit_chain(&self.chunks, chain.head, &mut |t| out.push(*t));
+        out
+    }
+
+    /// Drain the entire state into portable [`WindowGroup`]s, sorted by
+    /// `(window, key)` so the export is deterministic regardless of hash
+    /// iteration order — the state-handoff half of live reconfiguration
+    /// (`nova-exec` ships these groups to a migrating group's new
+    /// shard; the simulator's plan-switch replay moves them between
+    /// instance buffers). Chunk chains preserve insertion order, so the
+    /// export is byte-for-byte what the `Vec`-backed reference produces.
+    pub fn export_groups(&mut self) -> Vec<WindowGroup> {
+        let mut groups: Vec<WindowGroup> = self
+            .groups
+            .iter()
+            .map(|(&(window, key), &slot_idx)| {
+                let slot = self.slots[slot_idx as usize];
+                WindowGroup {
+                    window,
+                    key,
+                    left: self.collect_chain(slot.left),
+                    right: self.collect_chain(slot.right),
+                }
+            })
+            .collect();
+        groups.sort_unstable_by_key(|g| (g.window, g.key));
+        // Export drains: resetting slab and arena wholesale is cheaper
+        // than (and equivalent to) recycling every chain one by one.
+        self.groups.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.chunks.clear();
+        self.free_chunks.clear();
+        groups
+    }
+
+    /// Import previously exported groups, appending to any state already
+    /// present for the same `(window, key)` — several migrating shards
+    /// may fold into one. Imported tuples are *not* probed against each
+    /// other: every match among them was already produced where they
+    /// lived before the handoff. They become visible as partners to
+    /// tuples inserted afterwards.
+    pub fn import_groups(&mut self, groups: Vec<WindowGroup>) {
+        for g in groups {
+            let slot_idx = self.slot_of(g.window, g.key) as usize;
+            let mut left = self.slots[slot_idx].left;
+            for t in g.left {
+                push_tuple(&mut self.chunks, &mut self.free_chunks, &mut left, t);
+            }
+            self.slots[slot_idx].left = left;
+            let mut right = self.slots[slot_idx].right;
+            for t in g.right {
+                push_tuple(&mut self.chunks, &mut self.free_chunks, &mut right, t);
+            }
+            self.slots[slot_idx].right = right;
+        }
+    }
+
+    /// Number of currently buffered tuples (both sides, all windows and
+    /// key groups).
+    pub fn buffered(&self) -> usize {
+        self.groups
+            .values()
+            .map(|&s| {
+                let slot = &self.slots[s as usize];
+                (slot.left.len + slot.right.len) as usize
+            })
+            .sum()
+    }
+
+    /// Number of live windows (distinct window ids over all key groups).
+    pub fn live_windows(&self) -> usize {
+        let mut seen: Vec<u64> = self.groups.keys().map(|(w, _)| *w).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Chunks currently allocated in the arena (live + free) — the
+    /// arena's high-water footprint, exposed for the reuse tests.
+    pub fn arena_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// The original `Vec`-per-group window state — same public API and
+/// observable behavior as the arena-backed [`WindowBuffers`], kept as
+/// the executable reference model: the differential property suite
+/// (`crates/runtime/tests/window_props.rs`) drives both under random
+/// operation sequences and requires identical probe results, GC counts
+/// and `export_groups` output.
+#[derive(Debug, Clone, Default)]
+pub struct VecWindowBuffers {
+    groups: HashMap<(u64, u32), (Vec<BufferedTuple>, Vec<BufferedTuple>)>,
+}
+
+impl VecWindowBuffers {
+    /// Fresh empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`WindowBuffers::insert_and_probe_with`].
     pub fn insert_and_probe_with<F>(
         &mut self,
         window: u64,
@@ -94,13 +441,7 @@ impl WindowBuffers {
         other.len()
     }
 
-    /// Insert a tuple on `side` of key group `(window, key)` and return
-    /// the opposite-side tuples it can join with.
-    ///
-    /// Convenience wrapper over [`Self::insert_and_probe_with`] that
-    /// materializes the partner set. It allocates a `Vec` per probe, so
-    /// it is kept for tests and one-off inspection only — hot paths use
-    /// the visitor API.
+    /// See [`WindowBuffers::insert_and_probe`].
     pub fn insert_and_probe(
         &mut self,
         window: u64,
@@ -113,15 +454,11 @@ impl WindowBuffers {
         partners
     }
 
-    /// Drop every window that ends strictly before `watermark_ms`
-    /// (tumbling windows of `window_ms`), across all key groups.
-    /// Returns the number of evicted tuples.
+    /// See [`WindowBuffers::gc`].
     pub fn gc(&mut self, watermark_ms: f64, window_ms: f64) -> usize {
-        let keep_from = Self::window_of(watermark_ms, window_ms);
+        let keep_from = WindowBuffers::window_of(watermark_ms, window_ms);
         let mut evicted = 0;
         self.groups.retain(|(w, _), bufs| {
-            // Window w covers [w·len, (w+1)·len); it is complete once the
-            // watermark reaches its end.
             if *w < keep_from {
                 evicted += bufs.0.len() + bufs.1.len();
                 false
@@ -132,12 +469,7 @@ impl WindowBuffers {
         evicted
     }
 
-    /// Drain the entire state into portable [`WindowGroup`]s, sorted by
-    /// `(window, key)` so the export is deterministic regardless of hash
-    /// iteration order — the state-handoff half of live reconfiguration
-    /// (`nova-exec` ships these groups to a migrating group's new
-    /// shard; the simulator's plan-switch replay moves them between
-    /// instance buffers).
+    /// See [`WindowBuffers::export_groups`].
     pub fn export_groups(&mut self) -> Vec<WindowGroup> {
         let mut groups: Vec<WindowGroup> = self
             .groups
@@ -153,12 +485,7 @@ impl WindowBuffers {
         groups
     }
 
-    /// Import previously exported groups, appending to any state already
-    /// present for the same `(window, key)` — several migrating shards
-    /// may fold into one. Imported tuples are *not* probed against each
-    /// other: every match among them was already produced where they
-    /// lived before the handoff. They become visible as partners to
-    /// tuples inserted afterwards.
+    /// See [`WindowBuffers::import_groups`].
     pub fn import_groups(&mut self, groups: Vec<WindowGroup>) {
         for g in groups {
             let entry = self.groups.entry((g.window, g.key)).or_default();
@@ -167,13 +494,12 @@ impl WindowBuffers {
         }
     }
 
-    /// Number of currently buffered tuples (both sides, all windows and
-    /// key groups).
+    /// See [`WindowBuffers::buffered`].
     pub fn buffered(&self) -> usize {
         self.groups.values().map(|(l, r)| l.len() + r.len()).sum()
     }
 
-    /// Number of live windows (distinct window ids over all key groups).
+    /// See [`WindowBuffers::live_windows`].
     pub fn live_windows(&self) -> usize {
         let mut seen: Vec<u64> = self.groups.keys().map(|(w, _)| *w).collect();
         seen.sort_unstable();
@@ -324,5 +650,69 @@ mod tests {
         let evicted = b.gc(10_000.0, 100.0);
         assert_eq!(evicted, 2);
         assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn probes_span_chunk_boundaries_in_insertion_order() {
+        // 100 left tuples cross four 32-tuple chunks; the probing right
+        // tuple must visit all of them in insertion order.
+        let mut b = WindowBuffers::new();
+        for i in 0..100u64 {
+            b.insert_and_probe(0, 0, Side::Left, bt(i, i as f64));
+        }
+        let partners = b.insert_and_probe(0, 0, Side::Right, bt(999, 50.0));
+        assert_eq!(partners.len(), 100);
+        let seqs: Vec<u64> = partners.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn gc_recycles_chunks_instead_of_growing_the_arena() {
+        // A stream in steady state: after the first few windows the
+        // arena's high-water mark must stop moving — every GC'd
+        // window's chunks come back through the free list.
+        let mut b = WindowBuffers::new();
+        let mut high_water = 0;
+        for window in 0..50u64 {
+            for i in 0..70u64 {
+                let et = window as f64 * 100.0 + i as f64;
+                b.insert_and_probe(window, (i % 3) as u32, Side::Left, bt(i, et));
+                b.insert_and_probe(window, (i % 3) as u32, Side::Right, bt(i, et));
+            }
+            b.gc((window as f64 + 1.0) * 100.0, 100.0);
+            if window == 2 {
+                high_water = b.arena_chunks();
+            }
+            if window > 2 {
+                assert_eq!(
+                    b.arena_chunks(),
+                    high_water,
+                    "arena grew after steady state (window {window})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vec_reference_and_arena_agree_on_a_mixed_sequence() {
+        let mut arena = WindowBuffers::new();
+        let mut vecs = VecWindowBuffers::new();
+        for (w, k, side, t) in [
+            (0u64, 0u32, Side::Left, bt(1, 10.0)),
+            (0, 0, Side::Right, bt(2, 20.0)),
+            (0, 1, Side::Right, bt(3, 30.0)),
+            (1, 0, Side::Left, bt(4, 140.0)),
+            (0, 0, Side::Left, bt(5, 40.0)),
+            (2, 2, Side::Right, bt(6, 250.0)),
+        ] {
+            assert_eq!(
+                arena.insert_and_probe(w, k, side, t),
+                vecs.insert_and_probe(w, k, side, t)
+            );
+        }
+        assert_eq!(arena.buffered(), vecs.buffered());
+        assert_eq!(arena.live_windows(), vecs.live_windows());
+        assert_eq!(arena.gc(150.0, 100.0), vecs.gc(150.0, 100.0));
+        assert_eq!(arena.export_groups(), vecs.export_groups());
     }
 }

@@ -10,7 +10,7 @@
 //! key groups together.
 
 use nova_core::Side;
-use nova_runtime::{BufferedTuple, WindowBuffers};
+use nova_runtime::{BufferedTuple, VecWindowBuffers, WindowBuffers};
 use proptest::prelude::*;
 
 const WINDOW_MS: f64 = 100.0;
@@ -152,6 +152,158 @@ proptest! {
             panic!("foreign key must have no partners")
         });
         prop_assert_eq!(n, 0);
+    }
+}
+
+/// One scripted operation for the arena-vs-Vec differential suite: the
+/// probe/GC mix above plus the state handoff (`export_groups` →
+/// `import_groups` into a *fresh* buffer), which is how window state
+/// crosses an epoch barrier in both engines.
+#[derive(Debug, Clone, Copy)]
+enum ArenaOp {
+    Insert { window: u64, key: u32, left: bool },
+    Gc { watermark: f64 },
+    Handoff,
+}
+
+fn arena_ops_strategy(max: usize) -> impl Strategy<Value = Vec<ArenaOp>> {
+    // 6:2:1 insert:gc:handoff mix over enough windows and keys to keep
+    // many groups and multi-chunk chains live at once.
+    let op = (0u8..9, 0u64..6, 0u32..3, 0f64..600.0).prop_map(|(kind, window, key, wm)| {
+        if kind < 6 {
+            ArenaOp::Insert {
+                window,
+                key,
+                left: wm < 300.0,
+            }
+        } else if kind < 8 {
+            ArenaOp::Gc { watermark: wm }
+        } else {
+            ArenaOp::Handoff
+        }
+    });
+    proptest::collection::vec(op, 0..120).prop_map(move |v| v.into_iter().take(max).collect())
+}
+
+proptest! {
+    /// The arena-backed [`WindowBuffers`] against the `Vec`-backed
+    /// reference ([`VecWindowBuffers`]), replaying the same script
+    /// through both: every probe must visit the same partner sequence
+    /// (same tuples, same order), every GC must evict the same count,
+    /// and every handoff must export *equal* `WindowGroup` payloads —
+    /// the chunk chains are invisible at the API.
+    #[test]
+    fn arena_and_vec_reference_agree_on_any_script(ops in arena_ops_strategy(120)) {
+        let mut arena = WindowBuffers::new();
+        let mut reference = VecWindowBuffers::new();
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                ArenaOp::Insert { window, key, left } => {
+                    let side = if left { Side::Left } else { Side::Right };
+                    let tuple = BufferedTuple {
+                        seq: i as u64,
+                        event_time: window as f64 * WINDOW_MS,
+                    };
+                    let want = reference.insert_and_probe(window, key, side, tuple);
+                    let mut got = Vec::new();
+                    let n = arena.insert_and_probe_with(window, key, side, tuple, |p| got.push(*p));
+                    prop_assert_eq!(&got, &want, "partner mismatch at op {}", i);
+                    prop_assert_eq!(n, want.len());
+                }
+                ArenaOp::Gc { watermark } => {
+                    let a = arena.gc(watermark, WINDOW_MS);
+                    let b = reference.gc(watermark, WINDOW_MS);
+                    prop_assert_eq!(a, b, "eviction mismatch at op {}", i);
+                }
+                ArenaOp::Handoff => {
+                    // Drain both, hand the state to fresh buffers — the
+                    // epoch-barrier migration path. The exported groups
+                    // must already be equal; after the import both
+                    // sides continue from identical state.
+                    let a = arena.export_groups();
+                    let b = reference.export_groups();
+                    prop_assert_eq!(&a, &b, "export mismatch at op {}", i);
+                    prop_assert_eq!(arena.buffered(), 0);
+                    arena = WindowBuffers::new();
+                    arena.import_groups(a);
+                    reference = VecWindowBuffers::new();
+                    reference.import_groups(b);
+                }
+            }
+            prop_assert_eq!(arena.buffered(), reference.buffered());
+            prop_assert_eq!(arena.live_windows(), reference.live_windows());
+        }
+        // Terminal drain: whatever survived the script exports equal.
+        prop_assert_eq!(arena.export_groups(), reference.export_groups());
+    }
+
+    /// Export → import → export is the identity on the *payload*: the
+    /// round trip through a fresh arena (fresh chunk layout, fresh slot
+    /// and free-list state) reproduces the exported `WindowGroup`s
+    /// exactly, and probes after the round trip see the imported tuples
+    /// as partners in their original insertion order.
+    #[test]
+    fn export_import_round_trip_is_payload_identity(ops in arena_ops_strategy(100)) {
+        let mut buffers = WindowBuffers::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let ArenaOp::Insert { window, key, left } = *op {
+                let side = if left { Side::Left } else { Side::Right };
+                let tuple = BufferedTuple {
+                    seq: i as u64,
+                    event_time: window as f64 * WINDOW_MS,
+                };
+                buffers.insert_and_probe_with(window, key, side, tuple, |_| {});
+            }
+        }
+        let exported = buffers.export_groups();
+        let mut fresh = WindowBuffers::new();
+        fresh.import_groups(exported.clone());
+        prop_assert_eq!(
+            fresh.export_groups(),
+            exported.clone(),
+            "round trip must reproduce the export"
+        );
+        // And importing again leaves a buffer that probes exactly like
+        // the original: the left side of every group partners a fresh
+        // right-side probe, in insertion order.
+        let mut probed = WindowBuffers::new();
+        probed.import_groups(exported.clone());
+        for g in &exported {
+            let mut got = Vec::new();
+            let probe = BufferedTuple {
+                seq: u64::MAX,
+                event_time: g.window as f64 * WINDOW_MS,
+            };
+            probed.insert_and_probe_with(g.window, g.key, Side::Right, probe, |p| got.push(*p));
+            prop_assert_eq!(&got, &g.left, "group ({}, {}) lost order", g.window, g.key);
+        }
+    }
+
+    /// GC after a handoff behaves as if the handoff never happened: the
+    /// same watermark evicts the same tuple count from a round-tripped
+    /// buffer as from the original.
+    #[test]
+    fn gc_is_handoff_invariant(
+        ops in arena_ops_strategy(80),
+        watermark in 0f64..700.0,
+    ) {
+        let mut original = WindowBuffers::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let ArenaOp::Insert { window, key, left } = *op {
+                let side = if left { Side::Left } else { Side::Right };
+                let tuple = BufferedTuple {
+                    seq: i as u64,
+                    event_time: window as f64 * WINDOW_MS,
+                };
+                original.insert_and_probe_with(window, key, side, tuple, |_| {});
+            }
+        }
+        let mut round_tripped = WindowBuffers::new();
+        round_tripped.import_groups(original.clone().export_groups());
+        let a = original.gc(watermark, WINDOW_MS);
+        let b = round_tripped.gc(watermark, WINDOW_MS);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(original.buffered(), round_tripped.buffered());
     }
 }
 

@@ -195,16 +195,23 @@ fn mid_run_reconfiguration_matches_simulator_replay_on_all_backends() {
     assert_eq!(sim.dropped, 0, "replay must stay drop-free");
     assert!(sim.delivered > 0, "replay must deliver");
 
-    for (backend, shards, workers, key_buckets) in [
-        (BackendKind::Threaded, 1usize, 0usize, 1usize),
-        (BackendKind::Sharded, 4, 0, 4),
-        (BackendKind::Async, 4, 2, 4),
+    // Batch sizes chosen adversarially: 1 (every tuple its own frame),
+    // 7 (co-prime with the emission grid, so the epoch lands mid-batch
+    // and the barrier must bisect a partially filled frame) and 64
+    // (whole windows per frame).
+    for (backend, shards, workers, key_buckets, batch_size) in [
+        (BackendKind::Threaded, 1usize, 0usize, 1usize, 7usize),
+        (BackendKind::Sharded, 4, 0, 4, 1),
+        (BackendKind::Sharded, 4, 0, 4, 7),
+        (BackendKind::Async, 4, 2, 4, 7),
+        (BackendKind::Async, 4, 2, 4, 64),
     ] {
         let cfg = ExecConfig {
             backend,
             shards,
             workers,
             key_buckets,
+            batch_size,
             ..ExecConfig::from_sim(&sim_cfg, 8.0)
         };
         let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid exec config");
@@ -214,7 +221,8 @@ fn mid_run_reconfiguration_matches_simulator_replay_on_all_backends() {
             "{backend:?}: live window state must cross the epoch"
         );
         let res = handle.join();
-        let tag = format!("{backend:?}(shards={shards}, workers={workers})");
+        let tag = format!("{backend:?}(shards={shards}, workers={workers}, batch={batch_size})");
+        assert!(stats.clean_split, "{tag}: epoch must bisect the batch");
         assert_eq!(res.dropped, 0, "{tag}: must stay drop-free");
         assert_eq!(res.emitted, sim.emitted, "{tag}: emitted diverged");
         assert_eq!(res.matched, sim.matched, "{tag}: matched diverged");
@@ -267,19 +275,23 @@ fn recorded_admission_and_scale_sequence_matches_simulator_replay() {
     assert_eq!(sim.dropped, 0, "replay must stay drop-free");
     assert!(sim.delivered > 0, "replay must deliver");
 
-    for (backend, shards, workers, key_buckets) in [
-        (BackendKind::Threaded, 1usize, 0usize, 1usize),
-        (BackendKind::Sharded, 4, 0, 4),
-        (BackendKind::Async, 4, 2, 4),
+    // The admission epoch (1050) is co-prime with batch 7's frame
+    // boundaries, so the late stream's admission — and the rescale at
+    // 1700 — both land mid-batch; batch 64 crosses whole windows.
+    for (backend, shards, workers, key_buckets, batch_size) in [
+        (BackendKind::Threaded, 1usize, 0usize, 1usize, 7usize),
+        (BackendKind::Sharded, 4, 0, 4, 64),
+        (BackendKind::Async, 4, 2, 4, 7),
     ] {
         let cfg = ExecConfig {
             backend,
             shards,
             workers,
             key_buckets,
+            batch_size,
             ..ExecConfig::from_sim(&sim_cfg, 8.0)
         };
-        let tag = format!("{backend:?}(shards={shards}, workers={workers})");
+        let tag = format!("{backend:?}(shards={shards}, workers={workers}, batch={batch_size})");
         let mut handle = launch(&t, flat_dist, &df, &cfg).expect("valid exec config");
         let stats = handle.apply(&admit, flat_dist);
         assert!(
