@@ -1190,7 +1190,10 @@ fn drive_autoscale(
         let live_q = Arc::clone(&live_q);
         let relocated = Arc::clone(&relocated);
         Box::new(move |_from: NodeId| {
-            relocated.store(true, Ordering::SeqCst);
+            // ORDERING: lone flag with no dependent data — the rates
+            // travel inside the mutex-guarded `live_q`, so Relaxed is
+            // enough (nova-lint flagged the original SeqCst here).
+            relocated.store(true, Ordering::Relaxed);
             let q = live_q.lock().unwrap().clone();
             let p = host_based(&q, &q.resolve(), w_big);
             let df = Dataflow::from_baseline(&q, &p);
@@ -1214,7 +1217,9 @@ fn drive_autoscale(
         }
     };
     let host_now = |relocated: &AtomicBool| {
-        if relocated.load(Ordering::SeqCst) {
+        // ORDERING: see the store above — an injector reading the flag
+        // one event late only delays the placement-preserving rebuild.
+        if relocated.load(Ordering::Relaxed) {
             w_big
         } else {
             w_small

@@ -17,6 +17,8 @@
 //! | `fig11_throughput` | Fig. 11 | end-to-end processed tuples vs latency |
 //! | `fig12_latency_percentiles` | Fig. 12 | end-to-end latency percentiles, normal + stressed |
 
+#![forbid(unsafe_code)]
+
 pub mod approaches;
 pub mod endtoend;
 pub mod realexec;

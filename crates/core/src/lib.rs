@@ -53,6 +53,8 @@
 //! assert!(!placement.replicas.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod candidates;
 pub mod eval;

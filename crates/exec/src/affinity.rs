@@ -39,6 +39,11 @@ pub(crate) fn pin_current_thread(cpu: usize) -> bool {
     let len = std::mem::size_of_val(&mask);
     // sched_setaffinity(pid = 0 → calling thread, len, mask)
     let ret: isize;
+    // SAFETY: raw sched_setaffinity(2) syscall. pid 0 addresses only
+    // the calling thread; `len`/`mask.as_ptr()` describe a live local
+    // array the kernel reads, never writes; rcx/r11 are declared
+    // clobbered as the syscall ABI requires. Worst case the kernel
+    // rejects the mask and we return false — no memory is touched.
     #[cfg(target_arch = "x86_64")]
     unsafe {
         std::arch::asm!(
@@ -52,6 +57,9 @@ pub(crate) fn pin_current_thread(cpu: usize) -> bool {
             options(nostack),
         );
     }
+    // SAFETY: same syscall via the aarch64 `svc #0` convention — x8
+    // carries the syscall number, x0–x2 the same read-only arguments
+    // as above, and x0 returns the status in place.
     #[cfg(target_arch = "aarch64")]
     unsafe {
         std::arch::asm!(

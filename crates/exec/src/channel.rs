@@ -383,6 +383,9 @@ impl<T> std::fmt::Debug for PollChan<T> {
 /// Create a poll-based bounded link buffering at most `capacity`
 /// messages — the [`crate::AsyncBackend`] counterpart of [`bounded`].
 pub fn poll_bounded<T>(capacity: usize) -> (PollSender<T>, PollReceiver<T>) {
+    // lint: allow(lock, the poll family IS a lock: waker registration
+    // must be atomic with the buffer check (DESIGN.md §5), so the state
+    // lives under one Mutex and blocking peers park on the Condvar)
     let chan = Arc::new(PollChan {
         state: Mutex::new(PollState {
             items: VecDeque::new(),
@@ -404,6 +407,9 @@ pub fn poll_bounded<T>(capacity: usize) -> (PollSender<T>, PollReceiver<T>) {
 
 impl<T> Clone for PollSender<T> {
     fn clone(&self) -> Self {
+        // lint: allow(lock, sender bookkeeping happens at wiring time,
+        // not per message) allow(panic, poisoned means a peer panicked
+        // mid-send — propagating the crash is the correct response)
         self.chan.state.lock().expect("channel poisoned").senders += 1;
         PollSender {
             chan: Arc::clone(&self.chan),
@@ -413,6 +419,9 @@ impl<T> Clone for PollSender<T> {
 
 impl<T> Drop for PollSender<T> {
     fn drop(&mut self) {
+        // lint: allow(lock, hang-up is once per endpoint, off the data
+        // path) allow(panic, poisoned channel during teardown — the
+        // process is already crashing)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         state.senders -= 1;
         if state.senders == 0 {
@@ -425,6 +434,9 @@ impl<T> Drop for PollSender<T> {
 
 impl<T> Drop for PollReceiver<T> {
     fn drop(&mut self) {
+        // lint: allow(lock, hang-up is once per endpoint, off the data
+        // path) allow(panic, poisoned channel during teardown — the
+        // process is already crashing)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         state.receiver_alive = false;
         // Senders parked on a full buffer must observe the hang-up.
@@ -436,6 +448,10 @@ impl<T> PollSender<T> {
     /// Blocking send (for OS-thread producers): parks while the buffer
     /// is full; `Err` when the receiver is gone.
     pub fn send(&self, msg: T) -> Result<(), Closed> {
+        // lint: allow(lock, blocking send exists for OS-thread peers —
+        // backpressure parks them here by design; cooperative tasks
+        // use try_send) allow(panic, poisoned means a peer panicked
+        // holding the state — propagate, never limp on half a channel)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         loop {
             if !state.receiver_alive {
@@ -455,6 +471,10 @@ impl<T> PollSender<T> {
     /// critical section* — any pop after this call fires it, so the
     /// caller can safely park.
     pub fn try_send(&self, msg: T, waker: &Waker) -> PollSend<T> {
+        // lint: allow(lock, the critical section is what makes waker
+        // registration race-free with the consumer's pop — see the
+        // lost-wake argument in DESIGN.md §5) allow(panic, poisoned
+        // means a peer panicked holding the state — propagate)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         if !state.receiver_alive {
             return PollSend::Closed(msg);
@@ -475,6 +495,10 @@ impl<T> PollReceiver<T> {
     /// buffer is empty; `None` once every sender hung up and the buffer
     /// is drained.
     pub fn recv(&self) -> Option<T> {
+        // lint: allow(lock, blocking recv exists for OS-thread peers —
+        // an empty buffer parks them here by design; cooperative tasks
+        // use try_recv) allow(panic, poisoned means a peer panicked
+        // holding the state — propagate, never limp on half a channel)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
@@ -493,6 +517,10 @@ impl<T> PollReceiver<T> {
     /// (or final hang-up) after this call fires it, so the caller can
     /// safely park.
     pub fn try_recv(&self, waker: &Waker) -> PollRecv<T> {
+        // lint: allow(lock, the critical section is what makes waker
+        // registration race-free with a producer's push — see the
+        // lost-wake argument in DESIGN.md §5) allow(panic, poisoned
+        // means a peer panicked holding the state — propagate)
         let mut state = self.chan.state.lock().expect("channel poisoned");
         if let Some(item) = state.items.pop_front() {
             self.chan.notify_space(&mut state);

@@ -898,6 +898,9 @@ impl<F: Fleet> Plane<F> {
 
         use std::sync::atomic::Ordering;
         let delivered = outputs.len() as u64;
+        // ORDERING: read after every worker has been joined — the
+        // joins' happens-before edges already make the final counter
+        // values visible, so the loads need no ordering of their own.
         ExecResult {
             outputs,
             emitted: self.counters.emitted.load(Ordering::Relaxed),

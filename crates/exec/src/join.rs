@@ -193,6 +193,8 @@ impl JoinCore {
     /// tuple's `(window, subkey)` partner group — the same order as
     /// the window state itself); the per-batch frontier bookkeeping
     /// lives in [`JoinCore::end_batch`], off this per-tuple hot path.
+    // lint: no_alloc hot_path — the probe loop; `out.push` amortizes
+    // into the caller's reused buffer, everything else is in place.
     pub fn on_tuple(
         &mut self,
         inflight: &InFlight,
@@ -264,6 +266,8 @@ impl JoinCore {
     /// (re-framed to its own batch size), which makes the batch the
     /// executor's atomic unit of work — a barrier, Eof or cooperative
     /// budget pause can only ever fall *between* batches.
+    // lint: no_alloc hot_path — one batch per state-machine step;
+    // steady state must not allocate per batch.
     pub fn on_batch(
         &mut self,
         batch: &TupleBatch,

@@ -94,6 +94,9 @@ impl NodePacer {
     /// generation spawns and before the sources resume, so every
     /// post-epoch reservation observes the new rate.
     pub fn set_capacity(&self, capacity: f64) {
+        // ORDERING: Release pairs with the Acquire load in `serve` —
+        // a reservation that sees the new rate also sees everything
+        // the control plane published before changing it.
         self.service_ms
             .store(service_ms_of(capacity).to_bits(), Ordering::Release);
     }
@@ -105,11 +108,17 @@ impl NodePacer {
     /// simulator's `serve` byte for byte, but is safe to call from any
     /// thread: the reservation is a CAS loop over `busy_until`.
     pub fn serve(&self, at: f64) -> Option<f64> {
+        // ORDERING: Acquire pairs with `set_capacity`'s Release, so a
+        // post-reconfiguration reservation observes the new rate.
         let service_ms = f64::from_bits(self.service_ms.load(Ordering::Acquire));
         if service_ms == 0.0 {
             return Some(at);
         }
         loop {
+            // ORDERING: the CAS loop is the queue — Acquire on the
+            // read and AcqRel on the exchange make each successful
+            // reservation happen-after the one whose `done` it builds
+            // on, so completion times are monotone per node.
             let cur_bits = self.busy_until.load(Ordering::Acquire);
             let cur = f64::from_bits(cur_bits);
             if cur - at > self.max_queue_ms {
@@ -134,6 +143,9 @@ impl NodePacer {
     }
 
     fn add_busy(&self, delta: f64) {
+        // ORDERING: busy_ms is a statistic, not a synchronizer — the
+        // CAS only guards against a lost float addition; readers
+        // tolerate any interleaving, so Relaxed throughout.
         let mut cur = self.busy_ms.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
@@ -151,6 +163,8 @@ impl NodePacer {
 
     /// Total service time charged to this node so far (ms).
     pub fn busy_ms(&self) -> f64 {
+        // ORDERING: monotone statistic; a marginally stale read only
+        // shifts one telemetry sample.
         f64::from_bits(self.busy_ms.load(Ordering::Relaxed))
     }
 
@@ -158,6 +172,8 @@ impl NodePacer {
     /// its single-server queue. `busy_until_ms() − now` is the node's
     /// backlog gauge in the telemetry plane.
     pub fn busy_until_ms(&self) -> f64 {
+        // ORDERING: backlog gauge for samplers — staleness is bounded
+        // by the sample interval, no ordering needed.
         f64::from_bits(self.busy_until.load(Ordering::Relaxed))
     }
 }
@@ -176,6 +192,8 @@ pub struct Counters {
 impl Counters {
     #[inline]
     pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+        // ORDERING: pure tally; the run's final values are fenced by
+        // worker joins, live reads are statistics (DESIGN.md §8).
         counter.fetch_add(by, Ordering::Relaxed);
     }
 }
@@ -295,6 +313,10 @@ impl LogHistogram {
 
     #[inline]
     pub(crate) fn record_ms(&self, ms: f64) {
+        // ORDERING: independent tallies — a scrape may see the bucket
+        // without the sum for one in-flight sample, which histogram
+        // consumers tolerate by construction; Relaxed keeps the hot
+        // instrument at one uncontended RMW per field.
         let us = value_us(ms);
         self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -304,6 +326,8 @@ impl LogHistogram {
     /// per *occupied* bucket plus one for the sum, instead of two per
     /// recorded value.
     pub(crate) fn merge(&self, batch: &LatencyBatch) {
+        // ORDERING: same contract as `record_ms` — per-bucket tallies,
+        // torn scrapes are within the telemetry plane's error bars.
         for (i, &c) in batch.counts.iter().enumerate() {
             if c > 0 {
                 self.buckets[i].fetch_add(c, Ordering::Relaxed);
@@ -315,6 +339,8 @@ impl LogHistogram {
     }
 
     fn snapshot(&self) -> HistogramSnapshot {
+        // ORDERING: a scrape is a statistical sample, not a barrier —
+        // each bucket is read atomically, cross-bucket skew is fine.
         HistogramSnapshot {
             counts: self
                 .buckets
@@ -487,6 +513,7 @@ pub(crate) struct SourceInstr {
 impl SourceInstr {
     #[inline]
     pub(crate) fn on_emit(&self, n: u64) {
+        // ORDERING: see `ShardInstr::on_send` — same tally contract.
         self.emitted.fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -519,12 +546,18 @@ pub(crate) struct ShardInstr {
 impl ShardInstr {
     #[inline]
     pub(crate) fn on_send(&self, tuples: usize) {
+        // ORDERING: all ShardInstr/SinkInstr updates are pure tallies
+        // read by samplers — queue-depth gauges are *derived* as
+        // sent − recv, and a torn read only misstates depth by one
+        // in-flight batch for one sample. Relaxed everywhere keeps
+        // the ≤ 3 % telemetry-overhead budget (DESIGN.md §8).
         self.sent_msgs.fetch_add(1, Ordering::Relaxed);
         self.sent_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn on_recv(&self, tuples: usize) {
+        // ORDERING: see `on_send` — same tally contract.
         self.recv_msgs.fetch_add(1, Ordering::Relaxed);
         self.recv_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
     }
@@ -534,15 +567,20 @@ impl ShardInstr {
     /// atomics (see [`crate::join::JoinCore::publish_matched`]).
     #[inline]
     pub(crate) fn on_matched(&self, n: u64) {
+        // ORDERING: see `on_send` — same tally contract.
         self.matched.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn on_out(&self, tuples: usize) {
+        // ORDERING: see `on_send` — same tally contract.
         self.out_tuples.fetch_add(tuples as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn retire(&self) {
+        // ORDERING: liveness flag for snapshot labeling only; the
+        // epoch protocol itself synchronizes through the scheduler,
+        // not through this bit.
         self.retired.store(true, Ordering::Relaxed);
     }
 }
@@ -558,11 +596,13 @@ pub(crate) struct SinkInstr {
 impl SinkInstr {
     #[inline]
     pub(crate) fn on_seen(&self, n: u64) {
+        // ORDERING: see `ShardInstr::on_send` — same tally contract.
         self.seen.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
     pub(crate) fn on_delivered(&self, n: u64) {
+        // ORDERING: see `ShardInstr::on_send` — same tally contract.
         self.delivered.fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -573,6 +613,9 @@ impl SinkInstr {
 /// shedders never double-trace).
 #[inline]
 pub(crate) fn count_drop(counters: &Counters, registry: Option<&MetricsRegistry>) {
+    // ORDERING: fetch_add is atomic regardless of ordering, so each
+    // power-of-two total is still returned to exactly one shedder;
+    // nothing else reads the counter mid-run for control decisions.
     let total = counters.dropped.fetch_add(1, Ordering::Relaxed) + 1;
     if let Some(r) = registry {
         if total.is_power_of_two() {
@@ -710,6 +753,10 @@ impl MetricsRegistry {
         counters: Arc<Counters>,
         pacers: Arc<Vec<NodePacer>>,
     ) -> Arc<Self> {
+        // lint: allow(lock, the registry's mutexes guard *roster*
+        // state — instrument lists, the trace ring, epoch stats —
+        // touched at spawn/reconfiguration/scrape time; the per-tuple
+        // instruments above them are plain atomics, DESIGN.md §8)
         Arc::new(MetricsRegistry {
             clock,
             counters,
@@ -734,6 +781,9 @@ impl MetricsRegistry {
             node,
             emitted: AtomicU64::new(0),
         });
+        // lint: allow(lock, once per source spawn, not per tuple)
+        // allow(panic, a poisoned roster means a worker crashed while
+        // registering — nothing downstream is trustworthy, propagate)
         self.sources
             .lock()
             .expect("registry poisoned")
@@ -766,6 +816,9 @@ impl MetricsRegistry {
                 })
             })
             .collect();
+        // lint: allow(lock, once per shard generation — spawn and
+        // reconfiguration only) allow(panic, poisoned roster — see
+        // register_source)
         self.shards
             .lock()
             .expect("registry poisoned")
@@ -778,6 +831,8 @@ impl MetricsRegistry {
     }
 
     pub(crate) fn attach_scheduler(&self, sched: Arc<Scheduler>) {
+        // lint: allow(lock, once per backend launch) allow(panic,
+        // poisoned roster — see register_source)
         *self.sched.lock().expect("registry poisoned") = Some(sched);
     }
 
@@ -788,6 +843,8 @@ impl MetricsRegistry {
 
     /// Append a trace event (drop-oldest past [`TRACE_RING_CAP`]).
     pub(crate) fn trace(&self, kind: TraceKind) {
+        // ORDERING: seq only needs uniqueness and rough monotonicity
+        // for consumers ordering the ring; fetch_add gives both.
         let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
         let ev = TraceEvent {
             seq,
@@ -795,6 +852,10 @@ impl MetricsRegistry {
             wall_ms: self.clock.wall_ms(),
             kind,
         };
+        // lint: allow(lock, trace events are rate-limited control
+        // moments — epoch edges, power-of-two shed totals — never the
+        // per-tuple path) allow(panic, poisoned ring — see
+        // register_source)
         let mut ring = self.trace.lock().expect("registry poisoned");
         if ring.len() == TRACE_RING_CAP {
             ring.pop_front();
@@ -803,19 +864,28 @@ impl MetricsRegistry {
     }
 
     pub(crate) fn push_epoch(&self, stats: EpochStats) {
+        // lint: allow(lock, once per reconfiguration epoch)
+        // allow(panic, poisoned roster — see register_source)
         self.epochs.lock().expect("registry poisoned").push(stats);
     }
 
     pub(crate) fn finish(&self) {
+        // ORDERING: Release pairs with `is_finished`'s Acquire — the
+        // sampler that sees the flag also sees every final counter
+        // value published before the control plane raised it, so its
+        // last snapshot equals the ExecResult counts.
         self.finished.store(true, Ordering::Release);
     }
 
     pub(crate) fn is_finished(&self) -> bool {
+        // ORDERING: Acquire half of the `finish` pairing above.
         self.finished.load(Ordering::Acquire)
     }
 
     /// Drain-free copy of the trace ring, oldest first.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
+        // lint: allow(lock, scrape-side read of the rate-limited
+        // ring) allow(panic, poisoned ring — see register_source)
         self.trace
             .lock()
             .expect("registry poisoned")
@@ -831,6 +901,12 @@ impl MetricsRegistry {
     /// over the per-shard instruments, so it is *live* — the run-wide
     /// [`Counters::matched`] only moves when a shard retires.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // ORDERING: every load below is a statistical sample of a
+        // monotone counter — see the monotonicity argument in the doc
+        // comment; cross-counter skew within one snapshot is accepted.
+        // lint: allow(lock, scrape-side walk of the roster mutexes —
+        // registration and scrapes contend, tuples never do)
+        // allow(panic, poisoned roster — see register_source)
         let now_ms = self.clock.now_ms();
         let shards: Vec<ShardSnapshot> = self
             .shards
@@ -1066,6 +1142,8 @@ impl MetricsSnapshot {
         epochs: &[EpochStats],
     ) -> Self {
         let now_ms = clock.now_ms();
+        // ORDERING: same sampling contract as `snapshot` — monotone
+        // counters read individually, skew accepted.
         MetricsSnapshot {
             at_ms: now_ms,
             wall_ms: clock.wall_ms(),

@@ -19,6 +19,8 @@
 //! Everything in this crate is deterministic given a seed and free of
 //! global state, which keeps the optimizer's simulations reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod annoy;
 pub mod coord;
 pub mod kdcap;

@@ -1,0 +1,455 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `nova-lint` must build offline with zero dependencies, so it cannot
+//! use `syn`. Fortunately the invariants it checks are all visible at
+//! the token level: `unsafe` keywords, `Ordering::Relaxed` paths,
+//! `.lock()` method calls, `_ =>` match arms. This lexer produces
+//! exactly what the rules need and nothing more:
+//!
+//! - **Tokens** with 1-based line numbers: identifiers (keywords
+//!   included — `unsafe` is just an ident here), numbers, string /
+//!   char literals, lifetimes, and punctuation (`::`, `=>`, `->` are
+//!   single tokens; everything else is one character).
+//! - **Comments** as separate trivia, also with line numbers — the
+//!   annotation grammar (`// SAFETY:`, `// ORDERING:`, `// lint: …`)
+//!   lives in comments, so they must never be mistaken for code and
+//!   code inside comments must never fire a rule.
+//!
+//! It understands the parts of Rust's lexical grammar that would
+//! otherwise cause false positives: nested block comments, raw strings
+//! (`r#"…"#`), byte strings, and the `'a` lifetime vs `'x'` char
+//! literal ambiguity. It does *not* interpret the token stream — that
+//! is `scanner.rs`'s job.
+
+/// What a [`Token`] is. Keywords are [`TokenKind::Ident`]s: the rules
+/// match on text, and treating `unsafe`/`match`/`fn` as plain idents
+/// keeps the lexer free of a keyword table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword: `unsafe`, `Ordering`, `foo_bar`, `_`.
+    Ident,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Punctuation. `::`, `=>` and `->` are one token; all other
+    /// punctuation is a single character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment, kept out of the token stream. `text` is the body:
+/// everything after `//` for line comments (doc-comment markers `/`
+/// and `!` are left in and stripped by the annotation parser), the
+/// inner text for block comments. `line` is where the comment starts.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// A lexed source file: code tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end of file — the linter's job is to scan
+/// code `rustc` already accepted, so error recovery would be dead
+/// weight.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in chars[from..to] — multi-line tokens (block
+    // comments, raw strings) advance the line counter by their span.
+    let newlines = |from: usize, to: usize| -> u32 {
+        chars[from..to].iter().filter(|&&c| c == '\n').count() as u32
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                '/' => {
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < chars.len() && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    out.comments.push(Comment {
+                        text: chars[start..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+                '*' => {
+                    // Nested block comment: `/* a /* b */ c */`.
+                    let start_line = line;
+                    let start = i + 2;
+                    let mut depth = 1usize;
+                    let mut j = start;
+                    while j < chars.len() && depth > 0 {
+                        if chars[j] == '/' && j + 1 < chars.len() && chars[j + 1] == '*' {
+                            depth += 1;
+                            j += 2;
+                        } else if chars[j] == '*' && j + 1 < chars.len() && chars[j + 1] == '/' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    let end = j.saturating_sub(2).max(start);
+                    out.comments.push(Comment {
+                        text: chars[start..end].iter().collect(),
+                        line: start_line,
+                    });
+                    line += newlines(i, j);
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && j < chars.len() && chars[j] == 'r' {
+                j += 1;
+            }
+            let raw = c == 'r' || (j > i + 1);
+            if raw {
+                let hashes_from = j;
+                while j < chars.len() && chars[j] == '#' {
+                    j += 1;
+                }
+                let hashes = j - hashes_from;
+                if j < chars.len() && chars[j] == '"' {
+                    // Confirmed raw string: scan to `"` followed by
+                    // `hashes` hash marks.
+                    let mut k = j + 1;
+                    'scan: while k < chars.len() {
+                        if chars[k] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && k + 1 + h < chars.len() && chars[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        k += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: chars[i..k.min(chars.len())].iter().collect(),
+                        line,
+                    });
+                    line += newlines(i, k.min(chars.len()));
+                    i = k;
+                    continue;
+                }
+                // Not a raw string after all (`r#match` raw idents are
+                // not used in this workspace): fall through to ident.
+            } else if c == 'b'
+                && i + 1 < chars.len()
+                && (chars[i + 1] == '"' || chars[i + 1] == '\'')
+            {
+                // b"…" / b'…': lex as the underlying literal with the
+                // prefix glued on.
+                let quote = chars[i + 1];
+                let (tok, next) = lex_quoted(&chars, i + 1, quote);
+                out.tokens.push(Token {
+                    kind: if quote == '"' {
+                        TokenKind::Str
+                    } else {
+                        TokenKind::Char
+                    },
+                    text: format!("b{tok}"),
+                    line,
+                });
+                line += newlines(i, next);
+                i = next;
+                continue;
+            }
+        }
+
+        if c == '"' {
+            let (tok, next) = lex_quoted(&chars, i, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: tok,
+                line,
+            });
+            line += newlines(i, next);
+            i = next;
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime or char literal. `'a`, `'static`, `'_` have an
+            // ident run NOT followed by a closing quote; `'x'` does.
+            let mut j = i + 1;
+            let is_lifetime = if j < chars.len() && is_ident_start(chars[j]) {
+                let mut k = j + 1;
+                while k < chars.len() && is_ident_char(chars[k]) {
+                    k += 1;
+                }
+                if k < chars.len() && chars[k] == '\'' {
+                    false // 'x' — a one-char literal ('ab' is not Rust)
+                } else {
+                    j = k;
+                    true
+                }
+            } else {
+                false
+            };
+            if is_lifetime {
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let (tok, next) = lex_quoted(&chars, i, '\'');
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                text: tok,
+                line,
+            });
+            i = next;
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            // One fractional part, but never eat a `..` range operator.
+            if j + 1 < chars.len() && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // Punctuation: keep `::`, `=>`, `->` whole — the scanner keys
+        // on them — and everything else single-char.
+        let two: Option<&str> = if i + 1 < chars.len() {
+            match (c, chars[i + 1]) {
+                (':', ':') => Some("::"),
+                ('=', '>') => Some("=>"),
+                ('-', '>') => Some("->"),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(t) = two {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: t.to_string(),
+                line,
+            });
+            i += 2;
+        } else {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+
+    out
+}
+
+/// Lex a `"…"` or `'…'` literal starting at `start` (which holds the
+/// opening quote). Handles `\\` and `\<quote>` escapes. Returns the
+/// literal text (quotes included) and the index just past it.
+fn lex_quoted(chars: &[char], start: usize, quote: char) -> (String, usize) {
+    let mut j = start + 1;
+    while j < chars.len() {
+        if chars[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if chars[j] == quote {
+            j += 1;
+            break;
+        }
+        j += 1;
+    }
+    let j = j.min(chars.len());
+    (chars[start..j].iter().collect(), j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_trivia_not_tokens() {
+        // The word "unsafe" in prose must never look like the keyword.
+        let l = lex("// this is never unsafe\nfn f() {}\n/* unsafe\n   unsafe */ let x = 1;");
+        assert!(idents(&l).iter().all(|t| *t != "unsafe"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents(&l), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_their_contents() {
+        let l = lex(r####"let s = r#"unsafe { Mutex } "quoted" "#; let t = 2;"####);
+        assert!(idents(&l).iter().all(|t| *t != "unsafe" && *t != "Mutex"));
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let l = lex(r"let c = '\''; let d = '\\'; let s = 'a';");
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn multichar_puncts_stay_whole() {
+        let l = lex("Ordering::Relaxed => x -> y");
+        let puncts: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "=>", "->"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "/* one\ntwo */\nfn f() {\n    g();\n}\n";
+        let l = lex(src);
+        let f = l.tokens.iter().find(|t| t.text == "fn").expect("fn token");
+        assert_eq!(f.line, 3);
+        let g = l.tokens.iter().find(|t| t.text == "g").expect("g token");
+        assert_eq!(g.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let l = lex("for i in 0..10 { let f = 1.5; }");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+}

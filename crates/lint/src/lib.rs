@@ -1,0 +1,107 @@
+//! `nova-lint` — Nova's workspace concurrency-invariant checker.
+//!
+//! The executor's performance story rests on invariants that `rustc`
+//! cannot see: the probe loop takes no locks, the batched hot path
+//! allocates nothing in steady state, every atomic ordering has a
+//! written-down consistency argument, `unsafe` lives in two audited
+//! files, and wire-protocol enums are always matched exhaustively.
+//! This crate checks all of that offline, with zero dependencies —
+//! a hand-rolled lexer ([`lexer`]), a token-stream scanner
+//! ([`scanner`]), the rule catalogue ([`rules`]), and reporting plus
+//! a suppression baseline ([`report`]).
+//!
+//! Run it from the workspace root:
+//!
+//! ```sh
+//! cargo run -p nova-lint
+//! ```
+//!
+//! DESIGN.md §11 documents the rule catalogue and the annotation
+//! grammar (`// SAFETY:`, `// ORDERING:`, `// lint: …`).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use rules::{Finding, RuleConfig};
+use scanner::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into: build output,
+/// vendored stubs, test/bench/fixture code.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+/// Every `.rs` file the lint covers: the facade's `src/` plus each
+/// `crates/*/src/`, sorted for deterministic reports.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| format!("read_dir {crates:?}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {crates:?}: {e}"))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            walk(&r, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform —
+/// the form rule configs and baseline fingerprints use.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scan one file from disk and run every rule over it.
+pub fn check_path(root: &Path, path: &Path, cfg: &RuleConfig) -> Result<Vec<Finding>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let file = SourceFile::parse(&rel_path(root, path), &src);
+    Ok(rules::check_file(&file, cfg))
+}
+
+/// Walk the workspace under `root` and collect every finding.
+pub fn check_workspace(root: &Path, cfg: &RuleConfig) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        findings.extend(check_path(root, &path, cfg)?);
+    }
+    Ok(findings)
+}

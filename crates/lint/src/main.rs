@@ -1,0 +1,125 @@
+//! The `nova-lint` CLI.
+//!
+//! ```sh
+//! cargo run -p nova-lint                      # check the workspace
+//! cargo run -p nova-lint -- --json out.json   # also write the CI report
+//! cargo run -p nova-lint -- --write-baseline  # accept current findings
+//! ```
+//!
+//! Exits 0 when every finding is baselined (or there are none),
+//! 1 on new findings, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use nova_lint::report::{partition, render_human, render_json, Baseline};
+use nova_lint::rules::RuleConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nova-lint [--root PATH] [--baseline PATH] [--json PATH] [--write-baseline]\n\
+         \n\
+         --root PATH        workspace root (default: this crate's ../..)\n\
+         --baseline PATH    suppression baseline (default: <root>/lint-baseline.json)\n\
+         --json PATH        write the machine-readable report here\n\
+         --write-baseline   rewrite the baseline to accept all current findings"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    // Default root: the workspace this binary was built from, so
+    // `cargo run -p nova-lint` works from any cwd.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = Args {
+        root: default_root,
+        baseline: None,
+        json: None,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().map(PathBuf::from).unwrap_or_else(|| usage()),
+            "--baseline" => {
+                args.baseline = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage()))
+            }
+            "--json" => args.json = Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("nova-lint: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let root = match args.root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nova-lint: bad --root {:?}: {e}", args.root);
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let findings = match nova_lint::check_workspace(&root, &RuleConfig::nova()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("nova-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let mut b = Baseline::default();
+        for f in &findings {
+            b.fingerprints.insert(f.fingerprint());
+        }
+        if let Err(e) = std::fs::write(&baseline_path, b.to_json()) {
+            eprintln!("nova-lint: write {baseline_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "nova-lint: baseline rewritten with {} fingerprint(s) at {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => Baseline::parse(&src),
+        Err(_) => Baseline::default(), // no baseline file → nothing suppressed
+    };
+    let (new, baselined) = partition(&findings, &baseline);
+
+    print!("{}", render_human(&new, baselined.len()));
+    if let Some(json_path) = &args.json {
+        if let Err(e) = std::fs::write(json_path, render_json(&new, baselined.len())) {
+            eprintln!("nova-lint: write {json_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,217 @@
+//! Reporting and the suppression baseline.
+//!
+//! The JSON here is hand-rolled: the workspace's `serde` is an offline
+//! no-op stub (see `vendor/`), so `nova-lint` writes and parses its
+//! own — the report is a flat object, the baseline a string array,
+//! and both stay trivially greppable.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// A set of finding fingerprints accepted as pre-existing debt. New
+/// findings are anything not in the set; only they fail the run.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub fingerprints: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parse a baseline file. The format is JSON of the shape
+    /// `{"fingerprints": ["rule|path|line text", …]}`; parsing just
+    /// extracts every string literal, which is exactly the
+    /// fingerprint list and survives formatting churn.
+    pub fn parse(src: &str) -> Baseline {
+        Baseline {
+            fingerprints: json_strings(src)
+                .into_iter()
+                .filter(|s| s != "fingerprints")
+                .collect(),
+        }
+    }
+
+    /// Serialize back to the checked-in format, sorted for stable
+    /// diffs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"fingerprints\": [\n");
+        let n = self.fingerprints.len();
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&json_escape(fp));
+            if i + 1 < n {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.fingerprints.contains(&f.fingerprint())
+    }
+}
+
+/// Split findings into (new, baselined).
+pub fn partition<'a>(
+    findings: &'a [Finding],
+    baseline: &Baseline,
+) -> (Vec<&'a Finding>, Vec<&'a Finding>) {
+    findings.iter().partition(|f| !baseline.contains(f))
+}
+
+/// The human-readable report: one block per finding, rustc-style
+/// `path:line` anchors so terminals link them.
+pub fn render_human(new: &[&Finding], baselined: usize) -> String {
+    let mut out = String::new();
+    for f in new {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            f.file, f.line, f.rule, f.message, f.text
+        ));
+    }
+    if new.is_empty() {
+        out.push_str("nova-lint: clean");
+    } else {
+        out.push_str(&format!("nova-lint: {} new finding(s)", new.len()));
+    }
+    if baselined > 0 {
+        out.push_str(&format!(" ({baselined} baselined)"));
+    }
+    out.push('\n');
+    out
+}
+
+/// The machine-readable report uploaded by CI.
+pub fn render_json(new: &[&Finding], baselined: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let n = new.len();
+    for (i, f) in new.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"text\": {}, \"message\": {}}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.text),
+            json_escape(&f.message),
+        ));
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  ],\n  \"total\": {},\n  \"baselined\": {}\n}}\n",
+        n, baselined
+    ));
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Every string literal in a JSON document, unescaped. Enough of a
+/// parser for the baseline format (and forgiving of trailing commas).
+fn json_strings(src: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] != '"' {
+            i += 1;
+            continue;
+        }
+        let mut s = String::new();
+        i += 1;
+        while i < chars.len() && chars[i] != '"' {
+            if chars[i] == '\\' && i + 1 < chars.len() {
+                let esc = chars[i + 1];
+                s.push(match esc {
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    'u' => {
+                        // \uXXXX — decode or fall back to '?'.
+                        let hex: String = chars[i + 2..(i + 6).min(chars.len())].iter().collect();
+                        i += 4;
+                        u32::from_str_radix(&hex, 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .unwrap_or('?')
+                    }
+                    c => c,
+                });
+                i += 2;
+            } else {
+                s.push(chars[i]);
+                i += 1;
+            }
+        }
+        i += 1;
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, text: &str) -> Finding {
+        Finding {
+            rule,
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            text: text.into(),
+            message: "msg".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_and_suppresses() {
+        let f1 = finding("hot_lock", "state.lock()");
+        let f2 = finding("hot_panic", "x.unwrap()");
+        let mut b = Baseline::default();
+        b.fingerprints.insert(f1.fingerprint());
+        let parsed = Baseline::parse(&b.to_json());
+        assert!(parsed.contains(&f1));
+        assert!(!parsed.contains(&f2));
+        let all = vec![f1, f2];
+        let (new, old) = partition(&all, &parsed);
+        assert_eq!(new.len(), 1);
+        assert_eq!(old.len(), 1);
+        assert_eq!(new[0].rule, "hot_panic");
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers() {
+        let mut a = finding("no_alloc", "let v = something();");
+        let b_f = finding("no_alloc", "let v = something();");
+        a.line = 100;
+        assert_eq!(a.fingerprint(), b_f.fingerprint());
+    }
+
+    #[test]
+    fn json_report_escapes_quotes() {
+        let f = finding("hot_panic", r#"x.expect("channel poisoned")"#);
+        let new = vec![&f];
+        let json = render_json(&new, 0);
+        assert!(json.contains(r#"\"channel poisoned\""#));
+        assert!(json.contains("\"total\": 1"));
+    }
+}

@@ -1,0 +1,676 @@
+//! Token-stream structure recovery: annotations, test regions,
+//! function items, and `match` expressions.
+//!
+//! The scanner turns a [`Lexed`](crate::lexer::Lexed) file into the
+//! shapes the rules need,
+//! without building a real AST:
+//!
+//! - **Annotations** — the lint grammar lives in ordinary comments:
+//!   `// SAFETY: <why>`, `// ORDERING: <why>`,
+//!   `// lint: allow(<key>, <reason>)` (several `allow(…)` clauses may
+//!   share one comment), and the fn tags `// lint: no_alloc` /
+//!   `// lint: hot_path`. Each annotation *covers a paragraph*: its own
+//!   line plus every contiguous following non-blank line. A comment
+//!   above a statement therefore covers the whole statement even when
+//!   rustfmt splits it across lines, and a trailing comment covers its
+//!   own line — but a blank line always ends the covered region, so an
+//!   annotation can never silently justify unrelated code further down.
+//! - **Test regions** — line ranges of items marked `#[test]` or
+//!   `#[cfg(test)]` (attributes containing `not`, as in
+//!   `#[cfg(not(test))]`, do not count). Most rules skip test code.
+//! - **Functions** — name, line of the `fn` keyword, body token/line
+//!   range, and which tags cover the `fn` line.
+//! - **Match expressions** — scrutinee tokens plus top-level arms
+//!   (pattern tokens, wildcard-ness, arm line), for the protocol-enum
+//!   wildcard rule.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// What a parsed annotation means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// `// SAFETY: <why>` — justifies an `unsafe` site.
+    Safety,
+    /// `// ORDERING: <why>` — justifies an atomic memory ordering.
+    Ordering,
+    /// `// lint: allow(<key>, <reason>)` — waives one rule. `key` is
+    /// one of `lock`, `panic`, `alloc`, `seqcst`, `wildcard`.
+    Allow { key: String, has_reason: bool },
+    /// `// lint: no_alloc` — tags the next `fn` as allocation-free.
+    NoAlloc,
+    /// `// lint: hot_path` — tags the next `fn` as a hot-path region
+    /// even outside the built-in region table.
+    HotPath,
+}
+
+/// One annotation with the line range it covers (inclusive, 1-based).
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub kind: AnnotationKind,
+    pub line: u32,
+    pub covers_to: u32,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body, `{` and `}` included. Empty for
+    /// bodyless trait-method declarations.
+    pub body_tokens: (usize, usize),
+    pub no_alloc: bool,
+    pub hot_path: bool,
+    pub in_test: bool,
+}
+
+/// One top-level arm of a `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    /// Pattern tokens (guard excluded).
+    pub pattern: Vec<Token>,
+    /// True when the pattern is exactly `_`.
+    pub wildcard: bool,
+    pub line: u32,
+}
+
+/// One `match` expression: scrutinee tokens plus its top-level arms.
+#[derive(Debug, Clone)]
+pub struct MatchExpr {
+    pub head: Vec<Token>,
+    pub arms: Vec<MatchArm>,
+    pub line: u32,
+}
+
+/// A fully scanned source file, ready for the rules.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Raw source lines, for snippets and blank-line detection.
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    pub annotations: Vec<Annotation>,
+    pub fns: Vec<FnItem>,
+    pub matches: Vec<MatchExpr>,
+    /// Inclusive line ranges of `#[test]` / `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lex and scan one file.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let annotations = parse_annotations(&lexed.comments, &lines);
+        let test_regions = find_test_regions(&lexed.tokens);
+        let fns = find_fns(&lexed.tokens, &annotations, &test_regions);
+        let matches = find_matches(&lexed.tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines,
+            tokens: lexed.tokens,
+            annotations,
+            fns,
+            matches,
+            test_regions,
+        }
+    }
+
+    /// Is `line` covered by an annotation of the given kind?
+    pub fn covered_by(&self, line: u32, want: &AnnotationKind) -> bool {
+        self.annotations
+            .iter()
+            .any(|a| a.kind == *want && a.line <= line && line <= a.covers_to)
+    }
+
+    /// Is `line` covered by `// lint: allow(key, …)` *with* a reason?
+    pub fn allowed(&self, line: u32, key: &str) -> bool {
+        self.annotations.iter().any(|a| {
+            matches!(&a.kind, AnnotationKind::Allow { key: k, has_reason: true } if k == key)
+                && a.line <= line
+                && line <= a.covers_to
+        })
+    }
+
+    /// Is `line` inside a `#[test]` / `#[cfg(test)]` item?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The trimmed source text of `line` (1-based), for reports and
+    /// baseline fingerprints.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+}
+
+/// Strip doc-comment markers: `/// SAFETY:` and `//! …` carry the
+/// same grammar as plain `//` comments.
+fn comment_body(text: &str) -> &str {
+    text.trim_start_matches(['/', '!']).trim()
+}
+
+fn starts_annotation(body: &str) -> bool {
+    body.starts_with("SAFETY:") || body.starts_with("ORDERING:") || body.starts_with("lint:")
+}
+
+/// Parse every comment into zero or more annotations and compute
+/// paragraph coverage from the raw source lines.
+///
+/// An annotation may run on across several comment lines: comments on
+/// directly following lines that do not start an annotation of their
+/// own are folded into the text, so an `allow(key, long reason…)`
+/// clause can wrap.
+fn parse_annotations(comments: &[Comment], lines: &[String]) -> Vec<Annotation> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < comments.len() {
+        let c = &comments[i];
+        let body = comment_body(&c.text);
+        if !starts_annotation(body) {
+            i += 1;
+            continue;
+        }
+        // Fold continuation comment lines into one logical text.
+        let mut text = body.to_string();
+        let mut prev_line = c.line;
+        let mut j = i + 1;
+        while j < comments.len() {
+            let n = &comments[j];
+            let nb = comment_body(&n.text);
+            if n.line != prev_line + 1 || starts_annotation(nb) {
+                break;
+            }
+            text.push(' ');
+            text.push_str(nb);
+            prev_line = n.line;
+            j += 1;
+        }
+        let covers_to = paragraph_end(lines, c.line);
+        if let Some(rest) = text.strip_prefix("SAFETY:") {
+            if !rest.trim().is_empty() {
+                out.push(Annotation {
+                    kind: AnnotationKind::Safety,
+                    line: c.line,
+                    covers_to,
+                });
+            }
+        } else if let Some(rest) = text.strip_prefix("ORDERING:") {
+            if !rest.trim().is_empty() {
+                out.push(Annotation {
+                    kind: AnnotationKind::Ordering,
+                    line: c.line,
+                    covers_to,
+                });
+            }
+        } else if let Some(rest) = text.strip_prefix("lint:") {
+            for kind in parse_lint_directives(rest) {
+                out.push(Annotation {
+                    kind,
+                    line: c.line,
+                    covers_to,
+                });
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Last line of the paragraph starting at `line`: extend downward
+/// while lines stay non-blank.
+fn paragraph_end(lines: &[String], line: u32) -> u32 {
+    let mut end = line;
+    while (end as usize) < lines.len() && !lines[end as usize].trim().is_empty() {
+        end += 1;
+    }
+    end
+}
+
+/// Parse the payload of a `// lint:` comment: any mix of `no_alloc`,
+/// `hot_path`, and `allow(key, reason)` clauses. Tags must come
+/// before the first `allow(…)` — reason prose is free-form and must
+/// not be able to smuggle a tag in.
+fn parse_lint_directives(rest: &str) -> Vec<AnnotationKind> {
+    let mut out = Vec::new();
+    let mut s = rest;
+    while let Some(pos) = s.find("allow(") {
+        let after = &s[pos + "allow(".len()..];
+        // A reason may itself contain `(…)`: the clause ends at the
+        // `)` that balances the opening one.
+        let mut depth = 1usize;
+        let mut close = None;
+        for (k, ch) in after.char_indices() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        let inner = &after[..close];
+        let (key, reason) = match inner.split_once(',') {
+            Some((k, r)) => (k.trim(), r.trim()),
+            None => (inner.trim(), ""),
+        };
+        if !key.is_empty() {
+            out.push(AnnotationKind::Allow {
+                key: key.to_string(),
+                has_reason: !reason.is_empty(),
+            });
+        }
+        s = &after[close + 1..];
+    }
+    let tag_scope = rest.split("allow(").next().unwrap_or(rest);
+    for word in tag_scope.split([' ', ',']) {
+        match word.trim() {
+            "no_alloc" => out.push(AnnotationKind::NoAlloc),
+            "hot_path" => out.push(AnnotationKind::HotPath),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Index of the token matching the opening delimiter at `open`,
+/// balancing `(`/`)`, `[`/`]`, `{`/`}` together. Returns the index of
+/// the closing token (or the last token on unbalanced input).
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct {
+            match tokens[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Line ranges of items whose attributes mark them as test code.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr_start =
+            tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[";
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let close = matching_close(tokens, i + 1);
+        let attr = &tokens[i + 1..close];
+        let has = |name: &str| {
+            attr.iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == name)
+        };
+        // `#[test]`, `#[cfg(test)]` mark tests; `#[cfg(not(test))]` is
+        // production code.
+        if has("test") && !has("not") {
+            // The marked item's body is the next brace group.
+            let mut j = close + 1;
+            while j < tokens.len() && tokens[j].text != "{" {
+                j += 1;
+            }
+            if j < tokens.len() {
+                let end = matching_close(tokens, j);
+                out.push((tokens[i].line, tokens[end].line));
+                i = end + 1;
+                continue;
+            }
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Find every `fn` item: name, body range, tags, test-ness.
+fn find_fns(
+    tokens: &[Token],
+    annotations: &[Annotation],
+    test_regions: &[(u32, u32)],
+) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "fn" {
+            continue;
+        }
+        // `fn` in a function-pointer type (`fn(u32) -> u32`) has no
+        // name ident after it.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Signature runs to the first `{` (body) or top-level `;`
+        // (trait method declaration), skipping nested groups.
+        let mut j = i + 2;
+        let mut depth = 0isize;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        body = Some((j, matching_close(tokens, j)));
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let line = tokens[i].line;
+        let tagged = |want: &AnnotationKind| {
+            annotations
+                .iter()
+                .any(|a| a.kind == *want && a.line <= line && line <= a.covers_to)
+        };
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            line,
+            body_tokens: body.unwrap_or((j, j.saturating_sub(1))),
+            no_alloc: tagged(&AnnotationKind::NoAlloc),
+            hot_path: tagged(&AnnotationKind::HotPath),
+            in_test: test_regions.iter().any(|&(a, b)| a <= line && line <= b),
+        });
+    }
+    out
+}
+
+/// Find every `match` expression and split its top-level arms.
+fn find_matches(tokens: &[Token]) -> Vec<MatchExpr> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "match" {
+            continue;
+        }
+        // Head: scrutinee tokens up to the body's `{` at group depth 0.
+        // (Struct literals are not allowed in a bare match head, so the
+        // first depth-0 `{` is the body.)
+        let mut j = i + 1;
+        let mut depth = 0isize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    // A depth-0 `;` or `}` means this `match` was not
+                    // an expression head after all — bail out.
+                    ";" | "}" if depth == 0 => {
+                        j = tokens.len();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            continue;
+        }
+        let head: Vec<Token> = tokens[i + 1..j].to_vec();
+        let body_open = j;
+        let body_close = matching_close(tokens, body_open);
+        let arms = split_arms(&tokens[body_open + 1..body_close]);
+        out.push(MatchExpr {
+            head,
+            arms,
+            line: tokens[i].line,
+        });
+    }
+    out
+}
+
+/// Split the token slice between a match body's braces into arms.
+fn split_arms(body: &[Token]) -> Vec<MatchArm> {
+    let mut arms = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        // Pattern: tokens until `=>` at depth 0. A guard (`if …`)
+        // after the pattern is excluded from the pattern tokens.
+        let start = i;
+        let mut depth = 0isize;
+        let mut pat_end = None;
+        let mut guard_at = None;
+        let mut j = i;
+        while j < body.len() {
+            let t = &body[j];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") | (TokenKind::Punct, "{") => {
+                    depth += 1
+                }
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") | (TokenKind::Punct, "}") => {
+                    depth -= 1
+                }
+                (TokenKind::Punct, "=>") if depth == 0 => {
+                    pat_end = Some(j);
+                    break;
+                }
+                (TokenKind::Ident, "if") if depth == 0 && guard_at.is_none() => {
+                    guard_at = Some(j);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(arrow) = pat_end else { break };
+        let pattern: Vec<Token> = body[start..guard_at.unwrap_or(arrow)].to_vec();
+        let wildcard = pattern.len() == 1 && pattern[0].text == "_";
+        let line = body.get(start).map(|t| t.line).unwrap_or(0);
+        arms.push(MatchArm {
+            pattern,
+            wildcard,
+            line,
+        });
+        // Arm body: a brace group, or tokens to the next depth-0 `,`.
+        let mut k = arrow + 1;
+        if k < body.len() && body[k].text == "{" {
+            k = matching_close(body, k) + 1;
+            // Optional trailing comma.
+            if k < body.len() && body[k].text == "," {
+                k += 1;
+            }
+        } else {
+            let mut d = 0isize;
+            while k < body.len() {
+                let t = &body[k];
+                if t.kind == TokenKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => {
+                            k += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        i = k;
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_cover_their_paragraph() {
+        let src = "\
+// ORDERING: monotonic counter, readers tolerate staleness.
+let a = x.load();
+let b = y.load();
+
+let c = z.load();
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.covered_by(1, &AnnotationKind::Ordering));
+        assert!(f.covered_by(2, &AnnotationKind::Ordering));
+        assert!(f.covered_by(3, &AnnotationKind::Ordering));
+        // The blank line ends the paragraph.
+        assert!(!f.covered_by(5, &AnnotationKind::Ordering));
+    }
+
+    #[test]
+    fn allow_clauses_need_a_reason_and_can_share_a_comment() {
+        let src = "\
+// lint: allow(lock, control plane) allow(panic, poisoned is fatal)
+state.lock().expect(\"poisoned\");
+
+// lint: allow(lock)
+other.lock();
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed(2, "lock"));
+        assert!(f.allowed(2, "panic"));
+        // Bare allow(lock) without a reason does not count.
+        assert!(!f.allowed(5, "lock"));
+    }
+
+    #[test]
+    fn allow_reasons_may_wrap_lines_and_contain_parens() {
+        let src = "\
+// lint: allow(lock, waker registration must be atomic with the
+// buffer check (DESIGN.md §5), so the state lives under one guard)
+let g = state.lock();
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed(3, "lock"));
+    }
+
+    #[test]
+    fn reason_prose_cannot_smuggle_a_tag() {
+        let src = "\
+// lint: allow(panic, this fn is not tagged no_alloc on purpose)
+fn f() { x.unwrap(); }
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed(2, "panic"));
+        let func = f.fns.iter().find(|x| x.name == "f").expect("fn");
+        assert!(!func.no_alloc);
+    }
+
+    #[test]
+    fn no_alloc_tag_reaches_past_attributes() {
+        let src = "\
+// lint: no_alloc
+#[inline]
+pub fn hot(&mut self) -> usize {
+    self.n
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        let hot = f.fns.iter().find(|f| f.name == "hot").expect("fn found");
+        assert!(hot.no_alloc);
+        assert!(!hot.hot_path);
+    }
+
+    #[test]
+    fn cfg_test_marks_regions_but_cfg_not_test_does_not() {
+        let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {}
+}
+
+#[cfg(not(test))]
+fn also_prod() {}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(10));
+        let also = f.fns.iter().find(|x| x.name == "also_prod").expect("fn");
+        assert!(!also.in_test);
+    }
+
+    #[test]
+    fn match_arms_split_with_guards_and_nested_groups() {
+        let src = "\
+match msg {
+    Msg::A(x) if x > 0 => f(x),
+    Msg::B { y, .. } => { g(y); }
+    _ => {}
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.matches.len(), 1);
+        let m = &f.matches[0];
+        assert_eq!(m.arms.len(), 3);
+        assert!(!m.arms[0].wildcard);
+        assert!(!m.arms[1].wildcard);
+        assert!(m.arms[2].wildcard);
+        assert_eq!(m.arms[2].line, 4);
+        // The guard is excluded from the pattern tokens.
+        assert!(m.arms[0].pattern.iter().all(|t| t.text != "if"));
+    }
+
+    #[test]
+    fn nested_err_patterns_are_not_wildcards() {
+        let src = "\
+match r {
+    Ok(Ctrl::Go) | Err(_) => run(),
+    Ok(Ctrl::Stop) => stop(),
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        let m = &f.matches[0];
+        assert_eq!(m.arms.len(), 2);
+        assert!(m.arms.iter().all(|a| !a.wildcard));
+    }
+
+    #[test]
+    fn nested_matches_are_each_found() {
+        let src = "\
+match a {
+    X::P(inner) => match inner {
+        Y::Q => 1,
+        _ => 2,
+    },
+    X::R => 3,
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.matches.len(), 2);
+        let outer = &f.matches[0];
+        assert_eq!(outer.arms.len(), 2);
+        assert!(outer.arms.iter().all(|a| !a.wildcard));
+        let inner = &f.matches[1];
+        assert!(inner.arms.iter().any(|a| a.wildcard));
+    }
+}

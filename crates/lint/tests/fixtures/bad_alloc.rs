@@ -1,0 +1,11 @@
+// Known-bad: a fn tagged `// lint: no_alloc` that allocates four
+// different ways. Must fire `no_alloc` once per site.
+
+// lint: no_alloc
+pub fn probe(keys: &[u64]) -> usize {
+    let scratch: Vec<u64> = Vec::new();
+    let copy = keys.to_vec();
+    let owned = copy.clone();
+    let label = format!("{} keys", owned.len());
+    scratch.len() + label.len()
+}

@@ -1,0 +1,16 @@
+// Known-bad: lock acquisition inside a hot-path fn, with no
+// `// lint: allow(lock, …)`. Must fire `hot_lock`.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    state: Mutex<u64>,
+}
+
+impl Shard {
+    pub fn on_batch(&self, n: u64) -> u64 {
+        let mut g = self.state.lock().unwrap();
+        *g += n;
+        *g
+    }
+}

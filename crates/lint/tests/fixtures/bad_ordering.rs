@@ -1,0 +1,13 @@
+// Known-bad: a Relaxed atomic access with no `// ORDERING:`
+// justification. Must fire `ordering_relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+// Regression guard: `std::cmp::Ordering` variants must never fire.
+pub fn compare(a: u64, b: u64) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

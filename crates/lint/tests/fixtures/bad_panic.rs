@@ -1,0 +1,11 @@
+// Known-bad: unwrap/expect/panic! in a hot-path fn without
+// `// lint: allow(panic, …)`. Must fire `hot_panic` per site.
+
+pub fn on_tuple(slots: &[u64], idx: usize) -> u64 {
+    let first = slots.first().unwrap();
+    let at = slots.get(idx).expect("index routed to this shard");
+    if *first > *at {
+        panic!("chain corrupted");
+    }
+    *at
+}

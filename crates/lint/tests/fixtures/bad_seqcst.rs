@@ -1,0 +1,8 @@
+// Known-bad: SeqCst where nothing needs a single total order. Must
+// fire `ordering_seqcst`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn set(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

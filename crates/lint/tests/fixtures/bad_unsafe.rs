@@ -1,0 +1,7 @@
+// Known-bad: an `unsafe` block with no `// SAFETY:` comment, in a file
+// that is not on the unsafe allowlist. Must fire `unsafe_safety` and
+// `unsafe_allowlist`.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

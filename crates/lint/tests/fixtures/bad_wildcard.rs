@@ -1,0 +1,16 @@
+// Known-bad: a `_ =>` arm in a match over a protocol enum. Must fire
+// `enum_wildcard` — a new JoinMsg variant would silently fall through
+// here instead of failing the build.
+
+pub enum JoinMsg {
+    Batch(u32),
+    Eof,
+    Barrier(u64),
+}
+
+pub fn handle(msg: JoinMsg) -> u32 {
+    match msg {
+        JoinMsg::Batch(n) => n,
+        _ => 0,
+    }
+}

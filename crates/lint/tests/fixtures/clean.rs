@@ -1,0 +1,60 @@
+// Known-good: every construct the rules police, each carrying the
+// annotation that justifies it. Must produce zero findings even with
+// this file treated as a whole-file hot region on the unsafe
+// allowlist.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub enum JoinMsg {
+    Batch(u32),
+    Eof,
+    Barrier(u64),
+}
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // SAFETY: caller guarantees `bytes` is non-empty; the pointer
+    // comes from a live slice and is read once, in bounds.
+    unsafe { *bytes.as_ptr() }
+}
+
+pub struct Shard {
+    state: Mutex<u64>,
+    count: AtomicU64,
+    done: AtomicBool,
+}
+
+impl Shard {
+    pub fn on_batch(&self, n: u64) -> u64 {
+        // lint: allow(lock, control-plane registration, not the data
+        // path) allow(panic, poisoned state is unrecoverable here)
+        let mut g = self.state.lock().expect("poisoned");
+        *g += n;
+        *g
+    }
+
+    pub fn bump(&self) {
+        // ORDERING: pure tally, read only by samplers.
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn finish(&self) {
+        // lint: allow(seqcst, total order genuinely required across
+        // this flag and the external epoch log)
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    // lint: no_alloc
+    pub fn probe(&self, slots: &mut Vec<u64>, n: u64) -> usize {
+        slots.push(n);
+        slots.len()
+    }
+}
+
+pub fn handle(msg: JoinMsg) -> u32 {
+    match msg {
+        JoinMsg::Batch(n) => n,
+        JoinMsg::Eof => 0,
+        JoinMsg::Barrier(e) => e as u32,
+    }
+}

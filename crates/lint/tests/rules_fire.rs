@@ -1,0 +1,126 @@
+//! Every rule must fire on its known-bad fixture, and the known-good
+//! fixture must come back clean even under the strictest config. The
+//! fixtures live in `tests/fixtures/` — the workspace walker skips
+//! that directory, so they never pollute a real run.
+
+use nova_lint::rules::{check_file, Finding, Region, RuleConfig};
+use nova_lint::scanner::SourceFile;
+
+fn scan(name: &str, src: &str, cfg: &RuleConfig) -> Vec<Finding> {
+    let file = SourceFile::parse(name, src);
+    check_file(&file, cfg)
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+/// A config that treats the given fixture as whole-file hot path,
+/// allows `unsafe` nowhere, and polices `JoinMsg` as a protocol enum.
+fn strict() -> RuleConfig {
+    RuleConfig {
+        hot_regions: vec![("__any__".into(), Region::WholeFile)],
+        unsafe_allowlist: Vec::new(),
+        protocol_enums: vec!["JoinMsg".into()],
+    }
+}
+
+fn hot(name: &str) -> RuleConfig {
+    RuleConfig {
+        hot_regions: vec![(name.into(), Region::WholeFile)],
+        ..RuleConfig::default()
+    }
+}
+
+#[test]
+fn unsafe_without_safety_fires_both_unsafe_rules() {
+    let src = include_str!("fixtures/bad_unsafe.rs");
+    let findings = scan("fixtures/bad_unsafe.rs", src, &RuleConfig::default());
+    assert_eq!(count(&findings, "unsafe_safety"), 1, "{findings:#?}");
+    assert_eq!(count(&findings, "unsafe_allowlist"), 1, "{findings:#?}");
+    // Allowlisting the file waives the confinement rule but never the
+    // SAFETY-comment requirement.
+    let cfg = RuleConfig {
+        unsafe_allowlist: vec!["bad_unsafe.rs".into()],
+        ..RuleConfig::default()
+    };
+    let findings = scan("fixtures/bad_unsafe.rs", src, &cfg);
+    assert_eq!(count(&findings, "unsafe_safety"), 1);
+    assert_eq!(count(&findings, "unsafe_allowlist"), 0);
+}
+
+#[test]
+fn lock_in_hot_fn_fires() {
+    let src = include_str!("fixtures/bad_lock.rs");
+    let findings = scan("fixtures/bad_lock.rs", src, &hot("bad_lock.rs"));
+    assert!(count(&findings, "hot_lock") >= 1, "{findings:#?}");
+    // Outside a hot region the same code is fine.
+    let findings = scan("fixtures/bad_lock.rs", src, &RuleConfig::default());
+    assert_eq!(count(&findings, "hot_lock"), 0);
+}
+
+#[test]
+fn unjustified_relaxed_fires_once_and_cmp_ordering_never_does() {
+    let src = include_str!("fixtures/bad_ordering.rs");
+    let findings = scan("fixtures/bad_ordering.rs", src, &RuleConfig::default());
+    // Exactly one: the atomic site. `std::cmp::Ordering` in the same
+    // file must not be mistaken for a memory ordering.
+    assert_eq!(count(&findings, "ordering_relaxed"), 1, "{findings:#?}");
+}
+
+#[test]
+fn seqcst_fires() {
+    let src = include_str!("fixtures/bad_seqcst.rs");
+    let findings = scan("fixtures/bad_seqcst.rs", src, &RuleConfig::default());
+    assert_eq!(count(&findings, "ordering_seqcst"), 1, "{findings:#?}");
+}
+
+#[test]
+fn tagged_no_alloc_fn_fires_per_allocation_site() {
+    let src = include_str!("fixtures/bad_alloc.rs");
+    let findings = scan("fixtures/bad_alloc.rs", src, &RuleConfig::default());
+    // Vec::new, .to_vec(), .clone(), format! — four distinct sites.
+    assert_eq!(count(&findings, "no_alloc"), 4, "{findings:#?}");
+}
+
+#[test]
+fn wildcard_arm_over_protocol_enum_fires() {
+    let src = include_str!("fixtures/bad_wildcard.rs");
+    let cfg = RuleConfig {
+        protocol_enums: vec!["JoinMsg".into()],
+        ..RuleConfig::default()
+    };
+    let findings = scan("fixtures/bad_wildcard.rs", src, &cfg);
+    assert_eq!(count(&findings, "enum_wildcard"), 1, "{findings:#?}");
+    // An enum not declared as a protocol may be matched however.
+    let findings = scan("fixtures/bad_wildcard.rs", src, &RuleConfig::default());
+    assert_eq!(count(&findings, "enum_wildcard"), 0);
+}
+
+#[test]
+fn panic_family_in_hot_fn_fires_per_site() {
+    let src = include_str!("fixtures/bad_panic.rs");
+    let findings = scan("fixtures/bad_panic.rs", src, &hot("bad_panic.rs"));
+    // .unwrap(), .expect(), panic! — three distinct sites.
+    assert_eq!(count(&findings, "hot_panic"), 3, "{findings:#?}");
+}
+
+#[test]
+fn annotated_clean_fixture_survives_the_strictest_config() {
+    let src = include_str!("fixtures/clean.rs");
+    let mut cfg = strict();
+    cfg.hot_regions = vec![("clean.rs".into(), Region::WholeFile)];
+    cfg.unsafe_allowlist = vec!["clean.rs".into()];
+    let findings = scan("fixtures/clean.rs", src, &cfg);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn fingerprints_are_line_number_independent() {
+    let src = include_str!("fixtures/bad_seqcst.rs");
+    let shifted = format!("// one extra line above\n{src}");
+    let a = scan("fixtures/bad_seqcst.rs", src, &RuleConfig::default());
+    let b = scan("fixtures/bad_seqcst.rs", &shifted, &RuleConfig::default());
+    assert_eq!(a[0].fingerprint(), b[0].fingerprint());
+    assert_ne!(a[0].line, b[0].line);
+}

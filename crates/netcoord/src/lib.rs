@@ -17,6 +17,8 @@
 //! normalized stress) — the metrics behind the paper's neighbor-set size
 //! selection and the Fig. 8 estimation-error experiment.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod mds;
 pub mod vivaldi;

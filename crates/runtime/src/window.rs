@@ -123,6 +123,8 @@ impl GroupSlot {
 
 /// Append one tuple to a side chain, growing it from the free list (or
 /// the arena's tail) when the tail chunk is full.
+// lint: no_alloc — arena append; `chunks.push` only grows the arena
+// until the free list covers steady state.
 fn push_tuple(
     chunks: &mut Vec<Chunk>,
     free_chunks: &mut Vec<u32>,
@@ -225,6 +227,8 @@ impl WindowBuffers {
     /// `InputReady` handler and the executor's join workers) go through
     /// here. Unkeyed workloads pass `key = 0` everywhere, collapsing to
     /// the classic flat per-window probe.
+    // lint: no_alloc — the probe API both engines sit on; a new
+    // allocation here shows up at every tuple of every backend.
     pub fn insert_and_probe_with<F>(
         &mut self,
         window: u64,
@@ -303,7 +307,11 @@ impl WindowBuffers {
             .collect();
         let mut evicted = 0;
         for k in dead {
-            let slot_idx = self.groups.remove(&k).expect("key collected above");
+            // The key was collected from `groups` just above, but a
+            // dead key is not worth a shard: skip rather than expect.
+            let Some(slot_idx) = self.groups.remove(&k) else {
+                continue;
+            };
             let slot = self.slots[slot_idx as usize];
             evicted += self.recycle_chain(slot.left);
             evicted += self.recycle_chain(slot.right);

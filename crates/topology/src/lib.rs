@@ -22,6 +22,8 @@
 //! * a 24-hour latency drift replay ([`drift`]) for the Fig. 9 resilience
 //!   experiment.
 
+#![forbid(unsafe_code)]
+
 pub mod drift;
 pub mod edge_fog_cloud;
 pub mod graph;

@@ -13,6 +13,8 @@
 //! * [`smart_city`] — the introduction's traffic ⋈ weather scenario with
 //!   strongly asymmetric rates, exercising the joint partition weighting.
 
+#![forbid(unsafe_code)]
+
 pub mod environmental;
 pub mod smart_city;
 pub mod synthetic_opp;
